@@ -1,0 +1,72 @@
+//! Error types for battery model construction and operation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by battery model constructors and operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatteryError {
+    /// A capacity of zero or a negative capacity was requested.
+    NonPositiveCapacity(f64),
+    /// A model parameter was outside its valid domain.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A negative power demand was requested from a discharging cell.
+    NegativeDemand(f64),
+    /// A non-positive simulation step was requested.
+    NonPositiveStep(f64),
+}
+
+impl fmt::Display for BatteryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatteryError::NonPositiveCapacity(c) => {
+                write!(f, "battery capacity must be positive, got {c} Ah")
+            }
+            BatteryError::InvalidParameter { name, value } => {
+                write!(f, "invalid battery parameter {name}: {value}")
+            }
+            BatteryError::NegativeDemand(p) => {
+                write!(f, "power demand must be non-negative, got {p} W")
+            }
+            BatteryError::NonPositiveStep(dt) => {
+                write!(f, "simulation step must be positive, got {dt} s")
+            }
+        }
+    }
+}
+
+impl Error for BatteryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            BatteryError::NonPositiveCapacity(-1.0),
+            BatteryError::InvalidParameter {
+                name: "r0",
+                value: -0.5,
+            },
+            BatteryError::NegativeDemand(-2.0),
+            BatteryError::NonPositiveStep(0.0),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatteryError>();
+    }
+}

@@ -1,0 +1,58 @@
+//! Heterogeneous (big.LITTLE) battery models for the CAPMAN reproduction.
+//!
+//! The CAPMAN paper schedules between two lithium-ion cells of different
+//! chemistry — a *big* cell (high energy density, gentle discharge; NCA in
+//! the paper) and a *LITTLE* cell (high discharge rate; LMO in the paper).
+//! This crate provides everything below the scheduler:
+//!
+//! * [`chemistry`] — the six-chemistry feature database of Table I and the
+//!   radar-map metrics of Fig. 4, with the paper's big/LITTLE
+//!   classification rule.
+//! * [`kibam`] — the Kinetic Battery Model (two-well) that produces the
+//!   rate-capacity and recovery effects CAPMAN exploits.
+//! * [`ocv`] — per-chemistry open-circuit-voltage curves.
+//! * [`thevenin`] — the Thevenin equivalent-circuit voltage model (series
+//!   resistance plus one RC pair) with temperature-dependent losses.
+//! * [`cell`] — a complete simulated cell combining the above, with a
+//!   power-demand interface and heat output.
+//! * [`vedge`] — the V-edge step-response probe and the D1/D2/D3 area
+//!   decomposition of Fig. 3.
+//! * [`pack`] — the big.LITTLE [`pack::BatteryPack`] with switching costs.
+//! * [`switch`] — the switch facility (TTL signal model of Fig. 9/11).
+//! * [`supercap`] — the supercapacitor that filters the LITTLE cell's
+//!   spiky output in the prototype of Fig. 10.
+//!
+//! # Example
+//!
+//! ```
+//! use capman_battery::chemistry::Chemistry;
+//! use capman_battery::cell::Cell;
+//!
+//! // A 2500 mAh LMO (LITTLE) cell, as used in the paper's prototype.
+//! let mut cell = Cell::new(Chemistry::Lmo, 2.5);
+//! let step = cell.step(1.5, 1.0, 25.0); // draw 1.5 W for 1 s at 25 degC
+//! assert!(step.delivered_j > 0.0);
+//! assert!(cell.soc() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod charging;
+pub mod chemistry;
+pub mod degradation;
+pub mod error;
+pub mod kibam;
+pub mod multi;
+pub mod ocv;
+pub mod pack;
+pub mod supercap;
+pub mod switch;
+pub mod thevenin;
+pub mod vedge;
+
+pub use cell::{Cell, CellStep};
+pub use chemistry::{Chemistry, Class};
+pub use error::BatteryError;
+pub use pack::{BatteryPack, PackStep};

@@ -1,0 +1,158 @@
+//! Open-circuit-voltage (OCV) curves per chemistry.
+//!
+//! The terminal voltage of a lithium cell at rest is a monotone function of
+//! its state of charge. CAPMAN's V-edge analysis (Fig. 3) and the cut-off
+//! behaviour under surges both depend on the shape of this curve: flat
+//! chemistries (LFP, LTO) sag into cut-off abruptly, sloped chemistries
+//! (NCA, LCO) fade gradually.
+
+use crate::chemistry::Chemistry;
+
+/// A piecewise-linear OCV(SoC) curve.
+///
+/// Breakpoints are `(soc, volts)` pairs with strictly increasing SoC in
+/// `[0, 1]` and non-decreasing voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OcvCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl OcvCurve {
+    /// Build a curve from breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, if SoC values are not
+    /// strictly increasing within `[0, 1]`, or if voltages decrease.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "OCV curve needs at least two points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "SoC breakpoints must strictly increase");
+            assert!(w[0].1 <= w[1].1, "OCV must be non-decreasing in SoC");
+        }
+        let first = points.first().expect("non-empty");
+        let last = points.last().expect("non-empty");
+        assert!(first.0 >= 0.0 && last.0 <= 1.0, "SoC must lie in [0, 1]");
+        OcvCurve { points }
+    }
+
+    /// The canonical curve for a chemistry, anchored at that chemistry's
+    /// cut-off voltage (SoC = 0) and a typical full-charge voltage.
+    pub fn for_chemistry(chem: Chemistry) -> Self {
+        let e = chem.electrical();
+        let full = e.nominal_v * 1.12; // typical 4.15 V for a 3.7 V cell
+        // Shape factor: LITTLE chemistries (esp. LFP/LTO) have flat plateaus.
+        let plateau = match chem {
+            Chemistry::Lfp | Chemistry::Lto => 0.035,
+            Chemistry::Lmo | Chemistry::Nmc => 0.06,
+            Chemistry::Nca | Chemistry::Lco => 0.09,
+        };
+        let span = full - e.cutoff_v;
+        OcvCurve::new(vec![
+            (0.0, e.cutoff_v),
+            (0.05, e.cutoff_v + span * 0.35),
+            (0.15, e.nominal_v - span * plateau * 2.0),
+            (0.50, e.nominal_v),
+            (0.85, e.nominal_v + span * plateau * 2.0),
+            (1.0, full),
+        ])
+    }
+
+    /// The open-circuit voltage at the given state of charge.
+    ///
+    /// SoC values outside `[0, 1]` are clamped.
+    pub fn voltage(&self, soc: f64) -> f64 {
+        let soc = soc.clamp(self.points[0].0, self.points[self.points.len() - 1].0);
+        for w in self.points.windows(2) {
+            let (s0, v0) = w[0];
+            let (s1, v1) = w[1];
+            if soc <= s1 {
+                let t = (soc - s0) / (s1 - s0);
+                return v0 + t * (v1 - v0);
+            }
+        }
+        self.points[self.points.len() - 1].1
+    }
+
+    /// The full-charge voltage (SoC = 1).
+    pub fn full_voltage(&self) -> f64 {
+        self.points[self.points.len() - 1].1
+    }
+
+    /// The empty voltage (SoC = 0).
+    pub fn empty_voltage(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// The breakpoints of the curve.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_between_breakpoints() {
+        let c = OcvCurve::new(vec![(0.0, 3.0), (1.0, 4.0)]);
+        assert!((c.voltage(0.5) - 3.5).abs() < 1e-12);
+        assert!((c.voltage(0.25) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_out_of_range_soc() {
+        let c = OcvCurve::new(vec![(0.0, 3.0), (1.0, 4.0)]);
+        assert_eq!(c.voltage(-0.5), 3.0);
+        assert_eq!(c.voltage(2.0), 4.0);
+    }
+
+    #[test]
+    fn chemistry_curves_are_monotone() {
+        for chem in Chemistry::ALL {
+            let c = OcvCurve::for_chemistry(chem);
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=100 {
+                let v = c.voltage(f64::from(i) / 100.0);
+                assert!(v >= prev - 1e-12, "{chem} not monotone at {i}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn chemistry_curves_anchor_cutoff_and_full() {
+        for chem in Chemistry::ALL {
+            let e = chem.electrical();
+            let c = OcvCurve::for_chemistry(chem);
+            assert!((c.empty_voltage() - e.cutoff_v).abs() < 1e-9);
+            assert!(c.full_voltage() > e.nominal_v);
+            // Mid-charge sits near the nominal voltage.
+            assert!((c.voltage(0.5) - e.nominal_v).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn lfp_plateau_is_flatter_than_nca() {
+        let lfp = OcvCurve::for_chemistry(Chemistry::Lfp);
+        let nca = OcvCurve::for_chemistry(Chemistry::Nca);
+        let lfp_span = lfp.voltage(0.85) - lfp.voltage(0.15);
+        let nca_span = nca.voltage(0.85) - nca.voltage(0.15);
+        let lfp_rel = lfp_span / lfp.voltage(0.5);
+        let nca_rel = nca_span / nca.voltage(0.5);
+        assert!(lfp_rel < nca_rel);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_non_monotone_soc() {
+        let _ = OcvCurve::new(vec![(0.0, 3.0), (0.0, 3.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_decreasing_voltage() {
+        let _ = OcvCurve::new(vec![(0.0, 3.6), (1.0, 3.5)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based invariants for the battery models.
+
+use proptest::prelude::*;
+
+use capman_battery::cell::Cell;
+use capman_battery::chemistry::Chemistry;
+use capman_battery::kibam::Kibam;
+use capman_battery::ocv::OcvCurve;
+use capman_battery::pack::BatteryPack;
+use capman_battery::supercap::Supercap;
+
+fn arb_chemistry() -> impl Strategy<Value = Chemistry> {
+    prop_oneof![
+        Just(Chemistry::Lco),
+        Just(Chemistry::Nca),
+        Just(Chemistry::Lmo),
+        Just(Chemistry::Nmc),
+        Just(Chemistry::Lfp),
+        Just(Chemistry::Lto),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The KiBaM never creates charge: whatever is drawn plus whatever
+    /// remains equals the initial capacity.
+    #[test]
+    fn kibam_conserves_charge(
+        c in 0.1f64..0.9,
+        k in 1e-5f64..1e-2,
+        currents in prop::collection::vec(0.0f64..10.0, 1..60),
+    ) {
+        let capacity = 9000.0;
+        let mut kibam = Kibam::new(capacity, c, k).expect("valid");
+        let mut delivered = 0.0;
+        for i in currents {
+            delivered += kibam.draw(i, 5.0).expect("draw").delivered_c;
+        }
+        let total = delivered + kibam.remaining_coulombs();
+        prop_assert!((total - capacity).abs() < 1e-6 * capacity,
+            "charge imbalance: {total} vs {capacity}");
+    }
+
+    /// Well heads stay in [0, 1] under any draw/rest schedule.
+    #[test]
+    fn kibam_heads_stay_bounded(
+        c in 0.1f64..0.9,
+        k in 1e-5f64..1e-2,
+        steps in prop::collection::vec((0.0f64..8.0, 0.5f64..30.0), 1..50),
+    ) {
+        let mut kibam = Kibam::new(9000.0, c, k).expect("valid");
+        for (current, dt) in steps {
+            kibam.draw(current, dt).expect("draw");
+            prop_assert!((0.0..=1.0).contains(&kibam.h1()));
+            prop_assert!((0.0..=1.0).contains(&kibam.h2()));
+            prop_assert!((0.0..=1.0).contains(&kibam.total_soc()));
+        }
+    }
+
+    /// A cell's SoC never increases while discharging, and all reported
+    /// quantities stay physical.
+    #[test]
+    fn cell_soc_monotone_under_discharge(
+        chem in arb_chemistry(),
+        demands in prop::collection::vec(0.0f64..6.0, 1..80),
+    ) {
+        let mut cell = Cell::new(chem, 2.5);
+        let mut prev_soc = cell.soc();
+        for demand in demands {
+            let step = cell.step(demand, 1.0, 25.0);
+            prop_assert!(cell.soc() <= prev_soc + 1e-12);
+            prop_assert!(step.delivered_w >= 0.0);
+            prop_assert!(step.heat_w >= 0.0);
+            prop_assert!(step.current_a >= 0.0);
+            prop_assert!(step.voltage_v.is_finite());
+            prev_soc = cell.soc();
+        }
+    }
+
+    /// A cell can never deliver more energy than its rated content.
+    #[test]
+    fn cell_delivery_bounded_by_rated_energy(
+        chem in arb_chemistry(),
+        demand in 0.5f64..8.0,
+    ) {
+        let mut cell = Cell::new(chem, 0.2);
+        for _ in 0..20_000 {
+            cell.step(demand, 1.0, 25.0);
+            if cell.is_exhausted() {
+                break;
+            }
+        }
+        prop_assert!(cell.delivered_j() <= cell.rated_energy_j() * 1.05,
+            "delivered {} of rated {}", cell.delivered_j(), cell.rated_energy_j());
+    }
+
+    /// Rest always weakly raises the available head.
+    #[test]
+    fn rest_never_lowers_available_head(
+        chem in arb_chemistry(),
+        surge_s in 10u32..300,
+    ) {
+        let mut cell = Cell::new(chem, 2.5);
+        for _ in 0..surge_s {
+            cell.step(5.0, 1.0, 25.0);
+        }
+        let before = cell.available_head();
+        cell.rest(60.0, 25.0);
+        prop_assert!(cell.available_head() >= before - 1e-9);
+    }
+
+    /// OCV curves are monotone for every chemistry at any sampled SoC
+    /// pair.
+    #[test]
+    fn ocv_is_monotone(chem in arb_chemistry(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let curve = OcvCurve::for_chemistry(chem);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(curve.voltage(lo) <= curve.voltage(hi) + 1e-12);
+    }
+
+    /// The pack serves no more than demanded and accounts shortfall
+    /// exactly.
+    #[test]
+    fn pack_serves_at_most_demand(
+        demands in prop::collection::vec(0.0f64..8.0, 1..60),
+        select_little in prop::collection::vec(any::<bool>(), 1..60),
+    ) {
+        let mut pack = BatteryPack::paper_prototype();
+        for (demand, little) in demands.iter().zip(select_little) {
+            use capman_battery::chemistry::Class;
+            pack.select(if little { Class::Little } else { Class::Big });
+            let step = pack.step(*demand, 1.0, 25.0);
+            prop_assert!(step.delivered_w <= demand + 1e-9);
+            prop_assert!((step.delivered_w + step.shortfall_w - demand).abs() < 1e-6);
+            prop_assert!(step.heat_w >= 0.0);
+        }
+    }
+
+    /// Charging never overfills and conserves charge: accepted charge
+    /// equals the gain in remaining coulombs.
+    #[test]
+    fn charging_conserves_and_caps(
+        chem in arb_chemistry(),
+        drain_s in 100u32..4000,
+        charge_a in 0.1f64..5.0,
+    ) {
+        let mut cell = Cell::new(chem, 2.5);
+        for _ in 0..drain_s {
+            cell.step(2.0, 1.0, 25.0);
+        }
+        let mut kib_before = cell.soc();
+        for _ in 0..200 {
+            let accepted = cell.charge(charge_a, 10.0, 25.0);
+            prop_assert!(accepted >= 0.0);
+            prop_assert!(cell.soc() <= 1.0 + 1e-9, "soc {}", cell.soc());
+            prop_assert!(cell.soc() >= kib_before - 1e-9, "charging lowered soc");
+            kib_before = cell.soc();
+        }
+    }
+
+    /// A drain-then-full-recharge round trip restores a usable cell.
+    #[test]
+    fn recharge_restores_usability(chem in arb_chemistry()) {
+        use capman_battery::charging::Charger;
+        let mut cell = Cell::new(chem, 0.5);
+        for _ in 0..100_000 {
+            cell.step(3.0, 1.0, 25.0);
+            if cell.is_exhausted() {
+                break;
+            }
+        }
+        let report = Charger::default().charge_cell(&mut cell, 200_000.0);
+        prop_assert!(report.final_soc > 0.9, "soc {}", report.final_soc);
+        prop_assert!(cell.is_usable(), "recharged cell must be usable");
+        let s = cell.step(0.5, 1.0, 25.0);
+        prop_assert!(s.delivered_w > 0.4);
+    }
+
+    /// The supercapacitor filter never manufactures energy: cumulative
+    /// battery input plus buffer drain covers the served load.
+    #[test]
+    fn supercap_energy_balance(
+        demands in prop::collection::vec(0.0f64..10.0, 1..100),
+    ) {
+        let mut cap = Supercap::prototype();
+        let start = cap.stored_j();
+        let mut battery_j = 0.0;
+        let mut served_j = 0.0;
+        for demand in demands {
+            let s = cap.filter(demand, 0.5);
+            battery_j += s.battery_demand_w * 0.5;
+            served_j += (demand - s.shortfall_w) * 0.5;
+        }
+        let available = battery_j + (start - cap.stored_j());
+        prop_assert!(served_j <= available + 1e-6,
+            "served {served_j} J from only {available} J");
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 14 bench: TEC temperature reduction vs big/LITTLE ratio.
+//!
+//! Times CAPMAN cycles with and without the TEC facility and prints the
+//! bench-scale reduction per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capman_core::config::SimConfig;
+use capman_core::experiments::{run_policy_with, PolicyKind};
+use capman_device::phone::PhoneProfile;
+use capman_workload::WorkloadKind;
+
+const HORIZON_S: f64 = 3000.0;
+
+fn run(workload: WorkloadKind, tec: bool) -> capman_core::metrics::Outcome {
+    let config = SimConfig {
+        max_horizon_s: HORIZON_S,
+        tec_enabled: tec,
+        ..SimConfig::paper()
+    };
+    run_policy_with(
+        PolicyKind::Capman,
+        workload,
+        PhoneProfile::nexus(),
+        42,
+        config,
+    )
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    for tec in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("geekbench_cycle", if tec { "tec" } else { "no_tec" }),
+            &tec,
+            |b, &tec| b.iter(|| run(WorkloadKind::Geekbench, tec)),
+        );
+    }
+    group.finish();
+
+    println!("\nfig14 (bench scale): TEC reduction per workload");
+    for workload in WorkloadKind::fig12() {
+        let with = run(workload, true);
+        let without = run(workload, false);
+        let ratio = with
+            .big_little_ratio()
+            .map(|r| format!("{r:.2}"))
+            .unwrap_or_else(|| "inf".into());
+        println!(
+            "  {:<12} ratio={}  dT={:.1} K",
+            workload.label(),
+            ratio,
+            without.max_hotspot_c - with.max_hotspot_c
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Fig. 16 bench: runtime-calibration overhead vs the discount factor.
+//!
+//! This is the paper's overhead experiment measured with Criterion
+//! rigour: one structural-similarity calibration on a profiled MDP, at
+//! several discount factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capman_core::capman::CapmanPolicy;
+use capman_core::online::Calibrator;
+use capman_core::policy::{Observation, Policy};
+use capman_core::profiler::Profiler;
+use capman_device::fsm::Action;
+use capman_device::phone::PhoneProfile;
+use capman_device::power::PowerModel;
+use capman_device::states::DeviceState;
+use capman_workload::{generate, WorkloadKind};
+
+/// Replay a short PCMark cycle into a profiler (same seeding as
+/// `experiments::fig16`).
+fn seeded_profiler() -> Profiler {
+    let mut policy = CapmanPolicy::new(1.0);
+    let trace = generate(WorkloadKind::Pcmark, 900.0, 42);
+    let model: PowerModel = PhoneProfile::nexus().power_model();
+    let mut state = DeviceState::asleep();
+    let mut t = 0.0;
+    while t < 900.0 {
+        let prev = state;
+        let mut first = None;
+        for seg in trace.segments_starting_in(t, t + 1.0) {
+            for &a in &seg.actions {
+                state = state.apply(a);
+                first.get_or_insert(a);
+            }
+        }
+        let demand = trace.at(t).demand;
+        let power = model.device_power_mw(&state, &demand) / 1000.0;
+        policy.observe(&Observation {
+            time_s: t,
+            prev_state: prev,
+            action: first.unwrap_or(Action::TimerTick),
+            new_state: state,
+            reward: 0.9,
+            power_w: power,
+        });
+        t += 1.0;
+    }
+    policy.profiler().clone()
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let profiler = seeded_profiler();
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(20);
+    for rho in [0.05, 0.5, 0.9, 0.99] {
+        group.bench_with_input(
+            BenchmarkId::new("calibration", format!("rho_{rho}")),
+            &rho,
+            |b, &rho| {
+                b.iter(|| {
+                    let mut cal = Calibrator::new(rho, 0.1, 1.0);
+                    cal.recalibrate(0.0, &profiler, 1.0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig16);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 2 bench: chemistry-vs-workload service behaviour.
+//!
+//! Regenerates the Fig. 2 comparison (LMO vs NCA on steady and toggling
+//! workloads) at bench scale and times the underlying discharge-cycle
+//! simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capman_battery::chemistry::Chemistry;
+use capman_battery::pack::BatteryPack;
+use capman_core::baselines::PracticePolicy;
+use capman_core::config::SimConfig;
+use capman_core::sim::Simulator;
+use capman_device::phone::PhoneProfile;
+use capman_workload::{generate, WorkloadKind};
+
+fn service_time(chem: Chemistry, workload: WorkloadKind, horizon_s: f64) -> f64 {
+    let config = SimConfig {
+        max_horizon_s: horizon_s,
+        ..SimConfig::paper()
+    };
+    let trace = generate(workload, horizon_s, 42);
+    Simulator::new(
+        PhoneProfile::nexus(),
+        trace,
+        BatteryPack::single(chem, 0.25), // small cell so the cycle ends in-bench
+        Box::new(PracticePolicy),
+        config,
+    )
+    .run()
+    .service_time_s
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for workload in [
+        WorkloadKind::IdleOn,
+        WorkloadKind::Video,
+        WorkloadKind::Toggle { period_s: 10 },
+    ] {
+        for chem in [Chemistry::Lmo, Chemistry::Nca] {
+            group.bench_with_input(
+                BenchmarkId::new(workload.label(), chem.symbol()),
+                &(chem, workload),
+                |b, &(chem, workload)| b.iter(|| service_time(chem, workload, 6000.0)),
+            );
+        }
+    }
+    group.finish();
+
+    // Print the figure's data once, at bench scale.
+    println!("\nfig2 (bench scale, 250 mAh cells): service seconds");
+    for workload in [
+        WorkloadKind::IdleOn,
+        WorkloadKind::Video,
+        WorkloadKind::Toggle { period_s: 10 },
+    ] {
+        let lmo = service_time(Chemistry::Lmo, workload, 6000.0);
+        let nca = service_time(Chemistry::Nca, workload, 6000.0);
+        println!("  {:<16} LMO {:>7.0}  NCA {:>7.0}", workload.label(), lmo, nca);
+    }
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

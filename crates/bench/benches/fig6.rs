@@ -1,0 +1,37 @@
+//! Fig. 6 bench: the TEC delta-T-vs-current curve.
+//!
+//! Times the Eq. (1) evaluation across the 0–2.2 A sweep and checks the
+//! peak sits at the rated current.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use capman_thermal::tec::Tec;
+
+fn sweep(tec: &Tec) -> (f64, f64) {
+    let mut best = (0.0, f64::NEG_INFINITY);
+    for i in 0..=220 {
+        let current = f64::from(i) * 0.01;
+        let dt = tec.delta_t_steady(current);
+        if dt > best.1 {
+            best = (current, dt);
+        }
+    }
+    best
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let tec = Tec::ate31();
+    c.bench_function("fig6/delta_t_sweep", |b| b.iter(|| sweep(&tec)));
+
+    let (peak_i, peak_dt) = sweep(&tec);
+    println!(
+        "\nfig6: peak dT = {:.2} K at {:.2} A (rated {:.2} A)",
+        peak_dt,
+        peak_i,
+        tec.rated_current_a()
+    );
+    assert!((peak_i - tec.rated_current_a()).abs() < 0.02);
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation: structural-similarity reuse vs plain value iteration.
+//!
+//! DESIGN.md calls out the paper's core algorithmic claim: computing
+//! structural similarities once and reusing decisions for similar states
+//! is cheaper than re-solving the MDP per decision. This bench measures
+//! (a) one similarity calibration, (b) one full value-iteration solve,
+//! and (c) a cached abstraction lookup — the operation CAPMAN performs
+//! on the hot decision path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use capman_mdp::abstraction::Abstraction;
+use capman_mdp::graph::MdpGraph;
+use capman_mdp::mdp::{Mdp, MdpBuilder};
+use capman_mdp::similarity::{structural_similarity, SimilarityParams};
+use capman_mdp::value_iteration::solve;
+
+/// A layered random-ish MDP shaped like the profiled device MDP
+/// (~50 live states, a handful of actions each).
+fn device_like_mdp() -> Mdp {
+    let n = 48;
+    let mut b = MdpBuilder::new(n, 6);
+    for s in 0..(n - 4) {
+        for a in 0..3 {
+            // Deterministic-ish structure with two successors.
+            let n1 = (s * 7 + a * 11 + 1) % n;
+            let n2 = (s * 13 + a * 5 + 3) % n;
+            let r = ((s + a) % 10) as f64 / 10.0;
+            b.transition(s, a, n1, 0.7, r);
+            b.transition(s, a, n2, 0.3, (r + 0.2).min(1.0));
+        }
+    }
+    b.build()
+}
+
+fn bench_similarity_ablation(c: &mut Criterion) {
+    let mdp = device_like_mdp();
+    let graph = MdpGraph::from_mdp(&mdp);
+    let params = SimilarityParams {
+        tolerance: 1e-3,
+        max_iterations: 60,
+        ..SimilarityParams::paper(0.05)
+    };
+
+    c.bench_function("similarity_ablation/algorithm1", |b| {
+        b.iter(|| structural_similarity(&graph, &params))
+    });
+    c.bench_function("similarity_ablation/value_iteration", |b| {
+        b.iter(|| solve(&mdp, 0.05, 1e-6))
+    });
+
+    let sim = structural_similarity(&graph, &params);
+    let abstraction = Abstraction::from_similarity(&sim.sigma_s, 0.1);
+    c.bench_function("similarity_ablation/cached_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in 0..48 {
+                acc += abstraction.representative(s);
+            }
+            acc
+        })
+    });
+
+    println!(
+        "\nsimilarity_ablation: {} states -> {} clusters (theta 0.1), {} iterations",
+        abstraction.n_states(),
+        abstraction.n_clusters(),
+        sim.iterations
+    );
+}
+
+criterion_group!(benches, bench_similarity_ablation);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation: switching-cost sensitivity.
+//!
+//! Each battery flip dissipates energy and heat through the switch
+//! facility; the paper's hysteresis/dwell design exists to keep this
+//! cheap. The ablation sweeps the per-flip energy (and toggles the
+//! supercapacitor filter) on a PCMark cycle under CAPMAN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capman_battery::pack::{BatteryPack, PackConfig};
+use capman_battery::switch::SwitchConfig;
+use capman_core::capman::CapmanPolicy;
+use capman_core::config::SimConfig;
+use capman_core::metrics::Outcome;
+use capman_core::sim::Simulator;
+use capman_device::phone::PhoneProfile;
+use capman_workload::{generate, WorkloadKind};
+
+const HORIZON_S: f64 = 3000.0;
+
+fn run(flip_energy_j: f64, supercap: bool) -> Outcome {
+    let config = SimConfig {
+        max_horizon_s: HORIZON_S,
+        tec_enabled: true,
+        ..SimConfig::paper()
+    };
+    let pack = BatteryPack::dual(PackConfig {
+        switch: SwitchConfig {
+            flip_energy_j,
+            ..SwitchConfig::default()
+        },
+        supercap,
+        ..PackConfig::paper_prototype()
+    });
+    let trace = generate(WorkloadKind::Pcmark, HORIZON_S, 42);
+    let phone = PhoneProfile::nexus();
+    let policy = Box::new(CapmanPolicy::new(phone.compute_speed));
+    Simulator::new(phone, trace, pack, policy, config).run()
+}
+
+fn bench_switch_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("switch_ablation");
+    group.sample_size(10);
+    for flip in [0.005, 0.05, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("flip_energy", format!("{flip}J")),
+            &flip,
+            |b, &flip| b.iter(|| run(flip, true)),
+        );
+    }
+    group.finish();
+
+    println!("\nswitch_ablation (bench scale): flip energy / supercap -> heat & switches");
+    for flip in [0.005, 0.05, 0.5] {
+        for supercap in [true, false] {
+            let o = run(flip, supercap);
+            println!(
+                "  flip={:<6} supercap={:<5} switches={:<6} heat_j={:>7.0} delivered_j={:>8.0}",
+                flip, supercap, o.switches, o.energy_heat_j, o.energy_delivered_j
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_switch_ablation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: TEC threshold sweep.
+//!
+//! The paper fixes the TEC turn-on threshold at the 45 degC skin limit.
+//! This ablation sweeps the threshold (plus a no-TEC arm) and reports
+//! the temperature/energy trade-off on a Geekbench cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use capman_core::config::SimConfig;
+use capman_core::experiments::{run_policy_with, PolicyKind};
+use capman_core::metrics::Outcome;
+use capman_device::phone::PhoneProfile;
+use capman_workload::WorkloadKind;
+
+const HORIZON_S: f64 = 3000.0;
+
+fn run(threshold_c: Option<f64>) -> Outcome {
+    let config = SimConfig {
+        max_horizon_s: HORIZON_S,
+        tec_enabled: threshold_c.is_some(),
+        tec_threshold_c: threshold_c.unwrap_or(45.0),
+        ..SimConfig::paper()
+    };
+    run_policy_with(
+        PolicyKind::Capman,
+        WorkloadKind::Geekbench,
+        PhoneProfile::nexus(),
+        42,
+        config,
+    )
+}
+
+fn bench_tec_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tec_ablation");
+    group.sample_size(10);
+    for arm in [None, Some(40.0), Some(45.0), Some(50.0)] {
+        let label = arm.map(|t| format!("{t}C")).unwrap_or_else(|| "off".into());
+        group.bench_with_input(BenchmarkId::new("geekbench", &label), &arm, |b, &arm| {
+            b.iter(|| run(arm))
+        });
+    }
+    group.finish();
+
+    println!("\ntec_ablation (bench scale): threshold -> max spot temp / TEC energy");
+    for arm in [None, Some(40.0), Some(45.0), Some(50.0)] {
+        let o = run(arm);
+        println!(
+            "  {:<5} maxT={:>5.1}C  meanT={:>5.1}C  tec_j={:>7.0}  delivered_j={:>8.0}",
+            arm.map(|t| format!("{t}C")).unwrap_or_else(|| "off".into()),
+            o.max_hotspot_c,
+            o.mean_hotspot_c,
+            o.tec_energy_j,
+            o.energy_delivered_j
+        );
+    }
+}
+
+criterion_group!(benches, bench_tec_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Calibration probe: prints the Fig. 12 service-time grid so model
+//! constants can be tuned against the paper's orderings and factors.
+
+use capman_core::experiments::{fig12_row, PolicyKind};
+use capman_workload::WorkloadKind;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}", "workload", "Oracle", "CAPMAN", "Heur", "Dual", "Practice");
+    for workload in WorkloadKind::fig12() {
+        let outcomes = fig12_row(workload, seed);
+        print!("{:<12}", workload.label());
+        for o in &outcomes {
+            print!(" {:>10.0}", o.service_time_s);
+        }
+        println!();
+        // Key paper numbers as gains vs each baseline.
+        let get = |k: PolicyKind| {
+            outcomes
+                .iter()
+                .find(|o| o.policy == k.label())
+                .expect("policy present")
+        };
+        let capman = get(PolicyKind::Capman);
+        println!(
+            "{:<12}  vs Heur {:+.1}%  vs Dual {:+.1}%  vs Practice {:+.1}%  vs Oracle {:+.1}%  switches={} tec_duty={:.2} maxT={:.1}C eff={:.2} end={:?}",
+            "",
+            capman.service_gain_pct(get(PolicyKind::Heuristic)),
+            capman.service_gain_pct(get(PolicyKind::Dual)),
+            capman.service_gain_pct(get(PolicyKind::Practice)),
+            capman.service_gain_pct(get(PolicyKind::Oracle)),
+            capman.switches,
+            capman.tec_on_s / capman.service_time_s.max(1.0),
+            capman.max_hotspot_c,
+            capman.efficiency(),
+            capman.end_reason,
+        );
+        for o in &outcomes {
+            println!(
+                "{:<12}  {:<9} end={:?} eff={:.2} work={:.0} heat_j={:.0} deliv_j={:.0} maxT={:.1} switches={}",
+                "", o.policy, o.end_reason, o.efficiency(), o.work_served, o.energy_heat_j, o.energy_delivered_j, o.max_hotspot_c, o.switches
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared helpers for the CAPMAN benchmark harness.
+//!
+//! The Criterion benches run discharge cycles at a reduced horizon so a
+//! bench iteration completes in milliseconds-to-seconds; the `figures`
+//! binary runs the full-scale cycles the paper reports.
+
+use capman_core::config::SimConfig;
+use capman_core::experiments::{run_policy_with, PolicyKind};
+use capman_core::metrics::Outcome;
+use capman_device::phone::PhoneProfile;
+use capman_workload::WorkloadKind;
+
+/// A reduced-horizon configuration for bench iterations.
+pub fn short_config(kind: PolicyKind, horizon_s: f64) -> SimConfig {
+    SimConfig {
+        max_horizon_s: horizon_s,
+        tec_enabled: kind.has_tec(),
+        ..SimConfig::paper()
+    }
+}
+
+/// Run one reduced-horizon discharge cycle on the Nexus.
+pub fn quick_cycle(kind: PolicyKind, workload: WorkloadKind, horizon_s: f64, seed: u64) -> Outcome {
+    run_policy_with(
+        kind,
+        workload,
+        PhoneProfile::nexus(),
+        seed,
+        short_config(kind, horizon_s),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cycle_runs() {
+        let o = quick_cycle(PolicyKind::Dual, WorkloadKind::Video, 600.0, 1);
+        assert!(o.service_time_s > 0.0);
+    }
+
+    #[test]
+    fn short_config_sets_tec_by_policy() {
+        assert!(short_config(PolicyKind::Capman, 100.0).tec_enabled);
+        assert!(!short_config(PolicyKind::Dual, 100.0).tec_enabled);
+    }
+}

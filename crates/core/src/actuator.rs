@@ -1,0 +1,84 @@
+//! The actuator (Section III-E).
+//!
+//! Converts the scheduler's battery decision into switch-facility
+//! commands on the pack and reports the corresponding system-level
+//! action so the profiler sees its own switches in the MDP.
+
+use capman_battery::chemistry::Class;
+use capman_battery::pack::BatteryPack;
+use capman_device::fsm::Action;
+
+/// Applies battery decisions to a pack.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Actuator {
+    switches: u64,
+}
+
+impl Actuator {
+    /// A fresh actuator.
+    pub fn new() -> Self {
+        Actuator::default()
+    }
+
+    /// Request that `target` carry the load. Returns the switch action
+    /// when a flip actually happened (`None` when the target was already
+    /// active or the pack has a single cell).
+    pub fn apply(&mut self, pack: &mut BatteryPack, target: Class) -> Option<Action> {
+        if pack.select(target) {
+            self.switches += 1;
+            Some(match target {
+                Class::Big => Action::SwitchToBig,
+                Class::Little => Action::SwitchToLittle,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of switches performed through this actuator.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capman_battery::chemistry::Chemistry;
+
+    #[test]
+    fn apply_switches_and_reports_the_action() {
+        let mut pack = BatteryPack::paper_prototype();
+        let mut act = Actuator::new();
+        let a = act.apply(&mut pack, Class::Little);
+        assert_eq!(a, Some(Action::SwitchToLittle));
+        assert_eq!(act.switches(), 1);
+        assert_eq!(pack.active(), Class::Little);
+    }
+
+    #[test]
+    fn redundant_requests_are_free() {
+        let mut pack = BatteryPack::paper_prototype();
+        let mut act = Actuator::new();
+        assert!(act.apply(&mut pack, Class::Big).is_none());
+        assert_eq!(act.switches(), 0);
+    }
+
+    #[test]
+    fn single_cell_pack_never_switches() {
+        let mut pack = BatteryPack::single(Chemistry::Nca, 5.0);
+        let mut act = Actuator::new();
+        assert!(act.apply(&mut pack, Class::Little).is_none());
+        assert_eq!(act.switches(), 0);
+    }
+
+    #[test]
+    fn switch_count_matches_pack_flips() {
+        let mut pack = BatteryPack::paper_prototype();
+        let mut act = Actuator::new();
+        for target in [Class::Little, Class::Big, Class::Little] {
+            act.apply(&mut pack, target);
+        }
+        assert_eq!(act.switches(), pack.switch_count());
+    }
+}

@@ -1,0 +1,175 @@
+//! The state-of-the-practice baselines of Section V.
+//!
+//! * **Practice** — the original phone: one battery, no scheduling.
+//! * **Dual** — big.LITTLE installed, but always drains the LITTLE cell
+//!   first.
+//! * **Heuristic** — big.LITTLE with a utilisation-based prediction from
+//!   the Table II power models: it reacts to the *measured* power of the
+//!   previous step, so it lags every surge by one decision interval and
+//!   flaps around the threshold (no hysteresis) — exactly the weaknesses
+//!   CAPMAN's MDP prediction removes.
+
+use capman_battery::chemistry::Class;
+
+use crate::policy::{usable_or_fallback, DecisionContext, Observation, Policy};
+
+/// The single-battery *Practice* baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PracticePolicy;
+
+impl Policy for PracticePolicy {
+    fn name(&self) -> &'static str {
+        "Practice"
+    }
+
+    fn decide(&mut self, _ctx: &DecisionContext<'_>) -> Class {
+        Class::Big
+    }
+}
+
+/// The *Dual* baseline: LITTLE first, big when LITTLE is gone.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DualPolicy;
+
+impl Policy for DualPolicy {
+    fn name(&self) -> &'static str {
+        "Dual"
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Class {
+        usable_or_fallback(Class::Little, ctx)
+    }
+}
+
+/// The *Heuristic* baseline: threshold on the smoothed measured power.
+#[derive(Debug, Clone, Copy)]
+pub struct HeuristicPolicy {
+    /// Power above which the LITTLE cell is selected, watts.
+    threshold_w: f64,
+    /// Smoothed measured power, watts.
+    ema_w: f64,
+}
+
+impl HeuristicPolicy {
+    /// The default 1.5 W surge threshold.
+    pub fn new() -> Self {
+        HeuristicPolicy::with_threshold(1.5)
+    }
+
+    /// A custom threshold (for the ablation benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not positive.
+    pub fn with_threshold(threshold_w: f64) -> Self {
+        assert!(threshold_w > 0.0, "threshold must be positive");
+        HeuristicPolicy {
+            threshold_w,
+            ema_w: 0.0,
+        }
+    }
+}
+
+impl Default for HeuristicPolicy {
+    fn default() -> Self {
+        HeuristicPolicy::new()
+    }
+}
+
+impl Policy for HeuristicPolicy {
+    fn name(&self) -> &'static str {
+        "Heuristic"
+    }
+
+    fn observe(&mut self, obs: &Observation) {
+        // Fast-tracking EMA: reactive, still one step behind reality.
+        self.ema_w += 0.6 * (obs.power_w - self.ema_w);
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Class {
+        let preferred = if self.ema_w > self.threshold_w {
+            Class::Little
+        } else {
+            Class::Big
+        };
+        usable_or_fallback(preferred, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capman_device::states::DeviceState;
+
+    fn ctx() -> DecisionContext<'static> {
+        DecisionContext {
+            time_s: 0.0,
+            state: DeviceState::awake(),
+            actions: &[],
+            last_power_w: 1.0,
+            big_soc: 0.9,
+            little_soc: 0.9,
+            big_usable: true,
+            little_usable: true,
+            big_head: 1.0,
+            little_head: 1.0,
+            hotspot_c: 30.0,
+            tec_on: false,
+            dual: true,
+        }
+    }
+
+    fn obs(power_w: f64) -> Observation {
+        Observation {
+            time_s: 1.0,
+            prev_state: DeviceState::awake(),
+            action: capman_device::fsm::Action::TimerTick,
+            new_state: DeviceState::awake(),
+            reward: 0.9,
+            power_w,
+        }
+    }
+
+    #[test]
+    fn practice_always_uses_the_single_battery() {
+        let mut p = PracticePolicy;
+        assert_eq!(p.decide(&ctx()), Class::Big);
+        assert_eq!(p.name(), "Practice");
+    }
+
+    #[test]
+    fn dual_prefers_little_until_it_dies() {
+        let mut p = DualPolicy;
+        assert_eq!(p.decide(&ctx()), Class::Little);
+        let mut dead_little = ctx();
+        dead_little.little_usable = false;
+        assert_eq!(p.decide(&dead_little), Class::Big);
+    }
+
+    #[test]
+    fn heuristic_reacts_to_measured_power() {
+        let mut p = HeuristicPolicy::new();
+        // Cold start: low EMA, big battery.
+        assert_eq!(p.decide(&ctx()), Class::Big);
+        // A surge is measured -> switches (one step late).
+        p.observe(&obs(4.0));
+        assert_eq!(p.decide(&ctx()), Class::Little);
+        // Load drops -> flaps back within a couple of steps.
+        p.observe(&obs(0.5));
+        p.observe(&obs(0.5));
+        assert_eq!(p.decide(&ctx()), Class::Big);
+    }
+
+    #[test]
+    fn heuristic_threshold_is_configurable() {
+        let mut p = HeuristicPolicy::with_threshold(10.0);
+        p.observe(&obs(4.0));
+        assert_eq!(p.decide(&ctx()), Class::Big, "below a high threshold");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_non_positive_threshold() {
+        let _ = HeuristicPolicy::with_threshold(0.0);
+    }
+}

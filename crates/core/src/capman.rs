@@ -1,0 +1,448 @@
+//! The CAPMAN scheduling policy.
+//!
+//! CAPMAN combines four ingredients (Section III):
+//!
+//! 1. **Profiling** — every step feeds the observed
+//!    `(state, action, state', reward)` tuple and measured power into the
+//!    MDP profiler (Fig. 8).
+//! 2. **Demand prediction** — the upcoming power is predicted from the
+//!    learned per-state power estimates: the system-call actions that
+//!    just fired identify the successor power state *before* the power
+//!    materialises, which is exactly the edge over the reactive
+//!    Heuristic baseline.
+//! 3. **Runtime calibration** — in the background (every calibration
+//!    interval) the structural-similarity recursion clusters states and
+//!    the MDP is solved; unfamiliar states reuse the cached decision of
+//!    their similarity representative, with value loss bounded by
+//!    `theta / (1 - rho)`.
+//! 4. **Balanced depletion with cooling awareness** — surges (and the
+//!    TEC's active-power bursts) go to the LITTLE cell, gentle load to
+//!    the big cell, with a proportional controller steering both cells
+//!    toward simultaneous exhaustion and a hysteresis band to avoid
+//!    paying switch costs for marginal decisions.
+
+use capman_battery::chemistry::Class;
+use capman_device::fsm::Action;
+
+use crate::online::Calibrator;
+use crate::policy::{usable_or_fallback, DecisionContext, Observation, Policy};
+use crate::profiler::Profiler;
+
+/// Feature toggles for the mechanism ablation (every flag on is the
+/// full scheduler; each off-switch removes one ingredient so its
+/// contribution can be measured — see the `capman_ablation` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapmanFeatures {
+    /// Use the learned per-state power prediction (off: react to the
+    /// last measured power like the Heuristic).
+    pub prediction: bool,
+    /// Run the depletion-balance controller (off: fixed threshold).
+    pub balance: bool,
+    /// Rest a diffusion-starved big cell (off: fall back only on hard
+    /// unusability).
+    pub head_guard: bool,
+    /// Hysteresis deadband and switch dwell (off: flap freely).
+    pub hysteresis: bool,
+}
+
+impl CapmanFeatures {
+    /// The full scheduler.
+    pub fn all() -> Self {
+        CapmanFeatures {
+            prediction: true,
+            balance: true,
+            head_guard: true,
+            hysteresis: true,
+        }
+    }
+
+    /// The full scheduler minus one named ingredient.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown ingredient name.
+    pub fn without(ingredient: &str) -> Self {
+        let mut f = CapmanFeatures::all();
+        match ingredient {
+            "prediction" => f.prediction = false,
+            "balance" => f.balance = false,
+            "head_guard" => f.head_guard = false,
+            "hysteresis" => f.hysteresis = false,
+            other => panic!("unknown CAPMAN ingredient: {other}"),
+        }
+        f
+    }
+}
+
+impl Default for CapmanFeatures {
+    fn default() -> Self {
+        CapmanFeatures::all()
+    }
+}
+
+/// The CAPMAN battery scheduler.
+#[derive(Debug)]
+pub struct CapmanPolicy {
+    profiler: Profiler,
+    calibrator: Calibrator,
+    /// Phone compute speed (normalises calibration overhead, Fig. 16).
+    compute_speed: f64,
+    /// Base surge threshold, watts.
+    thr_base_w: f64,
+    /// Gain of the depletion-balance controller.
+    beta: f64,
+    /// Hysteresis half-width around the threshold, watts.
+    deadband_w: f64,
+    /// Minimum time between voluntary switches, seconds (each flip costs
+    /// energy and heat through the switch facility).
+    min_dwell_s: f64,
+    /// The current selection (held inside the deadband).
+    current: Class,
+    /// Time of the last voluntary switch.
+    last_switch_s: f64,
+    /// Mechanism toggles (all on by default).
+    features: CapmanFeatures,
+}
+
+impl CapmanPolicy {
+    /// CAPMAN with the paper's defaults for a phone of the given compute
+    /// speed.
+    pub fn new(compute_speed: f64) -> Self {
+        CapmanPolicy::with_calibrator(compute_speed, Calibrator::paper())
+    }
+
+    /// CAPMAN with a custom calibrator (used by the rho sweep of
+    /// Fig. 16 and the ablation benches).
+    pub fn with_calibrator(compute_speed: f64, calibrator: Calibrator) -> Self {
+        assert!(compute_speed > 0.0, "compute speed must be positive");
+        CapmanPolicy {
+            profiler: Profiler::new(),
+            calibrator,
+            compute_speed,
+            thr_base_w: 1.5,
+            beta: 2.5,
+            deadband_w: 0.2,
+            min_dwell_s: 4.0,
+            current: Class::Big,
+            last_switch_s: f64::NEG_INFINITY,
+            features: CapmanFeatures::all(),
+        }
+    }
+
+    /// CAPMAN with some mechanisms disabled (the `capman_ablation`
+    /// bench).
+    pub fn with_features(compute_speed: f64, features: CapmanFeatures) -> Self {
+        let mut policy = CapmanPolicy::new(compute_speed);
+        policy.features = features;
+        policy
+    }
+
+    /// Predict the power of the upcoming step.
+    ///
+    /// The device state already reflects this step's system-call actions,
+    /// so the learned per-state power estimate *is* a one-step-ahead
+    /// prediction. States never visited fall back to their similarity
+    /// representative (the reuse that runtime calibration enables), then
+    /// to the last measured power.
+    fn predict_power_w(&self, ctx: &DecisionContext<'_>) -> f64 {
+        if let Some(p) = self.profiler.state_power_w(ctx.state) {
+            return p;
+        }
+        if let Some(rep) = self.calibrator.representative(ctx.state) {
+            if let Some(p) = self.profiler.state_power_w(rep) {
+                return p;
+            }
+        }
+        ctx.last_power_w
+    }
+
+    /// Whether this step's actions signal an imminent surge.
+    fn surge_signal(actions: &[Action]) -> bool {
+        actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::AppLaunch
+                    | Action::ScreenOn
+                    | Action::Wake
+                    | Action::NetSendStart
+                    | Action::NetReceiveStart
+            )
+        })
+    }
+
+    /// Read-only access to the profiler (for tests and tooling).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Read-only access to the calibrator.
+    pub fn calibrator(&self) -> &Calibrator {
+        &self.calibrator
+    }
+}
+
+impl Policy for CapmanPolicy {
+    fn name(&self) -> &'static str {
+        "CAPMAN"
+    }
+
+    fn observe(&mut self, obs: &Observation) {
+        self.profiler.observe(
+            obs.prev_state,
+            obs.action,
+            obs.new_state,
+            obs.reward,
+            obs.power_w,
+        );
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Class {
+        // Background runtime calibration (cheap gate when not due).
+        self.calibrator
+            .maybe_recalibrate(ctx.time_s, &self.profiler, self.compute_speed);
+
+        let mut pred = if self.features.prediction {
+            self.predict_power_w(ctx)
+        } else {
+            ctx.last_power_w
+        };
+        if self.features.prediction && Self::surge_signal(ctx.actions) {
+            // A surge-class action fired: trust the prediction upward.
+            // The bump clears the default threshold plus deadband, but a
+            // strongly raised (LITTLE-protecting) threshold still wins.
+            pred = pred.max(ctx.last_power_w).max(self.thr_base_w * 1.5);
+        }
+
+        // Steer both cells toward simultaneous exhaustion.
+        let thr = if self.features.balance {
+            let imbalance = ctx.little_soc - ctx.big_soc;
+            (self.thr_base_w * (1.0 - self.beta * imbalance)).clamp(0.4, 6.0)
+        } else {
+            self.thr_base_w
+        };
+
+        // The TEC's active-power burst is itself served by LITTLE.
+        let hot = ctx.tec_on || ctx.hotspot_c > 44.0;
+        let effective_thr = if hot { thr * 0.7 } else { thr };
+
+        let deadband = if self.features.hysteresis {
+            self.deadband_w
+        } else {
+            0.0
+        };
+        let mut preferred = if pred > effective_thr + deadband {
+            Class::Little
+        } else if pred < effective_thr - deadband {
+            Class::Big
+        } else {
+            // Inside the hysteresis band: consult the calibrated MDP's
+            // switch-action Q-values; otherwise hold the current choice.
+            self.calibrator.q_preference(ctx.state).unwrap_or(self.current)
+        };
+
+        // Head guard: a diffusion-starved big cell cannot carry real
+        // load — let it rest and recover through the valve while the
+        // LITTLE cell serves, then reuse it for gentle stretches. This is
+        // how CAPMAN extracts the big cell's bound charge instead of
+        // stranding it (the Dual/Heuristic baselines lack this and brown
+        // out on a drained big cell).
+        if self.features.head_guard {
+            if preferred == Class::Big && ctx.big_head < 0.12 && ctx.little_usable {
+                preferred = Class::Little;
+            } else if preferred == Class::Little && ctx.little_head < 0.05 && ctx.big_usable {
+                preferred = Class::Big;
+            }
+        }
+
+        // Dwell: a voluntary flip inside the dwell window is not worth
+        // its switching cost; surge signals may pre-empt it.
+        if self.features.hysteresis
+            && preferred != self.current
+            && ctx.time_s - self.last_switch_s < self.min_dwell_s
+            && !Self::surge_signal(ctx.actions)
+        {
+            preferred = self.current;
+        }
+
+        let chosen = usable_or_fallback(preferred, ctx);
+        if chosen != self.current {
+            self.last_switch_s = ctx.time_s;
+        }
+        self.current = chosen;
+        self.current
+    }
+
+    fn overhead_us(&self) -> f64 {
+        self.calibrator.overhead_us()
+    }
+
+    fn recalibrations(&self) -> u64 {
+        self.calibrator.recalibrations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capman_device::states::DeviceState;
+
+    fn ctx<'a>(
+        state: DeviceState,
+        actions: &'a [Action],
+        last_power_w: f64,
+        little_soc: f64,
+        big_soc: f64,
+    ) -> DecisionContext<'a> {
+        DecisionContext {
+            time_s: 100.0,
+            state,
+            actions,
+            last_power_w,
+            big_soc,
+            little_soc,
+            big_usable: true,
+            little_usable: true,
+            big_head: 1.0,
+            little_head: 1.0,
+            hotspot_c: 30.0,
+            tec_on: false,
+            dual: true,
+        }
+    }
+
+    fn obs(prev: DeviceState, action: Action, new: DeviceState, power: f64) -> Observation {
+        Observation {
+            time_s: 1.0,
+            prev_state: prev,
+            action,
+            new_state: new,
+            reward: 0.9,
+            power_w: power,
+        }
+    }
+
+    #[test]
+    fn learned_state_power_drives_the_decision() {
+        let mut p = CapmanPolicy::new(1.0);
+        let awake = DeviceState::awake();
+        let asleep = DeviceState::asleep();
+        // Teach it that the awake state draws 3 W.
+        for _ in 0..5 {
+            p.observe(&obs(asleep, Action::ScreenOn, awake, 3.0));
+        }
+        // Low measured power last step, but the *state* says surge.
+        let c = ctx(awake, &[], 0.4, 0.9, 0.9);
+        assert_eq!(p.decide(&c), Class::Little);
+        // And the asleep state (never measured above 0) goes back to big
+        // once the switch dwell window has passed.
+        let mut c = ctx(asleep, &[], 0.4, 0.9, 0.9);
+        c.time_s = 200.0;
+        assert_eq!(p.decide(&c), Class::Big);
+    }
+
+    #[test]
+    fn surge_actions_preempt_before_power_materialises() {
+        let mut p = CapmanPolicy::new(1.0);
+        // Nothing learned yet: an AppLaunch must still trigger LITTLE.
+        let actions = [Action::AppLaunch];
+        let c = ctx(DeviceState::awake(), &actions, 0.5, 0.9, 0.9);
+        assert_eq!(p.decide(&c), Class::Little);
+    }
+
+    #[test]
+    fn balance_controller_spares_the_drained_little_cell() {
+        let mut p = CapmanPolicy::new(1.0);
+        let awake = DeviceState::awake();
+        for _ in 0..5 {
+            p.observe(&obs(DeviceState::asleep(), Action::ScreenOn, awake, 2.0));
+        }
+        // 2 W load, but LITTLE is nearly dead and big is full: threshold
+        // rises and big takes the load.
+        let c = ctx(awake, &[], 2.0, 0.05, 0.95);
+        assert_eq!(p.decide(&c), Class::Big);
+    }
+
+    #[test]
+    fn tec_heat_pushes_toward_little() {
+        let mut p = CapmanPolicy::new(1.0);
+        let awake = DeviceState::awake();
+        for _ in 0..5 {
+            p.observe(&obs(DeviceState::asleep(), Action::ScreenOn, awake, 1.3));
+        }
+        // 1.3 W is below the cold threshold...
+        let c = ctx(awake, &[], 1.3, 0.9, 0.9);
+        assert_eq!(p.decide(&c), Class::Big);
+        // ...but with the TEC running the effective threshold drops.
+        let mut hot = ctx(awake, &[], 1.3, 0.9, 0.9);
+        hot.tec_on = true;
+        assert_eq!(p.decide(&hot), Class::Little);
+    }
+
+    #[test]
+    fn hysteresis_holds_the_current_selection() {
+        let mut p = CapmanPolicy::new(1.0);
+        let awake = DeviceState::awake();
+        for _ in 0..5 {
+            p.observe(&obs(DeviceState::asleep(), Action::ScreenOn, awake, 2.5));
+        }
+        let c = ctx(awake, &[], 2.5, 0.9, 0.9);
+        assert_eq!(p.decide(&c), Class::Little);
+        // Prediction drifts into the deadband (threshold ~1.5, deadband
+        // 0.2): selection holds instead of flapping.
+        for _ in 0..30 {
+            p.observe(&obs(awake, Action::TimerTick, awake, 1.5));
+        }
+        let c = ctx(awake, &[], 1.5, 0.9, 0.9);
+        assert_eq!(p.decide(&c), Class::Little, "deadband should hold");
+    }
+
+    #[test]
+    fn disabling_prediction_reverts_to_reactive_behaviour() {
+        let mut full = CapmanPolicy::new(1.0);
+        let mut ablated = CapmanPolicy::with_features(1.0, CapmanFeatures::without("prediction"));
+        let awake = DeviceState::awake();
+        for p in [&mut full, &mut ablated] {
+            for _ in 0..5 {
+                p.observe(&obs(DeviceState::asleep(), Action::ScreenOn, awake, 3.0));
+            }
+        }
+        // State says surge, but the last measured power was low: only
+        // the predictive scheduler switches.
+        let c = ctx(awake, &[], 0.4, 0.9, 0.9);
+        assert_eq!(full.decide(&c), Class::Little);
+        assert_eq!(ablated.decide(&c), Class::Big);
+    }
+
+    #[test]
+    fn disabling_balance_fixes_the_threshold() {
+        let mut ablated = CapmanPolicy::with_features(1.0, CapmanFeatures::without("balance"));
+        let awake = DeviceState::awake();
+        for _ in 0..5 {
+            ablated.observe(&obs(DeviceState::asleep(), Action::ScreenOn, awake, 2.0));
+        }
+        // LITTLE nearly dead would normally raise the threshold; the
+        // ablated scheduler keeps hammering it.
+        let c = ctx(awake, &[], 2.0, 0.05, 0.95);
+        assert_eq!(ablated.decide(&c), Class::Little);
+    }
+
+    #[test]
+    fn features_without_rejects_unknown_names() {
+        let result = std::panic::catch_unwind(|| CapmanFeatures::without("nonsense"));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn overhead_accumulates_with_recalibrations() {
+        let mut p = CapmanPolicy::new(1.0);
+        let awake = DeviceState::awake();
+        let asleep = DeviceState::asleep();
+        for _ in 0..100 {
+            p.observe(&obs(asleep, Action::ScreenOn, awake, 2.0));
+        }
+        let c = ctx(awake, &[], 2.0, 0.9, 0.9);
+        let _ = p.decide(&c);
+        assert_eq!(p.recalibrations(), 1);
+        assert!(p.overhead_us() > 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! The CAPMAN framework — cooling and active power management for
+//! big.LITTLE battery packs (Section III of the paper).
+//!
+//! This crate ties the substrates together into the full system:
+//!
+//! * [`config`] — simulation configuration (one discharge cycle).
+//! * [`sim`] — the discrete-time simulation engine coupling the workload
+//!   trace, device power-state machine, battery pack, thermal network and
+//!   TEC.
+//! * [`profiler`] — the online profile-and-monitor layer that turns
+//!   observed `(state, action, state, reward)` tuples into the MDP of
+//!   Fig. 8.
+//! * [`policy`] — the scheduling interface and decision context.
+//! * [`baselines`] — the *Practice*, *Dual* and *Heuristic* baselines.
+//! * [`oracle`] — the clairvoyant offline *Oracle* baseline.
+//! * [`capman`] — the CAPMAN scheduler: MDP profiling, structural-
+//!   similarity runtime calibration, demand prediction, and balanced
+//!   big.LITTLE depletion.
+//! * [`online`] — the background runtime-calibration scheduler with the
+//!   overhead accounting of Fig. 16.
+//! * [`actuator`] — converts decisions into switch-facility signals.
+//! * [`telemetry`] — time-series sampling (Figs. 13 and 15).
+//! * [`metrics`] — the per-cycle [`metrics::Outcome`] and comparison
+//!   helpers.
+//! * [`experiments`] — the harness regenerating every evaluation figure.
+//!
+//! # Example
+//!
+//! ```
+//! use capman_core::experiments::{run_policy, PolicyKind};
+//! use capman_device::phone::PhoneProfile;
+//! use capman_workload::WorkloadKind;
+//!
+//! let outcome = run_policy(
+//!     PolicyKind::Practice,
+//!     WorkloadKind::Video,
+//!     PhoneProfile::nexus(),
+//!     42,
+//! );
+//! assert!(outcome.service_time_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actuator;
+pub mod baselines;
+pub mod capman;
+pub mod competitiveness;
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod online;
+pub mod oracle;
+pub mod policy;
+pub mod profiler;
+pub mod report;
+pub mod sim;
+pub mod telemetry;
+
+pub use config::SimConfig;
+pub use experiments::PolicyKind;
+pub use metrics::Outcome;
+pub use sim::Simulator;

@@ -1,0 +1,271 @@
+//! The runtime-calibration scheduler (Section III-C/D).
+//!
+//! CAPMAN's structural-similarity computation "works as an index for the
+//! decision process, that can be executed when the device is not busy at
+//! the background". The [`Calibrator`] owns this loop: every calibration
+//! interval it rebuilds the MDP from the profiler, prunes the graph to
+//! the battery-relevant action nodes, runs Algorithm 1, clusters states
+//! by similarity, and solves the MDP; decisions for states never visited
+//! reuse the cached decision of their similarity representative.
+//!
+//! It also accounts the computation overhead that Fig. 16 sweeps over the
+//! discount factor `rho`: wall time is measured and normalised by the
+//! phone's compute speed.
+
+use std::time::Instant;
+
+use capman_battery::chemistry::Class;
+use capman_device::fsm::Action;
+use capman_device::states::DeviceState;
+use capman_mdp::abstraction::Abstraction;
+use capman_mdp::graph::MdpGraph;
+use capman_mdp::similarity::{structural_similarity, SimilarityParams};
+use capman_mdp::value_iteration::{solve, Solution};
+
+use crate::profiler::Profiler;
+
+/// A finished background calibration.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// The exact MDP solution over the profiled state space.
+    pub solution: Solution,
+    /// Similarity-threshold clustering of device states.
+    pub abstraction: Abstraction,
+    /// Iterations Algorithm 1 needed.
+    pub similarity_iterations: usize,
+    /// Action nodes in the pruned (battery-relevant) graph.
+    pub graph_action_nodes: usize,
+}
+
+/// Schedules and runs background calibrations.
+#[derive(Debug)]
+pub struct Calibrator {
+    /// MDP discount factor `rho`.
+    pub rho: f64,
+    /// Similarity-clustering threshold `theta` (distance scale).
+    pub theta: f64,
+    /// Calibration interval, simulated seconds.
+    pub every_s: f64,
+    /// Observations required before the first calibration.
+    pub warmup_observations: u64,
+    last_run_s: f64,
+    overhead_us: f64,
+    recalibrations: u64,
+    cached: Option<Calibration>,
+}
+
+impl Calibrator {
+    /// The paper's default: `rho = 0.05` (the relaxed discount of
+    /// Section III-D), clustering threshold 0.1, calibration every 20
+    /// simulated minutes.
+    pub fn paper() -> Self {
+        Calibrator::new(0.05, 0.1, 1200.0)
+    }
+
+    /// Custom calibrator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not in `(0, 1)`, `theta` not in `[0, 1]`, or
+    /// `every_s` not positive.
+    pub fn new(rho: f64, theta: f64, every_s: f64) -> Self {
+        assert!(rho > 0.0 && rho < 1.0, "rho must be in (0, 1)");
+        assert!((0.0..=1.0).contains(&theta), "theta must be in [0, 1]");
+        assert!(every_s > 0.0, "interval must be positive");
+        Calibrator {
+            rho,
+            theta,
+            every_s,
+            warmup_observations: 60,
+            last_run_s: f64::NEG_INFINITY,
+            overhead_us: 0.0,
+            recalibrations: 0,
+            cached: None,
+        }
+    }
+
+    /// Run a calibration now, unconditionally, and cache the result.
+    ///
+    /// Returns the wall-clock overhead in microseconds *before* compute
+    /// speed normalisation.
+    pub fn recalibrate(&mut self, now_s: f64, profiler: &Profiler, compute_speed: f64) -> f64 {
+        let t0 = Instant::now();
+        let mdp = profiler.to_mdp();
+        // CAPMAN's pruning: keep the action nodes that decide batteries —
+        // explicit switch actions plus any action observed to connect
+        // states with different battery selections.
+        let graph = MdpGraph::filtered(&mdp, |s, a| {
+            let action = Action::ALL[a];
+            if action.is_battery_switch() {
+                return true;
+            }
+            let from = DeviceState::from_index(s);
+            mdp.outcomes(s, a)
+                .iter()
+                .any(|o| DeviceState::from_index(o.next).battery != from.battery)
+        });
+        let mut params = SimilarityParams::paper(self.rho.max(1e-3));
+        params.tolerance = 1e-3;
+        params.max_iterations = 200;
+        let sim = structural_similarity(&graph, &params);
+        let abstraction = Abstraction::from_similarity(&sim.sigma_s, self.theta);
+        let solution = solve(&mdp, self.rho, 1e-6);
+        self.cached = Some(Calibration {
+            solution,
+            abstraction,
+            similarity_iterations: sim.iterations,
+            graph_action_nodes: graph.n_action_nodes(),
+        });
+        let raw_us = t0.elapsed().as_secs_f64() * 1e6;
+        self.overhead_us += raw_us / compute_speed.max(1e-6);
+        self.recalibrations += 1;
+        self.last_run_s = now_s;
+        raw_us
+    }
+
+    /// Run a calibration if the interval elapsed and enough observations
+    /// accumulated. Returns whether one ran.
+    pub fn maybe_recalibrate(
+        &mut self,
+        now_s: f64,
+        profiler: &Profiler,
+        compute_speed: f64,
+    ) -> bool {
+        if profiler.observations() < self.warmup_observations {
+            return false;
+        }
+        if now_s - self.last_run_s < self.every_s {
+            return false;
+        }
+        self.recalibrate(now_s, profiler, compute_speed);
+        true
+    }
+
+    /// The battery preference the cached MDP solution holds for `state`
+    /// (through its similarity representative), if the solution has
+    /// Q-values for both switch actions there.
+    pub fn q_preference(&self, state: DeviceState) -> Option<Class> {
+        let cal = self.cached.as_ref()?;
+        let prefer_from = |idx: usize| -> Option<Class> {
+            let q = &cal.solution.q[idx];
+            let q_big = q[Action::SwitchToBig.index()];
+            let q_little = q[Action::SwitchToLittle.index()];
+            if !q_big.is_finite() && !q_little.is_finite() {
+                return None;
+            }
+            Some(if q_little > q_big {
+                Class::Little
+            } else {
+                Class::Big
+            })
+        };
+        // Prefer the state's own Q-values, then its similarity
+        // representative's (the decision-reuse path).
+        prefer_from(state.index())
+            .or_else(|| prefer_from(cal.abstraction.representative(state.index())))
+    }
+
+    /// The similarity representative of a state, if calibrated.
+    pub fn representative(&self, state: DeviceState) -> Option<DeviceState> {
+        self.cached
+            .as_ref()
+            .map(|c| DeviceState::from_index(c.abstraction.representative(state.index())))
+    }
+
+    /// The latest calibration, if any.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.cached.as_ref()
+    }
+
+    /// Accumulated normalised overhead, microseconds.
+    pub fn overhead_us(&self) -> f64 {
+        self.overhead_us
+    }
+
+    /// Calibrations performed.
+    pub fn recalibrations(&self) -> u64 {
+        self.recalibrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capman_battery::chemistry::Class;
+
+    fn seeded_profiler() -> Profiler {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        let awake_little = awake.with_battery(Class::Little);
+        for _ in 0..40 {
+            // Switching to LITTLE while awake is efficient...
+            p.observe(awake, Action::SwitchToLittle, awake_little, 0.95, 2.5);
+            // ...switching back to big while awake is lossy.
+            p.observe(awake_little, Action::SwitchToBig, awake, 0.4, 2.5);
+            p.observe(awake, Action::ScreenOff, asleep, 0.9, 0.3);
+            p.observe(asleep, Action::ScreenOn, awake, 0.8, 2.0);
+        }
+        p
+    }
+
+    #[test]
+    fn warmup_gate_blocks_early_calibration() {
+        let mut c = Calibrator::paper();
+        let p = Profiler::new();
+        assert!(!c.maybe_recalibrate(10_000.0, &p, 1.0));
+        assert_eq!(c.recalibrations(), 0);
+    }
+
+    #[test]
+    fn interval_gate_limits_frequency() {
+        let mut c = Calibrator::paper();
+        let p = seeded_profiler();
+        assert!(c.maybe_recalibrate(0.0, &p, 1.0));
+        assert!(!c.maybe_recalibrate(10.0, &p, 1.0));
+        assert!(c.maybe_recalibrate(1300.0, &p, 1.0));
+        assert_eq!(c.recalibrations(), 2);
+    }
+
+    #[test]
+    fn calibration_produces_solution_and_abstraction() {
+        let mut c = Calibrator::paper();
+        let p = seeded_profiler();
+        c.recalibrate(0.0, &p, 1.0);
+        let cal = c.calibration().expect("calibrated");
+        assert!(cal.graph_action_nodes >= 2);
+        assert!(cal.similarity_iterations >= 1);
+        assert!(c.overhead_us() > 0.0);
+    }
+
+    #[test]
+    fn q_preference_prefers_the_efficient_switch() {
+        let mut c = Calibrator::paper();
+        let p = seeded_profiler();
+        c.recalibrate(0.0, &p, 1.0);
+        // From the awake/big state, switching to LITTLE earned much more
+        // reward than the reverse direction did.
+        let pref = c.q_preference(DeviceState::awake());
+        assert_eq!(pref, Some(Class::Little));
+    }
+
+    #[test]
+    fn slower_phone_accumulates_more_overhead() {
+        let p = seeded_profiler();
+        let mut fast = Calibrator::paper();
+        let mut slow = Calibrator::paper();
+        // Use identical raw work; normalisation differs.
+        let raw_fast = fast.recalibrate(0.0, &p, 2.0);
+        let raw_slow = slow.recalibrate(0.0, &p, 0.5);
+        // Raw timings fluctuate; the normalised ratio must reflect the
+        // 4x compute-speed gap up to that fluctuation.
+        let ratio = (slow.overhead_us() / raw_slow) / (fast.overhead_us() / raw_fast);
+        assert!((ratio - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_bad_rho() {
+        let _ = Calibrator::new(1.0, 0.1, 100.0);
+    }
+}

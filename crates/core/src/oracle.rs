@@ -1,0 +1,150 @@
+//! The clairvoyant *Oracle* baseline.
+//!
+//! "A baseline based on offline analysis, serving ground truth"
+//! (Section V): the Oracle reads the workload trace itself, so it knows
+//! the exact upcoming power demand — it classifies every surge perfectly
+//! and a few seconds early, and balances the two cells' depletion with
+//! exact knowledge. CAPMAN's quality is judged by how closely it tracks
+//! this policy without seeing the future.
+
+use capman_battery::chemistry::Class;
+use capman_device::power::PowerModel;
+use capman_workload::Trace;
+
+use crate::policy::{usable_or_fallback, DecisionContext, Policy};
+
+/// The clairvoyant scheduling baseline.
+#[derive(Debug, Clone)]
+pub struct OraclePolicy {
+    trace: Trace,
+    model: PowerModel,
+    /// How far ahead the Oracle peeks, seconds.
+    lookahead_s: f64,
+    /// Base surge threshold, watts.
+    thr_base_w: f64,
+    /// Gain of the depletion-balance controller.
+    beta: f64,
+}
+
+impl OraclePolicy {
+    /// Build an Oracle for the given trace and phone power model.
+    pub fn new(trace: Trace, model: PowerModel) -> Self {
+        OraclePolicy {
+            trace,
+            model,
+            lookahead_s: 4.0,
+            thr_base_w: 1.5,
+            beta: 2.5,
+        }
+    }
+
+    /// The exact device power at time `t`, assuming the device state the
+    /// engine reports, watts.
+    fn exact_power_w(&self, ctx: &DecisionContext<'_>, t: f64) -> f64 {
+        let mut state = ctx.state;
+        // Apply the boundary actions of every segment between now and t
+        // so the peeked state is consistent with the trace.
+        for seg in self.trace.segments_starting_in(ctx.time_s, t + 1e-9) {
+            for &a in &seg.actions {
+                state = state.apply(a);
+            }
+        }
+        let demand = self.trace.at(t).demand;
+        self.model.device_power_mw(&state, &demand) / 1000.0
+    }
+}
+
+impl Policy for OraclePolicy {
+    fn name(&self) -> &'static str {
+        "Oracle"
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Class {
+        // Exact current power plus a peek at the near future.
+        let now = self.exact_power_w(ctx, ctx.time_s);
+        let ahead = self.exact_power_w(ctx, ctx.time_s + self.lookahead_s);
+        let pred = now.max(ahead);
+
+        // Balance both cells toward simultaneous exhaustion: when the
+        // LITTLE cell is richer, lower the threshold so it takes more of
+        // the load, and vice versa.
+        let imbalance = ctx.little_soc - ctx.big_soc;
+        let thr = (self.thr_base_w * (1.0 - self.beta * imbalance)).clamp(0.4, 6.0);
+
+        let hot = ctx.tec_on || ctx.hotspot_c > 44.0;
+        let mut preferred = if pred > thr || (hot && pred > 0.7 * thr) {
+            Class::Little
+        } else {
+            Class::Big
+        };
+
+        // Head guard (see `CapmanPolicy::decide`): rest a diffusion-
+        // starved big cell instead of browning out on it.
+        if preferred == Class::Big && ctx.big_head < 0.12 && ctx.little_usable {
+            preferred = Class::Little;
+        } else if preferred == Class::Little && ctx.little_head < 0.05 && ctx.big_usable {
+            preferred = Class::Big;
+        }
+        usable_or_fallback(preferred, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capman_device::phone::PhoneProfile;
+    use capman_device::states::DeviceState;
+    use capman_workload::{generate, WorkloadKind};
+
+    fn ctx_at(time_s: f64, little_soc: f64, big_soc: f64) -> DecisionContext<'static> {
+        DecisionContext {
+            time_s,
+            state: DeviceState::awake(),
+            actions: &[],
+            last_power_w: 1.0,
+            big_soc,
+            little_soc,
+            big_usable: true,
+            little_usable: true,
+            big_head: 1.0,
+            little_head: 1.0,
+            hotspot_c: 30.0,
+            tec_on: false,
+            dual: true,
+        }
+    }
+
+    fn oracle(kind: WorkloadKind) -> OraclePolicy {
+        let trace = generate(kind, 2000.0, 3);
+        OraclePolicy::new(trace, PhoneProfile::nexus().power_model())
+    }
+
+    #[test]
+    fn routes_saturating_load_to_little() {
+        let mut o = oracle(WorkloadKind::Geekbench);
+        // Geekbench saturates from the start: power > threshold.
+        assert_eq!(o.decide(&ctx_at(100.0, 0.9, 0.9)), Class::Little);
+    }
+
+    #[test]
+    fn routes_idle_load_to_big() {
+        let mut o = oracle(WorkloadKind::IdleOn);
+        assert_eq!(o.decide(&ctx_at(100.0, 0.9, 0.9)), Class::Big);
+    }
+
+    #[test]
+    fn balance_controller_protects_the_drained_cell() {
+        let mut o = oracle(WorkloadKind::Geekbench);
+        // Geekbench draws ~2.3 W: with a near-dead LITTLE cell, the
+        // threshold rises above the demand and big takes over.
+        assert_eq!(o.decide(&ctx_at(100.0, 0.05, 0.95)), Class::Big);
+    }
+
+    #[test]
+    fn falls_back_when_preferred_cell_is_dead() {
+        let mut o = oracle(WorkloadKind::Geekbench);
+        let mut c = ctx_at(100.0, 0.5, 0.5);
+        c.little_usable = false;
+        assert_eq!(o.decide(&c), Class::Big);
+    }
+}

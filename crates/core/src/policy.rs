@@ -1,0 +1,148 @@
+//! The battery-scheduling policy interface.
+//!
+//! Once per simulation step the engine asks the policy which cell should
+//! carry the load. The decision context contains exactly what a real
+//! scheduler could observe at that instant: the device power state, the
+//! system-call actions that just fired, the *measured* power of the
+//! previous step, cell states of charge, and the thermal situation. The
+//! upcoming demand itself is not observable — predicting it is the whole
+//! game (the Oracle baseline is explicitly allowed to cheat).
+
+use capman_battery::chemistry::Class;
+use capman_device::fsm::Action;
+use capman_device::states::DeviceState;
+
+/// Everything a (non-clairvoyant) policy can see when deciding.
+#[derive(Debug, Clone)]
+pub struct DecisionContext<'a> {
+    /// Current simulation time, seconds.
+    pub time_s: f64,
+    /// Device power state after this step's actions fired.
+    pub state: DeviceState,
+    /// The system-call actions fired at this step boundary.
+    pub actions: &'a [Action],
+    /// Measured total pack power of the previous step, watts.
+    pub last_power_w: f64,
+    /// State of charge of the big cell.
+    pub big_soc: f64,
+    /// State of charge of the LITTLE cell (1.0 for single packs).
+    pub little_soc: f64,
+    /// Whether the big cell can currently serve load.
+    pub big_usable: bool,
+    /// Whether the LITTLE cell can currently serve load.
+    pub little_usable: bool,
+    /// Fill level of the big cell's immediately available charge well.
+    pub big_head: f64,
+    /// Fill level of the LITTLE cell's immediately available charge well.
+    pub little_head: f64,
+    /// Hot-spot temperature, degC.
+    pub hotspot_c: f64,
+    /// Whether the TEC is currently energised.
+    pub tec_on: bool,
+    /// Whether the pack actually has two cells.
+    pub dual: bool,
+}
+
+/// What the engine reports back after each step (for learning policies).
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// Time at the *end* of the observed step, seconds.
+    pub time_s: f64,
+    /// Device state before the step's actions.
+    pub prev_state: DeviceState,
+    /// The primary action that fired (TimerTick when none did).
+    pub action: Action,
+    /// Device state after the actions.
+    pub new_state: DeviceState,
+    /// Pack efficiency of the step in `[0, 1]` (delivered over
+    /// delivered-plus-losses, zeroed on shortfall).
+    pub reward: f64,
+    /// Measured total power of the step, watts.
+    pub power_w: f64,
+}
+
+/// A battery-scheduling policy.
+pub trait Policy {
+    /// Short name used in figures ("CAPMAN", "Oracle", ...).
+    fn name(&self) -> &'static str;
+
+    /// Digest the previous step's outcome (learning policies override).
+    fn observe(&mut self, _obs: &Observation) {}
+
+    /// Choose the cell to carry the upcoming step's load.
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Class;
+
+    /// Accumulated decision/calibration overhead in microseconds,
+    /// normalised to the Nexus compute speed (Fig. 16).
+    fn overhead_us(&self) -> f64 {
+        0.0
+    }
+
+    /// Number of background recalibrations performed.
+    fn recalibrations(&self) -> u64 {
+        0
+    }
+}
+
+/// Fallback shared by every dual-cell policy: honour the preferred class
+/// when its cell is usable, otherwise take whichever cell still works.
+pub fn usable_or_fallback(preferred: Class, ctx: &DecisionContext<'_>) -> Class {
+    let usable = |class: Class| match class {
+        Class::Big => ctx.big_usable,
+        Class::Little => ctx.little_usable && ctx.dual,
+    };
+    if usable(preferred) {
+        preferred
+    } else if usable(preferred.other()) {
+        preferred.other()
+    } else {
+        preferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(big_usable: bool, little_usable: bool) -> DecisionContext<'static> {
+        DecisionContext {
+            time_s: 0.0,
+            state: DeviceState::awake(),
+            actions: &[],
+            last_power_w: 1.0,
+            big_soc: 0.5,
+            little_soc: 0.5,
+            big_usable,
+            little_usable,
+            big_head: 1.0,
+            little_head: 1.0,
+            hotspot_c: 30.0,
+            tec_on: false,
+            dual: true,
+        }
+    }
+
+    #[test]
+    fn fallback_honours_preference_when_usable() {
+        assert_eq!(usable_or_fallback(Class::Little, &ctx(true, true)), Class::Little);
+        assert_eq!(usable_or_fallback(Class::Big, &ctx(true, true)), Class::Big);
+    }
+
+    #[test]
+    fn fallback_switches_when_preferred_cell_is_dead() {
+        assert_eq!(usable_or_fallback(Class::Little, &ctx(true, false)), Class::Big);
+        assert_eq!(usable_or_fallback(Class::Big, &ctx(false, true)), Class::Little);
+    }
+
+    #[test]
+    fn fallback_keeps_preference_when_everything_is_dead() {
+        assert_eq!(usable_or_fallback(Class::Big, &ctx(false, false)), Class::Big);
+    }
+
+    #[test]
+    fn single_pack_never_selects_little() {
+        let mut c = ctx(true, true);
+        c.dual = false;
+        assert_eq!(usable_or_fallback(Class::Little, &c), Class::Big);
+    }
+}

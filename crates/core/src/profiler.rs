@@ -1,0 +1,240 @@
+//! The profile-and-monitor layer (Fig. 8).
+//!
+//! CAPMAN observes `(state, action, state', reward)` tuples as the phone
+//! runs and accumulates them into the MDP `M = {S, A, T, R}`: states are
+//! the composite device power states, actions the system-call classes,
+//! transition probabilities the normalised visit counts, and rewards the
+//! measured per-step pack efficiency (normalised to `[0, 1]`). It also
+//! maintains a per-state power estimate used for demand prediction.
+
+use std::collections::HashMap;
+
+use capman_device::fsm::Action;
+use capman_device::states::{DeviceState, STATE_COUNT};
+use capman_mdp::mdp::{Mdp, MdpBuilder};
+
+/// Exponential-moving-average smoothing for the per-state power.
+const POWER_EMA_ALPHA: f64 = 0.2;
+
+/// Accumulates runtime observations into an MDP and power estimates.
+///
+/// # Examples
+///
+/// ```
+/// use capman_core::profiler::Profiler;
+/// use capman_device::fsm::Action;
+/// use capman_device::states::DeviceState;
+///
+/// let mut profiler = Profiler::new();
+/// let asleep = DeviceState::asleep();
+/// let awake = DeviceState::awake();
+/// profiler.observe(asleep, Action::ScreenOn, awake, 0.9, 2.5);
+/// let mdp = profiler.to_mdp();
+/// assert_eq!(mdp.outcomes(asleep.index(), Action::ScreenOn.index()).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    /// `(from, action, to) -> (visit count, reward sum)`.
+    counts: HashMap<(usize, usize, usize), (f64, f64)>,
+    /// Smoothed measured power per device state, watts.
+    power_w: Vec<Option<f64>>,
+    observations: u64,
+}
+
+impl Profiler {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Profiler {
+            counts: HashMap::new(),
+            power_w: vec![None; STATE_COUNT],
+            observations: 0,
+        }
+    }
+
+    /// Record one observed step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reward` is outside `[0, 1]` or `power_w` is negative.
+    pub fn observe(
+        &mut self,
+        from: DeviceState,
+        action: Action,
+        to: DeviceState,
+        reward: f64,
+        power_w: f64,
+    ) {
+        assert!(
+            (0.0..=1.0).contains(&reward),
+            "reward must be normalised to [0, 1]"
+        );
+        assert!(power_w >= 0.0, "power must be non-negative");
+        let key = (from.index(), action.index(), to.index());
+        let entry = self.counts.entry(key).or_insert((0.0, 0.0));
+        entry.0 += 1.0;
+        entry.1 += reward;
+        let slot = &mut self.power_w[to.index()];
+        *slot = Some(match *slot {
+            Some(prev) => prev + POWER_EMA_ALPHA * (power_w - prev),
+            None => power_w,
+        });
+        self.observations += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Number of distinct `(state, action, state')` transitions seen.
+    pub fn distinct_transitions(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The smoothed measured power of a device state, if it was visited.
+    pub fn state_power_w(&self, state: DeviceState) -> Option<f64> {
+        self.power_w[state.index()]
+    }
+
+    /// Predict the power that follows taking `action` in `from`:
+    /// the transition-probability-weighted mean of the successor states'
+    /// measured powers. Falls back to the current state's power, then
+    /// `None` if nothing was ever observed.
+    pub fn predicted_power_w(&self, from: DeviceState, action: Action) -> Option<f64> {
+        let fi = from.index();
+        let ai = action.index();
+        let mut total_w = 0.0;
+        let mut total_count = 0.0;
+        for (&(f, a, to), &(count, _)) in &self.counts {
+            if f == fi && a == ai {
+                if let Some(p) = self.power_w[to] {
+                    total_w += count * p;
+                    total_count += count;
+                }
+            }
+        }
+        if total_count > 0.0 {
+            Some(total_w / total_count)
+        } else {
+            self.power_w[fi]
+        }
+    }
+
+    /// Materialise the observed statistics as the MDP of Fig. 8.
+    ///
+    /// Visit counts become (normalised) transition probabilities; the
+    /// mean observed reward labels each edge.
+    pub fn to_mdp(&self) -> Mdp {
+        let mut b = MdpBuilder::new(STATE_COUNT, Action::ALL.len());
+        for (&(from, action, to), &(count, reward_sum)) in &self.counts {
+            let mean_reward = (reward_sum / count).clamp(0.0, 1.0);
+            b.transition(from, action, to, count, mean_reward);
+        }
+        b.build()
+    }
+
+    /// States that have been visited at least once.
+    pub fn visited_states(&self) -> Vec<usize> {
+        let mut seen: Vec<usize> = self
+            .counts
+            .keys()
+            .flat_map(|&(f, _, t)| [f, t])
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capman_battery::chemistry::Class;
+
+    fn awake_little() -> DeviceState {
+        DeviceState::awake().with_battery(Class::Little)
+    }
+
+    #[test]
+    fn observation_counts_accumulate() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        p.observe(asleep, Action::ScreenOn, awake, 0.8, 2.2);
+        assert_eq!(p.observations(), 2);
+        assert_eq!(p.distinct_transitions(), 1);
+        assert_eq!(p.visited_states().len(), 2);
+    }
+
+    #[test]
+    fn power_estimate_smooths_toward_measurements() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        assert!((p.state_power_w(awake).expect("seen") - 2.0).abs() < 1e-12);
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 3.0);
+        let est = p.state_power_w(awake).expect("seen");
+        assert!(est > 2.0 && est < 3.0);
+    }
+
+    #[test]
+    fn prediction_weighs_successors() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        let little = awake_little();
+        // ScreenOn leads to `awake` three times (2 W) and `little` once
+        // (4 W).
+        for _ in 0..3 {
+            p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        }
+        p.observe(asleep, Action::ScreenOn, little, 0.9, 4.0);
+        let pred = p.predicted_power_w(asleep, Action::ScreenOn).expect("pred");
+        assert!((pred - 2.5).abs() < 1e-9, "pred = {pred}");
+    }
+
+    #[test]
+    fn prediction_falls_back_to_current_state() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        // Never saw AppLaunch from `awake`, but `awake` itself has a
+        // power estimate.
+        let pred = p.predicted_power_w(awake, Action::AppLaunch);
+        assert!(pred.is_some());
+        // Truly unseen state gives None.
+        assert!(p.predicted_power_w(awake_little(), Action::AppExit).is_none());
+    }
+
+    #[test]
+    fn mdp_round_trip_normalises_counts() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        for _ in 0..3 {
+            p.observe(asleep, Action::ScreenOn, awake, 1.0, 2.0);
+        }
+        p.observe(asleep, Action::ScreenOn, asleep, 0.0, 0.1);
+        let mdp = p.to_mdp();
+        let outs = mdp.outcomes(asleep.index(), Action::ScreenOn.index());
+        let total_p: f64 = outs.iter().map(|o| o.prob).sum();
+        assert!((total_p - 1.0).abs() < 1e-12);
+        assert_eq!(outs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reward")]
+    fn rejects_unnormalised_reward() {
+        let mut p = Profiler::new();
+        p.observe(
+            DeviceState::asleep(),
+            Action::Wake,
+            DeviceState::awake(),
+            1.5,
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Experiment result export.
+//!
+//! The figures binary prints human-readable tables; this module exports
+//! the same outcomes as CSV for plotting and regression tracking (no
+//! extra dependencies — the data is flat).
+
+use std::fmt::Write as _;
+
+use crate::metrics::Outcome;
+
+/// Escape a CSV field (quote when it contains separators or quotes).
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The CSV header for [`outcomes_csv`].
+pub const OUTCOME_HEADER: &str = "policy,workload,phone,service_time_s,end_reason,\
+energy_delivered_j,energy_heat_j,work_served,switches,big_active_s,little_active_s,\
+tec_on_s,tec_energy_j,max_hotspot_c,mean_hotspot_c,scheduler_overhead_us,recalibrations";
+
+/// Render outcomes as CSV (header plus one row each).
+pub fn outcomes_csv(outcomes: &[Outcome]) -> String {
+    let mut out = String::from(OUTCOME_HEADER);
+    out.push('\n');
+    for o in outcomes {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{:?},{:.3},{:.3},{:.3},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{}",
+            field(&o.policy),
+            field(&o.workload),
+            field(&o.phone),
+            o.service_time_s,
+            o.end_reason,
+            o.energy_delivered_j,
+            o.energy_heat_j,
+            o.work_served,
+            o.switches,
+            o.big_active_s,
+            o.little_active_s,
+            o.tec_on_s,
+            o.tec_energy_j,
+            o.max_hotspot_c,
+            o.mean_hotspot_c,
+            o.scheduler_overhead_us,
+            o.recalibrations,
+        );
+    }
+    out
+}
+
+/// Render an outcome's telemetry time series as CSV.
+pub fn telemetry_csv(outcome: &Outcome) -> String {
+    let mut out =
+        String::from("time_s,power_mw,hotspot_c,shell_c,battery_c,big_soc,little_soc,active,tec_on,voltage_v\n");
+    for s in outcome.telemetry.samples() {
+        let _ = writeln!(
+            out,
+            "{:.1},{:.1},{:.2},{:.2},{:.2},{:.4},{:.4},{},{},{:.3}",
+            s.time_s,
+            s.power_mw,
+            s.hotspot_c,
+            s.shell_c,
+            s.battery_c,
+            s.big_soc,
+            s.little_soc,
+            s.active,
+            u8::from(s.tec_on),
+            s.voltage_v,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::EndReason;
+    use crate::telemetry::{Sample, Telemetry};
+    use capman_battery::chemistry::Class;
+
+    fn outcome() -> Outcome {
+        let mut telemetry = Telemetry::new();
+        telemetry.push(Sample {
+            time_s: 0.0,
+            power_mw: 1500.0,
+            hotspot_c: 40.0,
+            shell_c: 30.0,
+            battery_c: 28.0,
+            big_soc: 0.9,
+            little_soc: 0.8,
+            active: Class::Little,
+            tec_on: true,
+            voltage_v: 3.7,
+        });
+        Outcome {
+            policy: "CAPMAN".into(),
+            workload: "eta-50%".into(),
+            phone: "Nexus".into(),
+            service_time_s: 1234.5,
+            end_reason: EndReason::PackDepleted,
+            energy_delivered_j: 1000.0,
+            energy_heat_j: 50.0,
+            work_served: 5000.0,
+            switches: 42,
+            big_active_s: 700.0,
+            little_active_s: 534.5,
+            big_delivered_j: 600.0,
+            little_delivered_j: 400.0,
+            tec_on_s: 120.0,
+            tec_energy_j: 115.0,
+            max_hotspot_c: 45.1,
+            mean_hotspot_c: 43.0,
+            scheduler_overhead_us: 321.0,
+            recalibrations: 3,
+            telemetry,
+        }
+    }
+
+    #[test]
+    fn outcome_csv_has_header_and_rows() {
+        let csv = outcomes_csv(&[outcome(), outcome()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("policy,workload"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "row arity must match the header"
+        );
+        assert!(lines[1].contains("CAPMAN"));
+        assert!(lines[1].contains("1234.5"));
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_separators() {
+        let mut o = outcome();
+        o.workload = "eta,50".into();
+        let csv = outcomes_csv(&[o]);
+        assert!(csv.contains("\"eta,50\""));
+    }
+
+    #[test]
+    fn telemetry_csv_round_trips_values() {
+        let csv = telemetry_csv(&outcome());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let row: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(row[0], "0.0");
+        assert_eq!(row[7], "LITTLE");
+        assert_eq!(row[8], "1");
+    }
+
+    #[test]
+    fn empty_outcomes_produce_header_only() {
+        let csv = outcomes_csv(&[]);
+        assert_eq!(csv.lines().count(), 1);
+    }
+}

@@ -1,0 +1,409 @@
+//! The discrete-time simulation engine.
+//!
+//! One discharge cycle couples five models per step: the workload trace
+//! fires system-call actions that move the device power-state machine;
+//! the policy picks the battery; the component power models produce the
+//! demand; the pack serves it (with switching and filter losses); and the
+//! thermal network integrates the component heat, with the TEC pumping
+//! the CPU hot spot when the 45 degC threshold trips.
+//!
+//! Service ends when the pack can no longer serve the demand — either a
+//! sustained continuous shortfall or a high failure rate over a rolling
+//! window (a phone that browns out on every app launch is dead to its
+//! user even if it can still idle).
+
+use std::collections::VecDeque;
+
+use capman_battery::pack::BatteryPack;
+use capman_device::fsm::Action;
+use capman_device::phone::PhoneProfile;
+use capman_device::power::PowerModel;
+use capman_device::states::{DeviceState, TecState};
+use capman_thermal::network::{NodeId, ThermalNetwork};
+use capman_thermal::tec::{Tec, TecController, TecStep};
+use capman_workload::Trace;
+
+use crate::actuator::Actuator;
+use crate::config::SimConfig;
+use crate::metrics::{EndReason, Outcome};
+use crate::policy::{DecisionContext, Observation, Policy};
+use crate::telemetry::{Sample, Telemetry};
+
+/// Rolling window for the failure-rate end condition, seconds.
+const FAIL_WINDOW_S: f64 = 120.0;
+/// Failure fraction within the rolling window that ends the service.
+const FAIL_FRACTION: f64 = 0.10;
+/// Share of CPU power concentrated on the die hot spot.
+const HOTSPOT_POWER_SHARE: f64 = 0.45;
+
+/// A configured discharge-cycle simulation.
+pub struct Simulator {
+    phone: PhoneProfile,
+    model: PowerModel,
+    trace: Trace,
+    pack: BatteryPack,
+    policy: Box<dyn Policy>,
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Assemble a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        phone: PhoneProfile,
+        trace: Trace,
+        pack: BatteryPack,
+        policy: Box<dyn Policy>,
+        config: SimConfig,
+    ) -> Self {
+        config.validate();
+        let model = phone.power_model();
+        Simulator {
+            phone,
+            model,
+            trace,
+            pack,
+            policy,
+            config,
+        }
+    }
+
+    /// Run one discharge cycle to completion.
+    pub fn run(mut self) -> Outcome {
+        let dt = self.config.dt_s;
+        let mut thermal = ThermalNetwork::phone_at_ambient(self.config.ambient_c);
+        let tec = Tec::ate31();
+        let mut tec_ctl = TecController::new(self.config.tec_threshold_c, 2.0);
+        let mut actuator = Actuator::new();
+        let mut state = DeviceState::asleep();
+        let mut telemetry = Telemetry::new();
+
+        let mut t = 0.0;
+        let mut last_power_w = 0.0;
+        let mut last_sample_t = f64::NEG_INFINITY;
+
+        // Accumulators.
+        let mut energy_delivered_j = 0.0;
+        let mut energy_heat_j = 0.0;
+        let mut work_served = 0.0;
+        let mut tec_on_s = 0.0;
+        let mut tec_energy_j = 0.0;
+        let mut max_hotspot_c = f64::NEG_INFINITY;
+        let mut hotspot_sum = 0.0;
+        let mut steps: u64 = 0;
+
+        // End-condition trackers.
+        let mut consecutive_fail_s = 0.0;
+        let window_len = (FAIL_WINDOW_S / dt).round().max(1.0) as usize;
+        let mut fail_window: VecDeque<bool> = VecDeque::with_capacity(window_len);
+        let mut fails_in_window = 0usize;
+
+        let end_reason = loop {
+            if t >= self.config.max_horizon_s {
+                break EndReason::HorizonReached;
+            }
+            if self.pack.is_depleted() {
+                break EndReason::PackDepleted;
+            }
+
+            // 1. Fire the trace's boundary actions.
+            let prev_state = state;
+            let mut fired: Vec<Action> = Vec::new();
+            for seg in self.trace.segments_starting_in(t, t + dt) {
+                for &a in &seg.actions {
+                    state = state.apply(a);
+                    fired.push(a);
+                }
+            }
+
+            // 2. Thermal governor: TEC on/off from the hot-spot reading.
+            let hotspot_c = thermal.temp_c(NodeId::HotSpot);
+            let tec_on = self.config.tec_enabled && tec_ctl.update(hotspot_c);
+            state.tec = if tec_on { TecState::On } else { TecState::Off };
+
+            // 3. Battery decision.
+            let ctx = DecisionContext {
+                time_s: t,
+                state,
+                actions: &fired,
+                last_power_w,
+                big_soc: self.pack.big().soc(),
+                little_soc: self
+                    .pack
+                    .little()
+                    .map(|c| c.soc())
+                    .unwrap_or(1.0),
+                big_usable: self.pack.big().is_usable(),
+                little_usable: self
+                    .pack
+                    .little()
+                    .map(|c| c.is_usable())
+                    .unwrap_or(false),
+                big_head: self.pack.big().available_head(),
+                little_head: self
+                    .pack
+                    .little()
+                    .map(|c| c.available_head())
+                    .unwrap_or(0.0),
+                hotspot_c,
+                tec_on,
+                dual: self.pack.little().is_some(),
+            };
+            let target = self.policy.decide(&ctx);
+            if let Some(switch_action) = actuator.apply(&mut self.pack, target) {
+                state = state.apply(switch_action);
+                fired.push(switch_action);
+            } else {
+                state.battery = self.pack.active();
+            }
+
+            // 4. Demand and thermal throttling.
+            let mut demand = self.trace.at(t).demand;
+            let throttled = hotspot_c > self.config.throttle_threshold_c;
+            if throttled {
+                demand.cpu_util *= self.config.throttle_factor;
+            }
+            let device_mw = self.model.device_power_mw(&state, &demand);
+
+            // 5. TEC physics (pump before integrating the network).
+            let tec_step = if tec_on {
+                tec.pump(&mut thermal, NodeId::HotSpot, NodeId::Shell, tec.rated_current_a())
+            } else {
+                TecStep::off()
+            };
+            let total_w = device_mw / 1000.0 + tec_step.power_w;
+
+            // 6. The pack serves the load.
+            let battery_c = thermal.temp_c(NodeId::Battery);
+            let pstep = self.pack.step(total_w, dt, battery_c);
+
+            // 7. Component heat into the thermal network.
+            let cpu_w = self.model.cpu().power_mw(state.cpu, &demand) / 1000.0;
+            thermal.inject(NodeId::Cpu, cpu_w * (1.0 - HOTSPOT_POWER_SHARE));
+            thermal.inject(NodeId::HotSpot, cpu_w * HOTSPOT_POWER_SHARE);
+            thermal.inject(
+                NodeId::Screen,
+                self.model.screen().power_mw(state.screen, &demand) / 1000.0,
+            );
+            thermal.inject(
+                NodeId::Shell,
+                self.model.wifi().power_mw(state.wifi, &demand) / 1000.0,
+            );
+            thermal.inject(NodeId::Battery, pstep.heat_w);
+            thermal.step(dt);
+
+            // 8. Bookkeeping.
+            let fail = total_w > 0.0
+                && pstep.shortfall_w > self.config.shortfall_tolerance * total_w;
+            energy_delivered_j += pstep.delivered_w * dt;
+            energy_heat_j += pstep.heat_w * dt;
+            if !fail {
+                let freq_share = (demand.freq_index.min(self.phone.n_freqs() - 1) + 1) as f64
+                    / self.phone.n_freqs() as f64;
+                work_served += demand.cpu_util * freq_share * dt;
+            }
+            if tec_on {
+                tec_on_s += dt;
+                tec_energy_j += tec_step.power_w * dt;
+            }
+            let spot = thermal.temp_c(NodeId::HotSpot);
+            max_hotspot_c = max_hotspot_c.max(spot);
+            hotspot_sum += spot;
+            steps += 1;
+
+            // 9. Feed the policy.
+            let reward = if fail {
+                0.0
+            } else {
+                let spent = pstep.delivered_w + pstep.heat_w;
+                if spent > 0.0 {
+                    (pstep.delivered_w / spent).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                }
+            };
+            self.policy.observe(&Observation {
+                time_s: t + dt,
+                prev_state,
+                action: fired.first().copied().unwrap_or(Action::TimerTick),
+                new_state: state,
+                reward,
+                power_w: total_w,
+            });
+            last_power_w = total_w;
+
+            // 10. Telemetry.
+            if t - last_sample_t >= self.config.sample_every_s {
+                last_sample_t = t;
+                telemetry.push(Sample {
+                    time_s: t,
+                    power_mw: total_w * 1000.0,
+                    hotspot_c: spot,
+                    shell_c: thermal.temp_c(NodeId::Shell),
+                    battery_c: thermal.temp_c(NodeId::Battery),
+                    big_soc: self.pack.big().soc(),
+                    little_soc: self.pack.little().map(|c| c.soc()).unwrap_or(1.0),
+                    active: pstep.active,
+                    tec_on,
+                    voltage_v: pstep.voltage_v,
+                });
+            }
+
+            // 11. End conditions.
+            if fail {
+                consecutive_fail_s += dt;
+            } else {
+                consecutive_fail_s = 0.0;
+            }
+            if fail_window.len() == window_len && fail_window.pop_front() == Some(true) {
+                fails_in_window -= 1;
+            }
+            fail_window.push_back(fail);
+            if fail {
+                fails_in_window += 1;
+            }
+            let window_full = fail_window.len() == window_len;
+            if consecutive_fail_s >= self.config.shortfall_window_s
+                || (window_full
+                    && fails_in_window as f64 / window_len as f64 > FAIL_FRACTION)
+            {
+                break EndReason::SustainedShortfall;
+            }
+
+            t += dt;
+        };
+
+        Outcome {
+            policy: self.policy.name().to_string(),
+            workload: self.trace.name().to_string(),
+            phone: self.phone.name.to_string(),
+            service_time_s: t,
+            end_reason,
+            energy_delivered_j,
+            energy_heat_j,
+            work_served,
+            switches: actuator.switches(),
+            big_active_s: self.pack.big_active_s(),
+            little_active_s: self.pack.little_active_s(),
+            big_delivered_j: self.pack.big().delivered_j(),
+            little_delivered_j: self
+                .pack
+                .little()
+                .map(|c| c.delivered_j())
+                .unwrap_or(0.0),
+            tec_on_s,
+            tec_energy_j,
+            max_hotspot_c: if steps > 0 { max_hotspot_c } else { self.config.ambient_c },
+            mean_hotspot_c: if steps > 0 {
+                hotspot_sum / steps as f64
+            } else {
+                self.config.ambient_c
+            },
+            scheduler_overhead_us: self.policy.overhead_us(),
+            recalibrations: self.policy.recalibrations(),
+            telemetry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{DualPolicy, PracticePolicy};
+    use capman_battery::chemistry::Chemistry;
+    use capman_workload::{generate, WorkloadKind};
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            max_horizon_s: 2000.0,
+            ..SimConfig::paper()
+        }
+    }
+
+    #[test]
+    fn idle_cycle_survives_the_short_horizon() {
+        let trace = generate(WorkloadKind::IdleOn, 2500.0, 1);
+        let sim = Simulator::new(
+            PhoneProfile::nexus(),
+            trace,
+            BatteryPack::single(Chemistry::Nca, 5.0),
+            Box::new(PracticePolicy),
+            quick_config(),
+        );
+        let o = sim.run();
+        assert_eq!(o.end_reason, EndReason::HorizonReached);
+        assert!(o.energy_delivered_j > 0.0);
+        assert!(o.work_served > 0.0);
+        assert_eq!(o.switches, 0);
+    }
+
+    #[test]
+    fn tiny_battery_dies_quickly_under_load() {
+        let trace = generate(WorkloadKind::Geekbench, 10_000.0, 1);
+        let config = SimConfig {
+            max_horizon_s: 10_000.0,
+            ..SimConfig::paper()
+        };
+        let sim = Simulator::new(
+            PhoneProfile::nexus(),
+            trace,
+            BatteryPack::single(Chemistry::Nca, 0.15),
+            Box::new(PracticePolicy),
+            config,
+        );
+        let o = sim.run();
+        assert_ne!(o.end_reason, EndReason::HorizonReached);
+        assert!(o.service_time_s < 10_000.0);
+    }
+
+    #[test]
+    fn dual_policy_actually_switches() {
+        let trace = generate(WorkloadKind::Pcmark, 2500.0, 2);
+        let sim = Simulator::new(
+            PhoneProfile::nexus(),
+            trace,
+            BatteryPack::paper_prototype(),
+            Box::new(DualPolicy),
+            quick_config(),
+        );
+        let o = sim.run();
+        assert!(o.little_active_s > 0.0);
+        assert!(o.switches >= 1);
+    }
+
+    #[test]
+    fn telemetry_is_sampled() {
+        let trace = generate(WorkloadKind::Video, 2500.0, 3);
+        let sim = Simulator::new(
+            PhoneProfile::nexus(),
+            trace,
+            BatteryPack::paper_prototype(),
+            Box::new(DualPolicy),
+            quick_config(),
+        );
+        let o = sim.run();
+        assert!(o.telemetry.len() >= 10);
+        assert!(o.telemetry.mean_power_mw() > 100.0);
+    }
+
+    #[test]
+    fn heavy_load_heats_the_hot_spot() {
+        let trace = generate(WorkloadKind::Geekbench, 2500.0, 4);
+        let sim = Simulator::new(
+            PhoneProfile::nexus(),
+            trace,
+            BatteryPack::paper_prototype(),
+            Box::new(DualPolicy),
+            quick_config(),
+        );
+        let o = sim.run();
+        assert!(
+            o.max_hotspot_c > 40.0,
+            "Geekbench should heat the spot, got {}",
+            o.max_hotspot_c
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Time-series telemetry (the signals behind Figs. 13 and 15).
+
+use serde::{Deserialize, Serialize};
+
+use capman_battery::chemistry::Class;
+
+/// One telemetry sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Simulation time, seconds.
+    pub time_s: f64,
+    /// Total active power drawn from the pack, milliwatts.
+    pub power_mw: f64,
+    /// Hot-spot temperature, degC.
+    pub hotspot_c: f64,
+    /// Shell (skin) temperature, degC.
+    pub shell_c: f64,
+    /// Battery node temperature, degC.
+    pub battery_c: f64,
+    /// State of charge of the big cell.
+    pub big_soc: f64,
+    /// State of charge of the LITTLE cell (1.0 for single packs).
+    pub little_soc: f64,
+    /// The cell carrying the load.
+    pub active: Class,
+    /// Whether the TEC was energised.
+    pub tec_on: bool,
+    /// Terminal voltage of the active cell, volts.
+    pub voltage_v: f64,
+}
+
+/// A sampled time series with summary statistics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Telemetry {
+    samples: Vec<Sample>,
+}
+
+impl Telemetry {
+    /// An empty series.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum hot-spot temperature seen, degC.
+    pub fn max_hotspot_c(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.hotspot_c)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Mean hot-spot temperature, degC.
+    pub fn mean_hotspot_c(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().map(|s| s.hotspot_c).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean active power, milliwatts.
+    pub fn mean_power_mw(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().map(|s| s.power_mw).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Peak active power, milliwatts.
+    pub fn max_power_mw(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.power_mw)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Fraction of samples with the TEC energised.
+    pub fn tec_duty(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.tec_on).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Fraction of samples with the LITTLE cell active.
+    pub fn little_share(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .filter(|s| s.active == Class::Little)
+            .count() as f64
+            / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, power: f64, hot: f64, tec: bool, active: Class) -> Sample {
+        Sample {
+            time_s: t,
+            power_mw: power,
+            hotspot_c: hot,
+            shell_c: 30.0,
+            battery_c: 28.0,
+            big_soc: 0.8,
+            little_soc: 0.7,
+            active,
+            tec_on: tec,
+            voltage_v: 3.7,
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut t = Telemetry::new();
+        t.push(sample(0.0, 1000.0, 40.0, false, Class::Big));
+        t.push(sample(30.0, 2000.0, 50.0, true, Class::Little));
+        assert_eq!(t.len(), 2);
+        assert!((t.mean_power_mw() - 1500.0).abs() < 1e-9);
+        assert_eq!(t.max_power_mw(), 2000.0);
+        assert_eq!(t.max_hotspot_c(), 50.0);
+        assert!((t.mean_hotspot_c() - 45.0).abs() < 1e-9);
+        assert!((t.tec_duty() - 0.5).abs() < 1e-12);
+        assert!((t.little_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let t = Telemetry::new();
+        assert!(t.is_empty());
+        assert_eq!(t.tec_duty(), 0.0);
+        assert!(t.mean_power_mw().is_nan());
+    }
+}

@@ -1,0 +1,49 @@
+//! Smartphone device simulator for the CAPMAN reproduction.
+//!
+//! The paper reduces the phone to a set of per-component power-state
+//! machines (Fig. 7) whose transitions are triggered by system calls and
+//! binder messages, plus per-component power models (Table II)
+//! parameterised by measured constants (Table III). This crate implements
+//! exactly that reduction:
+//!
+//! * [`states`] — the CPU / screen / WiFi / TEC / battery power states and
+//!   the composite [`states::DeviceState`] with a dense index for MDP use.
+//! * [`constants`] — the measured average state powers of Table III.
+//! * [`power`] — the component power models of Table II (linear CPU model,
+//!   brightness-linear screen, piecewise-linear WiFi, TEC).
+//! * [`fsm`] — the action vocabulary (system-call classes) and the state
+//!   transition function.
+//! * [`syscall`] — the raw system-call table (200+ calls, as recorded in
+//!   the paper) mapped onto semantic action classes.
+//! * [`phone`] — the three evaluation phones (Nexus, Honor, Lenovo).
+//!
+//! # Example
+//!
+//! ```
+//! use capman_device::states::{CpuState, DeviceState};
+//! use capman_device::fsm::Action;
+//! use capman_device::phone::PhoneProfile;
+//!
+//! let phone = PhoneProfile::nexus();
+//! let mut state = DeviceState::asleep();
+//! state = state.apply(Action::ScreenOn);
+//! assert_eq!(state.cpu, CpuState::C0);
+//! let power = phone.power_model().device_power_mw(&state, &Default::default());
+//! assert!(power > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod fsm;
+pub mod governor;
+pub mod phone;
+pub mod power;
+pub mod states;
+pub mod syscall;
+
+pub use fsm::Action;
+pub use phone::PhoneProfile;
+pub use power::{Demand, PowerModel};
+pub use states::DeviceState;

@@ -1,0 +1,103 @@
+//! Property-based invariants for the device substrate.
+
+use proptest::prelude::*;
+
+use capman_device::constants;
+use capman_device::fsm::Action;
+use capman_device::power::{Demand, PowerModel};
+use capman_device::states::{DeviceState, STATE_COUNT};
+
+fn arb_state() -> impl Strategy<Value = DeviceState> {
+    (0..STATE_COUNT).prop_map(DeviceState::from_index)
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    (0..Action::ALL.len()).prop_map(|i| Action::ALL[i])
+}
+
+fn arb_demand() -> impl Strategy<Value = Demand> {
+    (0.0f64..=100.0, 0usize..16, 0.0f64..=255.0, 0.0f64..500.0).prop_map(
+        |(cpu_util, freq_index, brightness, packet_rate)| Demand {
+            cpu_util,
+            freq_index,
+            brightness,
+            packet_rate,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// State indexing is a bijection over the whole product space.
+    #[test]
+    fn state_index_roundtrip(state in arb_state()) {
+        prop_assert_eq!(DeviceState::from_index(state.index()), state);
+        prop_assert!(state.index() < STATE_COUNT);
+    }
+
+    /// The transition function is closed over the state space and
+    /// deterministic.
+    #[test]
+    fn transitions_are_closed_and_deterministic(state in arb_state(), action in arb_action()) {
+        let a = state.apply(action);
+        let b = state.apply(action);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.index() < STATE_COUNT);
+    }
+
+    /// Battery-switch actions commute with everything except the battery
+    /// field.
+    #[test]
+    fn switch_actions_touch_only_battery(state in arb_state()) {
+        let s = state.apply(Action::SwitchToLittle);
+        prop_assert_eq!(s.cpu, state.cpu);
+        prop_assert_eq!(s.screen, state.screen);
+        prop_assert_eq!(s.wifi, state.wifi);
+        prop_assert_eq!(s.tec, state.tec);
+    }
+
+    /// Device power is positive, finite, and bounded by the sum of the
+    /// components' maxima.
+    #[test]
+    fn power_is_positive_and_bounded(state in arb_state(), demand in arb_demand()) {
+        let model = PowerModel::calibrated(8, 1.0);
+        let p = model.device_power_mw(&state, &demand);
+        prop_assert!(p.is_finite());
+        prop_assert!(p > 0.0, "even a suspended phone draws floor power");
+        // Generous ceiling: every component at its highest regime.
+        let ceiling = constants::CPU_C0_MW
+            + constants::SCREEN_ON_MW * 1.6
+            + constants::WIFI_SEND_MW * 4.0
+            + constants::TEC_ON_MW;
+        prop_assert!(p <= ceiling, "power {p} exceeds ceiling {ceiling}");
+    }
+
+    /// More utilisation never reduces CPU power at a fixed frequency.
+    #[test]
+    fn cpu_power_monotone_in_util(
+        freq in 0usize..8,
+        u1 in 0.0f64..=100.0,
+        u2 in 0.0f64..=100.0,
+    ) {
+        use capman_device::states::CpuState;
+        let model = PowerModel::calibrated(8, 1.0);
+        let at = |u: f64| model.cpu().power_mw(CpuState::C0, &Demand {
+            cpu_util: u,
+            freq_index: freq,
+            ..Demand::default()
+        });
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(at(lo) <= at(hi) + 1e-12);
+    }
+
+    /// Suspend always reaches the canonical asleep core state (battery
+    /// and TEC are orthogonal concerns).
+    #[test]
+    fn suspend_reaches_sleep(state in arb_state()) {
+        let s = state.apply(Action::Suspend);
+        prop_assert!(s.is_suspended());
+        use capman_device::states::WifiState;
+        prop_assert_eq!(s.wifi, WifiState::Idle);
+    }
+}

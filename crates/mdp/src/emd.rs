@@ -1,0 +1,320 @@
+//! Earth Mover's Distance via successive shortest paths (SSP).
+//!
+//! Algorithm 1 measures how differently two action nodes distribute
+//! probability over state nodes, using the state-similarity matrix as the
+//! ground distance. Following the paper (and its citation of Jewell's
+//! optimal-flow formulation), the transportation problem is solved with a
+//! successive-shortest-path min-cost flow using Dijkstra over reduced
+//! costs (Johnson potentials).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of an EMD computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmdResult {
+    /// The Earth Mover's Distance (total transport cost).
+    pub distance: f64,
+    /// Number of augmenting paths used (the SSP iteration count).
+    pub augmentations: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: f64,
+    cost: f64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A small successive-shortest-path min-cost-flow solver.
+#[derive(Debug, Clone)]
+struct MinCostFlow {
+    graph: Vec<Vec<Edge>>,
+}
+
+impl MinCostFlow {
+    fn new(n: usize) -> Self {
+        MinCostFlow {
+            graph: vec![Vec::new(); n],
+        }
+    }
+
+    fn add_edge(&mut self, from: usize, to: usize, cap: f64, cost: f64) {
+        let rev_from = self.graph[to].len();
+        let rev_to = self.graph[from].len();
+        self.graph[from].push(Edge {
+            to,
+            cap,
+            cost,
+            rev: rev_from,
+        });
+        self.graph[to].push(Edge {
+            to: from,
+            cap: 0.0,
+            cost: -cost,
+            rev: rev_to,
+        });
+    }
+
+    /// Push `target_flow` from `s` to `t`; returns (cost, augmentations).
+    fn solve(&mut self, s: usize, t: usize, target_flow: f64) -> (f64, usize) {
+        const EPS: f64 = 1e-12;
+        let n = self.graph.len();
+        let mut potential = vec![0.0_f64; n];
+        let mut total_cost = 0.0;
+        let mut remaining = target_flow;
+        let mut augmentations = 0;
+
+        while remaining > EPS {
+            // Dijkstra over reduced costs.
+            let mut dist = vec![f64::INFINITY; n];
+            let mut prev: Vec<Option<(usize, usize)>> = vec![None; n];
+            dist[s] = 0.0;
+            let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
+            heap.push(Reverse((OrderedF64(0.0), s)));
+            while let Some(Reverse((OrderedF64(d), u))) = heap.pop() {
+                if d > dist[u] + EPS {
+                    continue;
+                }
+                for (ei, e) in self.graph[u].iter().enumerate() {
+                    if e.cap <= EPS {
+                        continue;
+                    }
+                    let nd = d + e.cost + potential[u] - potential[e.to];
+                    if nd + EPS < dist[e.to] {
+                        dist[e.to] = nd;
+                        prev[e.to] = Some((u, ei));
+                        heap.push(Reverse((OrderedF64(nd), e.to)));
+                    }
+                }
+            }
+            if !dist[t].is_finite() {
+                break; // no more augmenting paths
+            }
+            for v in 0..n {
+                if dist[v].is_finite() {
+                    potential[v] += dist[v];
+                }
+            }
+            // Find the bottleneck along the path.
+            let mut bottleneck = remaining;
+            let mut v = t;
+            while let Some((u, ei)) = prev[v] {
+                bottleneck = bottleneck.min(self.graph[u][ei].cap);
+                v = u;
+            }
+            // Apply the flow.
+            let mut v = t;
+            while let Some((u, ei)) = prev[v] {
+                let rev = self.graph[u][ei].rev;
+                self.graph[u][ei].cap -= bottleneck;
+                total_cost += bottleneck * self.graph[u][ei].cost;
+                self.graph[v][rev].cap += bottleneck;
+                v = u;
+            }
+            remaining -= bottleneck;
+            augmentations += 1;
+        }
+        (total_cost, augmentations)
+    }
+}
+
+/// Total-order wrapper for finite `f64` keys in the Dijkstra heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The Earth Mover's Distance between two distributions over the same
+/// index space, with `dist(i, j)` as the ground distance.
+///
+/// Both inputs are normalised internally, so raw weights are accepted.
+/// Returns zero when either distribution has no mass.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths, contain negative mass, or
+/// if any ground distance is negative.
+pub fn emd(p: &[f64], q: &[f64], dist: impl Fn(usize, usize) -> f64) -> f64 {
+    emd_detailed(p, q, dist).distance
+}
+
+/// Like [`emd`], also reporting the SSP augmentation count.
+///
+/// # Panics
+///
+/// See [`emd`].
+pub fn emd_detailed(p: &[f64], q: &[f64], dist: impl Fn(usize, usize) -> f64) -> EmdResult {
+    assert_eq!(p.len(), q.len(), "distributions must share an index space");
+    assert!(
+        p.iter().chain(q.iter()).all(|&x| x >= 0.0),
+        "mass must be non-negative"
+    );
+    let sum_p: f64 = p.iter().sum();
+    let sum_q: f64 = q.iter().sum();
+    if sum_p <= 0.0 || sum_q <= 0.0 {
+        return EmdResult {
+            distance: 0.0,
+            augmentations: 0,
+        };
+    }
+
+    let sources: Vec<usize> = (0..p.len()).filter(|&i| p[i] > 0.0).collect();
+    let sinks: Vec<usize> = (0..q.len()).filter(|&j| q[j] > 0.0).collect();
+    let m = sources.len();
+    let k = sinks.len();
+    // Node layout: 0 = super source, 1..=m sources, m+1..=m+k sinks,
+    // m+k+1 = super sink.
+    let s = 0;
+    let t = m + k + 1;
+    let mut flow = MinCostFlow::new(t + 1);
+    for (si, &i) in sources.iter().enumerate() {
+        flow.add_edge(s, 1 + si, p[i] / sum_p, 0.0);
+    }
+    for (sj, &j) in sinks.iter().enumerate() {
+        flow.add_edge(1 + m + sj, t, q[j] / sum_q, 0.0);
+    }
+    for (si, &i) in sources.iter().enumerate() {
+        for (sj, &j) in sinks.iter().enumerate() {
+            let d = dist(i, j);
+            assert!(d >= 0.0, "ground distance must be non-negative");
+            flow.add_edge(1 + si, 1 + m + sj, f64::INFINITY, d);
+        }
+    }
+    let (cost, augmentations) = flow.solve(s, t, 1.0);
+    EmdResult {
+        distance: cost.max(0.0),
+        augmentations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1(i: usize, j: usize) -> f64 {
+        (i as f64 - j as f64).abs()
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = [0.2, 0.5, 0.3];
+        assert!(emd(&p, &p, l1) < 1e-12);
+    }
+
+    #[test]
+    fn point_masses_pay_the_ground_distance() {
+        let p = [1.0, 0.0, 0.0, 0.0];
+        let q = [0.0, 0.0, 0.0, 1.0];
+        assert!((emd(&p, &q, l1) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_mass_transports_optimally() {
+        // Move 0.5 from 0 to 1 (cost 0.5) and keep 0.5 in place.
+        let p = [1.0, 0.0];
+        let q = [0.5, 0.5];
+        assert!((emd(&p, &q, l1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emd_is_symmetric() {
+        let p = [0.7, 0.1, 0.2];
+        let q = [0.1, 0.6, 0.3];
+        let a = emd(&p, &q, l1);
+        let b = emd(&q, &p, l1);
+        assert!((a - b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_samples() {
+        let dists = [
+            vec![0.3, 0.3, 0.4],
+            vec![0.8, 0.1, 0.1],
+            vec![0.2, 0.2, 0.6],
+        ];
+        for a in &dists {
+            for b in &dists {
+                for c in &dists {
+                    let ab = emd(a, b, l1);
+                    let bc = emd(b, c, l1);
+                    let ac = emd(a, c, l1);
+                    assert!(ac <= ab + bc + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_weights_are_normalised() {
+        let p = [2.0, 0.0];
+        let q = [0.0, 6.0];
+        assert!((emd(&p, &q, l1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distribution_gives_zero() {
+        let p = [0.0, 0.0];
+        let q = [0.5, 0.5];
+        assert_eq!(emd(&p, &q, l1), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_max_ground_distance() {
+        let p = [0.25, 0.25, 0.25, 0.25];
+        let q = [0.1, 0.2, 0.3, 0.4];
+        let d = emd(&p, &q, |i, j| if i == j { 0.0 } else { 1.0 });
+        assert!(d <= 1.0 + 1e-12);
+        assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn augmentation_count_is_reported() {
+        let p = [1.0, 0.0, 0.0, 0.0];
+        let q = [0.0, 0.0, 0.0, 1.0];
+        let r = emd_detailed(&p, &q, l1);
+        assert!(r.augmentations >= 1);
+    }
+
+    #[test]
+    fn uses_cheaper_indirect_reallocations() {
+        // Ground distance where direct transport is expensive but the
+        // optimal plan must still be found: 2 sources, 2 sinks.
+        let p = [0.5, 0.5, 0.0, 0.0];
+        let q = [0.0, 0.0, 0.5, 0.5];
+        // d(0,2)=1, d(0,3)=10, d(1,2)=10, d(1,3)=1 -> optimal pairs.
+        let d = |i: usize, j: usize| -> f64 {
+            match (i, j) {
+                (0, 2) | (1, 3) => 1.0,
+                _ => 10.0,
+            }
+        };
+        assert!((emd(&p, &q, d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "index space")]
+    fn rejects_mismatched_lengths() {
+        let _ = emd(&[1.0], &[0.5, 0.5], l1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_mass() {
+        let _ = emd(&[-0.1, 1.1], &[0.5, 0.5], l1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Hausdorff distance between node sets.
+//!
+//! Eq. (4) defines the state similarity through the Hausdorff distance
+//! between the two states' action-neighbourhoods `N_u`, `N_v` under the
+//! action distance `delta_A`:
+//!
+//! ```text
+//! d_H(X, Y) = max( sup_{x in X} inf_{y in Y} d(x, y),
+//!                  sup_{y in Y} inf_{x in X} d(x, y) )
+//! ```
+
+/// The Hausdorff distance between index sets `xs` and `ys` under the
+/// pairwise distance `dist`.
+///
+/// By convention the distance between two empty sets is zero and between
+/// an empty and a non-empty set is one (the maximum of the normalised
+/// distance scale) — this matches the paper's base case where exactly one
+/// absorbing state yields distance one.
+pub fn hausdorff(xs: &[usize], ys: &[usize], dist: impl Fn(usize, usize) -> f64) -> f64 {
+    match (xs.is_empty(), ys.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        (false, false) => {}
+    }
+    let directed = |from: &[usize], to: &[usize]| -> f64 {
+        from.iter()
+            .map(|&x| {
+                to.iter()
+                    .map(|&y| dist(x, y))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .fold(0.0, f64::max)
+    };
+    directed(xs, ys).max(directed(ys, xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1(i: usize, j: usize) -> f64 {
+        (i as f64 - j as f64).abs()
+    }
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let xs = [1, 3, 5];
+        assert_eq!(hausdorff(&xs, &xs, l1), 0.0);
+    }
+
+    #[test]
+    fn singleton_sets_use_pairwise_distance() {
+        assert_eq!(hausdorff(&[2], &[7], l1), 5.0);
+    }
+
+    #[test]
+    fn superset_distance_is_directed_max() {
+        // {0, 10} vs {0}: the unmatched 10 dominates.
+        assert_eq!(hausdorff(&[0, 10], &[0], l1), 10.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [1, 4];
+        let b = [2, 9];
+        assert_eq!(hausdorff(&a, &b, l1), hausdorff(&b, &a, l1));
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        assert_eq!(hausdorff(&[], &[], l1), 0.0);
+        assert_eq!(hausdorff(&[], &[3], l1), 1.0);
+        assert_eq!(hausdorff(&[3], &[], l1), 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_samples() {
+        let sets: [&[usize]; 3] = [&[0, 1], &[2], &[4, 5]];
+        for a in sets {
+            for b in sets {
+                for c in sets {
+                    let ab = hausdorff(a, b, l1);
+                    let bc = hausdorff(b, c, l1);
+                    let ac = hausdorff(a, c, l1);
+                    assert!(ac <= ab + bc + 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The finite Markov decision process `M = {S, A, T, R}`.
+//!
+//! States and actions are dense indices; the transition function `T` and
+//! reward function `R` are stored per `(state, action)` pair as a sparse
+//! list of `(successor, probability, reward)` entries, with rewards
+//! normalised to `[0, 1]` as in the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// One probabilistic outcome of taking an action.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outcome {
+    /// Successor state index.
+    pub next: usize,
+    /// Transition probability.
+    pub prob: f64,
+    /// Reward in `[0, 1]`.
+    pub reward: f64,
+}
+
+/// A finite MDP with dense state/action indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mdp {
+    n_states: usize,
+    n_actions: usize,
+    /// `outcomes[s][a]` — empty when action `a` is unavailable in `s`.
+    outcomes: Vec<Vec<Vec<Outcome>>>,
+}
+
+impl Mdp {
+    /// Number of states `|S|`.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions `|A|`.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// The outcomes of taking `action` in `state` (empty if unavailable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn outcomes(&self, state: usize, action: usize) -> &[Outcome] {
+        assert!(state < self.n_states, "state out of range");
+        assert!(action < self.n_actions, "action out of range");
+        &self.outcomes[state][action]
+    }
+
+    /// Actions available in `state`.
+    pub fn available_actions(&self, state: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(state < self.n_states, "state out of range");
+        (0..self.n_actions).filter(move |&a| !self.outcomes[state][a].is_empty())
+    }
+
+    /// A state with no available actions is *absorbing* (the paper's
+    /// target states for battery scheduling).
+    pub fn is_absorbing(&self, state: usize) -> bool {
+        self.available_actions(state).next().is_none()
+    }
+
+    /// Expected immediate reward of `(state, action)`.
+    pub fn expected_reward(&self, state: usize, action: usize) -> f64 {
+        self.outcomes(state, action)
+            .iter()
+            .map(|o| o.prob * o.reward)
+            .sum()
+    }
+
+    /// Total number of `(state, action)` pairs with outcomes — the number
+    /// of action nodes in the graph representation.
+    pub fn n_action_nodes(&self) -> usize {
+        (0..self.n_states)
+            .map(|s| self.available_actions(s).count())
+            .sum()
+    }
+}
+
+/// A validating builder for [`Mdp`].
+#[derive(Debug, Clone)]
+pub struct MdpBuilder {
+    n_states: usize,
+    n_actions: usize,
+    outcomes: Vec<Vec<Vec<Outcome>>>,
+}
+
+impl MdpBuilder {
+    /// Start a builder for `n_states` states and `n_actions` actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(n_states: usize, n_actions: usize) -> Self {
+        assert!(n_states > 0, "need at least one state");
+        assert!(n_actions > 0, "need at least one action");
+        MdpBuilder {
+            n_states,
+            n_actions,
+            outcomes: vec![vec![Vec::new(); n_actions]; n_states],
+        }
+    }
+
+    /// Add an outcome: taking `action` in `state` reaches `next` with
+    /// weight `prob` (a probability or a raw visit count — weights are
+    /// normalised per `(state, action)` at [`build`](MdpBuilder::build))
+    /// and reward `reward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range, `prob` is not positive and
+    /// finite, or `reward` is not in `[0, 1]`.
+    pub fn transition(
+        &mut self,
+        state: usize,
+        action: usize,
+        next: usize,
+        prob: f64,
+        reward: f64,
+    ) -> &mut Self {
+        assert!(state < self.n_states, "state out of range");
+        assert!(action < self.n_actions, "action out of range");
+        assert!(next < self.n_states, "successor out of range");
+        assert!(
+            prob > 0.0 && prob.is_finite(),
+            "probability/count weight must be positive and finite"
+        );
+        assert!(
+            (0.0..=1.0).contains(&reward),
+            "reward must be normalised to [0, 1]"
+        );
+        self.outcomes[state][action].push(Outcome { next, prob, reward });
+        self
+    }
+
+    /// Finish the MDP.
+    ///
+    /// Outcome probabilities of each `(state, action)` are normalised to
+    /// sum to one, so callers may supply raw visit counts (this is how the
+    /// profiler feeds observed transition statistics in).
+    pub fn build(mut self) -> Mdp {
+        for per_state in &mut self.outcomes {
+            for outs in per_state {
+                let total: f64 = outs.iter().map(|o| o.prob).sum();
+                if total > 0.0 {
+                    for o in outs.iter_mut() {
+                        o.prob /= total;
+                    }
+                }
+            }
+        }
+        Mdp {
+            n_states: self.n_states,
+            n_actions: self.n_actions,
+            outcomes: self.outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Mdp {
+        // 0 --a0--> 1 --a0--> 2 (absorbing)
+        let mut b = MdpBuilder::new(3, 2);
+        b.transition(0, 0, 1, 1.0, 0.5);
+        b.transition(1, 0, 2, 1.0, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn absorbing_detection() {
+        let m = chain();
+        assert!(!m.is_absorbing(0));
+        assert!(!m.is_absorbing(1));
+        assert!(m.is_absorbing(2));
+    }
+
+    #[test]
+    fn available_actions_are_sparse() {
+        let m = chain();
+        assert_eq!(m.available_actions(0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(m.available_actions(2).count(), 0);
+    }
+
+    #[test]
+    fn probabilities_are_normalised_from_counts() {
+        let mut b = MdpBuilder::new(2, 1);
+        // Raw counts: 3 visits to state 0, 1 to state 1.
+        b.transition(0, 0, 0, 0.75, 0.0);
+        b.transition(0, 0, 1, 0.25, 1.0);
+        let m = b.build();
+        let total: f64 = m.outcomes(0, 0).iter().map(|o| o.prob).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_reward_weighs_probabilities() {
+        let mut b = MdpBuilder::new(2, 1);
+        b.transition(0, 0, 0, 0.5, 0.0);
+        b.transition(0, 0, 1, 0.5, 1.0);
+        let m = b.build();
+        assert!((m.expected_reward(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn action_node_count() {
+        assert_eq!(chain().n_action_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reward")]
+    fn rejects_unnormalised_reward() {
+        let mut b = MdpBuilder::new(2, 1);
+        b.transition(0, 0, 1, 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_zero_probability() {
+        let mut b = MdpBuilder::new(2, 1);
+        b.transition(0, 0, 1, 0.0, 0.5);
+    }
+}

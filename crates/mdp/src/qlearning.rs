@@ -1,0 +1,232 @@
+//! Tabular Q-learning — the model-free alternative to CAPMAN's
+//! model-based pipeline.
+//!
+//! The paper builds an explicit MDP and solves it (with similarity
+//! acceleration). A natural ablation is to learn action values directly
+//! from the same `(state, action, reward, state')` stream without
+//! maintaining transition statistics at all. This module provides the
+//! classic temporal-difference learner for that comparison; the
+//! `similarity_ablation` bench and the tests pit it against value
+//! iteration.
+
+use serde::{Deserialize, Serialize};
+
+/// A tabular Q-learning agent over dense state/action indices.
+///
+/// # Examples
+///
+/// ```
+/// use capman_mdp::qlearning::QLearning;
+///
+/// let mut agent = QLearning::new(2, 2, 0.5, 0.9);
+/// for _ in 0..50 {
+///     agent.update(0, 1, 1.0, 1, true); // arm 1 pays
+///     agent.update(0, 0, 0.1, 1, true);
+/// }
+/// assert_eq!(agent.greedy_action(0), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QLearning {
+    n_states: usize,
+    n_actions: usize,
+    /// Action values, `q[s * n_actions + a]`.
+    q: Vec<f64>,
+    /// Learning rate in `(0, 1]`.
+    alpha: f64,
+    /// Discount factor in `[0, 1)`.
+    rho: f64,
+    updates: u64,
+}
+
+impl QLearning {
+    /// Create an agent with zero-initialised action values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero, `alpha` is outside `(0, 1]`, or
+    /// `rho` is outside `[0, 1)`.
+    pub fn new(n_states: usize, n_actions: usize, alpha: f64, rho: f64) -> Self {
+        assert!(n_states > 0 && n_actions > 0, "dimensions must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        QLearning {
+            n_states,
+            n_actions,
+            q: vec![0.0; n_states * n_actions],
+            alpha,
+            rho,
+            updates: 0,
+        }
+    }
+
+    /// One TD update for the transition `(state, action) -> (reward,
+    /// next)`. Pass `terminal = true` when `next` is absorbing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `reward` is not finite.
+    pub fn update(&mut self, state: usize, action: usize, reward: f64, next: usize, terminal: bool) {
+        assert!(state < self.n_states && next < self.n_states, "state out of range");
+        assert!(action < self.n_actions, "action out of range");
+        assert!(reward.is_finite(), "reward must be finite");
+        let bootstrap = if terminal { 0.0 } else { self.max_q(next) };
+        let idx = state * self.n_actions + action;
+        let target = reward + self.rho * bootstrap;
+        self.q[idx] += self.alpha * (target - self.q[idx]);
+        self.updates += 1;
+    }
+
+    /// The learned action value `Q(state, action)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn q(&self, state: usize, action: usize) -> f64 {
+        assert!(state < self.n_states && action < self.n_actions, "index out of range");
+        self.q[state * self.n_actions + action]
+    }
+
+    /// The greedy value `max_a Q(state, a)`.
+    pub fn max_q(&self, state: usize) -> f64 {
+        assert!(state < self.n_states, "state out of range");
+        let row = &self.q[state * self.n_actions..(state + 1) * self.n_actions];
+        row.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The greedy action at `state` (ties go to the lower index).
+    pub fn greedy_action(&self, state: usize) -> usize {
+        assert!(state < self.n_states, "state out of range");
+        let row = &self.q[state * self.n_actions..(state + 1) * self.n_actions];
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("non-empty action row")
+    }
+
+    /// Epsilon-greedy selection: explore uniformly with probability
+    /// `epsilon`, using the caller-supplied uniform samples `u_explore`
+    /// and `u_action` in `[0, 1)` (the library itself is RNG-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the uniform samples are outside `[0, 1)` or `epsilon`
+    /// is outside `[0, 1]`.
+    pub fn select_action(&self, state: usize, epsilon: f64, u_explore: f64, u_action: f64) -> usize {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        assert!((0.0..1.0).contains(&u_explore) && (0.0..1.0).contains(&u_action));
+        if u_explore < epsilon {
+            (u_action * self.n_actions as f64) as usize
+        } else {
+            self.greedy_action(state)
+        }
+    }
+
+    /// Total TD updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+    use crate::value_iteration::solve;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn learns_the_better_arm_of_a_bandit() {
+        // State 0 with two arms into the absorbing state 1.
+        let mut agent = QLearning::new(2, 2, 0.2, 0.9);
+        for _ in 0..200 {
+            agent.update(0, 0, 0.2, 1, true);
+            agent.update(0, 1, 0.9, 1, true);
+        }
+        assert_eq!(agent.greedy_action(0), 1);
+        assert!((agent.q(0, 1) - 0.9).abs() < 1e-3);
+        assert!((agent.q(0, 0) - 0.2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn converges_to_value_iteration_on_a_small_mdp() {
+        // A 3-state loop with distinct rewards.
+        let mut b = MdpBuilder::new(3, 2);
+        b.transition(0, 0, 1, 1.0, 0.1);
+        b.transition(0, 1, 2, 1.0, 0.6);
+        b.transition(1, 0, 0, 1.0, 0.3);
+        b.transition(2, 0, 0, 1.0, 0.9);
+        let mdp = b.build();
+        let rho = 0.8;
+        let sol = solve(&mdp, rho, 1e-12);
+
+        let mut agent = QLearning::new(3, 2, 0.1, rho);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut state = 0usize;
+        for _ in 0..200_000 {
+            let available: Vec<usize> = mdp.available_actions(state).collect();
+            if available.is_empty() {
+                state = 0;
+                continue;
+            }
+            let a = available[rng.gen_range(0..available.len())];
+            let outs = mdp.outcomes(state, a);
+            // Sample a successor.
+            let mut u: f64 = rng.gen();
+            let mut chosen = outs[0];
+            for o in outs {
+                if u < o.prob {
+                    chosen = *o;
+                    break;
+                }
+                u -= o.prob;
+            }
+            agent.update(state, a, chosen.reward, chosen.next, false);
+            state = chosen.next;
+        }
+        for s in 0..3 {
+            assert!(
+                (agent.max_q(s) - sol.values[s]).abs() < 0.05,
+                "state {s}: Q {} vs V* {}",
+                agent.max_q(s),
+                sol.values[s]
+            );
+        }
+        assert_eq!(agent.greedy_action(0), sol.policy[0].expect("policy"));
+    }
+
+    #[test]
+    fn epsilon_greedy_explores_and_exploits() {
+        let mut agent = QLearning::new(1, 3, 0.5, 0.5);
+        agent.update(0, 2, 1.0, 0, true);
+        // Exploit: u_explore above epsilon.
+        assert_eq!(agent.select_action(0, 0.1, 0.5, 0.0), 2);
+        // Explore: u_explore below epsilon, u_action picks arm 1.
+        assert_eq!(agent.select_action(0, 0.9, 0.1, 0.34), 1);
+    }
+
+    #[test]
+    fn update_counter_increments() {
+        let mut agent = QLearning::new(2, 1, 0.1, 0.5);
+        agent.update(0, 0, 0.5, 1, true);
+        agent.update(1, 0, 0.5, 0, false);
+        assert_eq!(agent.updates(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_zero_alpha() {
+        let _ = QLearning::new(1, 1, 0.0, 0.5);
+    }
+}

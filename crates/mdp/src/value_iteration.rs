@@ -1,0 +1,224 @@
+//! Exact Bellman solving (Eqs. 8–9).
+//!
+//! ```text
+//! V*(u) = max_{a in N_u} Q*(a)
+//! Q*(a) = sum_u p(a, u) (r(a, u) + rho * V*(u))
+//! ```
+//!
+//! The *Oracle* baseline is built on this solver; the structural-
+//! similarity bound of Section III-D is verified against it in tests.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mdp::Mdp;
+
+/// An exact solution of a discounted MDP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Optimal state values `V*`.
+    pub values: Vec<f64>,
+    /// Optimal action values `Q*[s][a]` (`f64::NEG_INFINITY` where the
+    /// action is unavailable).
+    pub q: Vec<Vec<f64>>,
+    /// Greedy policy: the maximising action per state, `None` for
+    /// absorbing states.
+    pub policy: Vec<Option<usize>>,
+    /// Bellman sweeps performed.
+    pub iterations: usize,
+}
+
+/// Solve the MDP by value iteration to precision `eps` (sup norm of the
+/// Bellman residual).
+///
+/// Absorbing states have value zero, matching the paper's convention that
+/// target states terminate the accumulation.
+///
+/// # Panics
+///
+/// Panics if `rho` is not in `[0, 1)` or `eps` is not positive.
+pub fn solve(mdp: &Mdp, rho: f64, eps: f64) -> Solution {
+    assert!((0.0..1.0).contains(&rho), "discount must be in [0, 1)");
+    assert!(eps > 0.0, "precision must be positive");
+    let n = mdp.n_states();
+    let mut values = vec![0.0; n];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut residual: f64 = 0.0;
+        for s in 0..n {
+            let mut best = f64::NEG_INFINITY;
+            for a in mdp.available_actions(s) {
+                let q: f64 = mdp
+                    .outcomes(s, a)
+                    .iter()
+                    .map(|o| o.prob * (o.reward + rho * values[o.next]))
+                    .sum();
+                best = best.max(q);
+            }
+            let new = if best.is_finite() { best } else { 0.0 };
+            residual = residual.max((new - values[s]).abs());
+            values[s] = new;
+        }
+        if residual < eps || iterations > 1_000_000 {
+            break;
+        }
+    }
+
+    let mut q = vec![Vec::new(); n];
+    let mut policy = vec![None; n];
+    for s in 0..n {
+        q[s] = (0..mdp.n_actions())
+            .map(|a| {
+                let outs = mdp.outcomes(s, a);
+                if outs.is_empty() {
+                    f64::NEG_INFINITY
+                } else {
+                    outs.iter()
+                        .map(|o| o.prob * (o.reward + rho * values[o.next]))
+                        .sum()
+                }
+            })
+            .collect();
+        policy[s] = mdp
+            .available_actions(s)
+            .max_by(|&a, &b| q[s][a].total_cmp(&q[s][b]));
+    }
+
+    Solution {
+        values,
+        q,
+        policy,
+        iterations,
+    }
+}
+
+/// Evaluate a fixed (deterministic) policy's state values.
+///
+/// States where the policy provides no action (or an unavailable one)
+/// are treated as absorbing.
+///
+/// # Panics
+///
+/// Panics if `rho` is not in `[0, 1)` or `eps` is not positive, or the
+/// policy is shorter than the state space.
+pub fn evaluate_policy(mdp: &Mdp, policy: &[Option<usize>], rho: f64, eps: f64) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&rho), "discount must be in [0, 1)");
+    assert!(eps > 0.0, "precision must be positive");
+    assert!(policy.len() >= mdp.n_states(), "policy too short");
+    let n = mdp.n_states();
+    let mut values = vec![0.0; n];
+    loop {
+        let mut residual: f64 = 0.0;
+        for s in 0..n {
+            let new = match policy[s] {
+                Some(a) if !mdp.outcomes(s, a).is_empty() => mdp
+                    .outcomes(s, a)
+                    .iter()
+                    .map(|o| o.prob * (o.reward + rho * values[o.next]))
+                    .sum(),
+                _ => 0.0,
+            };
+            residual = residual.max((new - values[s]).abs());
+            values[s] = new;
+        }
+        if residual < eps {
+            return values;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+
+    fn two_armed() -> Mdp {
+        // State 0 chooses between a low arm (r=0.2) and a high arm
+        // (r=0.9), both leading to the absorbing state 1.
+        let mut b = MdpBuilder::new(2, 2);
+        b.transition(0, 0, 1, 1.0, 0.2);
+        b.transition(0, 1, 1, 1.0, 0.9);
+        b.build()
+    }
+
+    #[test]
+    fn picks_the_better_arm() {
+        let sol = solve(&two_armed(), 0.9, 1e-10);
+        assert_eq!(sol.policy[0], Some(1));
+        assert!((sol.values[0] - 0.9).abs() < 1e-9);
+        assert_eq!(sol.values[1], 0.0);
+        assert_eq!(sol.policy[1], None);
+    }
+
+    #[test]
+    fn geometric_series_on_a_self_loop() {
+        // A self-loop with reward 1 has value 1/(1-rho).
+        let mut b = MdpBuilder::new(1, 1);
+        b.transition(0, 0, 0, 1.0, 1.0);
+        let m = b.build();
+        let rho = 0.8;
+        let sol = solve(&m, rho, 1e-12);
+        assert!((sol.values[0] - 1.0 / (1.0 - rho)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn values_bounded_by_one_over_one_minus_rho() {
+        // With rewards in [0,1], V* <= 1/(1-rho) always.
+        let mut b = MdpBuilder::new(4, 3);
+        b.transition(0, 0, 1, 0.5, 1.0);
+        b.transition(0, 0, 2, 0.5, 0.7);
+        b.transition(1, 1, 0, 1.0, 0.9);
+        b.transition(2, 2, 3, 1.0, 1.0);
+        b.transition(3, 0, 0, 1.0, 1.0);
+        let m = b.build();
+        let rho = 0.95;
+        let sol = solve(&m, rho, 1e-10);
+        for v in &sol.values {
+            assert!(*v <= 1.0 / (1.0 - rho) + 1e-6);
+            assert!(*v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn policy_evaluation_matches_optimal_for_optimal_policy() {
+        let m = two_armed();
+        let sol = solve(&m, 0.9, 1e-10);
+        let v = evaluate_policy(&m, &sol.policy, 0.9, 1e-10);
+        for (a, b) in v.iter().zip(&sol.values) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn suboptimal_policy_has_lower_value() {
+        let m = two_armed();
+        let v = evaluate_policy(&m, &[Some(0), None], 0.9, 1e-10);
+        assert!((v[0] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_transitions_average_rewards() {
+        let mut b = MdpBuilder::new(3, 1);
+        b.transition(0, 0, 1, 0.5, 0.0);
+        b.transition(0, 0, 2, 0.5, 1.0);
+        let sol = solve(&b.build(), 0.5, 1e-12);
+        assert!((sol.values[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_discount_raises_values_on_recurrent_chains() {
+        let mut b = MdpBuilder::new(2, 1);
+        b.transition(0, 0, 1, 1.0, 0.5);
+        b.transition(1, 0, 0, 1.0, 0.5);
+        let m = b.build();
+        let lo = solve(&m, 0.5, 1e-12).values[0];
+        let hi = solve(&m, 0.95, 1e-12).values[0];
+        assert!(hi > lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "discount")]
+    fn rejects_discount_of_one() {
+        let _ = solve(&two_armed(), 1.0, 1e-6);
+    }
+}

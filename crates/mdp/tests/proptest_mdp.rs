@@ -1,0 +1,146 @@
+//! Property-based invariants for the MDP machinery.
+
+use proptest::prelude::*;
+
+use capman_mdp::abstraction::Abstraction;
+use capman_mdp::emd::emd;
+use capman_mdp::graph::MdpGraph;
+use capman_mdp::hausdorff::hausdorff;
+use capman_mdp::mdp::{Mdp, MdpBuilder};
+use capman_mdp::similarity::{structural_similarity, SimilarityParams};
+use capman_mdp::value_iteration::solve;
+
+/// A random small MDP: every non-final state gets 1–3 actions with 1–3
+/// weighted successors each.
+fn arb_mdp() -> impl Strategy<Value = Mdp> {
+    (2usize..7, 0u64..10_000).prop_map(|(n, seed)| {
+        // Simple deterministic PRNG so the strategy stays reproducible.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut b = MdpBuilder::new(n, 3);
+        for s in 0..(n - 1) {
+            let n_actions = 1 + next(3) as usize;
+            for a in 0..n_actions.min(3) {
+                let n_succ = 1 + next(3) as usize;
+                for _ in 0..n_succ {
+                    let to = next(n as u64) as usize;
+                    let w = 1.0 + next(9) as f64;
+                    let r = next(100) as f64 / 100.0;
+                    b.transition(s, a, to, w, r);
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+fn arb_dist(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, n..=n).prop_filter_map("non-empty mass", |v| {
+        let total: f64 = v.iter().sum();
+        (total > 1e-9).then(|| v.iter().map(|x| x / total).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Value iteration respects the 1/(1-rho) ceiling for rewards in
+    /// [0, 1].
+    #[test]
+    fn values_are_bounded(mdp in arb_mdp(), rho in 0.05f64..0.95) {
+        let sol = solve(&mdp, rho, 1e-9);
+        let ceiling = 1.0 / (1.0 - rho) + 1e-6;
+        for v in &sol.values {
+            prop_assert!((0.0..=ceiling).contains(v), "value {v} out of [0, {ceiling}]");
+        }
+    }
+
+    /// The greedy policy's evaluation equals the optimal values.
+    #[test]
+    fn greedy_policy_is_optimal(mdp in arb_mdp()) {
+        let rho = 0.7;
+        let sol = solve(&mdp, rho, 1e-10);
+        let v = capman_mdp::value_iteration::evaluate_policy(&mdp, &sol.policy, rho, 1e-10);
+        for (a, b) in v.iter().zip(&sol.values) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// EMD is a pseudometric on distributions under a discrete metric.
+    #[test]
+    fn emd_metric_properties(p in arb_dist(5), q in arb_dist(5), r in arb_dist(5)) {
+        let d = |i: usize, j: usize| if i == j { 0.0 } else { 1.0 };
+        let pq = emd(&p, &q, d);
+        let qp = emd(&q, &p, d);
+        let qr = emd(&q, &r, d);
+        let pr = emd(&p, &r, d);
+        prop_assert!(emd(&p, &p, d) < 1e-9, "identity");
+        prop_assert!((pq - qp).abs() < 1e-8, "symmetry: {pq} vs {qp}");
+        prop_assert!(pr <= pq + qr + 1e-8, "triangle: {pr} > {pq} + {qr}");
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&pq), "bounded by ground metric");
+    }
+
+    /// EMD under the discrete metric equals total variation distance.
+    #[test]
+    fn emd_discrete_is_total_variation(p in arb_dist(6), q in arb_dist(6)) {
+        let d = |i: usize, j: usize| if i == j { 0.0 } else { 1.0 };
+        let tv: f64 = p.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+        prop_assert!((emd(&p, &q, d) - tv).abs() < 1e-8);
+    }
+
+    /// Hausdorff distance is symmetric and zero on identical sets.
+    #[test]
+    fn hausdorff_properties(
+        xs in prop::collection::vec(0usize..20, 1..6),
+        ys in prop::collection::vec(0usize..20, 1..6),
+    ) {
+        let d = |i: usize, j: usize| (i as f64 - j as f64).abs();
+        prop_assert!(hausdorff(&xs, &xs, d) < 1e-12);
+        prop_assert!((hausdorff(&xs, &ys, d) - hausdorff(&ys, &xs, d)).abs() < 1e-12);
+        prop_assert!(hausdorff(&xs, &ys, d) >= 0.0);
+    }
+
+    /// Algorithm 1 always terminates with matrices in [0, 1], symmetric,
+    /// with unit diagonal; and the value-difference bound holds.
+    #[test]
+    fn similarity_invariants_and_bound(mdp in arb_mdp(), rho in 0.1f64..0.8) {
+        let graph = MdpGraph::from_mdp(&mdp);
+        let sim = structural_similarity(&graph, &SimilarityParams::paper(rho));
+        prop_assert!(sim.converged, "must converge");
+        prop_assert!(sim.sigma_s.all_within(0.0, 1.0));
+        prop_assert!(sim.sigma_a.all_within(0.0, 1.0));
+        prop_assert!(sim.sigma_s.is_symmetric(1e-9));
+        for u in 0..mdp.n_states() {
+            prop_assert!((sim.sigma_s.get(u, u) - 1.0).abs() < 1e-12);
+        }
+        let sol = solve(&mdp, rho, 1e-10);
+        for u in 0..mdp.n_states() {
+            for v in 0..mdp.n_states() {
+                let gap = (sol.values[u] - sol.values[v]).abs();
+                prop_assert!(gap <= sim.value_bound(u, v, rho) + 1e-6,
+                    "bound violated for ({u}, {v}): {gap} > {}", sim.value_bound(u, v, rho));
+            }
+        }
+    }
+
+    /// Abstractions are idempotent and never increase the cluster count
+    /// as the threshold grows.
+    #[test]
+    fn abstraction_monotone_in_threshold(mdp in arb_mdp()) {
+        let graph = MdpGraph::from_mdp(&mdp);
+        let sim = structural_similarity(&graph, &SimilarityParams::paper(0.3));
+        let mut prev = usize::MAX;
+        for theta in [0.0, 0.2, 0.5, 1.0] {
+            let a = Abstraction::from_similarity(&sim.sigma_s, theta);
+            prop_assert!(a.n_clusters() <= prev);
+            prev = a.n_clusters();
+            for u in 0..a.n_states() {
+                let r = a.representative(u);
+                prop_assert_eq!(a.representative(r), r, "representatives are fixed points");
+            }
+        }
+    }
+}

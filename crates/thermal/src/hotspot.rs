@@ -1,0 +1,75 @@
+//! Hot-spot detection.
+//!
+//! The paper defines a hot spot as a surface temperature exceeding 45 degC
+//! (citing the local thermal stress tolerance of human skin) and boots the
+//! TEC whenever the spot passes this threshold.
+
+use crate::network::{NodeId, ThermalNetwork};
+
+/// The hot-spot threshold used throughout the paper, degrees Celsius.
+pub const HOT_SPOT_THRESHOLD_C: f64 = 45.0;
+
+/// A detected hot spot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotSpot {
+    /// The node that is too hot.
+    pub node: NodeId,
+    /// Its temperature, degC.
+    pub temp_c: f64,
+    /// How far above the threshold it is, Kelvin.
+    pub excess_k: f64,
+}
+
+/// Find all nodes above `threshold_c`, hottest first.
+pub fn detect(network: &ThermalNetwork, threshold_c: f64) -> Vec<HotSpot> {
+    let mut spots: Vec<HotSpot> = NodeId::ALL
+        .iter()
+        .filter_map(|&node| {
+            let temp_c = network.temp_c(node);
+            (temp_c > threshold_c).then_some(HotSpot {
+                node,
+                temp_c,
+                excess_k: temp_c - threshold_c,
+            })
+        })
+        .collect();
+    spots.sort_by(|a, b| b.temp_c.total_cmp(&a.temp_c));
+    spots
+}
+
+/// Whether any node is above the paper's 45 degC threshold.
+pub fn any_hot(network: &ThermalNetwork) -> bool {
+    !detect(network, HOT_SPOT_THRESHOLD_C).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_phone_has_no_hot_spots() {
+        let n = ThermalNetwork::phone();
+        assert!(detect(&n, HOT_SPOT_THRESHOLD_C).is_empty());
+        assert!(!any_hot(&n));
+    }
+
+    #[test]
+    fn detects_and_orders_hot_spots() {
+        let mut n = ThermalNetwork::phone();
+        n.set_temp_c(NodeId::HotSpot, 55.0);
+        n.set_temp_c(NodeId::Cpu, 48.0);
+        let spots = detect(&n, HOT_SPOT_THRESHOLD_C);
+        assert_eq!(spots.len(), 2);
+        assert_eq!(spots[0].node, NodeId::HotSpot);
+        assert!((spots[0].excess_k - 10.0).abs() < 1e-9);
+        assert_eq!(spots[1].node, NodeId::Cpu);
+        assert!(any_hot(&n));
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        let mut n = ThermalNetwork::phone();
+        n.set_temp_c(NodeId::Cpu, HOT_SPOT_THRESHOLD_C);
+        assert!(detect(&n, HOT_SPOT_THRESHOLD_C).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Thermal substrate for the CAPMAN reproduction.
+//!
+//! The paper adds a thermoelectric cooler (TEC) above the CPU hot spot and
+//! turns it on whenever the spot exceeds the 45 degC skin-temperature
+//! threshold. This crate provides:
+//!
+//! * [`network`] — a lumped thermal RC network with the phone preset used
+//!   throughout the evaluation (CPU body, CPU hot spot, battery, screen,
+//!   shell, fixed ambient), including the passive cooling-plate baseline.
+//! * [`tec`] — the TEC physics of Eq. (1), `Qc = S_T Tc I - I^2 R / 2 -
+//!   K (Th - Tc)`, with the delta-T-versus-current curve of Fig. 6 peaking
+//!   at the rated 1.0 A, and the bang-bang [`tec::TecController`].
+//! * [`hotspot`] — the 45 degC hot-spot threshold and detection helpers.
+//!
+//! # Example
+//!
+//! ```
+//! use capman_thermal::network::{NodeId, ThermalNetwork};
+//! use capman_thermal::tec::Tec;
+//!
+//! let mut phone = ThermalNetwork::phone();
+//! let tec = Tec::ate31();
+//! // Run the CPU hot for ten simulated minutes.
+//! for _ in 0..600 {
+//!     phone.inject(NodeId::Cpu, 2.0);
+//!     phone.inject(NodeId::HotSpot, 0.8);
+//!     phone.step(1.0);
+//! }
+//! assert!(phone.temp_c(NodeId::HotSpot) > phone.temp_c(NodeId::Shell));
+//! let dt = tec.delta_t_steady(tec.rated_current_a());
+//! assert!(dt > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hotspot;
+pub mod network;
+pub mod tec;
+
+pub use hotspot::HOT_SPOT_THRESHOLD_C;
+pub use network::{NodeId, ThermalNetwork};
+pub use tec::{Tec, TecController, TecStep};

@@ -1,0 +1,102 @@
+//! Property-based invariants for the thermal substrate.
+
+use proptest::prelude::*;
+
+use capman_thermal::network::{NodeId, ThermalNetwork};
+use capman_thermal::tec::{Tec, TecController};
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    prop_oneof![
+        Just(NodeId::Cpu),
+        Just(NodeId::HotSpot),
+        Just(NodeId::Battery),
+        Just(NodeId::Screen),
+        Just(NodeId::Shell),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Temperatures stay finite and above ambient-minus-epsilon under
+    /// arbitrary non-negative heat injections.
+    #[test]
+    fn temperatures_stay_physical(
+        injections in prop::collection::vec((arb_node(), 0.0f64..5.0), 1..200),
+    ) {
+        let mut n = ThermalNetwork::phone();
+        for (node, power) in injections {
+            n.inject(node, power);
+            n.step(1.0);
+            for node in NodeId::ALL {
+                let t = n.temp_c(node);
+                prop_assert!(t.is_finite());
+                prop_assert!(t >= 25.0 - 1e-6, "{node:?} fell below ambient: {t}");
+                prop_assert!(t <= 500.0, "{node:?} exploded: {t}");
+            }
+        }
+    }
+
+    /// With heating removed, every node relaxes monotonically toward
+    /// ambient (from above).
+    #[test]
+    fn relaxation_is_monotone(extra in 1.0f64..60.0) {
+        let mut n = ThermalNetwork::phone();
+        n.set_temp_c(NodeId::Cpu, 25.0 + extra);
+        let mut prev = n.temp_c(NodeId::Cpu);
+        for _ in 0..600 {
+            n.step(1.0);
+            let cur = n.temp_c(NodeId::Cpu);
+            prop_assert!(cur <= prev + 1e-9, "CPU temperature rose while relaxing");
+            prev = cur;
+        }
+    }
+
+    /// Steady-state temperature grows with injected power.
+    #[test]
+    fn more_power_means_hotter(p1 in 0.1f64..2.0, extra in 0.1f64..2.0) {
+        let steady = |power: f64| {
+            let mut n = ThermalNetwork::phone();
+            for _ in 0..4000 {
+                n.inject(NodeId::Cpu, power);
+                n.step(1.0);
+            }
+            n.temp_c(NodeId::Cpu)
+        };
+        prop_assert!(steady(p1 + extra) > steady(p1));
+    }
+
+    /// The Fig. 6 curve is concave-shaped: it increases up to the rated
+    /// current and decreases after it.
+    #[test]
+    fn tec_curve_unimodal(i in 0.0f64..2.2) {
+        let tec = Tec::ate31();
+        let rated = tec.rated_current_a();
+        let dt = tec.delta_t_steady(i);
+        let dt_eps = tec.delta_t_steady(i + 0.01);
+        if i + 0.01 <= rated {
+            prop_assert!(dt_eps >= dt - 1e-9, "curve must rise before the rating");
+        } else if i >= rated {
+            prop_assert!(dt_eps <= dt + 1e-9, "curve must fall after the rating");
+        }
+    }
+
+    /// The bang-bang controller never chatters inside its hysteresis
+    /// band: state changes require crossing a band edge.
+    #[test]
+    fn controller_hysteresis_holds(temps in prop::collection::vec(30.0f64..60.0, 1..100)) {
+        let mut ctl = TecController::paper();
+        let mut prev_on = false;
+        for t in temps {
+            let on = ctl.update(t);
+            if on != prev_on {
+                if on {
+                    prop_assert!(t > ctl.threshold_c);
+                } else {
+                    prop_assert!(t < ctl.threshold_c - ctl.hysteresis_k);
+                }
+            }
+            prev_on = on;
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Trace import/export.
+//!
+//! Traces exchange as plain CSV (one row per segment) so real measured
+//! traces — the paper profiles its workloads with a bench multimeter —
+//! can be replayed through the simulator, and generated traces can be
+//! inspected or plotted outside Rust. No extra dependencies: the format
+//! is flat and the action list is `;`-separated action names.
+
+use std::fmt;
+use std::str::FromStr;
+
+use capman_device::fsm::Action;
+use capman_device::power::Demand;
+
+use crate::trace::{Segment, Trace};
+
+/// Errors produced when parsing a trace CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceCsvError {
+    /// The header row was missing or wrong.
+    BadHeader(String),
+    /// A row had the wrong number of fields.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field text.
+        field: String,
+    },
+    /// An action name was unknown.
+    BadAction {
+        /// 1-based line number.
+        line: usize,
+        /// The offending name.
+        name: String,
+    },
+    /// The rows do not form a contiguous trace from time zero.
+    NotContiguous,
+}
+
+impl fmt::Display for TraceCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceCsvError::BadHeader(h) => write!(f, "unexpected trace csv header: {h}"),
+            TraceCsvError::BadArity { line, found } => {
+                write!(f, "line {line}: expected 7 fields, found {found}")
+            }
+            TraceCsvError::BadNumber { line, field } => {
+                write!(f, "line {line}: not a number: {field}")
+            }
+            TraceCsvError::BadAction { line, name } => {
+                write!(f, "line {line}: unknown action: {name}")
+            }
+            TraceCsvError::NotContiguous => {
+                write!(f, "segments are not contiguous from time zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceCsvError {}
+
+/// The CSV header used by [`trace_to_csv`] / [`trace_from_csv`].
+pub const TRACE_CSV_HEADER: &str =
+    "start_s,duration_s,cpu_util,freq_index,brightness,packet_rate,actions";
+
+/// Render a trace as CSV.
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let mut out = String::from(TRACE_CSV_HEADER);
+    out.push('\n');
+    for seg in trace.segments() {
+        let actions: Vec<String> = seg.actions.iter().map(|a| a.to_string()).collect();
+        out.push_str(&format!(
+            "{:.3},{:.3},{:.3},{},{:.3},{:.3},{}\n",
+            seg.start_s,
+            seg.duration_s,
+            seg.demand.cpu_util,
+            seg.demand.freq_index.min(1_000_000),
+            seg.demand.brightness,
+            seg.demand.packet_rate,
+            actions.join(";"),
+        ));
+    }
+    out
+}
+
+/// Parse a trace from CSV produced by [`trace_to_csv`] (or measured
+/// externally in the same format).
+///
+/// # Errors
+///
+/// Returns a [`TraceCsvError`] for malformed headers, rows, numbers,
+/// action names, or non-contiguous segments.
+pub fn trace_from_csv(name: impl Into<String>, csv: &str) -> Result<Trace, TraceCsvError> {
+    let mut lines = csv.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == TRACE_CSV_HEADER => {}
+        Some((_, header)) => return Err(TraceCsvError::BadHeader(header.to_string())),
+        None => return Err(TraceCsvError::BadHeader(String::new())),
+    }
+    let mut segments = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(TraceCsvError::BadArity {
+                line: line_no,
+                found: fields.len(),
+            });
+        }
+        let num = |s: &str| -> Result<f64, TraceCsvError> {
+            s.trim().parse().map_err(|_| TraceCsvError::BadNumber {
+                line: line_no,
+                field: s.to_string(),
+            })
+        };
+        let actions = fields[6]
+            .split(';')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                Action::from_str(s.trim()).map_err(|_| TraceCsvError::BadAction {
+                    line: line_no,
+                    name: s.to_string(),
+                })
+            })
+            .collect::<Result<Vec<Action>, TraceCsvError>>()?;
+        segments.push(Segment {
+            start_s: num(fields[0])?,
+            duration_s: num(fields[1])?,
+            demand: Demand {
+                cpu_util: num(fields[2])?,
+                freq_index: num(fields[3])? as usize,
+                brightness: num(fields[4])?,
+                packet_rate: num(fields[5])?,
+            },
+            actions,
+        });
+    }
+    if segments.is_empty() || segments[0].start_s.abs() > 1e-6 {
+        return Err(TraceCsvError::NotContiguous);
+    }
+    for w in segments.windows(2) {
+        // The 3-decimal text rounding can skew each boundary by up to
+        // ~1.5 ms; anything bigger is a genuine gap or overlap.
+        if (w[0].start_s + w[0].duration_s - w[1].start_s).abs() > 5e-3 {
+            return Err(TraceCsvError::NotContiguous);
+        }
+    }
+    // Snap starts so Trace::new's strict contiguity check passes after
+    // the 3-decimal rounding of the text format.
+    let mut cursor = 0.0;
+    for seg in &mut segments {
+        seg.start_s = cursor;
+        cursor += seg.duration_s;
+    }
+    Ok(Trace::new(name, segments))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate, WorkloadKind};
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = generate(WorkloadKind::Pcmark, 600.0, 4);
+        let csv = trace_to_csv(&original);
+        let parsed = trace_from_csv("replay", &csv).expect("parse");
+        assert_eq!(parsed.segments().len(), original.segments().len());
+        assert!((parsed.horizon_s() - original.horizon_s()).abs() < 0.5);
+        for (a, b) in parsed.segments().iter().zip(original.segments()) {
+            assert_eq!(a.actions, b.actions);
+            assert!((a.demand.cpu_util - b.demand.cpu_util).abs() < 0.01);
+            assert!((a.demand.packet_rate - b.demand.packet_rate).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let err = trace_from_csv("x", "nope\n1,2,3").unwrap_err();
+        assert!(matches!(err, TraceCsvError::BadHeader(_)));
+    }
+
+    #[test]
+    fn rejects_bad_arity_and_numbers() {
+        let header = TRACE_CSV_HEADER;
+        let err = trace_from_csv("x", &format!("{header}\n0,1,2\n")).unwrap_err();
+        assert!(matches!(err, TraceCsvError::BadArity { line: 2, found: 3 }));
+        let err =
+            trace_from_csv("x", &format!("{header}\n0,abc,50,0,180,0,\n")).unwrap_err();
+        assert!(matches!(err, TraceCsvError::BadNumber { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_actions() {
+        let err = trace_from_csv(
+            "x",
+            &format!("{TRACE_CSV_HEADER}\n0,10,50,0,180,0,FlyToTheMoon\n"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceCsvError::BadAction { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_gappy_traces() {
+        let csv = format!(
+            "{TRACE_CSV_HEADER}\n0,10,50,0,180,0,ScreenOn\n20,10,50,0,180,0,\n"
+        );
+        assert_eq!(
+            trace_from_csv("x", &csv).unwrap_err(),
+            TraceCsvError::NotContiguous
+        );
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = TraceCsvError::BadAction {
+            line: 3,
+            name: "Zap".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("line 3"));
+        assert!(text.contains("Zap"));
+    }
+}

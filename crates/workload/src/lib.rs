@@ -1,0 +1,40 @@
+//! Workload traces and generators for the CAPMAN reproduction.
+//!
+//! The paper evaluates with four workload families (Section V):
+//!
+//! * **Geekbench** — resource-intensive, always fully utilised;
+//! * **PCMark** — CPU-intensive with occasional user interactions;
+//! * **Video** — a stable streaming load;
+//! * **eta-Static** — a mixed batch controlled by the ratio `eta` between
+//!   PCMark and Video behaviour,
+//!
+//! plus the motivation micro-workloads of Fig. 2: keeping the screen on
+//! and idle, and toggling the phone on/off at a configurable frequency.
+//!
+//! A [`trace::Trace`] is a timeline of [`trace::Segment`]s, each carrying
+//! the instantaneous component demand (CPU utilisation, brightness,
+//! packet rate) and the device actions (system-call classes) fired at the
+//! segment boundary. Generators are deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use capman_workload::{generate, WorkloadKind};
+//!
+//! let trace = generate(WorkloadKind::Video, 600.0, 7);
+//! assert!(trace.horizon_s() >= 600.0);
+//! let seg = trace.at(120.0);
+//! assert!(seg.demand.cpu_util > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod io;
+pub mod stats;
+pub mod trace;
+pub mod zipf;
+
+pub use generators::{generate, WorkloadKind};
+pub use trace::{Segment, Trace};

@@ -1,0 +1,121 @@
+//! Zipf-distributed sampling for skewed demand arrivals.
+//!
+//! CAPMAN targets software whose demand arrivals are "frequent with a
+//! skewed distribution" (Section III). We model inter-arrival gaps and
+//! burst intensities with a Zipf law over a small support: a few gap
+//! classes dominate, with a long tail of rare long gaps — the shape that
+//! makes one battery chemistry preferable for the common case.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities per rank.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "support must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "exponent must be positive");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Probability of rank `k` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or beyond the support.
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "rank out of support");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Support size `n`.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(10, 1.1);
+        let total: f64 = (1..=10).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_ranks_are_more_likely() {
+        let z = Zipf::new(8, 1.0);
+        for k in 1..8 {
+            assert!(z.pmf(k) > z.pmf(k + 1));
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf_roughly() {
+        let z = Zipf::new(5, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=5 {
+            let freq = counts[k - 1] as f64 / n as f64;
+            assert!(
+                (freq - z.pmf(k)).abs() < 0.01,
+                "rank {k}: {freq} vs {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_within_support() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=3).contains(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support")]
+    fn rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based invariants for workload generation.
+
+use proptest::prelude::*;
+
+use capman_workload::{generate, WorkloadKind};
+
+fn arb_kind() -> impl Strategy<Value = WorkloadKind> {
+    prop_oneof![
+        Just(WorkloadKind::Geekbench),
+        Just(WorkloadKind::Pcmark),
+        Just(WorkloadKind::Video),
+        (0u8..=100).prop_map(|eta| WorkloadKind::EtaStatic { eta }),
+        Just(WorkloadKind::IdleOn),
+        (2u32..120).prop_map(|period_s| WorkloadKind::Toggle { period_s }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Traces are contiguous (no gaps, no overlaps) and cover the
+    /// requested horizon.
+    #[test]
+    fn traces_are_contiguous(kind in arb_kind(), horizon in 100.0f64..5000.0, seed: u64) {
+        let t = generate(kind, horizon, seed);
+        prop_assert!(t.horizon_s() >= horizon);
+        let segs = t.segments();
+        prop_assert!((segs[0].start_s).abs() < 1e-9);
+        for w in segs.windows(2) {
+            prop_assert!((w[0].end_s() - w[1].start_s).abs() < 1e-6);
+            prop_assert!(w[0].duration_s > 0.0);
+        }
+    }
+
+    /// Generation is a pure function of (kind, horizon, seed).
+    #[test]
+    fn generation_is_deterministic(kind in arb_kind(), seed: u64) {
+        let a = generate(kind, 800.0, seed);
+        let b = generate(kind, 800.0, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Demands stay within physical ranges everywhere.
+    #[test]
+    fn demands_are_physical(kind in arb_kind(), seed: u64) {
+        let t = generate(kind, 1000.0, seed);
+        for seg in t.segments() {
+            prop_assert!((0.0..=100.0).contains(&seg.demand.cpu_util));
+            prop_assert!((0.0..=255.0).contains(&seg.demand.brightness));
+            prop_assert!(seg.demand.packet_rate >= 0.0);
+        }
+    }
+
+    /// Segment lookup agrees with the segment list at arbitrary times.
+    #[test]
+    fn lookup_is_consistent(kind in arb_kind(), seed: u64, frac in 0.0f64..1.0) {
+        let t = generate(kind, 600.0, seed);
+        let time = t.horizon_s() * frac * 0.999;
+        let seg = t.at(time);
+        prop_assert!(seg.start_s <= time + 1e-9);
+        prop_assert!(time < seg.end_s() + 1e-9);
+    }
+
+    /// Higher eta never reduces the surge count by much (monotone trend
+    /// over the extremes).
+    #[test]
+    fn eta_extremes_order_surges(seed: u64) {
+        let lo = generate(WorkloadKind::EtaStatic { eta: 0 }, 6000.0, seed);
+        let hi = generate(WorkloadKind::EtaStatic { eta: 100 }, 6000.0, seed);
+        prop_assert!(hi.surge_count(25.0) >= lo.surge_count(25.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Multi-cycle lifetime: does CAPMAN's balanced depletion also age the
+//! pack more gracefully?
+//!
+//! ```text
+//! cargo run --release --example battery_lifetime
+//! ```
+//!
+//! The paper evaluates single discharge cycles; Table I's *lifetime*
+//! column invites the multi-cycle question. This example runs a few
+//! complete discharge cycles (the pack is rebuilt fresh each cycle, as
+//! if CC-CV recharged), feeds each cell's measured throughput and rate
+//! into the cycle-aging model, and projects the pack's life: Dual
+//! hammers the LITTLE cell, CAPMAN spreads the wear.
+
+use capman::battery::chemistry::Chemistry;
+use capman::battery::degradation::AgingModel;
+use capman::core::config::SimConfig;
+use capman::core::experiments::{run_policy_with, PolicyKind};
+use capman::device::phone::PhoneProfile;
+use capman::workload::WorkloadKind;
+
+/// Mean discharge voltage used to convert joules to coulombs.
+const MEAN_V: f64 = 3.6;
+
+fn main() {
+    let cycles = 4;
+    println!("{cycles} full discharge cycles (eta-50% mix), wear per cell\n");
+    println!(
+        "{:<9} {:>10} {:>12} {:>12} {:>22}",
+        "policy", "EFC big", "EFC LITTLE", "worn cell", "projected pack life"
+    );
+    for kind in [PolicyKind::Capman, PolicyKind::Dual] {
+        let mut big_age = AgingModel::new(Chemistry::Nca, 2.5);
+        let mut little_age = AgingModel::new(Chemistry::Lmo, 2.5);
+        for cycle in 0..cycles {
+            let config = SimConfig {
+                max_horizon_s: 40_000.0, // cycles end on battery, not horizon
+                tec_enabled: kind.has_tec(),
+                ..SimConfig::paper()
+            };
+            let o = run_policy_with(
+                kind,
+                WorkloadKind::EtaStatic { eta: 50 },
+                PhoneProfile::nexus(),
+                cycle as u64,
+                config,
+            );
+            let battery_c = (o.mean_hotspot_c - 12.0).max(25.0);
+            let rate = |delivered_j: f64, active_s: f64| {
+                if active_s > 0.0 {
+                    (delivered_j / active_s / MEAN_V) / 2.5
+                } else {
+                    0.0
+                }
+            };
+            big_age.record(
+                o.big_delivered_j / MEAN_V,
+                battery_c,
+                rate(o.big_delivered_j, o.big_active_s),
+            );
+            little_age.record(
+                o.little_delivered_j / MEAN_V,
+                battery_c,
+                rate(o.little_delivered_j, o.little_active_s),
+            );
+        }
+        // Project: the pack is done when its first cell hits end of
+        // life; wear accumulates linearly in this model.
+        let project = |age: &AgingModel| {
+            let per_cycle = age.equivalent_full_cycles() / cycles as f64;
+            if per_cycle > 0.0 {
+                AgingModel::rated_cycles(age.chemistry()) / per_cycle
+            } else {
+                f64::INFINITY
+            }
+        };
+        let pack_life = project(&big_age).min(project(&little_age));
+        let worn_first = if project(&big_age) < project(&little_age) {
+            "big"
+        } else {
+            "LITTLE"
+        };
+        println!(
+            "{:<9} {:>10.2} {:>12.2} {:>12} {:>16.0} cycles",
+            kind.label(),
+            big_age.equivalent_full_cycles(),
+            little_age.equivalent_full_cycles(),
+            worn_first,
+            pack_life,
+        );
+    }
+    println!("\n(Dual's LITTLE-first habit concentrates wear on the LITTLE cell; CAPMAN's");
+    println!("balanced depletion spreads it — longer pack life for the same service)");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: one discharge cycle, CAPMAN vs the original phone.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's big.LITTLE prototype pack, runs the short-video
+//! workload under the CAPMAN scheduler and under the single-battery
+//! *Practice* baseline, and prints the service-time comparison.
+
+use capman::core::config::SimConfig;
+use capman::core::experiments::{run_policy_with, PolicyKind};
+use capman::device::phone::PhoneProfile;
+use capman::workload::WorkloadKind;
+
+fn main() {
+    let horizon = 30_000.0;
+    let seed = 7;
+    println!("CAPMAN quickstart: Video workload on a Nexus, one discharge cycle\n");
+
+    let mut outcomes = Vec::new();
+    for kind in [PolicyKind::Capman, PolicyKind::Practice] {
+        let config = SimConfig {
+            max_horizon_s: horizon,
+            tec_enabled: kind.has_tec(),
+            ..SimConfig::paper()
+        };
+        let outcome = run_policy_with(kind, WorkloadKind::Video, PhoneProfile::nexus(), seed, config);
+        println!(
+            "{:<9} service {:>7.0} s | delivered {:>7.0} J | switches {:>5} | peak spot {:>5.1} C | end {:?}",
+            outcome.policy,
+            outcome.service_time_s,
+            outcome.energy_delivered_j,
+            outcome.switches,
+            outcome.max_hotspot_c,
+            outcome.end_reason,
+        );
+        outcomes.push(outcome);
+    }
+
+    let gain = outcomes[0].service_gain_pct(&outcomes[1]);
+    println!(
+        "\nCAPMAN extends the discharge cycle by {gain:+.1}% over the original phone \
+         (the paper reports up to +114% under skewed loads)."
+    );
+}

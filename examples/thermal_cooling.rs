@@ -1,0 +1,64 @@
+//! Active cooling demo: the TEC holding the 45 degC hot spot.
+//!
+//! ```text
+//! cargo run --release --example thermal_cooling
+//! ```
+//!
+//! Runs a saturating (Geekbench-class) cycle with and without the TEC
+//! facility and prints the hot-spot temperature timeline side by side —
+//! the behaviour behind Figs. 13 and 14.
+
+use capman::core::config::SimConfig;
+use capman::core::experiments::{run_policy_with, PolicyKind};
+use capman::device::phone::PhoneProfile;
+use capman::workload::WorkloadKind;
+
+fn main() {
+    let horizon = 6000.0;
+    let seed = 5;
+    let run = |tec: bool| {
+        let config = SimConfig {
+            max_horizon_s: horizon,
+            tec_enabled: tec,
+            ..SimConfig::paper()
+        };
+        run_policy_with(
+            PolicyKind::Capman,
+            WorkloadKind::Geekbench,
+            PhoneProfile::nexus(),
+            seed,
+            config,
+        )
+    };
+    let with_tec = run(true);
+    let without = run(false);
+
+    println!("Geekbench hot-spot temperature, TEC vs passive cooling plate\n");
+    println!("{:>8} {:>10} {:>10} {:>8}", "t [s]", "TEC [C]", "none [C]", "TEC on");
+    for (a, b) in with_tec
+        .telemetry
+        .samples()
+        .iter()
+        .zip(without.telemetry.samples())
+        .step_by(10)
+    {
+        println!(
+            "{:>8.0} {:>10.1} {:>10.1} {:>8}",
+            a.time_s,
+            a.hotspot_c,
+            b.hotspot_c,
+            if a.tec_on { "yes" } else { "" }
+        );
+    }
+    println!(
+        "\npeak: {:.1} C with TEC vs {:.1} C without ({:.1} K reduction); TEC duty {:.0}%",
+        with_tec.max_hotspot_c,
+        without.max_hotspot_c,
+        without.max_hotspot_c - with_tec.max_hotspot_c,
+        with_tec.telemetry.tec_duty() * 100.0
+    );
+    println!(
+        "TEC energy spent: {:.0} J (served by the LITTLE battery as an active-power surge)",
+        with_tec.tec_energy_j
+    );
+}

@@ -1,0 +1,49 @@
+//! Portability demo: CAPMAN on the three evaluation phones (Fig. 15).
+//!
+//! ```text
+//! cargo run --release --example three_phones
+//! ```
+//!
+//! Runs the same PCMark trace on the Nexus, Honor and Lenovo profiles
+//! and prints per-phone service, power and scheduler overhead — the
+//! stability/scalability story of Section V.
+
+use capman::core::config::SimConfig;
+use capman::core::experiments::{run_policy_with, PolicyKind};
+use capman::device::phone::PhoneProfile;
+use capman::workload::WorkloadKind;
+
+fn main() {
+    let horizon = 10_000.0;
+    let seed = 3;
+    println!("CAPMAN on three phones, PCMark trace ({horizon} s horizon)\n");
+    println!(
+        "{:<8} {:<8} {:>10} {:>12} {:>10} {:>13} {:>8}",
+        "phone", "android", "service", "mean P [mW]", "max T", "overhead [us]", "recals"
+    );
+    for phone in PhoneProfile::all() {
+        let config = SimConfig {
+            max_horizon_s: horizon,
+            tec_enabled: true,
+            ..SimConfig::paper()
+        };
+        let o = run_policy_with(
+            PolicyKind::Capman,
+            WorkloadKind::Pcmark,
+            phone.clone(),
+            seed,
+            config,
+        );
+        println!(
+            "{:<8} {:<8} {:>9.0}s {:>12.0} {:>9.1}C {:>13.0} {:>8}",
+            phone.name,
+            phone.android_version,
+            o.service_time_s,
+            o.telemetry.mean_power_mw(),
+            o.max_hotspot_c,
+            o.scheduler_overhead_us,
+            o.recalibrations
+        );
+    }
+    println!("\n(the slower Honor pays proportionally more calibration overhead — Fig. 16)");
+}

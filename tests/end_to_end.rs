@@ -1,0 +1,138 @@
+//! End-to-end integration tests: full discharge cycles through the
+//! public facade, checking the paper's qualitative results.
+
+use capman::core::config::SimConfig;
+use capman::core::experiments::{run_policy_with, PolicyKind};
+use capman::core::metrics::{EndReason, Outcome};
+use capman::device::phone::PhoneProfile;
+use capman::workload::WorkloadKind;
+
+fn cycle(kind: PolicyKind, workload: WorkloadKind, horizon: f64) -> Outcome {
+    let config = SimConfig {
+        max_horizon_s: horizon,
+        tec_enabled: kind.has_tec(),
+        ..SimConfig::paper()
+    };
+    run_policy_with(kind, workload, PhoneProfile::nexus(), 21, config)
+}
+
+#[test]
+fn capman_outlives_the_original_phone_on_video() {
+    // The headline claim at reduced horizon: the Practice phone dies
+    // well before CAPMAN's pack.
+    let capman = cycle(PolicyKind::Capman, WorkloadKind::Video, 20_000.0);
+    let practice = cycle(PolicyKind::Practice, WorkloadKind::Video, 20_000.0);
+    assert_eq!(practice.end_reason, EndReason::SustainedShortfall);
+    assert!(
+        capman.service_time_s > practice.service_time_s * 1.3,
+        "CAPMAN {} s should clearly beat Practice {} s",
+        capman.service_time_s,
+        practice.service_time_s
+    );
+}
+
+#[test]
+fn capman_beats_the_reactive_heuristic_on_pcmark() {
+    let capman = cycle(PolicyKind::Capman, WorkloadKind::Pcmark, 25_000.0);
+    let heuristic = cycle(PolicyKind::Heuristic, WorkloadKind::Pcmark, 25_000.0);
+    assert!(
+        capman.service_time_s > heuristic.service_time_s,
+        "CAPMAN {} vs Heuristic {}",
+        capman.service_time_s,
+        heuristic.service_time_s
+    );
+}
+
+#[test]
+fn capman_tracks_the_oracle() {
+    // "within 9.6% less service time than the Oracle" — give it margin.
+    let capman = cycle(PolicyKind::Capman, WorkloadKind::EtaStatic { eta: 50 }, 25_000.0);
+    let oracle = cycle(PolicyKind::Oracle, WorkloadKind::EtaStatic { eta: 50 }, 25_000.0);
+    let gap = 1.0 - capman.service_time_s / oracle.service_time_s;
+    assert!(
+        gap < 0.15,
+        "CAPMAN should stay near the Oracle; gap = {:.1}%",
+        gap * 100.0
+    );
+}
+
+#[test]
+fn capman_holds_the_hot_spot_near_the_threshold() {
+    let capman = cycle(PolicyKind::Capman, WorkloadKind::Geekbench, 8000.0);
+    assert!(
+        capman.max_hotspot_c < 47.0,
+        "TEC should pin the spot near 45 degC, got {:.1}",
+        capman.max_hotspot_c
+    );
+    assert!(capman.tec_on_s > 0.0, "Geekbench must wake the TEC");
+    // Without the TEC the same cycle runs hotter.
+    let config = SimConfig {
+        max_horizon_s: 8000.0,
+        tec_enabled: false,
+        ..SimConfig::paper()
+    };
+    let bare = run_policy_with(
+        PolicyKind::Capman,
+        WorkloadKind::Geekbench,
+        PhoneProfile::nexus(),
+        21,
+        config,
+    );
+    // The bare phone crosses the throttling threshold (which then caps
+    // its temperature by cutting performance); the TEC keeps the spot
+    // below it without giving up utilisation.
+    assert!(
+        bare.max_hotspot_c > 47.0,
+        "bare phone should cross the throttle threshold, got {:.1}",
+        bare.max_hotspot_c
+    );
+    assert!(bare.max_hotspot_c > capman.max_hotspot_c + 0.5);
+}
+
+#[test]
+fn dual_policies_share_the_identical_trace() {
+    let a = cycle(PolicyKind::Dual, WorkloadKind::Video, 4000.0);
+    let b = cycle(PolicyKind::Heuristic, WorkloadKind::Video, 4000.0);
+    assert_eq!(a.workload, b.workload);
+    // Both run the same pack hardware.
+    assert_eq!(a.phone, b.phone);
+}
+
+#[test]
+fn capman_switches_but_does_not_flap() {
+    let o = cycle(PolicyKind::Capman, WorkloadKind::Pcmark, 10_000.0);
+    assert!(o.switches > 10, "CAPMAN must actually schedule");
+    // Bounded flapping: fewer than one switch per two seconds on
+    // average.
+    assert!(
+        (o.switches as f64) < o.service_time_s / 2.0,
+        "{} switches in {} s is flapping",
+        o.switches,
+        o.service_time_s
+    );
+}
+
+#[test]
+fn capman_recalibrates_in_the_background() {
+    let o = cycle(PolicyKind::Capman, WorkloadKind::Pcmark, 6000.0);
+    assert!(o.recalibrations >= 2, "expected background calibrations");
+    assert!(o.scheduler_overhead_us > 0.0);
+}
+
+#[test]
+fn outcomes_account_energy_consistently() {
+    for kind in PolicyKind::ALL {
+        let o = cycle(kind, WorkloadKind::Video, 3000.0);
+        assert!(o.energy_delivered_j > 0.0, "{kind:?}");
+        assert!(o.energy_heat_j >= 0.0, "{kind:?}");
+        assert!(o.efficiency() > 0.5 && o.efficiency() <= 1.0, "{kind:?}");
+        assert!(o.work_served > 0.0, "{kind:?}");
+        let active = o.big_active_s + o.little_active_s;
+        assert!(
+            (active - o.service_time_s).abs() <= 1.5,
+            "{kind:?}: active {} vs service {}",
+            active,
+            o.service_time_s
+        );
+    }
+}

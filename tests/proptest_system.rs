@@ -1,0 +1,97 @@
+//! System-level property tests: whole discharge cycles under random
+//! workloads and policies keep their invariants.
+
+use proptest::prelude::*;
+
+use capman::core::config::SimConfig;
+use capman::core::experiments::{run_policy_with, PolicyKind};
+use capman::core::metrics::Outcome;
+use capman::device::phone::PhoneProfile;
+use capman::workload::WorkloadKind;
+
+fn arb_policy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Capman),
+        Just(PolicyKind::Oracle),
+        Just(PolicyKind::Practice),
+        Just(PolicyKind::Dual),
+        Just(PolicyKind::Heuristic),
+    ]
+}
+
+fn arb_workload() -> impl Strategy<Value = WorkloadKind> {
+    prop_oneof![
+        Just(WorkloadKind::Geekbench),
+        Just(WorkloadKind::Pcmark),
+        Just(WorkloadKind::Video),
+        (0u8..=100).prop_map(|eta| WorkloadKind::EtaStatic { eta }),
+        Just(WorkloadKind::IdleOn),
+    ]
+}
+
+fn short_cycle(kind: PolicyKind, workload: WorkloadKind, seed: u64) -> Outcome {
+    let config = SimConfig {
+        max_horizon_s: 900.0,
+        tec_enabled: kind.has_tec(),
+        ..SimConfig::paper()
+    };
+    run_policy_with(kind, workload, PhoneProfile::nexus(), seed, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any policy on any workload produces a physically consistent
+    /// outcome.
+    #[test]
+    fn cycles_are_physically_consistent(
+        kind in arb_policy(),
+        workload in arb_workload(),
+        seed in 0u64..1000,
+    ) {
+        let o = short_cycle(kind, workload, seed);
+        prop_assert!(o.service_time_s > 0.0);
+        prop_assert!(o.energy_delivered_j >= 0.0);
+        prop_assert!(o.energy_heat_j >= 0.0);
+        prop_assert!(o.work_served >= 0.0);
+        prop_assert!(o.max_hotspot_c >= 25.0 - 1e-9);
+        prop_assert!(o.max_hotspot_c < 120.0);
+        prop_assert!(o.mean_hotspot_c <= o.max_hotspot_c + 1e-9);
+        prop_assert!(o.big_active_s >= 0.0 && o.little_active_s >= 0.0);
+        prop_assert!(o.tec_on_s <= o.service_time_s + 1.0);
+    }
+
+    /// Same seed, same policy, same workload: identical outcome
+    /// (determinism of the whole pipeline).
+    #[test]
+    fn cycles_are_deterministic(
+        kind in arb_policy(),
+        workload in arb_workload(),
+        seed in 0u64..1000,
+    ) {
+        let a = short_cycle(kind, workload, seed);
+        let b = short_cycle(kind, workload, seed);
+        prop_assert!((a.service_time_s - b.service_time_s).abs() < 1e-9);
+        prop_assert!((a.energy_delivered_j - b.energy_delivered_j).abs() < 1e-6);
+        prop_assert_eq!(a.switches, b.switches);
+    }
+
+    /// Single-battery policies never switch; dual policies never report
+    /// LITTLE time on a single pack.
+    #[test]
+    fn practice_never_switches(workload in arb_workload(), seed in 0u64..1000) {
+        let o = short_cycle(PolicyKind::Practice, workload, seed);
+        prop_assert_eq!(o.switches, 0);
+        prop_assert_eq!(o.little_active_s, 0.0);
+    }
+
+    /// The no-TEC baselines never energise the TEC.
+    #[test]
+    fn baselines_have_no_tec(workload in arb_workload(), seed in 0u64..1000) {
+        for kind in [PolicyKind::Practice, PolicyKind::Dual, PolicyKind::Heuristic] {
+            let o = short_cycle(kind, workload, seed);
+            prop_assert_eq!(o.tec_on_s, 0.0);
+            prop_assert_eq!(o.tec_energy_j, 0.0);
+        }
+    }
+}

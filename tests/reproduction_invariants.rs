@@ -1,0 +1,96 @@
+//! Cross-crate checks of the paper's stated facts, through the facade.
+
+use capman::battery::chemistry::{Chemistry, Class};
+use capman::battery::pack::BatteryPack;
+use capman::device::constants;
+use capman::device::power::{Demand, PowerModel};
+use capman::device::states::DeviceState;
+use capman::thermal::tec::Tec;
+use capman::thermal::HOT_SPOT_THRESHOLD_C;
+
+#[test]
+fn table1_result_column() {
+    let expected = [
+        (Chemistry::Lco, Class::Big),
+        (Chemistry::Nca, Class::Big),
+        (Chemistry::Lmo, Class::Little),
+        (Chemistry::Nmc, Class::Little),
+        (Chemistry::Lfp, Class::Little),
+        (Chemistry::Lto, Class::Little),
+    ];
+    for (chem, class) in expected {
+        assert_eq!(chem.class(), class, "{chem}");
+    }
+}
+
+#[test]
+fn prototype_pack_matches_the_paper() {
+    // "one LMO and NCA each", 2500 mAh, supercapacitor on the LITTLE
+    // output, boot on the big cell.
+    let pack = BatteryPack::paper_prototype();
+    assert_eq!(pack.big().chemistry(), Chemistry::Nca);
+    assert_eq!(
+        pack.little().expect("dual pack").chemistry(),
+        Chemistry::Lmo
+    );
+    assert_eq!(pack.big().capacity_ah(), 2.5);
+    assert_eq!(pack.active(), Class::Big);
+}
+
+#[test]
+fn fig6_peak_is_at_the_rated_one_ampere() {
+    let tec = Tec::ate31();
+    assert!((tec.rated_current_a() - 1.0).abs() < 1e-9);
+    let peak = tec.delta_t_steady(1.0);
+    for i in [0.2, 0.5, 0.8, 1.2, 1.5, 2.0, 2.2] {
+        assert!(tec.delta_t_steady(i) <= peak);
+    }
+}
+
+#[test]
+fn hot_spot_threshold_is_45c() {
+    assert_eq!(HOT_SPOT_THRESHOLD_C, 45.0);
+}
+
+#[test]
+fn table3_reference_points_round_trip_through_table2_models() {
+    let model = PowerModel::calibrated(8, 1.0);
+    let d = Demand {
+        cpu_util: 100.0,
+        freq_index: 7,
+        brightness: constants::SCREEN_REF_BRIGHTNESS,
+        packet_rate: constants::WIFI_REF_ACCESS_PPS,
+    };
+    let measured = model.device_power_mw(&DeviceState::awake(), &d);
+    let table = constants::CPU_C0_MW + constants::SCREEN_ON_MW + constants::WIFI_ACCESS_MW;
+    assert!(
+        (measured - table).abs() < 1e-6,
+        "model {measured} vs Table III sum {table}"
+    );
+}
+
+#[test]
+fn syscall_vocabulary_exceeds_200() {
+    assert!(capman::device::syscall::vocabulary_size() > 200);
+}
+
+#[test]
+fn switch_operates_at_millisecond_scale() {
+    // "CAPMAN can switch between batteries in milliseconds."
+    use capman::battery::switch::SwitchFacility;
+    let mut s = SwitchFacility::default();
+    let event = s.switch_to(Class::Little, 0.5).expect("flip");
+    let latency = event.completed_at - event.requested_at;
+    assert!(latency > 0.0 && latency < 0.01, "latency {latency} s");
+}
+
+#[test]
+fn prototype_weight_budget_is_respected() {
+    // "the total weight of all extra devices is less than 5 gram" — the
+    // TEC module is the heavy part (< 2 g per the paper); we check the
+    // modelled module is the miniature class, i.e. pumps watts, not tens
+    // of watts.
+    let tec = Tec::ate31();
+    let p = tec.power_w(tec.rated_current_a(), 25.0, 45.0);
+    assert!(p < 2.0, "a miniature TEC draws ~1 W, got {p}");
+}

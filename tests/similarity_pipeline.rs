@@ -1,0 +1,142 @@
+//! Integration of the MDP pipeline: profile a real simulated cycle into
+//! an MDP, run Algorithm 1, and verify the competitiveness bound holds on
+//! the *profiled* system (not just synthetic MDPs).
+
+use capman::core::capman::CapmanPolicy;
+use capman::core::online::Calibrator;
+use capman::core::policy::{Observation, Policy};
+use capman::device::fsm::Action;
+use capman::device::phone::PhoneProfile;
+use capman::device::states::DeviceState;
+use capman::mdp::graph::MdpGraph;
+use capman::mdp::similarity::{structural_similarity, SimilarityParams};
+use capman::mdp::value_iteration::solve;
+use capman::workload::{generate, WorkloadKind};
+
+/// Replay a trace through the device FSM and profile it.
+fn profiled_policy(workload: WorkloadKind, seconds: f64) -> CapmanPolicy {
+    let mut policy = CapmanPolicy::new(1.0);
+    let trace = generate(workload, seconds, 17);
+    let model = PhoneProfile::nexus().power_model();
+    let mut state = DeviceState::asleep();
+    let mut t = 0.0;
+    while t < seconds {
+        let prev = state;
+        let mut first = None;
+        for seg in trace.segments_starting_in(t, t + 1.0) {
+            for &a in &seg.actions {
+                state = state.apply(a);
+                first.get_or_insert(a);
+            }
+        }
+        let demand = trace.at(t).demand;
+        let power = model.device_power_mw(&state, &demand) / 1000.0;
+        // Use a smooth pseudo-efficiency as the reward signal.
+        let reward = (1.0 / (1.0 + power / 10.0)).clamp(0.0, 1.0);
+        policy.observe(&Observation {
+            time_s: t,
+            prev_state: prev,
+            action: first.unwrap_or(Action::TimerTick),
+            new_state: state,
+            reward,
+            power_w: power,
+        });
+        // Emulate the actuator's switch decisions so the pruned graph of
+        // Algorithm 1 has battery-switch action nodes (in the full
+        // simulator these come from the actuator itself).
+        if (t as u64) % 20 == 10 {
+            use capman::battery::chemistry::Class;
+            let (action, target) = if state.battery == Class::Big {
+                (Action::SwitchToLittle, Class::Little)
+            } else {
+                (Action::SwitchToBig, Class::Big)
+            };
+            let next = state.apply(action);
+            policy.observe(&Observation {
+                time_s: t,
+                prev_state: state,
+                action,
+                new_state: next,
+                reward,
+                power_w: power,
+            });
+            state = next.with_battery(target);
+        }
+        t += 1.0;
+    }
+    policy
+}
+
+#[test]
+fn profiled_mdp_respects_the_competitiveness_bound() {
+    let policy = profiled_policy(WorkloadKind::Pcmark, 1200.0);
+    let mdp = policy.profiler().to_mdp();
+    let rho = 0.5;
+    let sol = solve(&mdp, rho, 1e-10);
+    let graph = MdpGraph::from_mdp(&mdp);
+    let sim = structural_similarity(&graph, &SimilarityParams::paper(rho));
+    assert!(sim.converged);
+    for &u in &policy.profiler().visited_states() {
+        for &v in &policy.profiler().visited_states() {
+            let gap = (sol.values[u] - sol.values[v]).abs();
+            let bound = sim.value_bound(u, v, rho);
+            assert!(
+                gap <= bound + 1e-6,
+                "|V[{u}] - V[{v}]| = {gap} exceeds bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn profiler_sees_a_compact_live_state_space() {
+    // The paper: "our finite MDP has 50 state nodes" — the live state
+    // space of a real workload is a small fraction of the 96-state
+    // product.
+    let policy = profiled_policy(WorkloadKind::Pcmark, 1800.0);
+    let visited = policy.profiler().visited_states().len();
+    assert!(
+        (3..=60).contains(&visited),
+        "expected a compact live space, got {visited}"
+    );
+}
+
+#[test]
+fn calibration_compresses_states_without_large_value_loss() {
+    let policy = profiled_policy(WorkloadKind::EtaStatic { eta: 50 }, 1500.0);
+    let mut cal = Calibrator::new(0.3, 0.15, 1.0);
+    cal.recalibrate(0.0, policy.profiler(), 1.0);
+    let calibration = cal.calibration().expect("calibrated");
+    let n_clusters = calibration.abstraction.n_clusters();
+    assert!(n_clusters < capman::device::states::STATE_COUNT);
+    // The promised worst-case loss.
+    assert!(calibration.abstraction.value_loss_bound(0.3) <= 0.15 / 0.7 + 1e-12);
+    // Every representative's cached value is close to its members'.
+    let mdp = policy.profiler().to_mdp();
+    let sol = solve(&mdp, 0.3, 1e-10);
+    for &u in &policy.profiler().visited_states() {
+        let rep = calibration.abstraction.representative(u);
+        let gap = (sol.values[u] - sol.values[rep]).abs();
+        assert!(
+            gap <= calibration.abstraction.value_loss_bound(0.3) + 1e-6,
+            "state {u} vs rep {rep}: {gap}"
+        );
+    }
+}
+
+#[test]
+fn overhead_grows_toward_rho_one() {
+    // The Fig. 16 shape on the real profiled MDP.
+    let policy = profiled_policy(WorkloadKind::Pcmark, 900.0);
+    let iterations = |rho: f64| {
+        let mut cal = Calibrator::new(rho, 0.1, 1.0);
+        cal.recalibrate(0.0, policy.profiler(), 1.0);
+        cal.calibration().expect("calibrated").similarity_iterations
+    };
+    let lo = iterations(0.05);
+    let hi = iterations(0.95);
+    assert!(
+        hi > lo,
+        "similarity iterations must grow with rho: {lo} -> {hi}"
+    );
+}
