@@ -476,7 +476,10 @@ mod tests {
         for _ in 0..600 {
             c.rest(1.0, 25.0);
         }
-        assert!(c.voltage_under(6.0, 25.0) > sagged_v, "rest should lift voltage");
+        assert!(
+            c.voltage_under(6.0, 25.0) > sagged_v,
+            "rest should lift voltage"
+        );
     }
 
     #[test]

@@ -93,9 +93,7 @@ impl Charger {
     pub fn step_cell(&self, cell: &mut Cell, dt: f64) -> ChargeStep {
         assert!(dt > 0.0, "dt must be positive");
         let params = cell.chemistry().electrical();
-        let cv = self
-            .cv_limit_v
-            .unwrap_or(params.nominal_v * 1.12);
+        let cv = self.cv_limit_v.unwrap_or(params.nominal_v * 1.12);
         let cc_current = self.cc_rate * cell.capacity_ah();
         // Terminal voltage while charging is EMF plus the ohmic rise.
         let emf = cell.emf();

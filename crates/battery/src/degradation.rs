@@ -94,8 +94,7 @@ impl AgingModel {
     /// Current capacity as a fraction of rated (1.0 fresh, 0.8 at the
     /// rated cycle life, floored at 0.5).
     pub fn capacity_fraction(&self) -> f64 {
-        let per_cycle_fade =
-            (1.0 - EOL_CAPACITY_FRACTION) / Self::rated_cycles(self.chemistry);
+        let per_cycle_fade = (1.0 - EOL_CAPACITY_FRACTION) / Self::rated_cycles(self.chemistry);
         (1.0 - per_cycle_fade * self.equivalent_full_cycles()).max(0.5)
     }
 

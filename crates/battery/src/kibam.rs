@@ -60,10 +60,16 @@ impl Kibam {
             return Err(BatteryError::NonPositiveCapacity(capacity_coulombs));
         }
         if !(c.is_finite() && c > 0.0 && c < 1.0) {
-            return Err(BatteryError::InvalidParameter { name: "c", value: c });
+            return Err(BatteryError::InvalidParameter {
+                name: "c",
+                value: c,
+            });
         }
         if !k.is_finite() || k <= 0.0 {
-            return Err(BatteryError::InvalidParameter { name: "k", value: k });
+            return Err(BatteryError::InvalidParameter {
+                name: "k",
+                value: k,
+            });
         }
         Ok(Kibam {
             capacity: capacity_coulombs,

@@ -41,7 +41,7 @@ impl OcvCurve {
     pub fn for_chemistry(chem: Chemistry) -> Self {
         let e = chem.electrical();
         let full = e.nominal_v * 1.12; // typical 4.15 V for a 3.7 V cell
-        // Shape factor: LITTLE chemistries (esp. LFP/LTO) have flat plateaus.
+                                       // Shape factor: LITTLE chemistries (esp. LFP/LTO) have flat plateaus.
         let plateau = match chem {
             Chemistry::Lfp | Chemistry::Lto => 0.035,
             Chemistry::Lmo | Chemistry::Nmc => 0.06,

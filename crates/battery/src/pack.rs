@@ -115,7 +115,10 @@ impl BatteryPack {
         );
         BatteryPack {
             big: Cell::new(config.big_chemistry, config.big_capacity_ah),
-            little: Some(Cell::new(config.little_chemistry, config.little_capacity_ah)),
+            little: Some(Cell::new(
+                config.little_chemistry,
+                config.little_capacity_ah,
+            )),
             switch: SwitchFacility::new(config.switch),
             supercap: config.supercap.then(Supercap::prototype),
             time_s: 0.0,
@@ -190,8 +193,7 @@ impl BatteryPack {
         }
 
         // The supercapacitor only filters the LITTLE cell's output.
-        let (cell_demand, mut filter_loss_w, mut filter_shortfall_w) = match &mut self.supercap
-        {
+        let (cell_demand, mut filter_loss_w, mut filter_shortfall_w) = match &mut self.supercap {
             Some(cap) if active == Class::Little => {
                 let f = cap.filter(demand_w, dt);
                 (f.battery_demand_w, f.loss_j / dt, f.shortfall_w)
@@ -279,32 +281,17 @@ impl BatteryPack {
 
     /// Whether every cell in the pack is permanently exhausted.
     pub fn is_depleted(&self) -> bool {
-        self.big.is_exhausted()
-            && self
-                .little
-                .as_ref()
-                .map(Cell::is_exhausted)
-                .unwrap_or(true)
+        self.big.is_exhausted() && self.little.as_ref().map(Cell::is_exhausted).unwrap_or(true)
     }
 
     /// Whether any cell can serve load right now.
     pub fn any_usable(&self) -> bool {
-        self.big.is_usable()
-            || self
-                .little
-                .as_ref()
-                .map(Cell::is_usable)
-                .unwrap_or(false)
+        self.big.is_usable() || self.little.as_ref().map(Cell::is_usable).unwrap_or(false)
     }
 
     /// Total rated capacity, ampere-hours.
     pub fn capacity_ah(&self) -> f64 {
-        self.big.capacity_ah()
-            + self
-                .little
-                .as_ref()
-                .map(Cell::capacity_ah)
-                .unwrap_or(0.0)
+        self.big.capacity_ah() + self.little.as_ref().map(Cell::capacity_ah).unwrap_or(0.0)
     }
 
     /// Seconds the big cell has carried the load.

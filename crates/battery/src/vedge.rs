@@ -64,14 +64,15 @@ impl VEdgeProbe {
         );
         let mut samples = Vec::new();
         let mut t = 0.0;
-        let run_phase = |cell: &mut Cell, load: f64, dur: f64, samples: &mut Vec<(f64, f64)>, t: &mut f64| {
-            let n = (dur / self.sample_dt).round().max(1.0) as usize;
-            for _ in 0..n {
-                let s = cell.step(load, self.sample_dt, temp_c);
-                *t += self.sample_dt;
-                samples.push((*t, s.voltage_v));
-            }
-        };
+        let run_phase =
+            |cell: &mut Cell, load: f64, dur: f64, samples: &mut Vec<(f64, f64)>, t: &mut f64| {
+                let n = (dur / self.sample_dt).round().max(1.0) as usize;
+                for _ in 0..n {
+                    let s = cell.step(load, self.sample_dt, temp_c);
+                    *t += self.sample_dt;
+                    samples.push((*t, s.voltage_v));
+                }
+            };
         run_phase(cell, self.base_w, self.lead_s, &mut samples, &mut t);
         let surge_start = t;
         run_phase(cell, self.surge_w, self.surge_s, &mut samples, &mut t);
@@ -141,15 +142,16 @@ impl VEdgeTrace {
             .iter()
             .filter(|(t, _)| *t > self.surge_start)
             .collect();
-        let (t_min, v_min) = after
-            .iter()
-            .fold((self.surge_start, f64::INFINITY), |(tm, vm), &&(t, v)| {
-                if v < vm {
-                    (t, v)
-                } else {
-                    (tm, vm)
-                }
-            });
+        let (t_min, v_min) =
+            after
+                .iter()
+                .fold((self.surge_start, f64::INFINITY), |(tm, vm), &&(t, v)| {
+                    if v < vm {
+                        (t, v)
+                    } else {
+                        (tm, vm)
+                    }
+                });
         let v_steady = after.last().map(|&&(_, v)| v).unwrap_or(v_initial);
         let window = after.len() as f64 * dt;
 

@@ -56,7 +56,10 @@ fn bench_capman_ablation(c: &mut Criterion) {
     // isolation because they overlap — the Heuristic baseline, which
     // lacks all four at once, is what collapses (Fig. 12).
     for workload in [WorkloadKind::EtaStatic { eta: 50 }, WorkloadKind::Pcmark] {
-        println!("\ncapman_ablation: full discharge cycles, {}", workload.label());
+        println!(
+            "\ncapman_ablation: full discharge cycles, {}",
+            workload.label()
+        );
         let full = run_on(CapmanFeatures::all(), 40_000.0, workload);
         println!(
             "  {:<14} service={:>6.0}s switches={:<6} (reference)",

@@ -58,7 +58,12 @@ fn bench_fig2(c: &mut Criterion) {
     ] {
         let lmo = service_time(Chemistry::Lmo, workload, 6000.0);
         let nca = service_time(Chemistry::Nca, workload, 6000.0);
-        println!("  {:<16} LMO {:>7.0}  NCA {:>7.0}", workload.label(), lmo, nca);
+        println!(
+            "  {:<16} LMO {:>7.0}  NCA {:>7.0}",
+            workload.label(),
+            lmo,
+            nca
+        );
     }
 }
 

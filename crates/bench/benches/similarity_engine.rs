@@ -1,0 +1,138 @@
+//! Similarity-engine scaling: the serial seed path vs the parallel,
+//! memoized engine on device-like MDP graphs of 32–512 states.
+//!
+//! The graphs mimic the redundancy of a real device MDP: many
+//! `(state, action)` pairs share the same successor pattern (the same
+//! screen or network transition fired from different battery levels), so
+//! the engine's EMD memo cache and bound pruning have the duplicate
+//! structure they exploit during runtime calibration. The one-shot
+//! summary at the end checks the PR's acceptance bar: the full engine
+//! at least 2x faster than the reference on a 256-state graph, with
+//! matching matrices.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use capman_mdp::engine::SimilarityEngine;
+use capman_mdp::graph::MdpGraph;
+use capman_mdp::mdp::MdpBuilder;
+use capman_mdp::similarity::{structural_similarity, SimilarityParams};
+
+const ACTIONS: usize = 2;
+
+/// A seeded random MDP with device-like successor redundancy: each
+/// `(state, action)` draws its successor distribution from a small pool
+/// of shared templates.
+fn device_like_graph(n_states: usize, seed: u64) -> MdpGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_templates = (n_states / 8).max(6);
+    let templates: Vec<Vec<(usize, f64)>> = (0..n_templates)
+        .map(|_| {
+            let n_succ = rng.gen_range(1..=3usize);
+            (0..n_succ)
+                .map(|_| (rng.gen_range(0..n_states), rng.gen_range(0.1..1.0)))
+                .collect()
+        })
+        .collect();
+    let rewards: Vec<f64> = (0..n_templates).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut b = MdpBuilder::new(n_states, ACTIONS);
+    for s in 0..(n_states - 1) {
+        for a in 0..ACTIONS {
+            let t = rng.gen_range(0..n_templates);
+            for &(to, w) in &templates[t] {
+                b.transition(s, a, to, w, rewards[t]);
+            }
+        }
+    }
+    MdpGraph::from_mdp(&b.build())
+}
+
+/// The calibration-loop configuration (see `online.rs::recalibrate`).
+fn calibration_params() -> SimilarityParams {
+    let mut p = SimilarityParams::paper(0.3);
+    p.tolerance = 1e-3;
+    p.max_iterations = 50;
+    p
+}
+
+fn bench_similarity_engine(c: &mut Criterion) {
+    let params = calibration_params();
+
+    let mut group = c.benchmark_group("similarity_engine");
+    group.sample_size(10);
+    for n_states in [32usize, 64, 128] {
+        let graph = device_like_graph(n_states, 7);
+        group.bench_with_input(BenchmarkId::new("reference", n_states), &graph, |b, g| {
+            b.iter(|| structural_similarity(g, &params))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("engine_serial", n_states),
+            &graph,
+            |b, g| b.iter(|| SimilarityEngine::serial().compute(g, &params)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_parallel_memo", n_states),
+            &graph,
+            |b, g| b.iter(|| SimilarityEngine::parallel().compute(g, &params)),
+        );
+    }
+    group.finish();
+
+    // One-shot acceptance summary on the big graphs (a cold engine per
+    // run, as a calibration would see it).
+    println!("\nsimilarity_engine: one-shot wall times, cold engine per run");
+    println!(
+        "{:>7} {:>13} {:>13} {:>13} {:>9} {:>9}  check",
+        "states", "reference_ms", "engine_ser_ms", "engine_par_ms", "speedup", "hit_rate"
+    );
+    for n_states in [256usize, 512] {
+        let graph = device_like_graph(n_states, 7);
+
+        let t0 = Instant::now();
+        let reference = structural_similarity(&graph, &params);
+        let ref_s = t0.elapsed().as_secs_f64();
+
+        let mut serial = SimilarityEngine::serial();
+        let t0 = Instant::now();
+        let ser = serial.compute(&graph, &params);
+        let ser_s = t0.elapsed().as_secs_f64();
+
+        let mut engine = SimilarityEngine::parallel();
+        let t0 = Instant::now();
+        let fast = engine.compute(&graph, &params);
+        let par_s = t0.elapsed().as_secs_f64();
+
+        assert!(
+            reference.sigma_s.max_abs_diff(&fast.sigma_s) < 1e-9
+                && reference.sigma_a.max_abs_diff(&fast.sigma_a) < 1e-9,
+            "engine drifted from the reference"
+        );
+        assert_eq!(ser.sigma_s, reference.sigma_s, "serial engine must match");
+
+        let speedup = ref_s / par_s;
+        let check = if n_states == 256 {
+            if speedup >= 2.0 {
+                "PASS (>= 2x on 256 states)"
+            } else {
+                "FAIL (< 2x on 256 states)"
+            }
+        } else {
+            ""
+        };
+        println!(
+            "{:>7} {:>13.1} {:>13.1} {:>13.1} {:>8.1}x {:>8.1}%  {check}",
+            n_states,
+            ref_s * 1e3,
+            ser_s * 1e3,
+            par_s * 1e3,
+            speedup,
+            engine.stats().last_run.cache_hit_rate() * 100.0,
+        );
+    }
+}
+
+criterion_group!(benches, bench_similarity_engine);
+criterion_main!(benches);

@@ -9,7 +9,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(42u64);
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}", "workload", "Oracle", "CAPMAN", "Heur", "Dual", "Practice");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "Oracle", "CAPMAN", "Heur", "Dual", "Practice"
+    );
     for workload in WorkloadKind::fig12() {
         let outcomes = fig12_row(workload, seed);
         print!("{:<12}", workload.label());

@@ -379,7 +379,11 @@ fn fig9() {
     }
     println!("{:>10} {:>10} {:>10}", "t [s]", "level [V]", "selects");
     for &(t, level) in facility.signal() {
-        let selects = if level > 1.0 { Class::Little } else { Class::Big };
+        let selects = if level > 1.0 {
+            Class::Little
+        } else {
+            Class::Big
+        };
         println!("{:>10.4} {:>10.1} {:>10}", t, level, selects.to_string());
     }
     println!(
@@ -543,12 +547,8 @@ fn practice5() {
         "workload", "stock 3.22Ah", "equal 5Ah", "CAPMAN"
     );
     for workload in WorkloadKind::fig12() {
-        let stock = experiments::run_policy(
-            PolicyKind::Practice,
-            workload,
-            PhoneProfile::nexus(),
-            SEED,
-        );
+        let stock =
+            experiments::run_policy(PolicyKind::Practice, workload, PhoneProfile::nexus(), SEED);
         let equal = run_with_pack(
             PolicyKind::Practice,
             workload,
@@ -557,12 +557,8 @@ fn practice5() {
             SimConfig::paper(),
             BatteryPack::single(Chemistry::Nca, 5.0),
         );
-        let capman = experiments::run_policy(
-            PolicyKind::Capman,
-            workload,
-            PhoneProfile::nexus(),
-            SEED,
-        );
+        let capman =
+            experiments::run_policy(PolicyKind::Capman, workload, PhoneProfile::nexus(), SEED);
         println!(
             "{:<12} {:>13.0}s {:>13.0}s {:>13.0}s ({:+.0}% / {:+.0}%)",
             workload.label(),

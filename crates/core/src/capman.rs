@@ -27,6 +27,7 @@ use capman_device::fsm::Action;
 use crate::online::Calibrator;
 use crate::policy::{usable_or_fallback, DecisionContext, Observation, Policy};
 use crate::profiler::Profiler;
+use crate::telemetry::CalibrationSample;
 
 /// Feature toggles for the mechanism ablation (every flag on is the
 /// full scheduler; each off-switch removes one ingredient so its
@@ -102,6 +103,8 @@ pub struct CapmanPolicy {
     last_switch_s: f64,
     /// Mechanism toggles (all on by default).
     features: CapmanFeatures,
+    /// Calibration events not yet drained into telemetry.
+    pending_calibrations: Vec<CalibrationSample>,
 }
 
 impl CapmanPolicy {
@@ -126,6 +129,7 @@ impl CapmanPolicy {
             current: Class::Big,
             last_switch_s: f64::NEG_INFINITY,
             features: CapmanFeatures::all(),
+            pending_calibrations: Vec::new(),
         }
     }
 
@@ -198,8 +202,23 @@ impl Policy for CapmanPolicy {
 
     fn decide(&mut self, ctx: &DecisionContext<'_>) -> Class {
         // Background runtime calibration (cheap gate when not due).
-        self.calibrator
-            .maybe_recalibrate(ctx.time_s, &self.profiler, self.compute_speed);
+        if self
+            .calibrator
+            .maybe_recalibrate(ctx.time_s, &self.profiler, self.compute_speed)
+        {
+            if let Some(cal) = self.calibrator.calibration() {
+                let run = &cal.engine_run;
+                self.pending_calibrations.push(CalibrationSample {
+                    time_s: ctx.time_s,
+                    sweeps: run.sweeps,
+                    emd_solves: run.emd_solves,
+                    cache_hits: run.cache_hits,
+                    bound_pruned: run.bound_pruned,
+                    wall_us: run.wall_us,
+                    graph_action_nodes: cal.graph_action_nodes,
+                });
+            }
+        }
 
         let mut pred = if self.features.prediction {
             self.predict_power_w(ctx)
@@ -237,7 +256,9 @@ impl Policy for CapmanPolicy {
         } else {
             // Inside the hysteresis band: consult the calibrated MDP's
             // switch-action Q-values; otherwise hold the current choice.
-            self.calibrator.q_preference(ctx.state).unwrap_or(self.current)
+            self.calibrator
+                .q_preference(ctx.state)
+                .unwrap_or(self.current)
         };
 
         // Head guard: a diffusion-starved big cell cannot carry real
@@ -278,6 +299,10 @@ impl Policy for CapmanPolicy {
 
     fn recalibrations(&self) -> u64 {
         self.calibrator.recalibrations()
+    }
+
+    fn drain_calibrations(&mut self) -> Vec<CalibrationSample> {
+        std::mem::take(&mut self.pending_calibrations)
     }
 }
 
@@ -444,5 +469,23 @@ mod tests {
         let _ = p.decide(&c);
         assert_eq!(p.recalibrations(), 1);
         assert!(p.overhead_us() > 0.0);
+    }
+
+    #[test]
+    fn calibration_telemetry_is_drained_once() {
+        let mut p = CapmanPolicy::new(1.0);
+        let awake = DeviceState::awake();
+        let asleep = DeviceState::asleep();
+        for _ in 0..100 {
+            p.observe(&obs(asleep, Action::ScreenOn, awake, 2.0));
+        }
+        let c = ctx(awake, &[], 2.0, 0.9, 0.9);
+        let _ = p.decide(&c);
+        let drained = p.drain_calibrations();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].time_s, c.time_s);
+        assert!(drained[0].sweeps >= 1);
+        assert!(drained[0].wall_us > 0.0);
+        assert!(p.drain_calibrations().is_empty(), "drain must empty");
     }
 }

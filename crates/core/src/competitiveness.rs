@@ -120,7 +120,13 @@ mod tests {
                 tec_enabled: kind.has_tec(),
                 ..SimConfig::paper()
             };
-            run_policy_with(kind, WorkloadKind::Pcmark, PhoneProfile::nexus(), 33, config)
+            run_policy_with(
+                kind,
+                WorkloadKind::Pcmark,
+                PhoneProfile::nexus(),
+                33,
+                config,
+            )
         };
         let oracle = run(PolicyKind::Oracle);
         let capman = EmpiricalRatio::measure(&run(PolicyKind::Capman), &oracle);

@@ -231,13 +231,10 @@ pub fn fig12_stats(workload: WorkloadKind, seeds: &[u64]) -> Vec<ServiceStats> {
         .map(|&kind| {
             let times: Vec<f64> = seeds
                 .iter()
-                .map(|&seed| {
-                    run_policy(kind, workload, PhoneProfile::nexus(), seed).service_time_s
-                })
+                .map(|&seed| run_policy(kind, workload, PhoneProfile::nexus(), seed).service_time_s)
                 .collect();
             let mean = times.iter().sum::<f64>() / times.len() as f64;
-            let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>()
-                / times.len() as f64;
+            let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
             ServiceStats {
                 policy: kind.label().to_string(),
                 mean_s: mean,
@@ -329,7 +326,10 @@ pub fn fig16(rhos: &[f64], seed: u64) -> Vec<Fig16Point> {
                 }
             }
             let demand = trace.at(t).demand;
-            let power = PhoneProfile::nexus().power_model().device_power_mw(&state, &demand) / 1000.0;
+            let power = PhoneProfile::nexus()
+                .power_model()
+                .device_power_mw(&state, &demand)
+                / 1000.0;
             seeding.observe(&Observation {
                 time_s: t,
                 prev_state: prev,
@@ -439,8 +439,7 @@ mod tests {
     #[test]
     fn fig16_overhead_grows_with_rho() {
         let points = fig16(&[0.05, 0.9], 5);
-        let nexus: Vec<&Fig16Point> =
-            points.iter().filter(|p| p.phone == "Nexus").collect();
+        let nexus: Vec<&Fig16Point> = points.iter().filter(|p| p.phone == "Nexus").collect();
         assert_eq!(nexus.len(), 2);
         assert!(
             nexus[1].iterations >= nexus[0].iterations,

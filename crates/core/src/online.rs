@@ -18,8 +18,9 @@ use capman_battery::chemistry::Class;
 use capman_device::fsm::Action;
 use capman_device::states::DeviceState;
 use capman_mdp::abstraction::Abstraction;
+use capman_mdp::engine::{RunStats, SimilarityEngine};
 use capman_mdp::graph::MdpGraph;
-use capman_mdp::similarity::{structural_similarity, SimilarityParams};
+use capman_mdp::similarity::SimilarityParams;
 use capman_mdp::value_iteration::{solve, Solution};
 
 use crate::profiler::Profiler;
@@ -35,6 +36,8 @@ pub struct Calibration {
     pub similarity_iterations: usize,
     /// Action nodes in the pruned (battery-relevant) graph.
     pub graph_action_nodes: usize,
+    /// Engine counters/timings of the similarity run.
+    pub engine_run: RunStats,
 }
 
 /// Schedules and runs background calibrations.
@@ -52,6 +55,7 @@ pub struct Calibrator {
     overhead_us: f64,
     recalibrations: u64,
     cached: Option<Calibration>,
+    engine: SimilarityEngine,
 }
 
 impl Calibrator {
@@ -81,7 +85,20 @@ impl Calibrator {
             overhead_us: 0.0,
             recalibrations: 0,
             cached: None,
+            engine: SimilarityEngine::parallel(),
         }
+    }
+
+    /// Replace the similarity engine (e.g. [`SimilarityEngine::serial`]
+    /// to reproduce the unoptimised seed path in comparisons).
+    pub fn with_engine(mut self, engine: SimilarityEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The similarity engine and its lifetime statistics.
+    pub fn engine(&self) -> &SimilarityEngine {
+        &self.engine
     }
 
     /// Run a calibration now, unconditionally, and cache the result.
@@ -107,7 +124,7 @@ impl Calibrator {
         let mut params = SimilarityParams::paper(self.rho.max(1e-3));
         params.tolerance = 1e-3;
         params.max_iterations = 200;
-        let sim = structural_similarity(&graph, &params);
+        let sim = self.engine.compute(&graph, &params);
         let abstraction = Abstraction::from_similarity(&sim.sigma_s, self.theta);
         let solution = solve(&mdp, self.rho, 1e-6);
         self.cached = Some(Calibration {
@@ -115,6 +132,7 @@ impl Calibrator {
             abstraction,
             similarity_iterations: sim.iterations,
             graph_action_nodes: graph.n_action_nodes(),
+            engine_run: self.engine.stats().last_run.clone(),
         });
         let raw_us = t0.elapsed().as_secs_f64() * 1e6;
         self.overhead_us += raw_us / compute_speed.max(1e-6);
@@ -236,6 +254,35 @@ mod tests {
         assert!(cal.graph_action_nodes >= 2);
         assert!(cal.similarity_iterations >= 1);
         assert!(c.overhead_us() > 0.0);
+    }
+
+    #[test]
+    fn calibration_records_engine_run_stats() {
+        let mut c = Calibrator::paper();
+        let p = seeded_profiler();
+        c.recalibrate(0.0, &p, 1.0);
+        let cal = c.calibration().expect("calibrated");
+        assert_eq!(cal.engine_run.sweeps, cal.similarity_iterations);
+        assert!(cal.engine_run.wall_us > 0.0);
+        assert_eq!(cal.engine_run.sweep_us.len(), cal.engine_run.sweeps);
+        assert_eq!(c.engine().stats().runs, 1);
+    }
+
+    #[test]
+    fn serial_and_parallel_engines_calibrate_identically() {
+        let p = seeded_profiler();
+        let mut fast = Calibrator::paper();
+        let mut slow = Calibrator::paper().with_engine(SimilarityEngine::serial());
+        fast.recalibrate(0.0, &p, 1.0);
+        slow.recalibrate(0.0, &p, 1.0);
+        for state in [
+            DeviceState::asleep(),
+            DeviceState::awake(),
+            DeviceState::awake().with_battery(Class::Little),
+        ] {
+            assert_eq!(fast.representative(state), slow.representative(state));
+            assert_eq!(fast.q_preference(state), slow.q_preference(state));
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@ use capman_battery::chemistry::Class;
 use capman_device::fsm::Action;
 use capman_device::states::DeviceState;
 
+use crate::telemetry::CalibrationSample;
+
 /// Everything a (non-clairvoyant) policy can see when deciding.
 #[derive(Debug, Clone)]
 pub struct DecisionContext<'a> {
@@ -82,6 +84,13 @@ pub trait Policy {
     fn recalibrations(&self) -> u64 {
         0
     }
+
+    /// Hand over the calibration events accumulated since the last call
+    /// (the simulator forwards them into [`crate::telemetry::Telemetry`]).
+    /// Policies without background calibration return nothing.
+    fn drain_calibrations(&mut self) -> Vec<CalibrationSample> {
+        Vec::new()
+    }
 }
 
 /// Fallback shared by every dual-cell policy: honour the preferred class
@@ -124,19 +133,31 @@ mod tests {
 
     #[test]
     fn fallback_honours_preference_when_usable() {
-        assert_eq!(usable_or_fallback(Class::Little, &ctx(true, true)), Class::Little);
+        assert_eq!(
+            usable_or_fallback(Class::Little, &ctx(true, true)),
+            Class::Little
+        );
         assert_eq!(usable_or_fallback(Class::Big, &ctx(true, true)), Class::Big);
     }
 
     #[test]
     fn fallback_switches_when_preferred_cell_is_dead() {
-        assert_eq!(usable_or_fallback(Class::Little, &ctx(true, false)), Class::Big);
-        assert_eq!(usable_or_fallback(Class::Big, &ctx(false, true)), Class::Little);
+        assert_eq!(
+            usable_or_fallback(Class::Little, &ctx(true, false)),
+            Class::Big
+        );
+        assert_eq!(
+            usable_or_fallback(Class::Big, &ctx(false, true)),
+            Class::Little
+        );
     }
 
     #[test]
     fn fallback_keeps_preference_when_everything_is_dead() {
-        assert_eq!(usable_or_fallback(Class::Big, &ctx(false, false)), Class::Big);
+        assert_eq!(
+            usable_or_fallback(Class::Big, &ctx(false, false)),
+            Class::Big
+        );
     }
 
     #[test]

@@ -135,11 +135,7 @@ impl Profiler {
 
     /// States that have been visited at least once.
     pub fn visited_states(&self) -> Vec<usize> {
-        let mut seen: Vec<usize> = self
-            .counts
-            .keys()
-            .flat_map(|&(f, _, t)| [f, t])
-            .collect();
+        let mut seen: Vec<usize> = self.counts.keys().flat_map(|&(f, _, t)| [f, t]).collect();
         seen.sort_unstable();
         seen.dedup();
         seen
@@ -206,7 +202,9 @@ mod tests {
         let pred = p.predicted_power_w(awake, Action::AppLaunch);
         assert!(pred.is_some());
         // Truly unseen state gives None.
-        assert!(p.predicted_power_w(awake_little(), Action::AppExit).is_none());
+        assert!(p
+            .predicted_power_w(awake_little(), Action::AppExit)
+            .is_none());
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub fn outcomes_csv(outcomes: &[Outcome]) -> String {
 
 /// Render an outcome's telemetry time series as CSV.
 pub fn telemetry_csv(outcome: &Outcome) -> String {
-    let mut out =
-        String::from("time_s,power_mw,hotspot_c,shell_c,battery_c,big_soc,little_soc,active,tec_on,voltage_v\n");
+    let mut out = String::from(
+        "time_s,power_mw,hotspot_c,shell_c,battery_c,big_soc,little_soc,active,tec_on,voltage_v\n",
+    );
     for s in outcome.telemetry.samples() {
         let _ = writeln!(
             out,

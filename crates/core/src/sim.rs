@@ -131,17 +131,9 @@ impl Simulator {
                 actions: &fired,
                 last_power_w,
                 big_soc: self.pack.big().soc(),
-                little_soc: self
-                    .pack
-                    .little()
-                    .map(|c| c.soc())
-                    .unwrap_or(1.0),
+                little_soc: self.pack.little().map(|c| c.soc()).unwrap_or(1.0),
                 big_usable: self.pack.big().is_usable(),
-                little_usable: self
-                    .pack
-                    .little()
-                    .map(|c| c.is_usable())
-                    .unwrap_or(false),
+                little_usable: self.pack.little().map(|c| c.is_usable()).unwrap_or(false),
                 big_head: self.pack.big().available_head(),
                 little_head: self
                     .pack
@@ -153,6 +145,9 @@ impl Simulator {
                 dual: self.pack.little().is_some(),
             };
             let target = self.policy.decide(&ctx);
+            for cal in self.policy.drain_calibrations() {
+                telemetry.push_calibration(cal);
+            }
             if let Some(switch_action) = actuator.apply(&mut self.pack, target) {
                 state = state.apply(switch_action);
                 fired.push(switch_action);
@@ -170,7 +165,12 @@ impl Simulator {
 
             // 5. TEC physics (pump before integrating the network).
             let tec_step = if tec_on {
-                tec.pump(&mut thermal, NodeId::HotSpot, NodeId::Shell, tec.rated_current_a())
+                tec.pump(
+                    &mut thermal,
+                    NodeId::HotSpot,
+                    NodeId::Shell,
+                    tec.rated_current_a(),
+                )
             } else {
                 TecStep::off()
             };
@@ -196,8 +196,8 @@ impl Simulator {
             thermal.step(dt);
 
             // 8. Bookkeeping.
-            let fail = total_w > 0.0
-                && pstep.shortfall_w > self.config.shortfall_tolerance * total_w;
+            let fail =
+                total_w > 0.0 && pstep.shortfall_w > self.config.shortfall_tolerance * total_w;
             energy_delivered_j += pstep.delivered_w * dt;
             energy_heat_j += pstep.heat_w * dt;
             if !fail {
@@ -267,8 +267,7 @@ impl Simulator {
             }
             let window_full = fail_window.len() == window_len;
             if consecutive_fail_s >= self.config.shortfall_window_s
-                || (window_full
-                    && fails_in_window as f64 / window_len as f64 > FAIL_FRACTION)
+                || (window_full && fails_in_window as f64 / window_len as f64 > FAIL_FRACTION)
             {
                 break EndReason::SustainedShortfall;
             }
@@ -289,14 +288,14 @@ impl Simulator {
             big_active_s: self.pack.big_active_s(),
             little_active_s: self.pack.little_active_s(),
             big_delivered_j: self.pack.big().delivered_j(),
-            little_delivered_j: self
-                .pack
-                .little()
-                .map(|c| c.delivered_j())
-                .unwrap_or(0.0),
+            little_delivered_j: self.pack.little().map(|c| c.delivered_j()).unwrap_or(0.0),
             tec_on_s,
             tec_energy_j,
-            max_hotspot_c: if steps > 0 { max_hotspot_c } else { self.config.ambient_c },
+            max_hotspot_c: if steps > 0 {
+                max_hotspot_c
+            } else {
+                self.config.ambient_c
+            },
             mean_hotspot_c: if steps > 0 {
                 hotspot_sum / steps as f64
             } else {
@@ -387,6 +386,35 @@ mod tests {
         let o = sim.run();
         assert!(o.telemetry.len() >= 10);
         assert!(o.telemetry.mean_power_mw() > 100.0);
+    }
+
+    #[test]
+    fn capman_calibration_telemetry_reaches_the_outcome() {
+        use crate::capman::CapmanPolicy;
+        let trace = generate(WorkloadKind::Pcmark, 3000.0, 5);
+        let config = SimConfig {
+            max_horizon_s: 3000.0,
+            ..SimConfig::paper()
+        };
+        let sim = Simulator::new(
+            PhoneProfile::nexus(),
+            trace,
+            BatteryPack::paper_prototype(),
+            Box::new(CapmanPolicy::new(1.0)),
+            config,
+        );
+        let o = sim.run();
+        assert!(o.recalibrations >= 1, "CAPMAN should calibrate");
+        assert_eq!(
+            o.telemetry.calibrations().len() as u64,
+            o.recalibrations,
+            "every calibration must be drained into telemetry"
+        );
+        for cal in o.telemetry.calibrations() {
+            assert!(cal.sweeps >= 1);
+            assert!(cal.wall_us > 0.0);
+            assert!(cal.graph_action_nodes >= 1);
+        }
     }
 
     #[test]

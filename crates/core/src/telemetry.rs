@@ -1,4 +1,5 @@
-//! Time-series telemetry (the signals behind Figs. 13 and 15).
+//! Time-series telemetry (the signals behind Figs. 13 and 15), plus the
+//! background-calibration event log fed by the similarity engine.
 
 use serde::{Deserialize, Serialize};
 
@@ -29,10 +30,44 @@ pub struct Sample {
     pub voltage_v: f64,
 }
 
+/// One background-calibration event: when it ran and what the similarity
+/// engine did (sweeps, exact EMD solves, memo-cache hits, bound-pruned
+/// pairs, wall time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationSample {
+    /// Simulation time the calibration ran, seconds.
+    pub time_s: f64,
+    /// Fixpoint sweeps of Algorithm 1.
+    pub sweeps: usize,
+    /// Exact SSP solves performed by the engine.
+    pub emd_solves: usize,
+    /// Pairs served from the EMD memo cache.
+    pub cache_hits: usize,
+    /// Pairs decided by the EMD bounds without a solve.
+    pub bound_pruned: usize,
+    /// Wall time of the engine run, microseconds.
+    pub wall_us: f64,
+    /// Action nodes in the pruned calibration graph.
+    pub graph_action_nodes: usize,
+}
+
+impl CalibrationSample {
+    /// Fraction of non-pruned pair evaluations served by the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let looked_up = self.cache_hits + self.emd_solves;
+        if looked_up == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / looked_up as f64
+        }
+    }
+}
+
 /// A sampled time series with summary statistics.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Telemetry {
     samples: Vec<Sample>,
+    calibrations: Vec<CalibrationSample>,
 }
 
 impl Telemetry {
@@ -49,6 +84,25 @@ impl Telemetry {
     /// All samples in time order.
     pub fn samples(&self) -> &[Sample] {
         &self.samples
+    }
+
+    /// Append a background-calibration event.
+    pub fn push_calibration(&mut self, sample: CalibrationSample) {
+        self.calibrations.push(sample);
+    }
+
+    /// All calibration events in time order.
+    pub fn calibrations(&self) -> &[CalibrationSample] {
+        &self.calibrations
+    }
+
+    /// Mean engine wall time per calibration, microseconds (NaN when no
+    /// calibration ran).
+    pub fn mean_calibration_wall_us(&self) -> f64 {
+        if self.calibrations.is_empty() {
+            return f64::NAN;
+        }
+        self.calibrations.iter().map(|c| c.wall_us).sum::<f64>() / self.calibrations.len() as f64
     }
 
     /// Number of samples.
@@ -153,5 +207,34 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.tec_duty(), 0.0);
         assert!(t.mean_power_mw().is_nan());
+        assert!(t.calibrations().is_empty());
+        assert!(t.mean_calibration_wall_us().is_nan());
+    }
+
+    #[test]
+    fn calibration_events_accumulate() {
+        let mut t = Telemetry::new();
+        t.push_calibration(CalibrationSample {
+            time_s: 1200.0,
+            sweeps: 5,
+            emd_solves: 40,
+            cache_hits: 60,
+            bound_pruned: 10,
+            wall_us: 300.0,
+            graph_action_nodes: 8,
+        });
+        t.push_calibration(CalibrationSample {
+            time_s: 2400.0,
+            sweeps: 3,
+            emd_solves: 0,
+            cache_hits: 100,
+            bound_pruned: 10,
+            wall_us: 100.0,
+            graph_action_nodes: 8,
+        });
+        assert_eq!(t.calibrations().len(), 2);
+        assert!((t.mean_calibration_wall_us() - 200.0).abs() < 1e-9);
+        assert!((t.calibrations()[0].cache_hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(t.calibrations()[1].cache_hit_rate(), 1.0);
     }
 }

@@ -343,10 +343,11 @@ mod tests {
                 },
             )
         };
-        assert!((at(WifiState::Access, constants::WIFI_REF_ACCESS_PPS)
-            - constants::WIFI_ACCESS_MW)
-            .abs()
-            < 1e-9);
+        assert!(
+            (at(WifiState::Access, constants::WIFI_REF_ACCESS_PPS) - constants::WIFI_ACCESS_MW)
+                .abs()
+                < 1e-9
+        );
         assert!(
             (at(WifiState::Send, constants::WIFI_REF_SEND_PPS) - constants::WIFI_SEND_MW).abs()
                 < 1e-9
@@ -394,8 +395,7 @@ mod tests {
     fn suspended_phone_draws_floor_power() {
         let m = PowerModel::calibrated(8, 1.0);
         let p = m.device_power_mw(&DeviceState::asleep(), &Demand::default());
-        let expected =
-            constants::CPU_SLEEP_MW + constants::SCREEN_OFF_MW + constants::WIFI_IDLE_MW;
+        let expected = constants::CPU_SLEEP_MW + constants::SCREEN_OFF_MW + constants::WIFI_IDLE_MW;
         assert!((p - expected).abs() < 1e-9);
     }
 

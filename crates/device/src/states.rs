@@ -151,9 +151,17 @@ impl DeviceState {
     /// Panics if `index >= STATE_COUNT`.
     pub fn from_index(index: usize) -> Self {
         assert!(index < STATE_COUNT, "state index out of range: {index}");
-        let battery = if index.is_multiple_of(2) { Class::Big } else { Class::Little };
+        let battery = if index.is_multiple_of(2) {
+            Class::Big
+        } else {
+            Class::Little
+        };
         let rest = index / 2;
-        let tec = if rest.is_multiple_of(2) { TecState::Off } else { TecState::On };
+        let tec = if rest.is_multiple_of(2) {
+            TecState::Off
+        } else {
+            TecState::On
+        };
         let rest = rest / 2;
         let wifi = WifiState::ALL[rest % 3];
         let rest = rest / 3;

@@ -28,126 +28,293 @@ macro_rules! syscalls {
 /// observed, with its action class.
 pub const SYSCALL_TABLE: &[Syscall] = syscalls![
     // -- process / scheduling (keep the CPU busy) --------------------
-    ("fork", CpuBusy), ("vfork", CpuBusy), ("clone", AppLaunch),
-    ("execve", AppLaunch), ("execveat", AppLaunch), ("exit", AppExit),
-    ("exit_group", AppExit), ("wait4", CpuIdle), ("waitid", CpuIdle),
-    ("kill", CpuBusy), ("tkill", CpuBusy), ("tgkill", CpuBusy),
-    ("getpid", CpuBusy), ("getppid", CpuBusy), ("gettid", CpuBusy),
-    ("sched_yield", CpuIdle), ("sched_setaffinity", CpuBusy),
-    ("sched_getaffinity", CpuBusy), ("sched_setscheduler", CpuBusy),
-    ("sched_getscheduler", CpuBusy), ("sched_setparam", CpuBusy),
-    ("sched_getparam", CpuBusy), ("sched_get_priority_max", CpuBusy),
-    ("sched_get_priority_min", CpuBusy), ("setpriority", CpuBusy),
-    ("getpriority", CpuBusy), ("prctl", CpuBusy), ("arch_prctl", CpuBusy),
-    ("ptrace", CpuBusy), ("seccomp", CpuBusy), ("unshare", CpuBusy),
-    ("setns", CpuBusy), ("capget", CpuBusy), ("capset", CpuBusy),
-    ("personality", CpuBusy), ("prlimit64", CpuBusy),
-    ("getrlimit", CpuBusy), ("setrlimit", CpuBusy), ("getrusage", CpuBusy),
+    ("fork", CpuBusy),
+    ("vfork", CpuBusy),
+    ("clone", AppLaunch),
+    ("execve", AppLaunch),
+    ("execveat", AppLaunch),
+    ("exit", AppExit),
+    ("exit_group", AppExit),
+    ("wait4", CpuIdle),
+    ("waitid", CpuIdle),
+    ("kill", CpuBusy),
+    ("tkill", CpuBusy),
+    ("tgkill", CpuBusy),
+    ("getpid", CpuBusy),
+    ("getppid", CpuBusy),
+    ("gettid", CpuBusy),
+    ("sched_yield", CpuIdle),
+    ("sched_setaffinity", CpuBusy),
+    ("sched_getaffinity", CpuBusy),
+    ("sched_setscheduler", CpuBusy),
+    ("sched_getscheduler", CpuBusy),
+    ("sched_setparam", CpuBusy),
+    ("sched_getparam", CpuBusy),
+    ("sched_get_priority_max", CpuBusy),
+    ("sched_get_priority_min", CpuBusy),
+    ("setpriority", CpuBusy),
+    ("getpriority", CpuBusy),
+    ("prctl", CpuBusy),
+    ("arch_prctl", CpuBusy),
+    ("ptrace", CpuBusy),
+    ("seccomp", CpuBusy),
+    ("unshare", CpuBusy),
+    ("setns", CpuBusy),
+    ("capget", CpuBusy),
+    ("capset", CpuBusy),
+    ("personality", CpuBusy),
+    ("prlimit64", CpuBusy),
+    ("getrlimit", CpuBusy),
+    ("setrlimit", CpuBusy),
+    ("getrusage", CpuBusy),
     // -- memory -------------------------------------------------------
-    ("mmap", CpuBusy), ("mmap2", CpuBusy), ("munmap", CpuBusy),
-    ("mprotect", CpuBusy), ("mremap", CpuBusy), ("msync", CpuBusy),
-    ("madvise", CpuBusy), ("mincore", CpuBusy), ("mlock", CpuBusy),
-    ("munlock", CpuBusy), ("mlockall", CpuBusy), ("munlockall", CpuBusy),
-    ("brk", CpuBusy), ("membarrier", CpuBusy), ("memfd_create", CpuBusy),
-    ("shmget", CpuBusy), ("shmat", CpuBusy), ("shmdt", CpuBusy),
-    ("shmctl", CpuBusy), ("remap_file_pages", CpuBusy),
+    ("mmap", CpuBusy),
+    ("mmap2", CpuBusy),
+    ("munmap", CpuBusy),
+    ("mprotect", CpuBusy),
+    ("mremap", CpuBusy),
+    ("msync", CpuBusy),
+    ("madvise", CpuBusy),
+    ("mincore", CpuBusy),
+    ("mlock", CpuBusy),
+    ("munlock", CpuBusy),
+    ("mlockall", CpuBusy),
+    ("munlockall", CpuBusy),
+    ("brk", CpuBusy),
+    ("membarrier", CpuBusy),
+    ("memfd_create", CpuBusy),
+    ("shmget", CpuBusy),
+    ("shmat", CpuBusy),
+    ("shmdt", CpuBusy),
+    ("shmctl", CpuBusy),
+    ("remap_file_pages", CpuBusy),
     // -- files --------------------------------------------------------
-    ("open", CpuBusy), ("openat", CpuBusy), ("openat2", CpuBusy),
-    ("close", CpuBusy), ("creat", CpuBusy), ("read", CpuBusy),
-    ("write", CpuBusy), ("pread64", CpuBusy), ("pwrite64", CpuBusy),
-    ("readv", CpuBusy), ("writev", CpuBusy), ("preadv", CpuBusy),
-    ("pwritev", CpuBusy), ("lseek", CpuBusy), ("stat", CpuBusy),
-    ("fstat", CpuBusy), ("lstat", CpuBusy), ("newfstatat", CpuBusy),
-    ("statx", CpuBusy), ("access", CpuBusy), ("faccessat", CpuBusy),
-    ("dup", CpuBusy), ("dup2", CpuBusy), ("dup3", CpuBusy),
-    ("fcntl", CpuBusy), ("flock", CpuBusy), ("fsync", CpuBusy),
-    ("fdatasync", CpuBusy), ("sync", CpuBusy), ("syncfs", CpuBusy),
-    ("truncate", CpuBusy), ("ftruncate", CpuBusy), ("fallocate", CpuBusy),
-    ("rename", CpuBusy), ("renameat", CpuBusy), ("renameat2", CpuBusy),
-    ("mkdir", CpuBusy), ("mkdirat", CpuBusy), ("rmdir", CpuBusy),
-    ("unlink", CpuBusy), ("unlinkat", CpuBusy), ("link", CpuBusy),
-    ("linkat", CpuBusy), ("symlink", CpuBusy), ("symlinkat", CpuBusy),
-    ("readlink", CpuBusy), ("readlinkat", CpuBusy), ("chmod", CpuBusy),
-    ("fchmod", CpuBusy), ("fchmodat", CpuBusy), ("chown", CpuBusy),
-    ("fchown", CpuBusy), ("fchownat", CpuBusy), ("lchown", CpuBusy),
-    ("umask", CpuBusy), ("getdents", CpuBusy), ("getdents64", CpuBusy),
-    ("getcwd", CpuBusy), ("chdir", CpuBusy), ("fchdir", CpuBusy),
-    ("chroot", CpuBusy), ("statfs", CpuBusy), ("fstatfs", CpuBusy),
-    ("utimensat", CpuBusy), ("futimesat", CpuBusy), ("utimes", CpuBusy),
-    ("sendfile", CpuBusy), ("splice", CpuBusy), ("tee", CpuBusy),
-    ("vmsplice", CpuBusy), ("copy_file_range", CpuBusy),
-    ("inotify_init", CpuBusy), ("inotify_init1", CpuBusy),
-    ("inotify_add_watch", CpuBusy), ("inotify_rm_watch", CpuBusy),
-    ("fanotify_init", CpuBusy), ("fanotify_mark", CpuBusy),
-    ("name_to_handle_at", CpuBusy), ("open_by_handle_at", CpuBusy),
-    ("ioprio_set", CpuBusy), ("ioprio_get", CpuBusy),
-    ("io_setup", CpuBusy), ("io_destroy", CpuBusy), ("io_submit", CpuBusy),
-    ("io_getevents", CpuBusy), ("io_cancel", CpuBusy),
-    ("io_uring_setup", CpuBusy), ("io_uring_enter", CpuBusy),
+    ("open", CpuBusy),
+    ("openat", CpuBusy),
+    ("openat2", CpuBusy),
+    ("close", CpuBusy),
+    ("creat", CpuBusy),
+    ("read", CpuBusy),
+    ("write", CpuBusy),
+    ("pread64", CpuBusy),
+    ("pwrite64", CpuBusy),
+    ("readv", CpuBusy),
+    ("writev", CpuBusy),
+    ("preadv", CpuBusy),
+    ("pwritev", CpuBusy),
+    ("lseek", CpuBusy),
+    ("stat", CpuBusy),
+    ("fstat", CpuBusy),
+    ("lstat", CpuBusy),
+    ("newfstatat", CpuBusy),
+    ("statx", CpuBusy),
+    ("access", CpuBusy),
+    ("faccessat", CpuBusy),
+    ("dup", CpuBusy),
+    ("dup2", CpuBusy),
+    ("dup3", CpuBusy),
+    ("fcntl", CpuBusy),
+    ("flock", CpuBusy),
+    ("fsync", CpuBusy),
+    ("fdatasync", CpuBusy),
+    ("sync", CpuBusy),
+    ("syncfs", CpuBusy),
+    ("truncate", CpuBusy),
+    ("ftruncate", CpuBusy),
+    ("fallocate", CpuBusy),
+    ("rename", CpuBusy),
+    ("renameat", CpuBusy),
+    ("renameat2", CpuBusy),
+    ("mkdir", CpuBusy),
+    ("mkdirat", CpuBusy),
+    ("rmdir", CpuBusy),
+    ("unlink", CpuBusy),
+    ("unlinkat", CpuBusy),
+    ("link", CpuBusy),
+    ("linkat", CpuBusy),
+    ("symlink", CpuBusy),
+    ("symlinkat", CpuBusy),
+    ("readlink", CpuBusy),
+    ("readlinkat", CpuBusy),
+    ("chmod", CpuBusy),
+    ("fchmod", CpuBusy),
+    ("fchmodat", CpuBusy),
+    ("chown", CpuBusy),
+    ("fchown", CpuBusy),
+    ("fchownat", CpuBusy),
+    ("lchown", CpuBusy),
+    ("umask", CpuBusy),
+    ("getdents", CpuBusy),
+    ("getdents64", CpuBusy),
+    ("getcwd", CpuBusy),
+    ("chdir", CpuBusy),
+    ("fchdir", CpuBusy),
+    ("chroot", CpuBusy),
+    ("statfs", CpuBusy),
+    ("fstatfs", CpuBusy),
+    ("utimensat", CpuBusy),
+    ("futimesat", CpuBusy),
+    ("utimes", CpuBusy),
+    ("sendfile", CpuBusy),
+    ("splice", CpuBusy),
+    ("tee", CpuBusy),
+    ("vmsplice", CpuBusy),
+    ("copy_file_range", CpuBusy),
+    ("inotify_init", CpuBusy),
+    ("inotify_init1", CpuBusy),
+    ("inotify_add_watch", CpuBusy),
+    ("inotify_rm_watch", CpuBusy),
+    ("fanotify_init", CpuBusy),
+    ("fanotify_mark", CpuBusy),
+    ("name_to_handle_at", CpuBusy),
+    ("open_by_handle_at", CpuBusy),
+    ("ioprio_set", CpuBusy),
+    ("ioprio_get", CpuBusy),
+    ("io_setup", CpuBusy),
+    ("io_destroy", CpuBusy),
+    ("io_submit", CpuBusy),
+    ("io_getevents", CpuBusy),
+    ("io_cancel", CpuBusy),
+    ("io_uring_setup", CpuBusy),
+    ("io_uring_enter", CpuBusy),
     ("io_uring_register", CpuBusy),
     // -- polling / waiting (idle the CPU) -------------------------------
-    ("poll", CpuIdle), ("ppoll", CpuIdle), ("select", CpuIdle),
-    ("pselect6", CpuIdle), ("epoll_create", CpuBusy),
-    ("epoll_create1", CpuBusy), ("epoll_ctl", CpuBusy),
-    ("epoll_wait", CpuIdle), ("epoll_pwait", CpuIdle),
-    ("nanosleep", CpuDeepIdle), ("clock_nanosleep", CpuDeepIdle),
-    ("pause", CpuDeepIdle), ("futex", CpuIdle), ("futex_waitv", CpuIdle),
-    ("eventfd", CpuBusy), ("eventfd2", CpuBusy),
-    ("timerfd_create", CpuBusy), ("timerfd_settime", TimerTick),
-    ("timerfd_gettime", TimerTick), ("timer_create", TimerTick),
-    ("timer_settime", TimerTick), ("timer_gettime", TimerTick),
-    ("timer_delete", TimerTick), ("alarm", TimerTick),
-    ("getitimer", TimerTick), ("setitimer", TimerTick),
-    ("clock_gettime", TimerTick), ("clock_settime", TimerTick),
-    ("clock_getres", TimerTick), ("gettimeofday", TimerTick),
-    ("settimeofday", TimerTick), ("time", TimerTick), ("times", TimerTick),
+    ("poll", CpuIdle),
+    ("ppoll", CpuIdle),
+    ("select", CpuIdle),
+    ("pselect6", CpuIdle),
+    ("epoll_create", CpuBusy),
+    ("epoll_create1", CpuBusy),
+    ("epoll_ctl", CpuBusy),
+    ("epoll_wait", CpuIdle),
+    ("epoll_pwait", CpuIdle),
+    ("nanosleep", CpuDeepIdle),
+    ("clock_nanosleep", CpuDeepIdle),
+    ("pause", CpuDeepIdle),
+    ("futex", CpuIdle),
+    ("futex_waitv", CpuIdle),
+    ("eventfd", CpuBusy),
+    ("eventfd2", CpuBusy),
+    ("timerfd_create", CpuBusy),
+    ("timerfd_settime", TimerTick),
+    ("timerfd_gettime", TimerTick),
+    ("timer_create", TimerTick),
+    ("timer_settime", TimerTick),
+    ("timer_gettime", TimerTick),
+    ("timer_delete", TimerTick),
+    ("alarm", TimerTick),
+    ("getitimer", TimerTick),
+    ("setitimer", TimerTick),
+    ("clock_gettime", TimerTick),
+    ("clock_settime", TimerTick),
+    ("clock_getres", TimerTick),
+    ("gettimeofday", TimerTick),
+    ("settimeofday", TimerTick),
+    ("time", TimerTick),
+    ("times", TimerTick),
     // -- signals --------------------------------------------------------
-    ("rt_sigaction", CpuBusy), ("rt_sigprocmask", CpuBusy),
-    ("rt_sigreturn", CpuBusy), ("rt_sigpending", CpuBusy),
-    ("rt_sigtimedwait", CpuIdle), ("rt_sigqueueinfo", CpuBusy),
-    ("rt_sigsuspend", CpuDeepIdle), ("sigaltstack", CpuBusy),
-    ("signalfd", CpuBusy), ("signalfd4", CpuBusy),
+    ("rt_sigaction", CpuBusy),
+    ("rt_sigprocmask", CpuBusy),
+    ("rt_sigreturn", CpuBusy),
+    ("rt_sigpending", CpuBusy),
+    ("rt_sigtimedwait", CpuIdle),
+    ("rt_sigqueueinfo", CpuBusy),
+    ("rt_sigsuspend", CpuDeepIdle),
+    ("sigaltstack", CpuBusy),
+    ("signalfd", CpuBusy),
+    ("signalfd4", CpuBusy),
     // -- network (drive the WiFi states) --------------------------------
-    ("socket", NetReceiveStart), ("socketpair", CpuBusy),
-    ("connect", NetReceiveStart), ("accept", NetReceiveStart),
-    ("accept4", NetReceiveStart), ("bind", CpuBusy), ("listen", CpuBusy),
-    ("recvfrom", NetReceiveStart), ("recvmsg", NetReceiveStart),
-    ("recvmmsg", NetReceiveStart), ("sendto", NetSendStart),
-    ("sendmsg", NetSendStart), ("sendmmsg", NetSendStart),
-    ("shutdown", NetStop), ("getsockname", CpuBusy),
-    ("getpeername", CpuBusy), ("getsockopt", CpuBusy),
+    ("socket", NetReceiveStart),
+    ("socketpair", CpuBusy),
+    ("connect", NetReceiveStart),
+    ("accept", NetReceiveStart),
+    ("accept4", NetReceiveStart),
+    ("bind", CpuBusy),
+    ("listen", CpuBusy),
+    ("recvfrom", NetReceiveStart),
+    ("recvmsg", NetReceiveStart),
+    ("recvmmsg", NetReceiveStart),
+    ("sendto", NetSendStart),
+    ("sendmsg", NetSendStart),
+    ("sendmmsg", NetSendStart),
+    ("shutdown", NetStop),
+    ("getsockname", CpuBusy),
+    ("getpeername", CpuBusy),
+    ("getsockopt", CpuBusy),
     ("setsockopt", CpuBusy),
     // -- Android binder / power management -------------------------------
-    ("binder_transaction", AppLaunch), ("binder_reply", CpuBusy),
-    ("binder_thread_write", CpuBusy), ("binder_thread_read", CpuIdle),
-    ("wakelock_acquire", Wake), ("wakelock_release", Suspend),
-    ("autosleep_enter", Suspend), ("autosleep_exit", Wake),
-    ("display_on", ScreenOn), ("display_off", ScreenOff),
-    ("backlight_set", ScreenOn), ("input_event", ScreenOn),
-    ("sensor_batch", CpuBusy), ("sensor_flush", CpuBusy),
-    ("vibrator_on", CpuBusy), ("vibrator_off", CpuBusy),
-    ("thermal_throttle", TecOn), ("thermal_clear", TecOff),
+    ("binder_transaction", AppLaunch),
+    ("binder_reply", CpuBusy),
+    ("binder_thread_write", CpuBusy),
+    ("binder_thread_read", CpuIdle),
+    ("wakelock_acquire", Wake),
+    ("wakelock_release", Suspend),
+    ("autosleep_enter", Suspend),
+    ("autosleep_exit", Wake),
+    ("display_on", ScreenOn),
+    ("display_off", ScreenOff),
+    ("backlight_set", ScreenOn),
+    ("input_event", ScreenOn),
+    ("sensor_batch", CpuBusy),
+    ("sensor_flush", CpuBusy),
+    ("vibrator_on", CpuBusy),
+    ("vibrator_off", CpuBusy),
+    ("thermal_throttle", TecOn),
+    ("thermal_clear", TecOff),
     ("battery_switch_big", SwitchToBig),
     ("battery_switch_little", SwitchToLittle),
     // -- misc -------------------------------------------------------------
-    ("uname", CpuBusy), ("sysinfo", CpuBusy), ("syslog", CpuBusy),
-    ("getrandom", CpuBusy), ("perf_event_open", CpuBusy),
-    ("getcpu", CpuBusy), ("ioctl", CpuBusy), ("pipe", CpuBusy),
-    ("pipe2", CpuBusy), ("getuid", CpuBusy), ("geteuid", CpuBusy),
-    ("getgid", CpuBusy), ("getegid", CpuBusy), ("setuid", CpuBusy),
-    ("setgid", CpuBusy), ("setreuid", CpuBusy), ("setregid", CpuBusy),
-    ("setresuid", CpuBusy), ("setresgid", CpuBusy), ("getresuid", CpuBusy),
-    ("getresgid", CpuBusy), ("setsid", CpuBusy), ("getsid", CpuBusy),
-    ("setpgid", CpuBusy), ("getpgid", CpuBusy), ("getpgrp", CpuBusy),
-    ("getgroups", CpuBusy), ("setgroups", CpuBusy), ("mount", CpuBusy),
-    ("umount2", CpuBusy), ("swapon", CpuBusy), ("swapoff", CpuBusy),
-    ("reboot", Suspend), ("kexec_load", CpuBusy), ("init_module", CpuBusy),
-    ("delete_module", CpuBusy), ("quotactl", CpuBusy), ("acct", CpuBusy),
-    ("add_key", CpuBusy), ("request_key", CpuBusy), ("keyctl", CpuBusy),
-    ("bpf", CpuBusy), ("userfaultfd", CpuBusy), ("pkey_alloc", CpuBusy),
-    ("pkey_free", CpuBusy), ("pkey_mprotect", CpuBusy),
-    ("process_vm_readv", CpuBusy), ("process_vm_writev", CpuBusy),
-    ("kcmp", CpuBusy), ("rseq", CpuBusy), ("gettimeofday_vdso", TimerTick),
+    ("uname", CpuBusy),
+    ("sysinfo", CpuBusy),
+    ("syslog", CpuBusy),
+    ("getrandom", CpuBusy),
+    ("perf_event_open", CpuBusy),
+    ("getcpu", CpuBusy),
+    ("ioctl", CpuBusy),
+    ("pipe", CpuBusy),
+    ("pipe2", CpuBusy),
+    ("getuid", CpuBusy),
+    ("geteuid", CpuBusy),
+    ("getgid", CpuBusy),
+    ("getegid", CpuBusy),
+    ("setuid", CpuBusy),
+    ("setgid", CpuBusy),
+    ("setreuid", CpuBusy),
+    ("setregid", CpuBusy),
+    ("setresuid", CpuBusy),
+    ("setresgid", CpuBusy),
+    ("getresuid", CpuBusy),
+    ("getresgid", CpuBusy),
+    ("setsid", CpuBusy),
+    ("getsid", CpuBusy),
+    ("setpgid", CpuBusy),
+    ("getpgid", CpuBusy),
+    ("getpgrp", CpuBusy),
+    ("getgroups", CpuBusy),
+    ("setgroups", CpuBusy),
+    ("mount", CpuBusy),
+    ("umount2", CpuBusy),
+    ("swapon", CpuBusy),
+    ("swapoff", CpuBusy),
+    ("reboot", Suspend),
+    ("kexec_load", CpuBusy),
+    ("init_module", CpuBusy),
+    ("delete_module", CpuBusy),
+    ("quotactl", CpuBusy),
+    ("acct", CpuBusy),
+    ("add_key", CpuBusy),
+    ("request_key", CpuBusy),
+    ("keyctl", CpuBusy),
+    ("bpf", CpuBusy),
+    ("userfaultfd", CpuBusy),
+    ("pkey_alloc", CpuBusy),
+    ("pkey_free", CpuBusy),
+    ("pkey_mprotect", CpuBusy),
+    ("process_vm_readv", CpuBusy),
+    ("process_vm_writev", CpuBusy),
+    ("kcmp", CpuBusy),
+    ("rseq", CpuBusy),
+    ("gettimeofday_vdso", TimerTick),
 ];
 
 /// Classify a raw call name into its action class, if recorded.
@@ -190,7 +357,10 @@ mod tests {
         assert_eq!(classify("sendto"), Some(Action::NetSendStart));
         assert_eq!(classify("display_on"), Some(Action::ScreenOn));
         assert_eq!(classify("nanosleep"), Some(Action::CpuDeepIdle));
-        assert_eq!(classify("battery_switch_little"), Some(Action::SwitchToLittle));
+        assert_eq!(
+            classify("battery_switch_little"),
+            Some(Action::SwitchToLittle)
+        );
     }
 
     #[test]
@@ -202,10 +372,7 @@ mod tests {
     fn every_action_class_is_reachable_from_some_syscall() {
         let classes: HashSet<_> = SYSCALL_TABLE.iter().map(|s| s.action).collect();
         for &action in &Action::ALL {
-            assert!(
-                classes.contains(&action),
-                "no syscall maps to {action:?}"
-            );
+            assert!(classes.contains(&action), "no syscall maps to {action:?}");
         }
     }
 }

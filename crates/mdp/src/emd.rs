@@ -139,6 +139,106 @@ impl Ord for OrderedF64 {
     }
 }
 
+/// Cheap lower/upper bounds on [`emd`], used by the similarity engine to
+/// skip exact solves whose outcome is already decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmdBounds {
+    /// No transport plan can cost less than this.
+    pub lower: f64,
+    /// Some feasible transport plan costs at most this.
+    pub upper: f64,
+}
+
+/// Lower and upper bounds on the EMD without solving the flow problem.
+///
+/// After normalisation, at least the total-variation mass
+/// `tv = sum_i max(p_i - q_i, 0)` must move between distinct indices, so
+/// `tv` times the smallest cross-support ground distance is a lower
+/// bound. Keeping the overlap `min(p_i, q_i)` in place and shipping the
+/// excess to the deficits along the most expensive excess-to-deficit
+/// pair is feasible, giving the upper bound. Both bounds are valid for
+/// any non-negative ground distance; no metric assumptions are made.
+///
+/// # Panics
+///
+/// See [`emd`].
+pub fn emd_bounds(p: &[f64], q: &[f64], dist: impl Fn(usize, usize) -> f64) -> EmdBounds {
+    let supp_p: Vec<usize> = (0..p.len()).filter(|&i| p[i] > 0.0).collect();
+    let supp_q: Vec<usize> = (0..q.len()).filter(|&j| q[j] > 0.0).collect();
+    emd_bounds_on_support(p, q, &supp_p, &supp_q, dist)
+}
+
+/// Like [`emd_bounds`], with the support index sets precomputed by the
+/// caller (the engine computes them once per graph, not once per pair).
+///
+/// `supp_p` / `supp_q` must list exactly the indices with positive mass.
+///
+/// # Panics
+///
+/// See [`emd`].
+pub fn emd_bounds_on_support(
+    p: &[f64],
+    q: &[f64],
+    supp_p: &[usize],
+    supp_q: &[usize],
+    dist: impl Fn(usize, usize) -> f64,
+) -> EmdBounds {
+    assert_eq!(p.len(), q.len(), "distributions must share an index space");
+    let sum_p: f64 = supp_p.iter().map(|&i| p[i]).sum();
+    let sum_q: f64 = supp_q.iter().map(|&j| q[j]).sum();
+    if sum_p <= 0.0 || sum_q <= 0.0 {
+        return EmdBounds {
+            lower: 0.0,
+            upper: 0.0,
+        };
+    }
+
+    // Total variation distance and the cost of leaving the overlap in
+    // place (free when the ground distance vanishes on the diagonal).
+    let mut tv = 0.0;
+    let mut diag_cost = 0.0;
+    for &i in supp_p {
+        let pn = p[i] / sum_p;
+        let qn = q[i] / sum_q;
+        tv += (pn - qn).max(0.0);
+        if qn > 0.0 {
+            let d = dist(i, i);
+            assert!(d >= 0.0, "ground distance must be non-negative");
+            diag_cost += pn.min(qn) * d;
+        }
+    }
+
+    // Lower bound: tv mass must cross between distinct indices, each
+    // step costing at least the cheapest cross-support distance.
+    let mut min_cross = f64::INFINITY;
+    // Upper bound: ship the excess to the deficits; no pairing costs
+    // more than the dearest excess-to-deficit distance.
+    let mut max_move = 0.0_f64;
+    for &i in supp_p {
+        let excess = p[i] / sum_p - q[i] / sum_q;
+        for &j in supp_q {
+            if i == j {
+                continue;
+            }
+            let d = dist(i, j);
+            assert!(d >= 0.0, "ground distance must be non-negative");
+            if d < min_cross {
+                min_cross = d;
+            }
+            if excess > 0.0 && q[j] / sum_q > p[j] / sum_p && d > max_move {
+                max_move = d;
+            }
+        }
+    }
+    if !min_cross.is_finite() {
+        min_cross = 0.0;
+    }
+    EmdBounds {
+        lower: tv * min_cross,
+        upper: diag_cost + tv * max_move,
+    }
+}
+
 /// The Earth Mover's Distance between two distributions over the same
 /// index space, with `dist(i, j)` as the ground distance.
 ///
@@ -304,6 +404,50 @@ mod tests {
             }
         };
         assert!((emd(&p, &q, d) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_bracket_exact_distance() {
+        let cases: [(&[f64], &[f64]); 4] = [
+            (&[0.2, 0.5, 0.3], &[0.1, 0.6, 0.3]),
+            (&[1.0, 0.0, 0.0, 0.0], &[0.0, 0.0, 0.0, 1.0]),
+            (&[0.5, 0.5, 0.0], &[0.0, 0.5, 0.5]),
+            (&[2.0, 0.0, 1.0], &[0.0, 6.0, 0.0]),
+        ];
+        for (p, q) in cases {
+            let exact = emd(p, q, l1);
+            let b = emd_bounds(p, q, l1);
+            assert!(
+                b.lower <= exact + 1e-12 && exact <= b.upper + 1e-12,
+                "bounds [{}, {}] must bracket {exact}",
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_are_tight_for_point_masses() {
+        let p = [1.0, 0.0, 0.0, 0.0];
+        let q = [0.0, 0.0, 0.0, 1.0];
+        let b = emd_bounds(&p, &q, l1);
+        assert!((b.lower - 3.0).abs() < 1e-12);
+        assert!((b.upper - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_collapse_for_identical_distributions() {
+        let p = [0.2, 0.5, 0.3];
+        let b = emd_bounds(&p, &p, l1);
+        assert_eq!(b.lower, 0.0);
+        assert!(b.upper < 1e-12);
+    }
+
+    #[test]
+    fn bounds_handle_empty_distributions() {
+        let b = emd_bounds(&[0.0, 0.0], &[0.5, 0.5], l1);
+        assert_eq!(b.lower, 0.0);
+        assert_eq!(b.upper, 0.0);
     }
 
     #[test]

@@ -24,11 +24,7 @@ pub fn hausdorff(xs: &[usize], ys: &[usize], dist: impl Fn(usize, usize) -> f64)
     }
     let directed = |from: &[usize], to: &[usize]| -> f64 {
         from.iter()
-            .map(|&x| {
-                to.iter()
-                    .map(|&y| dist(x, y))
-                    .fold(f64::INFINITY, f64::min)
-            })
+            .map(|&x| to.iter().map(|&y| dist(x, y)).fold(f64::INFINITY, f64::min))
             .fold(0.0, f64::max)
     };
     directed(xs, ys).max(directed(ys, xs))

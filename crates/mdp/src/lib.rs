@@ -21,6 +21,9 @@
 //!   min-cost flow (the paper's SSP subroutine).
 //! * [`hausdorff`] — Hausdorff distance between node sets.
 //! * [`similarity`] — Algorithm 1 and the value-difference bound.
+//! * [`engine`] — the parallel, memoized similarity engine: the same
+//!   fixpoint with row-parallel sweeps, an EMD memo cache, and
+//!   bound-based pruning of exact EMD solves.
 //! * [`abstraction`] — similarity-threshold state aggregation used by the
 //!   online scheduler to reuse decisions.
 //!
@@ -43,6 +46,7 @@
 
 pub mod abstraction;
 pub mod emd;
+pub mod engine;
 pub mod graph;
 pub mod hausdorff;
 pub mod matrix;
@@ -52,6 +56,7 @@ pub mod qlearning;
 pub mod similarity;
 pub mod value_iteration;
 
+pub use engine::{EngineStats, ExecutionMode, RunStats, SimilarityEngine};
 pub use graph::MdpGraph;
 pub use matrix::SquareMatrix;
 pub use mdp::{Mdp, MdpBuilder};

@@ -67,6 +67,38 @@ impl SquareMatrix {
             .fold(0.0, f64::max)
     }
 
+    /// The backing row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the backing row-major storage, for row-chunked
+    /// writers (the parallel similarity engine fills disjoint row
+    /// slices concurrently).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "index out of bounds");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Copy every element above the diagonal onto its transpose slot,
+    /// making the matrix symmetric from upper-triangle-only writes.
+    pub fn mirror_upper_to_lower(&mut self) {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                self.data[j * self.n + i] = self.data[i * self.n + j];
+            }
+        }
+    }
+
     /// Whether every element lies in `[lo, hi]`.
     pub fn all_within(&self, lo: f64, hi: f64) -> bool {
         self.data.iter().all(|&x| x >= lo && x <= hi)

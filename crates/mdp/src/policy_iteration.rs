@@ -35,8 +35,7 @@ pub fn policy_iteration(mdp: &Mdp, rho: f64, eps: f64) -> PolicyIterationResult 
     assert!(eps > 0.0, "precision must be positive");
     let n = mdp.n_states();
     // Initial policy: the first available action everywhere.
-    let mut policy: Vec<Option<usize>> =
-        (0..n).map(|s| mdp.available_actions(s).next()).collect();
+    let mut policy: Vec<Option<usize>> = (0..n).map(|s| mdp.available_actions(s).next()).collect();
     let mut rounds = 0;
     loop {
         rounds += 1;

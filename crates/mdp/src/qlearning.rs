@@ -65,8 +65,18 @@ impl QLearning {
     /// # Panics
     ///
     /// Panics if an index is out of range or `reward` is not finite.
-    pub fn update(&mut self, state: usize, action: usize, reward: f64, next: usize, terminal: bool) {
-        assert!(state < self.n_states && next < self.n_states, "state out of range");
+    pub fn update(
+        &mut self,
+        state: usize,
+        action: usize,
+        reward: f64,
+        next: usize,
+        terminal: bool,
+    ) {
+        assert!(
+            state < self.n_states && next < self.n_states,
+            "state out of range"
+        );
         assert!(action < self.n_actions, "action out of range");
         assert!(reward.is_finite(), "reward must be finite");
         let bootstrap = if terminal { 0.0 } else { self.max_q(next) };
@@ -82,7 +92,10 @@ impl QLearning {
     ///
     /// Panics if an index is out of range.
     pub fn q(&self, state: usize, action: usize) -> f64 {
-        assert!(state < self.n_states && action < self.n_actions, "index out of range");
+        assert!(
+            state < self.n_states && action < self.n_actions,
+            "index out of range"
+        );
         self.q[state * self.n_actions + action]
     }
 
@@ -112,7 +125,13 @@ impl QLearning {
     ///
     /// Panics if the uniform samples are outside `[0, 1)` or `epsilon`
     /// is outside `[0, 1]`.
-    pub fn select_action(&self, state: usize, epsilon: f64, u_explore: f64, u_action: f64) -> usize {
+    pub fn select_action(
+        &self,
+        state: usize,
+        epsilon: f64,
+        u_explore: f64,
+        u_action: f64,
+    ) -> usize {
         assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
         assert!((0.0..1.0).contains(&u_explore) && (0.0..1.0).contains(&u_action));
         if u_explore < epsilon {

@@ -65,7 +65,7 @@ impl SimilarityParams {
         }
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.c_s > 0.0 && self.c_s <= 1.0, "C_S must be in (0, 1]");
         assert!(self.c_a > 0.0 && self.c_a < 1.0, "C_A must be in (0, 1)");
         assert!(
@@ -213,7 +213,7 @@ pub fn structural_similarity(graph: &MdpGraph, params: &SimilarityParams) -> Sim
 }
 
 /// Eq. (3): fix the similarity entries involving absorbing states.
-fn apply_base_cases(graph: &MdpGraph, params: &SimilarityParams, s: &mut SquareMatrix) {
+pub(crate) fn apply_base_cases(graph: &MdpGraph, params: &SimilarityParams, s: &mut SquareMatrix) {
     let nv = graph.n_states();
     for u in 0..nv {
         for v in (u + 1)..nv {

@@ -1,0 +1,211 @@
+//! Brute-force oracle tests for the EMD solver.
+//!
+//! The successive-shortest-path solver is checked against an exhaustive
+//! solution of the underlying transportation LP. Every vertex of the
+//! transportation polytope is the unique flow of a spanning forest over
+//! at most `m + k - 1` source-sink cells, so on tiny supports (≤ 4
+//! points) the optimum can be found by enumerating all cell subsets of
+//! that size, solving each forest by leaf elimination, and keeping the
+//! cheapest feasible one. No part of the oracle shares code with the SSP
+//! solver.
+
+use proptest::prelude::*;
+
+use capman_mdp::emd::{emd, emd_bounds, emd_detailed};
+
+const EPS: f64 = 1e-9;
+
+/// Exact EMD by exhaustive vertex enumeration of the transportation LP.
+///
+/// Normalises like the production solver and returns 0 for empty mass.
+/// Only feasible for tiny supports (`m * k <= 20` or so).
+fn oracle_emd(p: &[f64], q: &[f64], dist: impl Fn(usize, usize) -> f64) -> f64 {
+    assert_eq!(p.len(), q.len());
+    let sum_p: f64 = p.iter().sum();
+    let sum_q: f64 = q.iter().sum();
+    if sum_p <= 0.0 || sum_q <= 0.0 {
+        return 0.0;
+    }
+    let sources: Vec<usize> = (0..p.len()).filter(|&i| p[i] > 0.0).collect();
+    let sinks: Vec<usize> = (0..q.len()).filter(|&j| q[j] > 0.0).collect();
+    let m = sources.len();
+    let k = sinks.len();
+    let supply: Vec<f64> = sources.iter().map(|&i| p[i] / sum_p).collect();
+    let demand: Vec<f64> = sinks.iter().map(|&j| q[j] / sum_q).collect();
+    let cost: Vec<f64> = (0..m * k)
+        .map(|c| dist(sources[c / k], sinks[c % k]))
+        .collect();
+
+    let n_cells = m * k;
+    assert!(n_cells <= 20, "oracle is exponential in the cell count");
+    let basis_size = (m + k - 1).min(n_cells);
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << n_cells) {
+        if mask.count_ones() as usize != basis_size {
+            continue;
+        }
+        if let Some(c) = forest_flow_cost(mask, m, k, &supply, &demand, &cost) {
+            best = best.min(c);
+        }
+    }
+    assert!(best.is_finite(), "no feasible basis found");
+    best
+}
+
+/// Cost of the unique flow supported on the cells of `mask`, or `None`
+/// if the cells contain a cycle or the flow is infeasible.
+fn forest_flow_cost(
+    mask: u32,
+    m: usize,
+    k: usize,
+    supply: &[f64],
+    demand: &[f64],
+    cost: &[f64],
+) -> Option<f64> {
+    let mut supply = supply.to_vec();
+    let mut demand = demand.to_vec();
+    let mut active: Vec<(usize, usize)> = (0..m * k)
+        .filter(|&c| mask & (1 << c) != 0)
+        .map(|c| (c / k, c % k))
+        .collect();
+    let mut total = 0.0;
+    while !active.is_empty() {
+        // A leaf is a row or column incident to exactly one active cell;
+        // its flow is forced.
+        let leaf = active.iter().position(|&(i, j)| {
+            active.iter().filter(|&&(i2, _)| i2 == i).count() == 1
+                || active.iter().filter(|&&(_, j2)| j2 == j).count() == 1
+        })?;
+        let (i, j) = active.swap_remove(leaf);
+        let x = if active.iter().all(|&(i2, _)| i2 != i) {
+            supply[i]
+        } else {
+            demand[j]
+        };
+        if x < -EPS {
+            return None;
+        }
+        supply[i] -= x;
+        demand[j] -= x;
+        total += x * cost[i * k + j];
+    }
+    let balanced = supply.iter().chain(demand.iter()).all(|r| r.abs() <= EPS);
+    balanced.then_some(total)
+}
+
+/// A normalised distribution over `n` points, each weight from `{0} ∪
+/// [0.05, 1]` so supports vary but no sliver masses appear.
+fn arb_dist(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(prop_oneof![Just(0.0), 0.05f64..1.0], n..=n).prop_filter_map(
+        "non-empty mass",
+        |v| {
+            let total: f64 = v.iter().sum();
+            (total > 1e-9).then(|| v.iter().map(|x| x / total).collect())
+        },
+    )
+}
+
+/// An arbitrary non-negative ground distance with zero diagonal
+/// (not necessarily symmetric or metric — EMD optimality needs neither).
+fn arb_ground(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, n * n..=n * n).prop_map(move |mut v| {
+        for i in 0..n {
+            v[i * n + i] = 0.0;
+        }
+        v
+    })
+}
+
+fn l1(i: usize, j: usize) -> f64 {
+    (i as f64 - j as f64).abs()
+}
+
+#[test]
+fn oracle_agrees_with_hand_computed_cases() {
+    // Sanity-check the oracle itself before trusting it as a referee.
+    assert!((oracle_emd(&[1.0, 0.0], &[0.0, 1.0], l1) - 1.0).abs() < EPS);
+    assert!((oracle_emd(&[1.0, 0.0], &[0.5, 0.5], l1) - 0.5).abs() < EPS);
+    assert!(oracle_emd(&[0.3, 0.7], &[0.3, 0.7], l1) < EPS);
+    let skew = |i: usize, j: usize| match (i, j) {
+        (0, 2) | (1, 3) => 1.0,
+        _ if i == j => 0.0,
+        _ => 10.0,
+    };
+    assert!((oracle_emd(&[0.5, 0.5, 0.0, 0.0], &[0.0, 0.0, 0.5, 0.5], skew) - 1.0).abs() < EPS);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// SSP matches the exhaustive LP optimum on 3-point supports with
+    /// arbitrary (possibly asymmetric, non-metric) ground distances.
+    #[test]
+    fn ssp_matches_lp_oracle_3pt(
+        p in arb_dist(3),
+        q in arb_dist(3),
+        g in arb_ground(3),
+    ) {
+        let d = |i: usize, j: usize| g[i * 3 + j];
+        let exact = oracle_emd(&p, &q, d);
+        let got = emd(&p, &q, d);
+        prop_assert!((got - exact).abs() < 1e-7, "SSP {got} vs LP {exact}");
+    }
+
+    /// Same on full 4-point supports (an 11440-basis enumeration).
+    #[test]
+    fn ssp_matches_lp_oracle_4pt(
+        p in arb_dist(4),
+        q in arb_dist(4),
+        g in arb_ground(4),
+    ) {
+        let d = |i: usize, j: usize| g[i * 4 + j];
+        let exact = oracle_emd(&p, &q, d);
+        let got = emd(&p, &q, d);
+        prop_assert!((got - exact).abs() < 1e-7, "SSP {got} vs LP {exact}");
+    }
+
+    /// Zero self-distance, symmetry under a symmetric ground, and the
+    /// triangle inequality under a metric ground (L1 on indices).
+    #[test]
+    fn pseudometric_on_metric_grounds(
+        p in arb_dist(4),
+        q in arb_dist(4),
+        r in arb_dist(4),
+    ) {
+        prop_assert!(emd(&p, &p, l1) < 1e-9, "zero self-distance");
+        let pq = emd(&p, &q, l1);
+        let qp = emd(&q, &p, l1);
+        prop_assert!((pq - qp).abs() < 1e-8, "symmetry: {pq} vs {qp}");
+        let qr = emd(&q, &r, l1);
+        let pr = emd(&p, &r, l1);
+        prop_assert!(pr <= pq + qr + 1e-8, "triangle: {pr} > {pq} + {qr}");
+    }
+
+    /// The cheap bounds always bracket the exhaustive LP optimum.
+    #[test]
+    fn bounds_bracket_lp_oracle(
+        p in arb_dist(4),
+        q in arb_dist(4),
+        g in arb_ground(4),
+    ) {
+        let d = |i: usize, j: usize| g[i * 4 + j];
+        let exact = oracle_emd(&p, &q, d);
+        let b = emd_bounds(&p, &q, d);
+        prop_assert!(b.lower <= exact + 1e-9,
+            "lower bound {} exceeds optimum {exact}", b.lower);
+        prop_assert!(exact <= b.upper + 1e-9,
+            "optimum {exact} exceeds upper bound {}", b.upper);
+    }
+
+    /// `emd_detailed` reports the distance `emd` returns and at least
+    /// one augmentation whenever mass must move.
+    #[test]
+    fn detailed_result_is_consistent(p in arb_dist(4), q in arb_dist(4)) {
+        let r = emd_detailed(&p, &q, l1);
+        prop_assert_eq!(r.distance, emd(&p, &q, l1));
+        let moved: f64 = p.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum();
+        if moved > 1e-9 {
+            prop_assert!(r.augmentations >= 1);
+        }
+    }
+}

@@ -17,7 +17,9 @@ fn arb_mdp() -> impl Strategy<Value = Mdp> {
         // Simple deterministic PRNG so the strategy stays reproducible.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         let mut next = move |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m
         };
         let mut b = MdpBuilder::new(n, 3);

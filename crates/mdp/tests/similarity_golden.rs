@@ -1,0 +1,209 @@
+//! Golden regression tests for Algorithm 1 on the twin-graph family.
+//!
+//! The fixpoint matrices below were computed by the reference
+//! `structural_similarity` at the paper's parameters and checked in.
+//! Any behavioural change to the recursion, the EMD solver, the
+//! Hausdorff distance, or the base cases shows up here as a diff
+//! against physics that was hand-verified once:
+//!
+//! * `twin_graph` — two isomorphic branches, twins maximally similar.
+//! * `asym_twin_graph` — one branch reward lowered: similarity drops by
+//!   the reward gap through the EMD ground distance.
+//! * `noisy_twin_graph` — twins share a common noisy successor; still
+//!   maximally similar because the distributions are isomorphic.
+//!
+//! The fast engine ([`SimilarityEngine::parallel`]) is held to the same
+//! goldens, so the memoized/pruned path cannot silently drift from the
+//! reference.
+
+use capman_mdp::engine::SimilarityEngine;
+use capman_mdp::graph::MdpGraph;
+use capman_mdp::matrix::SquareMatrix;
+use capman_mdp::mdp::MdpBuilder;
+use capman_mdp::similarity::{structural_similarity, SimilarityParams};
+
+const TOL: f64 = 1e-12;
+
+fn twin_graph() -> MdpGraph {
+    let mut b = MdpBuilder::new(5, 2);
+    b.transition(0, 0, 1, 1.0, 0.4);
+    b.transition(0, 1, 2, 1.0, 0.4);
+    b.transition(1, 0, 3, 1.0, 0.8);
+    b.transition(2, 0, 4, 1.0, 0.8);
+    MdpGraph::from_mdp(&b.build())
+}
+
+/// The twin graph with one branch's reward lowered from 0.8 to 0.3.
+fn asym_twin_graph() -> MdpGraph {
+    let mut b = MdpBuilder::new(5, 2);
+    b.transition(0, 0, 1, 1.0, 0.4);
+    b.transition(0, 1, 2, 1.0, 0.4);
+    b.transition(1, 0, 3, 1.0, 0.8);
+    b.transition(2, 0, 4, 1.0, 0.3);
+    MdpGraph::from_mdp(&b.build())
+}
+
+/// Twins whose branches leak 30% of their mass to a shared successor.
+fn noisy_twin_graph() -> MdpGraph {
+    let mut b = MdpBuilder::new(6, 2);
+    b.transition(0, 0, 1, 1.0, 0.4);
+    b.transition(0, 1, 2, 1.0, 0.4);
+    b.transition(1, 0, 3, 0.7, 0.8);
+    b.transition(1, 0, 5, 0.3, 0.8);
+    b.transition(2, 0, 4, 0.7, 0.8);
+    b.transition(2, 0, 5, 0.3, 0.8);
+    MdpGraph::from_mdp(&b.build())
+}
+
+fn assert_matrix_close(got: &SquareMatrix, want: &[&[f64]], what: &str) {
+    assert_eq!(got.n(), want.len(), "{what}: dimension");
+    for (i, row) in want.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            let g = got.get(i, j);
+            assert!((g - w).abs() <= TOL, "{what}[{i}][{j}] = {g}, golden {w}");
+        }
+    }
+}
+
+/// Check the reference and the fast engine against the same goldens.
+fn check(
+    graph: &MdpGraph,
+    params: &SimilarityParams,
+    want_iterations: usize,
+    want_s: &[&[f64]],
+    want_a: &[&[f64]],
+) {
+    let r = structural_similarity(graph, params);
+    assert!(r.converged, "reference must converge");
+    assert_eq!(r.iterations, want_iterations, "iteration count");
+    assert_matrix_close(&r.sigma_s, want_s, "reference sigma_s");
+    assert_matrix_close(&r.sigma_a, want_a, "reference sigma_a");
+
+    let e = SimilarityEngine::parallel().compute(graph, params);
+    assert!(e.converged, "engine must converge");
+    assert_matrix_close(&e.sigma_s, want_s, "engine sigma_s");
+    assert_matrix_close(&e.sigma_a, want_a, "engine sigma_a");
+}
+
+#[test]
+fn twin_graph_at_rho_half() {
+    // Twins (states 1, 2 and their actions) are identical; the root's
+    // off-diagonal similarity is C_S * (1 - (1-C_A)*Δrwd - C_A*EMD).
+    check(
+        &twin_graph(),
+        &SimilarityParams::paper(0.5),
+        3,
+        &[
+            &[1.0, 0.3, 0.3, 0.0, 0.0],
+            &[0.3, 1.0, 1.0, 0.0, 0.0],
+            &[0.3, 1.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0],
+        ],
+        &[
+            &[1.0, 1.0, 0.3, 0.3],
+            &[1.0, 1.0, 0.3, 0.3],
+            &[0.3, 0.3, 1.0, 1.0],
+            &[0.3, 0.3, 1.0, 1.0],
+        ],
+    );
+}
+
+#[test]
+fn twin_graph_at_paper_rho() {
+    // rho = 0.05 weighs the reward term (1 - C_A) far heavier, pushing
+    // the root-vs-branch similarity up to 0.57.
+    check(
+        &twin_graph(),
+        &SimilarityParams::paper(0.05),
+        3,
+        &[
+            &[1.0, 0.57, 0.57, 0.0, 0.0],
+            &[0.57, 1.0, 1.0, 0.0, 0.0],
+            &[0.57, 1.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0],
+        ],
+        &[
+            &[1.0, 1.0, 0.57, 0.57],
+            &[1.0, 1.0, 0.57, 0.57],
+            &[0.57, 0.57, 1.0, 1.0],
+            &[0.57, 0.57, 1.0, 1.0],
+        ],
+    );
+}
+
+#[test]
+fn twin_graph_with_absorbing_distance() {
+    // d_uv = 0.25 between targets propagates: sigma_S(3,4) = 0.75, the
+    // branch actions pay C_A * 0.25, and the twins land at 0.875.
+    let mut params = SimilarityParams::paper(0.5);
+    params.absorbing_distance = 0.25;
+    check(
+        &twin_graph(),
+        &params,
+        3,
+        &[
+            &[1.0, 0.3, 0.3, 0.0, 0.0],
+            &[0.3, 1.0, 0.875, 0.0, 0.0],
+            &[0.3, 0.875, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0, 0.75],
+            &[0.0, 0.0, 0.0, 0.75, 1.0],
+        ],
+        &[
+            &[1.0, 0.9375, 0.3, 0.3],
+            &[0.9375, 1.0, 0.3, 0.3],
+            &[0.3, 0.3, 1.0, 0.875],
+            &[0.3, 0.3, 0.875, 1.0],
+        ],
+    );
+}
+
+#[test]
+fn asym_twin_graph_at_rho_half() {
+    // The 0.5-reward gap splits the branch actions: sigma_A(2,3) drops
+    // to 1 - (1-0.5)*0.5 = 0.75 and the twins to C_S*(1-0.25) = 0.75.
+    check(
+        &asym_twin_graph(),
+        &SimilarityParams::paper(0.5),
+        3,
+        &[
+            &[1.0, 0.3, 0.45, 0.0, 0.0],
+            &[0.3, 1.0, 0.75, 0.0, 0.0],
+            &[0.45, 0.75, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0],
+        ],
+        &[
+            &[1.0, 0.875, 0.3, 0.45],
+            &[0.875, 1.0, 0.3, 0.45],
+            &[0.3, 0.3, 1.0, 0.75],
+            &[0.45, 0.45, 0.75, 1.0],
+        ],
+    );
+}
+
+#[test]
+fn noisy_twin_graph_at_rho_half() {
+    // The shared 30% leak is isomorphic across branches, so the twins
+    // stay maximally similar despite the split distributions.
+    check(
+        &noisy_twin_graph(),
+        &SimilarityParams::paper(0.5),
+        3,
+        &[
+            &[1.0, 0.3, 0.3, 0.0, 0.0, 0.0],
+            &[0.3, 1.0, 1.0, 0.0, 0.0, 0.0],
+            &[0.3, 1.0, 1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        ],
+        &[
+            &[1.0, 1.0, 0.3, 0.3],
+            &[1.0, 1.0, 0.3, 0.3],
+            &[0.3, 0.3, 1.0, 1.0],
+            &[0.3, 0.3, 1.0, 1.0],
+        ],
+    );
+}

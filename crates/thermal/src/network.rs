@@ -157,16 +157,16 @@ impl ThermalNetwork {
 
     /// The hottest node and its temperature.
     pub fn hottest(&self) -> (NodeId, f64) {
-        NodeId::ALL
-            .iter()
-            .map(|&n| (n, self.temp_c(n)))
-            .fold((NodeId::Shell, f64::NEG_INFINITY), |acc, cur| {
+        NodeId::ALL.iter().map(|&n| (n, self.temp_c(n))).fold(
+            (NodeId::Shell, f64::NEG_INFINITY),
+            |acc, cur| {
                 if cur.1 > acc.1 {
                     cur
                 } else {
                     acc
                 }
-            })
+            },
+        )
     }
 
     /// Ambient temperature, degC.

@@ -81,7 +81,8 @@ impl Tec {
     pub fn cooling_w(&self, current_a: f64, cold_c: f64, hot_c: f64) -> f64 {
         let tc = cold_c + KELVIN;
         let th = hot_c + KELVIN;
-        self.s_t * tc * current_a - 0.5 * current_a * current_a * self.r_ohm
+        self.s_t * tc * current_a
+            - 0.5 * current_a * current_a * self.r_ohm
             - self.k_w_per_k * (th - tc)
     }
 
@@ -97,8 +98,7 @@ impl Tec {
     ///
     /// Solves `Qc = 0`: `delta_T = (S_T Tc I - I^2 R / 2) / K`.
     pub fn delta_t_steady(&self, current_a: f64) -> f64 {
-        (self.s_t * self.ref_tc_k * current_a
-            - 0.5 * current_a * current_a * self.r_ohm)
+        (self.s_t * self.ref_tc_k * current_a - 0.5 * current_a * current_a * self.r_ohm)
             / self.k_w_per_k
     }
 

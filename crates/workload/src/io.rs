@@ -195,8 +195,7 @@ mod tests {
         let header = TRACE_CSV_HEADER;
         let err = trace_from_csv("x", &format!("{header}\n0,1,2\n")).unwrap_err();
         assert!(matches!(err, TraceCsvError::BadArity { line: 2, found: 3 }));
-        let err =
-            trace_from_csv("x", &format!("{header}\n0,abc,50,0,180,0,\n")).unwrap_err();
+        let err = trace_from_csv("x", &format!("{header}\n0,abc,50,0,180,0,\n")).unwrap_err();
         assert!(matches!(err, TraceCsvError::BadNumber { line: 2, .. }));
     }
 
@@ -212,9 +211,7 @@ mod tests {
 
     #[test]
     fn rejects_gappy_traces() {
-        let csv = format!(
-            "{TRACE_CSV_HEADER}\n0,10,50,0,180,0,ScreenOn\n20,10,50,0,180,0,\n"
-        );
+        let csv = format!("{TRACE_CSV_HEADER}\n0,10,50,0,180,0,ScreenOn\n20,10,50,0,180,0,\n");
         assert_eq!(
             trace_from_csv("x", &csv).unwrap_err(),
             TraceCsvError::NotContiguous

@@ -86,8 +86,7 @@ impl TraceStats {
         let gap_cv = if gaps.len() < 2 || !mean_gap.is_finite() || mean_gap == 0.0 {
             0.0
         } else {
-            let var =
-                gaps.iter().map(|g| (g - mean_gap).powi(2)).sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean_gap).powi(2)).sum::<f64>() / gaps.len() as f64;
             var.sqrt() / mean_gap
         };
 

@@ -25,7 +25,13 @@ fn main() {
             tec_enabled: kind.has_tec(),
             ..SimConfig::paper()
         };
-        let outcome = run_policy_with(kind, WorkloadKind::Video, PhoneProfile::nexus(), seed, config);
+        let outcome = run_policy_with(
+            kind,
+            WorkloadKind::Video,
+            PhoneProfile::nexus(),
+            seed,
+            config,
+        );
         println!(
             "{:<9} service {:>7.0} s | delivered {:>7.0} J | switches {:>5} | peak spot {:>5.1} C | end {:?}",
             outcome.policy,

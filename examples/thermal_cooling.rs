@@ -34,7 +34,10 @@ fn main() {
     let without = run(false);
 
     println!("Geekbench hot-spot temperature, TEC vs passive cooling plate\n");
-    println!("{:>8} {:>10} {:>10} {:>8}", "t [s]", "TEC [C]", "none [C]", "TEC on");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "t [s]", "TEC [C]", "none [C]", "TEC on"
+    );
     for (a, b) in with_tec
         .telemetry
         .samples()

@@ -46,8 +46,16 @@ fn capman_beats_the_reactive_heuristic_on_pcmark() {
 #[test]
 fn capman_tracks_the_oracle() {
     // "within 9.6% less service time than the Oracle" — give it margin.
-    let capman = cycle(PolicyKind::Capman, WorkloadKind::EtaStatic { eta: 50 }, 25_000.0);
-    let oracle = cycle(PolicyKind::Oracle, WorkloadKind::EtaStatic { eta: 50 }, 25_000.0);
+    let capman = cycle(
+        PolicyKind::Capman,
+        WorkloadKind::EtaStatic { eta: 50 },
+        25_000.0,
+    );
+    let oracle = cycle(
+        PolicyKind::Oracle,
+        WorkloadKind::EtaStatic { eta: 50 },
+        25_000.0,
+    );
     let gap = 1.0 - capman.service_time_s / oracle.service_time_s;
     assert!(
         gap < 0.15,

@@ -1,0 +1,72 @@
+//! `any::<T>()` for the primitive types the tests use.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for one primitive type.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_primitive {
+    ($($t:ty => |$rng:ident| $gen:expr;)*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn new_value(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_primitive! {
+    bool => |rng| rng.gen::<bool>();
+    u8 => |rng| rng.gen::<u8>();
+    u16 => |rng| rng.gen::<u16>();
+    u32 => |rng| rng.gen::<u32>();
+    u64 => |rng| rng.gen::<u64>();
+    usize => |rng| rng.gen::<usize>();
+    i8 => |rng| rng.gen::<i8>();
+    i16 => |rng| rng.gen::<i16>();
+    i32 => |rng| rng.gen::<i32>();
+    i64 => |rng| rng.gen::<i64>();
+    f64 => |rng| rng.gen::<f64>();
+    f32 => |rng| rng.gen::<f32>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_case_rng;
+
+    #[test]
+    fn any_bool_yields_both_values() {
+        let mut rng = new_case_rng(0);
+        let s = any::<bool>();
+        let mut saw = [false; 2];
+        for _ in 0..100 {
+            saw[usize::from(s.new_value(&mut rng))] = true;
+        }
+        assert!(saw[0] && saw[1]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//! range/tuple/`Just`/`prop_oneof!`/collection strategies, `prop_map` /
+//! `prop_filter_map` combinators, the `proptest!` test macro, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! per-case RNG, so failures are reproducible; there is no shrinking —
+//! a failing case panics with the ordinary assertion message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of proptest's `prop` re-export namespace.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface used by the test files.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// Accepts the standard shape: an optional inner
+/// `#![proptest_config(...)]`, then test functions whose arguments are
+/// `pattern in strategy` pairs or plain `name: Type` arguments (the
+/// latter draw from [`arbitrary::any`]).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:tt; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        $crate::__proptest_case! {
+            cfg = $cfg,
+            meta = ($(#[$meta])*),
+            name = $name,
+            body = { $body },
+            pats = (),
+            strats = (),
+            args = ($($args)*)
+        }
+    )*};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All arguments consumed: emit the test function.
+    (cfg = ($cfg:expr), meta = ($($meta:tt)*), name = $name:ident, body = { $body:block },
+     pats = ($($p:tt)*), strats = ($($s:tt)*), args = ()) => {
+        $($meta)*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let strategies = ($($s,)*);
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::new_case_rng(case);
+                let ($($p,)*) =
+                    $crate::strategy::Strategy::new_value(&strategies, &mut rng);
+                $body
+            }
+        }
+    };
+    // `pattern in strategy` argument.
+    (cfg = $cfg:tt, meta = $meta:tt, name = $name:ident, body = $body:tt,
+     pats = ($($p:tt)*), strats = ($($s:tt)*),
+     args = ($pat:pat in $strat:expr $(, $($rest:tt)*)?)) => {
+        $crate::__proptest_case! {
+            cfg = $cfg, meta = $meta, name = $name, body = $body,
+            pats = ($($p)* ($pat)),
+            strats = ($($s)* ($strat)),
+            args = ($($($rest)*)?)
+        }
+    };
+    // `name: Type` argument (drawn from `any::<Type>()`).
+    (cfg = $cfg:tt, meta = $meta:tt, name = $name:ident, body = $body:tt,
+     pats = ($($p:tt)*), strats = ($($s:tt)*),
+     args = ($arg:ident : $ty:ty $(, $($rest:tt)*)?)) => {
+        $crate::__proptest_case! {
+            cfg = $cfg, meta = $meta, name = $name, body = $body,
+            pats = ($($p)* ($arg)),
+            strats = ($($s)* ($crate::arbitrary::any::<$ty>())),
+            args = ($($($rest)*)?)
+        }
+    };
+}

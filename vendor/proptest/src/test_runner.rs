@@ -1,0 +1,33 @@
+//! Case configuration and the deterministic per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Mirrors `proptest::test_runner::ProptestConfig` (cases only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG for one case: failures reproduce by rerunning
+/// the test (there is no persistence file in this stand-in).
+pub fn new_case_rng(case: u32) -> TestRng {
+    StdRng::seed_from_u64(0xC0FF_EE00_0000_0000 ^ u64::from(case))
+}

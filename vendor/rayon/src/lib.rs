@@ -1,0 +1,60 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the slice-parallelism subset the similarity engine uses
+//! (`par_chunks_mut().enumerate().for_each(...)`) on top of
+//! `std::thread::scope`. Chunks are dealt round-robin to one worker per
+//! available core; with a single core (or a single chunk) everything
+//! runs inline on the calling thread, so the sequential fallback has no
+//! spawn overhead. The names mirror real rayon so switching back to the
+//! crates.io crate is a manifest-only change.
+
+use std::num::NonZeroUsize;
+
+pub mod slice;
+
+/// The re-export surface matching `rayon::prelude`.
+pub mod prelude {
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon stand-in: joined task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

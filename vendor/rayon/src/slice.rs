@@ -1,0 +1,122 @@
+//! Parallel iteration over mutable slice chunks.
+
+use crate::current_num_threads;
+
+/// Extension trait mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into non-overlapping chunks of `chunk_size` (the last may
+    /// be shorter), processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index.
+    pub fn enumerate(self) -> EnumerateChunks<'a, T> {
+        EnumerateChunks {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Apply `f` to every chunk, in parallel when cores allow.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|_, chunk| f(chunk));
+    }
+}
+
+/// The enumerated form of [`ParChunksMut`].
+pub struct EnumerateChunks<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> EnumerateChunks<'_, T> {
+    /// Apply `f(index, chunk)` to every chunk, in parallel when cores
+    /// allow. Chunks are dealt round-robin to one worker per core; each
+    /// chunk is visited exactly once, whatever the schedule.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let workers = current_num_threads().min(self.chunks.len());
+        if workers <= 1 {
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        // Pre-deal the chunks so each worker owns a disjoint set.
+        let mut per_worker: Vec<Vec<(usize, &mut [T])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in self.chunks.into_iter().enumerate() {
+            per_worker[i % workers].push((i, chunk));
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for work in per_worker {
+                scope.spawn(move || {
+                    for (i, chunk) in work {
+                        f(i, chunk);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_chunk_is_visited_once() {
+        let mut data = vec![0u64; 1037];
+        data.as_mut_slice()
+            .par_chunks_mut(64)
+            .enumerate()
+            .for_each(|i, chunk| {
+                for x in chunk.iter_mut() {
+                    *x += 1 + i as u64;
+                }
+            });
+        for (j, &x) in data.iter().enumerate() {
+            assert_eq!(x, 1 + (j / 64) as u64, "element {j}");
+        }
+    }
+
+    #[test]
+    fn plain_for_each_works() {
+        let mut data = vec![1i32; 100];
+        data.as_mut_slice().par_chunks_mut(7).for_each(|chunk| {
+            for x in chunk.iter_mut() {
+                *x *= 2;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn ragged_tail_chunk_is_included() {
+        let mut data = vec![0u8; 10];
+        data.as_mut_slice()
+            .par_chunks_mut(4)
+            .enumerate()
+            .for_each(|i, chunk| chunk.fill(i as u8 + 1));
+        assert_eq!(data, [1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in a sandbox without crates.io access, and no
+//! code path actually serialises anything (there is no `serde_json` or
+//! other format crate in the dependency tree). The `#[derive(Serialize,
+//! Deserialize)]` annotations across the workspace are kept so the code
+//! stays source-compatible with real serde: here the traits are pure
+//! markers with blanket implementations and the derives expand to
+//! nothing.
+//!
+//! Swapping this for the real crate only requires restoring the
+//! crates.io entry in the workspace `Cargo.toml`.
+
+/// Marker for types that real serde could serialise.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that real serde could deserialise.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of serde's `de` module for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn takes_serialize<T: Serialize + ?Sized>(_: &T) {}
+
+    #[test]
+    fn blanket_impls_cover_everything() {
+        takes_serialize(&1_u8);
+        takes_serialize(&vec![1.0_f64]);
+        takes_serialize("str");
+    }
+}
