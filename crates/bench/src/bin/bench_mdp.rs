@@ -1,0 +1,202 @@
+//! Measure the MDP hot paths and write `BENCH_mdp.json`.
+//!
+//! ```text
+//! cargo run --release -p capman-bench --bin bench_mdp             # full sizes
+//! cargo run --release -p capman-bench --bin bench_mdp -- --quick  # CI smoke
+//! cargo run --release -p capman-bench --bin bench_mdp -- --out p  # custom path
+//! ```
+//!
+//! Per fixture size the binary times the pre-CSR nested-Vec
+//! Gauss–Seidel solver against the CSR solver (serial and parallel
+//! schedules), checks the solutions agree, and times the similarity
+//! engine against its reference recursion. Results land in
+//! `BENCH_mdp.json` (see [`capman_bench::perf_report`]) so the perf
+//! trajectory is tracked across PRs.
+
+use std::time::Instant;
+
+use capman_bench::mdp_fixtures::{build_csr, build_nested, device_like_transitions};
+use capman_bench::perf_report::{PerfReport, SimilarityRow, SolverRow};
+use capman_mdp::engine::SimilarityEngine;
+use capman_mdp::graph::MdpGraph;
+use capman_mdp::mdp::MdpBuilder;
+use capman_mdp::reference::solve_nested;
+use capman_mdp::similarity::{structural_similarity, SimilarityParams};
+use capman_mdp::value_iteration::solve_with_mode;
+use capman_mdp::ExecutionMode;
+
+const RHO: f64 = 0.95;
+const EPS: f64 = 1e-9;
+const SEED: u64 = 42;
+
+/// Wall time of one call to `f`, milliseconds.
+fn time_once_ms<T>(mut f: impl FnMut() -> T) -> f64 {
+    let t0 = Instant::now();
+    let out = f();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(out);
+    ms
+}
+
+fn solver_row(n_states: usize, reps: usize) -> SolverRow {
+    let txs = device_like_transitions(n_states, SEED);
+    let nested = build_nested(n_states, &txs);
+    let csr = build_csr(n_states, &txs);
+
+    let baseline = solve_nested(&nested, RHO, EPS);
+    let serial = solve_with_mode(&csr, RHO, EPS, ExecutionMode::Serial);
+    let parallel = solve_with_mode(&csr, RHO, EPS, ExecutionMode::Parallel);
+    assert_eq!(
+        serial.iterations, baseline.iterations,
+        "layouts must sweep identically on the forward fixture"
+    );
+    for (s, (a, b)) in serial.values.iter().zip(&baseline.values).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-9,
+            "state {s}: CSR {a} vs nested {b} diverged"
+        );
+    }
+    for (a, b) in serial.values.iter().zip(&parallel.values) {
+        assert_eq!(a.to_bits(), b.to_bits(), "schedules must be bit-identical");
+    }
+
+    // Interleave the timed reps (one round = one rep of each layout)
+    // so a load spike on a shared machine hits all three equally
+    // instead of skewing whichever happened to run during it.
+    let mut nested_ms = f64::INFINITY;
+    let mut csr_serial_ms = f64::INFINITY;
+    let mut csr_parallel_ms = f64::INFINITY;
+    for _ in 0..reps {
+        nested_ms = nested_ms.min(time_once_ms(|| solve_nested(&nested, RHO, EPS)));
+        csr_serial_ms = csr_serial_ms.min(time_once_ms(|| {
+            solve_with_mode(&csr, RHO, EPS, ExecutionMode::Serial)
+        }));
+        csr_parallel_ms = csr_parallel_ms.min(time_once_ms(|| {
+            solve_with_mode(&csr, RHO, EPS, ExecutionMode::Parallel)
+        }));
+    }
+
+    SolverRow {
+        states: n_states,
+        action_nodes: csr.n_action_nodes(),
+        outcomes: csr.n_outcomes(),
+        iterations: serial.iterations,
+        nested_ms,
+        csr_serial_ms,
+        csr_parallel_ms,
+    }
+}
+
+/// The similarity fixture mirrors the `similarity_engine` bench: two
+/// actions, successor distributions drawn from a shared template pool.
+fn similarity_graph(n_states: usize) -> MdpGraph {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(7);
+    let n_templates = (n_states / 8).max(6);
+    let templates: Vec<Vec<(usize, f64)>> = (0..n_templates)
+        .map(|_| {
+            let n_succ = rng.gen_range(1..=3usize);
+            (0..n_succ)
+                .map(|_| (rng.gen_range(0..n_states), rng.gen_range(0.1..1.0)))
+                .collect()
+        })
+        .collect();
+    let rewards: Vec<f64> = (0..n_templates).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let mut b = MdpBuilder::new(n_states, 2);
+    for s in 0..n_states - 1 {
+        for a in 0..2 {
+            let t = rng.gen_range(0..n_templates);
+            for &(to, w) in &templates[t] {
+                b.transition(s, a, to, w, rewards[t]);
+            }
+        }
+    }
+    MdpGraph::from_mdp(&b.build())
+}
+
+fn similarity_row(n_states: usize) -> SimilarityRow {
+    let graph = similarity_graph(n_states);
+    let mut params = SimilarityParams::paper(0.3);
+    params.tolerance = 1e-3;
+    params.max_iterations = 50;
+
+    let t0 = Instant::now();
+    let reference = structural_similarity(&graph, &params);
+    let reference_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut engine = SimilarityEngine::parallel();
+    let t0 = Instant::now();
+    let fast = engine.compute(&graph, &params);
+    let engine_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        reference.sigma_s.max_abs_diff(&fast.sigma_s) < 1e-9,
+        "engine drifted from the reference"
+    );
+
+    SimilarityRow {
+        states: n_states,
+        reference_ms,
+        engine_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_mdp.json")
+        .to_string();
+
+    let (solver_sizes, sim_sizes, reps): (&[usize], &[usize], usize) = if quick {
+        (&[64, 128], &[32], 2)
+    } else {
+        (&[128, 512, 1024], &[128, 256], 5)
+    };
+
+    let mut report = PerfReport {
+        threads: rayon::current_num_threads(),
+        ..PerfReport::default()
+    };
+
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "states", "nested_ms", "csr_ser_ms", "csr_par_ms", "ser_x", "par_x"
+    );
+    for &n in solver_sizes {
+        let row = solver_row(n, reps);
+        println!(
+            "{:>7} {:>12.3} {:>12.3} {:>12.3} {:>8.1}x {:>8.1}x",
+            row.states,
+            row.nested_ms,
+            row.csr_serial_ms,
+            row.csr_parallel_ms,
+            row.speedup_serial(),
+            row.speedup_parallel()
+        );
+        report.solver.push(row);
+    }
+
+    println!(
+        "\n{:>7} {:>13} {:>12} {:>9}",
+        "states", "reference_ms", "engine_ms", "speedup"
+    );
+    for &n in sim_sizes {
+        let row = similarity_row(n);
+        println!(
+            "{:>7} {:>13.1} {:>12.1} {:>8.1}x",
+            row.states,
+            row.reference_ms,
+            row.engine_ms,
+            row.speedup()
+        );
+        report.similarity.push(row);
+    }
+
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_mdp.json");
+    println!("\nwrote {out_path}");
+}

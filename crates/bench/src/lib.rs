@@ -10,6 +10,9 @@ use capman_core::metrics::Outcome;
 use capman_device::phone::PhoneProfile;
 use capman_workload::WorkloadKind;
 
+pub mod mdp_fixtures;
+pub mod perf_report;
+
 /// A reduced-horizon configuration for bench iterations.
 pub fn short_config(kind: PolicyKind, horizon_s: f64) -> SimConfig {
     SimConfig {

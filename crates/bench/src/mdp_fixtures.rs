@@ -1,0 +1,118 @@
+//! Device-like MDP fixtures shared by the `mdp_solve` bench, the
+//! `bench_mdp` binary and the solver smoke checks.
+//!
+//! The generated graphs mimic the structure the profiler actually emits
+//! for a discharge cycle: states ordered by remaining charge (so
+//! transition edges point "forward" toward the absorbing
+//! battery-depleted states), a self-loop per action (timer ticks that
+//! leave the charge level alone), and an action set that is *sparse* —
+//! each state offers only a handful of the device's syscall/switch
+//! actions. That sparsity is exactly what the CSR layout exploits: the
+//! nested layout's `available_actions` filter must scan all `N_ACTIONS`
+//! per state per sweep, while the packed list touches only the live
+//! ones.
+//!
+//! Because every non-self edge points forward and self-loops read the
+//! state's own previous value, an ascending in-place Gauss–Seidel sweep
+//! performs the same arithmetic as a Jacobi sweep on these graphs, so
+//! the pre-CSR and CSR solvers run identical iteration counts and the
+//! measured speedup isolates the storage layout, not the sweep order.
+
+use capman_mdp::mdp::{Mdp, MdpBuilder};
+use capman_mdp::reference::NestedMdp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Actions the device FSM exposes (screen, wifi, CPU, switches, ticks).
+pub const N_ACTIONS: usize = 16;
+
+/// One raw transition: `(state, action, next, weight, reward)`.
+pub type Transition = (usize, usize, usize, f64, f64);
+
+/// Generate the transition list of a device-like discharge MDP with
+/// `n_states` states. Deterministic in `seed`; the final state is
+/// absorbing.
+pub fn device_like_transitions(n_states: usize, seed: u64) -> Vec<Transition> {
+    assert!(n_states >= 8, "too small to be device-like");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut txs = Vec::new();
+    for s in 0..n_states - 1 {
+        let n_avail = rng.gen_range(2..=5usize);
+        // Pick distinct available actions, ascending.
+        let mut actions = [false; N_ACTIONS];
+        let mut picked = 0;
+        while picked < n_avail {
+            let a = rng.gen_range(0..N_ACTIONS);
+            if !actions[a] {
+                actions[a] = true;
+                picked += 1;
+            }
+        }
+        for (a, &avail) in actions.iter().enumerate() {
+            if !avail {
+                continue;
+            }
+            // The tick outcome: stay at this charge level.
+            let r_self = rng.gen_range(0.0..1.0);
+            txs.push((s, a, s, rng.gen_range(0.5..2.0), r_self));
+            // Forward outcomes: deeper discharge.
+            for _ in 0..rng.gen_range(1..=3usize) {
+                let next = rng.gen_range(s + 1..n_states);
+                let w = rng.gen_range(0.5..2.0);
+                let r = rng.gen_range(0.0..1.0);
+                txs.push((s, a, next, w, r));
+            }
+        }
+    }
+    txs
+}
+
+/// Build the CSR [`Mdp`] from a transition list.
+pub fn build_csr(n_states: usize, txs: &[Transition]) -> Mdp {
+    let mut b = MdpBuilder::new(n_states, N_ACTIONS);
+    for &(s, a, next, w, r) in txs {
+        b.transition(s, a, next, w, r);
+    }
+    b.build()
+}
+
+/// Build the nested-Vec reference [`NestedMdp`] from the same list.
+pub fn build_nested(n_states: usize, txs: &[Transition]) -> NestedMdp {
+    let mut m = NestedMdp::new(n_states, N_ACTIONS);
+    for &(s, a, next, w, r) in txs {
+        m.transition(s, a, next, w, r);
+    }
+    m.normalise();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capman_mdp::reference::solve_nested;
+    use capman_mdp::value_iteration::solve;
+
+    #[test]
+    fn fixture_is_deterministic_and_absorbing() {
+        let a = device_like_transitions(64, 3);
+        let b = device_like_transitions(64, 3);
+        assert_eq!(a.len(), b.len());
+        let mdp = build_csr(64, &a);
+        assert!(mdp.is_absorbing(63));
+        assert!(!mdp.is_absorbing(0));
+    }
+
+    #[test]
+    fn nested_and_csr_solvers_agree_on_the_fixture() {
+        let txs = device_like_transitions(96, 11);
+        let csr = build_csr(96, &txs);
+        let nested = build_nested(96, &txs);
+        let a = solve(&csr, 0.9, 1e-10);
+        let b = solve_nested(&nested, 0.9, 1e-10);
+        assert_eq!(a.iterations, b.iterations, "sweep-identical graphs");
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        assert_eq!(a.policy, b.policy);
+    }
+}

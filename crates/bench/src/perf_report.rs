@@ -1,0 +1,158 @@
+//! Machine-readable perf tracking: `BENCH_mdp.json`.
+//!
+//! The `bench_mdp` binary measures the solver and similarity hot paths
+//! and serialises the numbers here, so the perf trajectory is diffable
+//! across PRs (the vendored serde stand-in has no format backend, so
+//! the JSON is emitted by hand — the schema is flat enough for that).
+
+use std::fmt::Write as _;
+
+/// One solver measurement row.
+#[derive(Debug, Clone)]
+pub struct SolverRow {
+    /// State count of the fixture graph.
+    pub states: usize,
+    /// `(state, action)` pairs with outcomes.
+    pub action_nodes: usize,
+    /// Total transition edges.
+    pub outcomes: usize,
+    /// Bellman sweeps to convergence.
+    pub iterations: usize,
+    /// Pre-CSR baseline: nested-Vec Gauss–Seidel, milliseconds.
+    pub nested_ms: f64,
+    /// CSR solver, serial schedule, milliseconds.
+    pub csr_serial_ms: f64,
+    /// CSR solver, parallel schedule, milliseconds.
+    pub csr_parallel_ms: f64,
+}
+
+impl SolverRow {
+    /// Speedup of the serial CSR solver over the nested baseline.
+    pub fn speedup_serial(&self) -> f64 {
+        self.nested_ms / self.csr_serial_ms
+    }
+
+    /// Speedup of the parallel CSR solver over the nested baseline.
+    pub fn speedup_parallel(&self) -> f64 {
+        self.nested_ms / self.csr_parallel_ms
+    }
+}
+
+/// One similarity-engine measurement row.
+#[derive(Debug, Clone)]
+pub struct SimilarityRow {
+    /// State count of the fixture graph.
+    pub states: usize,
+    /// Reference recursion wall time, milliseconds.
+    pub reference_ms: f64,
+    /// Parallel memoized engine wall time, milliseconds.
+    pub engine_ms: f64,
+}
+
+impl SimilarityRow {
+    /// Speedup of the engine over the reference recursion.
+    pub fn speedup(&self) -> f64 {
+        self.reference_ms / self.engine_ms
+    }
+}
+
+/// The full report the binary writes.
+#[derive(Debug, Clone, Default)]
+pub struct PerfReport {
+    /// Worker threads available to the parallel paths.
+    pub threads: usize,
+    /// Solver rows, one per fixture size.
+    pub solver: Vec<SolverRow>,
+    /// Similarity rows, one per fixture size.
+    pub similarity: Vec<SimilarityRow>,
+}
+
+fn push_f64(out: &mut String, key: &str, value: f64, trailing: bool) {
+    let _ = write!(out, "      \"{key}\": {value:.4}");
+    out.push_str(if trailing { ",\n" } else { "\n" });
+}
+
+impl PerfReport {
+    /// Render the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"generated_by\": \"cargo run --release -p capman-bench --bin bench_mdp\","
+        );
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        out.push_str("  \"solver\": [\n");
+        for (i, row) in self.solver.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"states\": {},", row.states);
+            let _ = writeln!(out, "      \"action_nodes\": {},", row.action_nodes);
+            let _ = writeln!(out, "      \"outcomes\": {},", row.outcomes);
+            let _ = writeln!(out, "      \"iterations\": {},", row.iterations);
+            push_f64(&mut out, "nested_gauss_seidel_ms", row.nested_ms, true);
+            push_f64(&mut out, "csr_serial_ms", row.csr_serial_ms, true);
+            push_f64(&mut out, "csr_parallel_ms", row.csr_parallel_ms, true);
+            push_f64(&mut out, "speedup_serial", row.speedup_serial(), true);
+            push_f64(&mut out, "speedup_parallel", row.speedup_parallel(), false);
+            out.push_str(if i + 1 < self.solver.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"similarity\": [\n");
+        for (i, row) in self.similarity.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"states\": {},", row.states);
+            push_f64(&mut out, "reference_ms", row.reference_ms, true);
+            push_f64(&mut out, "engine_ms", row.engine_ms, true);
+            push_f64(&mut out, "speedup", row.speedup(), false);
+            out.push_str(if i + 1 < self.similarity.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_has_the_expected_shape() {
+        let report = PerfReport {
+            threads: 1,
+            solver: vec![SolverRow {
+                states: 512,
+                action_nodes: 1700,
+                outcomes: 5100,
+                iterations: 40,
+                nested_ms: 9.0,
+                csr_serial_ms: 3.0,
+                csr_parallel_ms: 3.0,
+            }],
+            similarity: vec![SimilarityRow {
+                states: 256,
+                reference_ms: 100.0,
+                engine_ms: 10.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"states\": 512"));
+        assert!(json.contains("\"speedup_serial\": 3.0000"));
+        assert!(json.contains("\"speedup\": 10.0000"));
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -2,7 +2,11 @@
 //!
 //! Everything the figures binary and the Criterion benches print flows
 //! through these functions, so tests, benches and documentation all see
-//! the same numbers.
+//! the same numbers. Every multi-scenario figure fans its grid of
+//! independent simulations out through [`ScenarioRunner`], so the
+//! harness wall clock scales with cores while outcomes stay ordered by
+//! scenario index (see [`crate::scenario`] for the determinism
+//! contract).
 
 use serde::{Deserialize, Serialize};
 
@@ -18,7 +22,7 @@ use crate::metrics::Outcome;
 use crate::online::Calibrator;
 use crate::oracle::OraclePolicy;
 use crate::policy::Policy;
-use crate::sim::Simulator;
+use crate::scenario::{Scenario, ScenarioRunner};
 
 /// The five scheduling policies of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,35 +118,65 @@ pub fn run_policy_with(
     seed: u64,
     config: SimConfig,
 ) -> Outcome {
-    let trace = generate(workload, config.max_horizon_s, seed);
-    let pack = build_pack(kind);
-    let policy = build_policy(kind, &trace, &phone);
-    Simulator::new(phone, trace, pack, policy, config).run()
+    Scenario::new(kind, workload, phone, seed, config).run()
+}
+
+/// The scenario behind one cell of the evaluation grids: `kind` on
+/// `workload` with the evaluation-default configuration.
+fn default_scenario(
+    kind: PolicyKind,
+    workload: WorkloadKind,
+    phone: PhoneProfile,
+    seed: u64,
+) -> Scenario {
+    let config = if kind.has_tec() {
+        SimConfig::paper_with_tec()
+    } else {
+        SimConfig::paper()
+    };
+    Scenario::new(kind, workload, phone, seed, config)
 }
 
 /// One row of Fig. 12: every policy on one workload (same seed, so all
-/// policies see the identical trace).
+/// policies see the identical trace), fanned out concurrently.
 pub fn fig12_row(workload: WorkloadKind, seed: u64) -> Vec<Outcome> {
-    PolicyKind::ALL
+    let scenarios: Vec<Scenario> = PolicyKind::ALL
         .iter()
-        .map(|&kind| run_policy(kind, workload, PhoneProfile::nexus(), seed))
-        .collect()
+        .map(|&kind| default_scenario(kind, workload, PhoneProfile::nexus(), seed))
+        .collect();
+    ScenarioRunner::new().run(&scenarios)
 }
 
-/// The full Fig. 12 grid: six workloads x five policies.
+/// The full Fig. 12 grid: six workloads x five policies, run as one
+/// concurrent batch and reassembled row-major.
 pub fn fig12(seed: u64) -> Vec<Vec<Outcome>> {
-    WorkloadKind::fig12()
+    let workloads = WorkloadKind::fig12();
+    let scenarios: Vec<Scenario> = workloads
         .iter()
-        .map(|&w| fig12_row(w, seed))
+        .flat_map(|&w| {
+            PolicyKind::ALL
+                .iter()
+                .map(move |&kind| default_scenario(kind, w, PhoneProfile::nexus(), seed))
+        })
+        .collect();
+    let mut outcomes = ScenarioRunner::new().run(&scenarios).into_iter();
+    workloads
+        .iter()
+        .map(|_| {
+            (0..PolicyKind::ALL.len())
+                .map(|_| outcomes.next().expect("grid size"))
+                .collect()
+        })
         .collect()
 }
 
 /// Fig. 13: CAPMAN's power/temperature telemetry per workload.
 pub fn fig13(seed: u64) -> Vec<Outcome> {
-    WorkloadKind::fig12()
+    let scenarios: Vec<Scenario> = WorkloadKind::fig12()
         .iter()
-        .map(|&w| run_policy(PolicyKind::Capman, w, PhoneProfile::nexus(), seed))
-        .collect()
+        .map(|&w| default_scenario(PolicyKind::Capman, w, PhoneProfile::nexus(), seed))
+        .collect();
+    ScenarioRunner::new().run(&scenarios)
 }
 
 /// One Fig. 14 point: big/LITTLE activation ratio and the temperature
@@ -158,18 +192,31 @@ pub struct Fig14Point {
 }
 
 /// Fig. 14: temperature reduction vs big/LITTLE ratio per workload.
+/// Each workload contributes a with-TEC and a without-TEC scenario; the
+/// full set of pairs runs as one concurrent batch.
 pub fn fig14(seed: u64) -> Vec<Fig14Point> {
-    WorkloadKind::fig12()
+    let workloads = WorkloadKind::fig12();
+    let scenarios: Vec<Scenario> = workloads
         .iter()
-        .map(|&w| {
-            let with_tec = run_policy(PolicyKind::Capman, w, PhoneProfile::nexus(), seed);
-            let without = run_policy_with(
-                PolicyKind::Capman,
-                w,
-                PhoneProfile::nexus(),
-                seed,
-                SimConfig::paper(), // TEC disabled
-            );
+        .flat_map(|&w| {
+            [
+                default_scenario(PolicyKind::Capman, w, PhoneProfile::nexus(), seed),
+                Scenario::new(
+                    PolicyKind::Capman,
+                    w,
+                    PhoneProfile::nexus(),
+                    seed,
+                    SimConfig::paper(), // TEC disabled
+                ),
+            ]
+        })
+        .collect();
+    let outcomes = ScenarioRunner::new().run(&scenarios);
+    workloads
+        .iter()
+        .zip(outcomes.chunks_exact(2))
+        .map(|(&w, pair)| {
+            let (with_tec, without) = (&pair[0], &pair[1]);
             Fig14Point {
                 workload: w.label(),
                 big_little_ratio: with_tec.big_little_ratio().unwrap_or(f64::INFINITY),
@@ -182,10 +229,11 @@ pub fn fig14(seed: u64) -> Vec<Fig14Point> {
 /// Fig. 15: a CAPMAN snapshot (telemetry) on each of the three phones
 /// under the same workload trace.
 pub fn fig15(workload: WorkloadKind, seed: u64) -> Vec<Outcome> {
-    PhoneProfile::all()
+    let scenarios: Vec<Scenario> = PhoneProfile::all()
         .into_iter()
-        .map(|phone| run_policy(PolicyKind::Capman, workload, phone, seed))
-        .collect()
+        .map(|phone| default_scenario(PolicyKind::Capman, workload, phone, seed))
+        .collect();
+    ScenarioRunner::new().run(&scenarios)
 }
 
 /// Run one discharge cycle on an explicit pack (ablations that swap the
@@ -198,9 +246,9 @@ pub fn run_with_pack(
     config: SimConfig,
     pack: BatteryPack,
 ) -> Outcome {
-    let trace = generate(workload, config.max_horizon_s, seed);
-    let policy = build_policy(kind, &trace, &phone);
-    Simulator::new(phone, trace, pack, policy, config).run()
+    Scenario::new(kind, workload, phone, seed, config)
+        .with_pack(pack)
+        .run()
 }
 
 /// Mean and standard deviation of service time over several seeds — the
@@ -226,13 +274,20 @@ pub struct ServiceStats {
 /// Panics if `seeds` is empty.
 pub fn fig12_stats(workload: WorkloadKind, seeds: &[u64]) -> Vec<ServiceStats> {
     assert!(!seeds.is_empty(), "need at least one seed");
+    let scenarios: Vec<Scenario> = PolicyKind::ALL
+        .iter()
+        .flat_map(|&kind| {
+            seeds
+                .iter()
+                .map(move |&seed| default_scenario(kind, workload, PhoneProfile::nexus(), seed))
+        })
+        .collect();
+    let outcomes = ScenarioRunner::new().run(&scenarios);
     PolicyKind::ALL
         .iter()
-        .map(|&kind| {
-            let times: Vec<f64> = seeds
-                .iter()
-                .map(|&seed| run_policy(kind, workload, PhoneProfile::nexus(), seed).service_time_s)
-                .collect();
+        .zip(outcomes.chunks_exact(seeds.len()))
+        .map(|(&kind, per_policy)| {
+            let times: Vec<f64> = per_policy.iter().map(|o| o.service_time_s).collect();
             let mean = times.iter().sum::<f64>() / times.len() as f64;
             let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
             ServiceStats {
@@ -262,7 +317,7 @@ pub struct AmbientPoint {
 /// temperature even under skewed loads"; this sweep runs the eta-50%
 /// mix at several ambients and reports how the TEC and service respond.
 pub fn ambient_sweep(ambients: &[f64], seed: u64, horizon_s: f64) -> Vec<AmbientPoint> {
-    ambients
+    let scenarios: Vec<Scenario> = ambients
         .iter()
         .map(|&ambient_c| {
             let config = SimConfig {
@@ -271,19 +326,23 @@ pub fn ambient_sweep(ambients: &[f64], seed: u64, horizon_s: f64) -> Vec<Ambient
                 tec_enabled: true,
                 ..SimConfig::paper()
             };
-            let o = run_policy_with(
+            Scenario::new(
                 PolicyKind::Capman,
                 WorkloadKind::EtaStatic { eta: 50 },
                 PhoneProfile::nexus(),
                 seed,
                 config,
-            );
-            AmbientPoint {
-                ambient_c,
-                service_time_s: o.service_time_s,
-                tec_on_s: o.tec_on_s,
-                max_hotspot_c: o.max_hotspot_c,
-            }
+            )
+        })
+        .collect();
+    ambients
+        .iter()
+        .zip(ScenarioRunner::new().run(&scenarios))
+        .map(|(&ambient_c, o)| AmbientPoint {
+            ambient_c,
+            service_time_s: o.service_time_s,
+            tec_on_s: o.tec_on_s,
+            max_hotspot_c: o.max_hotspot_c,
         })
         .collect()
 }

@@ -18,6 +18,8 @@
 //!   big.LITTLE depletion.
 //! * [`online`] — the background runtime-calibration scheduler with the
 //!   overhead accounting of Fig. 16.
+//! * [`scenario`] — the concurrent scenario runner fanning independent
+//!   discharge-cycle simulations across cores.
 //! * [`actuator`] — converts decisions into switch-facility signals.
 //! * [`telemetry`] — time-series sampling (Figs. 13 and 15).
 //! * [`metrics`] — the per-cycle [`metrics::Outcome`] and comparison
@@ -55,10 +57,12 @@ pub mod oracle;
 pub mod policy;
 pub mod profiler;
 pub mod report;
+pub mod scenario;
 pub mod sim;
 pub mod telemetry;
 
 pub use config::SimConfig;
 pub use experiments::PolicyKind;
 pub use metrics::Outcome;
+pub use scenario::{Scenario, ScenarioRunner};
 pub use sim::Simulator;

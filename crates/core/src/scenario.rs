@@ -1,0 +1,198 @@
+//! Concurrent fan-out of independent discharge-cycle simulations.
+//!
+//! Every figure of the evaluation is a grid of *scenarios* — one
+//! `(trace, policy, config)` triple per cell — and each scenario is a
+//! completely independent [`Simulator`] run: its own trace generation,
+//! its own battery pack, its own policy instance. [`ScenarioRunner`]
+//! exploits that independence by dealing scenarios across the available
+//! cores and merging the resulting [`Outcome`]s (telemetry included)
+//! back **by scenario index**, so the output vector is byte-for-byte the
+//! same whatever the schedule: result `i` always belongs to scenario
+//! `i`, and a scenario's simulation never observes another scenario.
+//!
+//! The experiment harness ([`crate::experiments`]) routes every
+//! multi-scenario figure (Figs. 12–15, the seed-scatter stats, the
+//! ambient sweep) through this runner, which makes the figure and
+//! ablation harnesses scale with cores without touching the simulation
+//! engine itself.
+
+use capman_battery::pack::BatteryPack;
+use capman_device::phone::PhoneProfile;
+use capman_mdp::ExecutionMode;
+use capman_workload::{generate, WorkloadKind};
+use rayon::prelude::*;
+
+use crate::config::SimConfig;
+use crate::experiments::{build_pack, build_policy, PolicyKind};
+use crate::metrics::Outcome;
+use crate::sim::Simulator;
+
+/// One independent discharge-cycle simulation: which policy runs which
+/// workload on which phone, under which configuration and battery pack.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The scheduling policy under test.
+    pub kind: PolicyKind,
+    /// Workload generator for the trace.
+    pub workload: WorkloadKind,
+    /// Phone model (power model, compute speed).
+    pub phone: PhoneProfile,
+    /// Trace-generation seed.
+    pub seed: u64,
+    /// Simulation configuration (horizon, ambient, TEC).
+    pub config: SimConfig,
+    /// Explicit battery pack; `None` uses the policy's default pack
+    /// ([`build_pack`]).
+    pub pack: Option<BatteryPack>,
+}
+
+impl Scenario {
+    /// A scenario on the policy's default battery pack.
+    pub fn new(
+        kind: PolicyKind,
+        workload: WorkloadKind,
+        phone: PhoneProfile,
+        seed: u64,
+        config: SimConfig,
+    ) -> Self {
+        Scenario {
+            kind,
+            workload,
+            phone,
+            seed,
+            config,
+            pack: None,
+        }
+    }
+
+    /// Override the battery pack (the hardware-swap ablations).
+    pub fn with_pack(mut self, pack: BatteryPack) -> Self {
+        self.pack = Some(pack);
+        self
+    }
+
+    /// Run this scenario to completion on the calling thread.
+    pub fn run(&self) -> Outcome {
+        let trace = generate(self.workload, self.config.max_horizon_s, self.seed);
+        let pack = self.pack.clone().unwrap_or_else(|| build_pack(self.kind));
+        let policy = build_policy(self.kind, &trace, &self.phone);
+        Simulator::new(self.phone.clone(), trace, pack, policy, self.config).run()
+    }
+}
+
+/// Runs batches of independent scenarios, concurrently when cores allow.
+///
+/// Determinism contract: [`run`](ScenarioRunner::run) returns exactly
+/// `scenarios.iter().map(Scenario::run).collect()` — same outcomes, same
+/// order — under every schedule. Each scenario owns its simulator, trace
+/// and pack, so there is no shared mutable state to race on; the only
+/// cross-thread communication is each worker writing its own disjoint
+/// output slot.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioRunner {
+    mode: ExecutionMode,
+}
+
+impl Default for ScenarioRunner {
+    fn default() -> Self {
+        ScenarioRunner::new()
+    }
+}
+
+impl ScenarioRunner {
+    /// A runner that fans out across the available cores (inline on a
+    /// single-core machine — the fan-out has no spawn overhead there).
+    pub fn new() -> Self {
+        ScenarioRunner {
+            mode: ExecutionMode::Parallel,
+        }
+    }
+
+    /// A runner that executes scenarios one after another on the calling
+    /// thread (debugging / profiling).
+    pub fn serial() -> Self {
+        ScenarioRunner {
+            mode: ExecutionMode::Serial,
+        }
+    }
+
+    /// The configured schedule.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Run every scenario, merging outcomes by scenario index.
+    pub fn run(&self, scenarios: &[Scenario]) -> Vec<Outcome> {
+        match self.mode {
+            ExecutionMode::Serial => scenarios.iter().map(Scenario::run).collect(),
+            ExecutionMode::Parallel => {
+                let mut slots: Vec<Option<Outcome>> = scenarios.iter().map(|_| None).collect();
+                slots
+                    .par_chunks_mut(1)
+                    .enumerate()
+                    .for_each(|i, slot| slot[0] = Some(scenarios[i].run()));
+                slots
+                    .into_iter()
+                    .map(|o| o.expect("every scenario slot is filled exactly once"))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(kind: PolicyKind, workload: WorkloadKind, seed: u64) -> Scenario {
+        let config = SimConfig {
+            max_horizon_s: 900.0,
+            tec_enabled: kind.has_tec(),
+            ..SimConfig::paper()
+        };
+        Scenario::new(kind, workload, PhoneProfile::nexus(), seed, config)
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run_in_order() {
+        let scenarios = vec![
+            short(PolicyKind::Dual, WorkloadKind::Video, 7),
+            short(PolicyKind::Practice, WorkloadKind::Pcmark, 7),
+            short(PolicyKind::Heuristic, WorkloadKind::Video, 9),
+        ];
+        let serial = ScenarioRunner::serial().run(&scenarios);
+        let parallel = ScenarioRunner::new().run(&scenarios);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(a.policy, b.policy, "scenario {i}");
+            assert_eq!(a.service_time_s, b.service_time_s, "scenario {i}");
+            assert_eq!(a.work_served, b.work_served, "scenario {i}");
+            assert_eq!(
+                a.telemetry.samples().len(),
+                b.telemetry.samples().len(),
+                "scenario {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcomes_follow_scenario_order_not_completion_order() {
+        // Different horizons make completion times differ; order must not.
+        let mut long = short(PolicyKind::Dual, WorkloadKind::Video, 3);
+        long.config.max_horizon_s = 1800.0;
+        let scenarios = vec![long, short(PolicyKind::Practice, WorkloadKind::Video, 3)];
+        let out = ScenarioRunner::new().run(&scenarios);
+        assert_eq!(out[0].policy, "Dual");
+        assert_eq!(out[1].policy, "Practice");
+    }
+
+    #[test]
+    fn pack_override_is_respected() {
+        use capman_battery::chemistry::Chemistry;
+        let scenario = short(PolicyKind::Dual, WorkloadKind::Video, 5)
+            .with_pack(BatteryPack::single(Chemistry::Nca, 2.0));
+        let out = ScenarioRunner::new().run(&[scenario]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].little_active_s == 0.0, "single pack has no LITTLE");
+    }
+}

@@ -14,9 +14,14 @@
 //!
 //! Modules:
 //!
-//! * [`mdp`] — the finite MDP with a validating builder.
+//! * [`mdp`] — the finite MDP with a validating builder; transition
+//!   storage is a flat CSR arena with packed per-state action lists.
 //! * [`graph`] — the bipartite MDP graph `G_M`.
-//! * [`value_iteration`] — exact Bellman solving (the Oracle's engine).
+//! * [`value_iteration`] — exact Bellman solving (the Oracle's engine):
+//!   Jacobi sweeps with a parallel schedule that is bit-identical to the
+//!   serial one.
+//! * [`reference`] — the nested-Vec layout and pre-CSR Gauss–Seidel
+//!   solver, kept as test/bench oracles.
 //! * [`emd`] — Earth Mover's Distance via a successive-shortest-path
 //!   min-cost flow (the paper's SSP subroutine).
 //! * [`hausdorff`] — Hausdorff distance between node sets.
@@ -53,6 +58,7 @@ pub mod matrix;
 pub mod mdp;
 pub mod policy_iteration;
 pub mod qlearning;
+pub mod reference;
 pub mod similarity;
 pub mod value_iteration;
 
@@ -61,3 +67,4 @@ pub use graph::MdpGraph;
 pub use matrix::SquareMatrix;
 pub use mdp::{Mdp, MdpBuilder};
 pub use similarity::{SimilarityParams, SimilarityResult};
+pub use value_iteration::{solve_with_mode, Solution};

@@ -4,6 +4,34 @@
 //! reward function `R` are stored per `(state, action)` pair as a sparse
 //! list of `(successor, probability, reward)` entries, with rewards
 //! normalised to `[0, 1]` as in the paper.
+//!
+//! # Storage layout
+//!
+//! Internally the MDP is a CSR (compressed sparse row) structure: every
+//! outcome lives in one contiguous arena, indexed by a `row_ptr` table
+//! with one row per `(state, action)` pair, and the available actions of
+//! each state are packed into a second arena indexed per state. The
+//! Bellman solvers, the q-learning driver and the similarity engine all
+//! sweep these rows millions of times per calibration, so the layout
+//! buys three things over the naive `Vec<Vec<Vec<Outcome>>>` nesting:
+//!
+//! * `outcomes(s, a)` is two loads into one flat allocation instead of a
+//!   three-level pointer chase through per-pair heap vectors;
+//! * `available_actions(s)` walks a packed slice instead of filtering
+//!   all `|A|` actions through `Vec::is_empty` on every sweep;
+//! * `is_absorbing(s)` and `n_action_nodes()` are O(1) pointer
+//!   arithmetic.
+//!
+//! On top of the arena the builder lays out a structure-of-arrays mirror
+//! for the Bellman sweep itself ([`SolverView`]): successor indices and
+//! probabilities in two dense arrays (12 bytes per outcome instead of
+//! the 24-byte [`Outcome`]), plus the expected immediate reward of every
+//! action node precomputed once. A sweep then reduces to the SpMV-shaped
+//! `R(a) + rho * sum_i p_i * V[succ_i]` with no reward loads at all.
+//!
+//! The public API is unchanged from the nested layout;
+//! [`crate::reference::NestedMdp`] keeps the old representation alive as
+//! a test/bench oracle.
 
 use serde::{Deserialize, Serialize};
 
@@ -18,13 +46,46 @@ pub struct Outcome {
     pub reward: f64,
 }
 
-/// A finite MDP with dense state/action indices.
+/// A finite MDP with dense state/action indices, stored in CSR form.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mdp {
     n_states: usize,
     n_actions: usize,
-    /// `outcomes[s][a]` — empty when action `a` is unavailable in `s`.
-    outcomes: Vec<Vec<Vec<Outcome>>>,
+    /// All outcomes, contiguous, rows ordered by `(state, action)`.
+    arena: Vec<Outcome>,
+    /// Row bounds: the outcomes of `(s, a)` live in
+    /// `arena[row_ptr[s * n_actions + a]..row_ptr[s * n_actions + a + 1]]`.
+    row_ptr: Vec<usize>,
+    /// Packed available actions, rows ordered by state.
+    actions: Vec<u32>,
+    /// State bounds: the available actions of `s` live in
+    /// `actions[action_ptr[s]..action_ptr[s + 1]]`.
+    action_ptr: Vec<usize>,
+    /// Successor per outcome, arena order (structure-of-arrays mirror).
+    succ: Vec<u32>,
+    /// Probability per outcome, arena order (structure-of-arrays mirror).
+    prob: Vec<f64>,
+    /// Arena offsets per action node: the outcomes of the `k`-th packed
+    /// action node live in `arena[node_ptr[k]..node_ptr[k + 1]]`. Valid
+    /// because empty rows contribute nothing to the arena, so non-empty
+    /// rows are contiguous in packed-action order.
+    node_ptr: Vec<usize>,
+    /// Expected immediate reward per action node, precomputed from the
+    /// normalised probabilities in arena order.
+    node_reward: Vec<f64>,
+}
+
+/// Borrowed structure-of-arrays view of the Bellman hot path, indexed by
+/// packed action node: the `k`-th node of state `s` (for `k` in
+/// `action_ptr[s]..action_ptr[s + 1]`) has outcomes
+/// `(succ[i], prob[i])` for `i` in `node_ptr[k]..node_ptr[k + 1]` and
+/// expected immediate reward `node_reward[k]`.
+pub(crate) struct SolverView<'a> {
+    pub succ: &'a [u32],
+    pub prob: &'a [f64],
+    pub node_ptr: &'a [usize],
+    pub node_reward: &'a [f64],
+    pub action_ptr: &'a [usize],
 }
 
 impl Mdp {
@@ -46,19 +107,32 @@ impl Mdp {
     pub fn outcomes(&self, state: usize, action: usize) -> &[Outcome] {
         assert!(state < self.n_states, "state out of range");
         assert!(action < self.n_actions, "action out of range");
-        &self.outcomes[state][action]
+        let row = state * self.n_actions + action;
+        &self.arena[self.row_ptr[row]..self.row_ptr[row + 1]]
     }
 
-    /// Actions available in `state`.
+    /// Actions available in `state`, ascending.
     pub fn available_actions(&self, state: usize) -> impl Iterator<Item = usize> + '_ {
+        self.action_list(state).iter().map(|&a| a as usize)
+    }
+
+    /// The packed list of actions available in `state`, ascending — the
+    /// zero-cost form of [`available_actions`](Mdp::available_actions)
+    /// for hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn action_list(&self, state: usize) -> &[u32] {
         assert!(state < self.n_states, "state out of range");
-        (0..self.n_actions).filter(move |&a| !self.outcomes[state][a].is_empty())
+        &self.actions[self.action_ptr[state]..self.action_ptr[state + 1]]
     }
 
     /// A state with no available actions is *absorbing* (the paper's
-    /// target states for battery scheduling).
+    /// target states for battery scheduling). O(1).
     pub fn is_absorbing(&self, state: usize) -> bool {
-        self.available_actions(state).next().is_none()
+        assert!(state < self.n_states, "state out of range");
+        self.action_ptr[state] == self.action_ptr[state + 1]
     }
 
     /// Expected immediate reward of `(state, action)`.
@@ -70,11 +144,25 @@ impl Mdp {
     }
 
     /// Total number of `(state, action)` pairs with outcomes — the number
-    /// of action nodes in the graph representation.
+    /// of action nodes in the graph representation. O(1).
     pub fn n_action_nodes(&self) -> usize {
-        (0..self.n_states)
-            .map(|s| self.available_actions(s).count())
-            .sum()
+        self.actions.len()
+    }
+
+    /// Total number of outcomes (transition edges) across all pairs. O(1).
+    pub fn n_outcomes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The structure-of-arrays view the Bellman sweep iterates.
+    pub(crate) fn solver_view(&self) -> SolverView<'_> {
+        SolverView {
+            succ: &self.succ,
+            prob: &self.prob,
+            node_ptr: &self.node_ptr,
+            node_reward: &self.node_reward,
+            action_ptr: &self.action_ptr,
+        }
     }
 }
 
@@ -134,12 +222,18 @@ impl MdpBuilder {
         self
     }
 
-    /// Finish the MDP.
+    /// Finish the MDP, flattening the accumulated nesting into CSR form.
     ///
     /// Outcome probabilities of each `(state, action)` are normalised to
     /// sum to one, so callers may supply raw visit counts (this is how the
-    /// profiler feeds observed transition statistics in).
+    /// profiler feeds observed transition statistics in). Normalisation
+    /// happens per pair in insertion order, so the stored probabilities
+    /// are bitwise identical to what the nested layout produced.
     pub fn build(mut self) -> Mdp {
+        assert!(
+            u32::try_from(self.n_states).is_ok(),
+            "state indices must fit in u32 for the packed successor array"
+        );
         for per_state in &mut self.outcomes {
             for outs in per_state {
                 let total: f64 = outs.iter().map(|o| o.prob).sum();
@@ -150,10 +244,47 @@ impl MdpBuilder {
                 }
             }
         }
+        let n_edges: usize = self
+            .outcomes
+            .iter()
+            .flat_map(|per_state| per_state.iter().map(Vec::len))
+            .sum();
+        let mut arena = Vec::with_capacity(n_edges);
+        let mut row_ptr = Vec::with_capacity(self.n_states * self.n_actions + 1);
+        let mut actions = Vec::new();
+        let mut action_ptr = Vec::with_capacity(self.n_states + 1);
+        let mut succ = Vec::with_capacity(n_edges);
+        let mut prob = Vec::with_capacity(n_edges);
+        let mut node_ptr = Vec::new();
+        let mut node_reward = Vec::new();
+        row_ptr.push(0);
+        action_ptr.push(0);
+        for per_state in &self.outcomes {
+            for (a, outs) in per_state.iter().enumerate() {
+                if !outs.is_empty() {
+                    actions.push(a as u32);
+                    node_ptr.push(arena.len());
+                    node_reward.push(outs.iter().map(|o| o.prob * o.reward).sum());
+                }
+                arena.extend_from_slice(outs);
+                succ.extend(outs.iter().map(|o| o.next as u32));
+                prob.extend(outs.iter().map(|o| o.prob));
+                row_ptr.push(arena.len());
+            }
+            action_ptr.push(actions.len());
+        }
+        node_ptr.push(arena.len());
         Mdp {
             n_states: self.n_states,
             n_actions: self.n_actions,
-            outcomes: self.outcomes,
+            arena,
+            row_ptr,
+            actions,
+            action_ptr,
+            succ,
+            prob,
+            node_ptr,
+            node_reward,
         }
     }
 }
@@ -208,6 +339,52 @@ mod tests {
     #[test]
     fn action_node_count() {
         assert_eq!(chain().n_action_nodes(), 2);
+    }
+
+    #[test]
+    fn packed_action_lists_mirror_the_iterator() {
+        let m = chain();
+        for s in 0..m.n_states() {
+            let packed: Vec<usize> = m.action_list(s).iter().map(|&a| a as usize).collect();
+            let iterated: Vec<usize> = m.available_actions(s).collect();
+            assert_eq!(packed, iterated, "state {s}");
+        }
+        assert_eq!(m.n_outcomes(), 2);
+    }
+
+    #[test]
+    fn empty_rows_are_empty_slices() {
+        let m = chain();
+        assert!(m.outcomes(0, 1).is_empty());
+        assert!(m.outcomes(2, 0).is_empty());
+        assert!(m.outcomes(2, 1).is_empty());
+    }
+
+    #[test]
+    fn solver_view_mirrors_the_arena() {
+        let mut b = MdpBuilder::new(4, 3);
+        b.transition(0, 0, 1, 2.0, 0.5);
+        b.transition(0, 0, 2, 1.0, 0.25);
+        b.transition(0, 2, 3, 1.0, 1.0);
+        b.transition(1, 1, 3, 1.0, 0.75);
+        b.transition(2, 0, 3, 1.0, 0.0);
+        let m = b.build();
+        let v = m.solver_view();
+        assert_eq!(v.succ.len(), m.n_outcomes());
+        assert_eq!(v.prob.len(), m.n_outcomes());
+        assert_eq!(v.node_ptr.len(), m.n_action_nodes() + 1);
+        for s in 0..m.n_states() {
+            for (k, &a) in (v.action_ptr[s]..v.action_ptr[s + 1]).zip(m.action_list(s)) {
+                let outs = m.outcomes(s, a as usize);
+                assert_eq!(v.node_ptr[k + 1] - v.node_ptr[k], outs.len());
+                for (i, o) in (v.node_ptr[k]..v.node_ptr[k + 1]).zip(outs) {
+                    assert_eq!(v.succ[i] as usize, o.next);
+                    assert_eq!(v.prob[i], o.prob);
+                }
+                let r: f64 = outs.iter().map(|o| o.prob * o.reward).sum();
+                assert_eq!(v.node_reward[k], r);
+            }
+        }
     }
 
     #[test]

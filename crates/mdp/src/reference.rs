@@ -1,0 +1,281 @@
+//! Nested-Vec reference implementations kept as test/bench oracles.
+//!
+//! [`Mdp`](crate::mdp::Mdp) stores its transition structure in CSR form;
+//! this module preserves the straightforward `Vec<Vec<Vec<Outcome>>>`
+//! layout it replaced, together with the original in-place Gauss–Seidel
+//! sweep, so that:
+//!
+//! * proptests can assert the CSR structure is observationally identical
+//!   to the naive one (same outcomes, same action sets, bitwise-equal
+//!   solver values — see `tests/csr_equivalence.rs`);
+//! * the `mdp_solve` bench can measure the flat layout against the
+//!   pre-CSR baseline it actually replaced, not against a strawman.
+//!
+//! Nothing in the production pipeline calls into this module.
+
+use crate::mdp::Outcome;
+use crate::value_iteration::Solution;
+
+/// A finite MDP in the naive nested layout: `outcomes[s][a]` is the
+/// (possibly empty) outcome list of `(s, a)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestedMdp {
+    n_states: usize,
+    n_actions: usize,
+    outcomes: Vec<Vec<Vec<Outcome>>>,
+}
+
+impl NestedMdp {
+    /// Start an empty nested MDP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(n_states: usize, n_actions: usize) -> Self {
+        assert!(n_states > 0, "need at least one state");
+        assert!(n_actions > 0, "need at least one action");
+        NestedMdp {
+            n_states,
+            n_actions,
+            outcomes: vec![vec![Vec::new(); n_actions]; n_states],
+        }
+    }
+
+    /// Record an outcome with a raw weight, mirroring
+    /// [`MdpBuilder::transition`](crate::mdp::MdpBuilder::transition).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs the builder rejects.
+    pub fn transition(
+        &mut self,
+        state: usize,
+        action: usize,
+        next: usize,
+        prob: f64,
+        reward: f64,
+    ) -> &mut Self {
+        assert!(state < self.n_states, "state out of range");
+        assert!(action < self.n_actions, "action out of range");
+        assert!(next < self.n_states, "successor out of range");
+        assert!(
+            prob > 0.0 && prob.is_finite(),
+            "probability/count weight must be positive and finite"
+        );
+        assert!(
+            (0.0..=1.0).contains(&reward),
+            "reward must be normalised to [0, 1]"
+        );
+        self.outcomes[state][action].push(Outcome { next, prob, reward });
+        self
+    }
+
+    /// Normalise each `(state, action)` row to sum to one, in insertion
+    /// order — the exact arithmetic `MdpBuilder::build` performs, so the
+    /// stored probabilities are bitwise comparable.
+    pub fn normalise(&mut self) {
+        for per_state in &mut self.outcomes {
+            for outs in per_state {
+                let total: f64 = outs.iter().map(|o| o.prob).sum();
+                if total > 0.0 {
+                    for o in outs.iter_mut() {
+                        o.prob /= total;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of actions.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// The outcomes of `(state, action)`.
+    pub fn outcomes(&self, state: usize, action: usize) -> &[Outcome] {
+        &self.outcomes[state][action]
+    }
+
+    /// Actions available in `state` — the original O(|A|) filter scan.
+    pub fn available_actions(&self, state: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n_actions).filter(move |&a| !self.outcomes[state][a].is_empty())
+    }
+}
+
+/// The pre-CSR value-iteration solver, verbatim: an in-place
+/// Gauss–Seidel sweep over the nested layout, re-filtering the action
+/// set of every state on every sweep.
+///
+/// # Panics
+///
+/// Panics if `rho` is not in `[0, 1)` or `eps` is not positive.
+pub fn solve_nested(mdp: &NestedMdp, rho: f64, eps: f64) -> Solution {
+    assert!((0.0..1.0).contains(&rho), "discount must be in [0, 1)");
+    assert!(eps > 0.0, "precision must be positive");
+    let n = mdp.n_states();
+    let mut values = vec![0.0; n];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut residual: f64 = 0.0;
+        for s in 0..n {
+            let mut best = f64::NEG_INFINITY;
+            for a in mdp.available_actions(s) {
+                let q: f64 = mdp
+                    .outcomes(s, a)
+                    .iter()
+                    .map(|o| o.prob * (o.reward + rho * values[o.next]))
+                    .sum();
+                best = best.max(q);
+            }
+            let new = if best.is_finite() { best } else { 0.0 };
+            residual = residual.max((new - values[s]).abs());
+            values[s] = new;
+        }
+        if residual < eps || iterations > 1_000_000 {
+            break;
+        }
+    }
+
+    let mut q = vec![Vec::new(); n];
+    let mut policy = vec![None; n];
+    for s in 0..n {
+        q[s] = (0..mdp.n_actions())
+            .map(|a| {
+                let outs = mdp.outcomes(s, a);
+                if outs.is_empty() {
+                    f64::NEG_INFINITY
+                } else {
+                    outs.iter()
+                        .map(|o| o.prob * (o.reward + rho * values[o.next]))
+                        .sum()
+                }
+            })
+            .collect();
+        policy[s] = mdp
+            .available_actions(s)
+            .max_by(|&a, &b| q[s][a].total_cmp(&q[s][b]));
+    }
+
+    Solution {
+        values,
+        q,
+        policy,
+        iterations,
+    }
+}
+
+/// A Jacobi value-iteration sweep over the nested layout, replicating
+/// the arithmetic of [`crate::value_iteration::solve`] operation for
+/// operation — the bitwise oracle for the CSR solver. Like the CSR
+/// sweep, each action value is the expected-reward-hoisted
+/// `R + rho * sum p * V` (the reward sum here is recomputed per sweep
+/// where the CSR layout caches it at build; same inputs in the same
+/// order, hence the same bits).
+///
+/// # Panics
+///
+/// Panics if `rho` is not in `[0, 1)` or `eps` is not positive.
+pub fn solve_nested_jacobi(mdp: &NestedMdp, rho: f64, eps: f64) -> Solution {
+    assert!((0.0..1.0).contains(&rho), "discount must be in [0, 1)");
+    assert!(eps > 0.0, "precision must be positive");
+    let n = mdp.n_states();
+    let mut values = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        for (s, slot) in next.iter_mut().enumerate() {
+            let mut best = f64::NEG_INFINITY;
+            for a in mdp.available_actions(s) {
+                let outs = mdp.outcomes(s, a);
+                let r: f64 = outs.iter().map(|o| o.prob * o.reward).sum();
+                let pv: f64 = outs.iter().map(|o| o.prob * values[o.next]).sum();
+                best = best.max(r + rho * pv);
+            }
+            *slot = if best.is_finite() { best } else { 0.0 };
+        }
+        let mut residual: f64 = 0.0;
+        for s in 0..n {
+            residual = residual.max((next[s] - values[s]).abs());
+        }
+        std::mem::swap(&mut values, &mut next);
+        if residual < eps || iterations > 1_000_000 {
+            break;
+        }
+    }
+
+    let mut q = vec![Vec::new(); n];
+    let mut policy = vec![None; n];
+    for s in 0..n {
+        q[s] = (0..mdp.n_actions())
+            .map(|a| {
+                let outs = mdp.outcomes(s, a);
+                if outs.is_empty() {
+                    f64::NEG_INFINITY
+                } else {
+                    let r: f64 = outs.iter().map(|o| o.prob * o.reward).sum();
+                    let pv: f64 = outs.iter().map(|o| o.prob * values[o.next]).sum();
+                    r + rho * pv
+                }
+            })
+            .collect();
+        policy[s] = mdp
+            .available_actions(s)
+            .max_by(|&a, &b| q[s][a].total_cmp(&q[s][b]));
+    }
+
+    Solution {
+        values,
+        q,
+        policy,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_armed() -> NestedMdp {
+        let mut m = NestedMdp::new(2, 2);
+        m.transition(0, 0, 1, 1.0, 0.2);
+        m.transition(0, 1, 1, 1.0, 0.9);
+        m.normalise();
+        m
+    }
+
+    #[test]
+    fn nested_solver_picks_the_better_arm() {
+        let sol = solve_nested(&two_armed(), 0.9, 1e-10);
+        assert_eq!(sol.policy[0], Some(1));
+        assert!((sol.values[0] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_and_gauss_seidel_agree_at_the_fixpoint() {
+        let m = two_armed();
+        let gs = solve_nested(&m, 0.9, 1e-12);
+        let ja = solve_nested_jacobi(&m, 0.9, 1e-12);
+        for (a, b) in gs.values.iter().zip(&ja.values) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(gs.policy, ja.policy);
+    }
+
+    #[test]
+    fn normalisation_matches_builder_semantics() {
+        let mut m = NestedMdp::new(2, 1);
+        m.transition(0, 0, 0, 3.0, 0.0);
+        m.transition(0, 0, 1, 1.0, 1.0);
+        m.normalise();
+        let total: f64 = m.outcomes(0, 0).iter().map(|o| o.prob).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(m.outcomes(0, 0)[0].prob, 0.75);
+    }
+}

@@ -7,10 +7,43 @@
 //!
 //! The *Oracle* baseline is built on this solver; the structural-
 //! similarity bound of Section III-D is verified against it in tests.
+//!
+//! # Sweep discipline
+//!
+//! [`solve`] iterates *Jacobi* sweeps: every state's backup in sweep
+//! `k + 1` reads only the value vector of sweep `k`, never a value
+//! written earlier in the same sweep. That makes the sweep
+//! embarrassingly parallel over disjoint state chunks, and — because
+//! each state's backup is the exact same sequence of floating-point
+//! operations regardless of which chunk (or thread) computes it — the
+//! serial and parallel schedules produce **bit-identical** solutions.
+//! The residual is the sup norm of `V_{k+1} - V_k`, reduced with
+//! `f64::max` (order-independent for the non-NaN values produced here),
+//! so the iteration counts agree too. This is the same determinism
+//! contract the similarity engine established for its row sweeps.
+//!
+//! The sweep itself runs over the MDP's structure-of-arrays solver view
+//! (see the layout notes in [`crate::mdp`]): with the expected immediate
+//! reward of every action node precomputed, a backup is
+//! `max_a R(a) + rho * sum_i p_i * V[succ_i]` — one contiguous pass over
+//! the successor/probability arrays, no reward loads, no action-id
+//! indirection.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::mdp::Mdp;
+use crate::engine::ExecutionMode;
+use crate::mdp::{Mdp, SolverView};
+
+/// States per parallel work unit. Fixed (not derived from the thread
+/// count) so the chunk boundaries — and therefore the work partition —
+/// are stable across machines; bit-identity does not depend on this, it
+/// only keeps scheduling deterministic.
+const PAR_CHUNK: usize = 64;
+
+/// Below this state count a parallel sweep costs more in fan-out than
+/// it recovers; [`solve`] picks the serial schedule.
+const PAR_MIN_STATES: usize = 256;
 
 /// An exact solution of a discounted MDP.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,61 +60,127 @@ pub struct Solution {
     pub iterations: usize,
 }
 
+/// One Jacobi backup of `state`: the best available action value under
+/// the previous sweep's `values`, zero when the state is absorbing.
+#[inline]
+fn backup(view: &SolverView<'_>, rho: f64, values: &[f64], state: usize) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for k in view.action_ptr[state]..view.action_ptr[state + 1] {
+        let (lo, hi) = (view.node_ptr[k], view.node_ptr[k + 1]);
+        let mut pv = 0.0;
+        for (&n, &p) in view.succ[lo..hi].iter().zip(&view.prob[lo..hi]) {
+            pv += p * values[n as usize];
+        }
+        best = best.max(view.node_reward[k] + rho * pv);
+    }
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
+}
+
+/// One full Jacobi sweep: `next[s] = backup(s)` for every state, reading
+/// only `values`. The parallel schedule deals disjoint `PAR_CHUNK`-state
+/// chunks across the cores; per-state arithmetic is identical either
+/// way.
+fn jacobi_sweep(
+    view: &SolverView<'_>,
+    rho: f64,
+    values: &[f64],
+    next: &mut [f64],
+    mode: ExecutionMode,
+) {
+    match mode {
+        ExecutionMode::Serial => {
+            for (s, slot) in next.iter_mut().enumerate() {
+                *slot = backup(view, rho, values, s);
+            }
+        }
+        ExecutionMode::Parallel => {
+            next.par_chunks_mut(PAR_CHUNK)
+                .enumerate()
+                .for_each(|chunk_idx, chunk| {
+                    let base = chunk_idx * PAR_CHUNK;
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = backup(view, rho, values, base + i);
+                    }
+                });
+        }
+    }
+}
+
 /// Solve the MDP by value iteration to precision `eps` (sup norm of the
 /// Bellman residual).
 ///
 /// Absorbing states have value zero, matching the paper's convention that
 /// target states terminate the accumulation.
 ///
+/// Dispatches to the parallel sweep on large state spaces when more than
+/// one core is available; both schedules return bit-identical solutions
+/// (see the module docs), so the dispatch is unobservable apart from
+/// wall clock.
+///
 /// # Panics
 ///
 /// Panics if `rho` is not in `[0, 1)` or `eps` is not positive.
 pub fn solve(mdp: &Mdp, rho: f64, eps: f64) -> Solution {
+    let mode = if mdp.n_states() >= PAR_MIN_STATES && rayon::current_num_threads() > 1 {
+        ExecutionMode::Parallel
+    } else {
+        ExecutionMode::Serial
+    };
+    solve_with_mode(mdp, rho, eps, mode)
+}
+
+/// [`solve`] with an explicit sweep schedule — the form the equivalence
+/// proptests and the `mdp_solve` bench pin down.
+///
+/// # Panics
+///
+/// Panics if `rho` is not in `[0, 1)` or `eps` is not positive.
+pub fn solve_with_mode(mdp: &Mdp, rho: f64, eps: f64, mode: ExecutionMode) -> Solution {
     assert!((0.0..1.0).contains(&rho), "discount must be in [0, 1)");
     assert!(eps > 0.0, "precision must be positive");
     let n = mdp.n_states();
+    let view = mdp.solver_view();
     let mut values = vec![0.0; n];
+    let mut next = vec![0.0; n];
     let mut iterations = 0;
     loop {
         iterations += 1;
+        jacobi_sweep(&view, rho, &values, &mut next, mode);
         let mut residual: f64 = 0.0;
         for s in 0..n {
-            let mut best = f64::NEG_INFINITY;
-            for a in mdp.available_actions(s) {
-                let q: f64 = mdp
-                    .outcomes(s, a)
-                    .iter()
-                    .map(|o| o.prob * (o.reward + rho * values[o.next]))
-                    .sum();
-                best = best.max(q);
-            }
-            let new = if best.is_finite() { best } else { 0.0 };
-            residual = residual.max((new - values[s]).abs());
-            values[s] = new;
+            residual = residual.max((next[s] - values[s]).abs());
         }
+        std::mem::swap(&mut values, &mut next);
         if residual < eps || iterations > 1_000_000 {
             break;
         }
     }
 
+    // Q*/policy extraction walks only the packed action nodes —
+    // unavailable actions default to NEG_INFINITY without probing their
+    // empty rows. Each Q value uses the same expected-reward-hoisted
+    // arithmetic as the sweep, so Q*, V* and the greedy policy agree
+    // bitwise with the nested Jacobi oracle.
     let mut q = vec![Vec::new(); n];
     let mut policy = vec![None; n];
     for s in 0..n {
-        q[s] = (0..mdp.n_actions())
-            .map(|a| {
-                let outs = mdp.outcomes(s, a);
-                if outs.is_empty() {
-                    f64::NEG_INFINITY
-                } else {
-                    outs.iter()
-                        .map(|o| o.prob * (o.reward + rho * values[o.next]))
-                        .sum()
-                }
-            })
-            .collect();
+        let mut row = vec![f64::NEG_INFINITY; mdp.n_actions()];
+        for (k, &a) in (view.action_ptr[s]..view.action_ptr[s + 1]).zip(mdp.action_list(s)) {
+            let (lo, hi) = (view.node_ptr[k], view.node_ptr[k + 1]);
+            let mut pv = 0.0;
+            for (&nx, &p) in view.succ[lo..hi].iter().zip(&view.prob[lo..hi]) {
+                pv += p * values[nx as usize];
+            }
+            row[a as usize] = view.node_reward[k] + rho * pv;
+        }
         policy[s] = mdp
             .available_actions(s)
-            .max_by(|&a, &b| q[s][a].total_cmp(&q[s][b]));
+            .max_by(|&a, &b| row[a].total_cmp(&row[b]));
+        q[s] = row;
     }
 
     Solution {
@@ -220,5 +319,56 @@ mod tests {
     #[should_panic(expected = "discount")]
     fn rejects_discount_of_one() {
         let _ = solve(&two_armed(), 1.0, 1e-6);
+    }
+
+    /// A deterministic pseudo-random MDP big enough to span several
+    /// parallel chunks (and a ragged tail chunk).
+    fn chunky_mdp(n_states: usize) -> Mdp {
+        let mut b = MdpBuilder::new(n_states, 4);
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for s in 0..n_states - 1 {
+            for a in 0..4 {
+                if rand() % 4 == 0 {
+                    continue; // leave some actions unavailable
+                }
+                for _ in 0..1 + rand() % 3 {
+                    let next = (rand() as usize) % n_states;
+                    let w = 1.0 + (rand() % 100) as f64 / 10.0;
+                    let r = (rand() % 1000) as f64 / 1000.0;
+                    b.transition(s, a, next, w, r);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn parallel_schedule_is_bit_identical_to_serial() {
+        let m = chunky_mdp(3 * PAR_CHUNK + 17);
+        for rho in [0.5, 0.95] {
+            let serial = solve_with_mode(&m, rho, 1e-9, ExecutionMode::Serial);
+            let parallel = solve_with_mode(&m, rho, 1e-9, ExecutionMode::Parallel);
+            assert_eq!(serial.iterations, parallel.iterations);
+            assert_eq!(serial.policy, parallel.policy);
+            for (a, b) in serial.values.iter().zip(&parallel.values) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_matches_explicit_modes() {
+        let m = chunky_mdp(300);
+        let auto = solve(&m, 0.9, 1e-9);
+        let serial = solve_with_mode(&m, 0.9, 1e-9, ExecutionMode::Serial);
+        for (a, b) in auto.values.iter().zip(&serial.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -1,0 +1,141 @@
+//! Property tests pinning the CSR [`Mdp`] to the nested-Vec reference
+//! it replaced.
+//!
+//! Three contracts, each over randomly generated transition tables:
+//!
+//! 1. the CSR structure is *observationally identical* to
+//!    [`NestedMdp`] — same outcome slices, same action sets, same
+//!    absorbing states;
+//! 2. the CSR value-iteration solver is *bitwise* equal to the nested
+//!    Jacobi oracle — values, Q table, policy and iteration count;
+//! 3. the serial and parallel sweep schedules are *bitwise* equal to
+//!    each other, the determinism contract `solve`'s auto-dispatch
+//!    relies on.
+
+use proptest::prelude::*;
+
+use capman_mdp::mdp::{Mdp, MdpBuilder};
+use capman_mdp::reference::{solve_nested_jacobi, NestedMdp};
+use capman_mdp::value_iteration::{solve, solve_with_mode};
+use capman_mdp::ExecutionMode;
+
+const N_ACTIONS: usize = 5;
+const EPS: f64 = 1e-9;
+
+type Tx = (usize, usize, usize, f64, f64);
+
+/// A state count and a raw transition table: `(state, action,
+/// successor, weight, reward)` rows, duplicates and all — exactly what
+/// the profiler feeds the builder. Sized to cross the solver's parallel
+/// chunk boundary (64 states) in a good fraction of cases. Rows are
+/// derived from a drawn seed with a splitmix-style generator, the same
+/// trick `proptest_mdp.rs` uses to stay reproducible.
+fn arb_transitions() -> impl Strategy<Value = (usize, Vec<Tx>)> {
+    (2usize..160, 0u64..1_000_000, 0usize..300).prop_map(|(n, seed, len)| {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let txs = (0..len)
+            .map(|_| {
+                (
+                    next(n as u64) as usize,
+                    next(N_ACTIONS as u64) as usize,
+                    next(n as u64) as usize,
+                    0.1 + next(1000) as f64 / 200.0,
+                    next(1000) as f64 / 1000.0,
+                )
+            })
+            .collect();
+        (n, txs)
+    })
+}
+
+/// Feed the same transitions to the CSR builder and the nested
+/// reference.
+fn build_pair(n: usize, txs: &[Tx]) -> (Mdp, NestedMdp) {
+    let mut b = MdpBuilder::new(n, N_ACTIONS);
+    let mut r = NestedMdp::new(n, N_ACTIONS);
+    for &(s, a, to, w, rew) in txs {
+        b.transition(s, a, to, w, rew);
+        r.transition(s, a, to, w, rew);
+    }
+    r.normalise();
+    (b.build(), r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn csr_is_observationally_identical_to_nested((n, txs) in arb_transitions()) {
+        let (csr, nested) = build_pair(n, &txs);
+        prop_assert_eq!(csr.n_states(), nested.n_states());
+        prop_assert_eq!(csr.n_actions(), nested.n_actions());
+        let mut action_nodes = 0;
+        let mut outcomes = 0;
+        for s in 0..n {
+            let packed: Vec<usize> = csr.available_actions(s).collect();
+            let scanned: Vec<usize> = nested.available_actions(s).collect();
+            prop_assert_eq!(&packed, &scanned, "available actions of state {}", s);
+            prop_assert_eq!(csr.is_absorbing(s), scanned.is_empty(), "absorbing({})", s);
+            action_nodes += packed.len();
+            for a in 0..N_ACTIONS {
+                // Outcome derives PartialEq, and both layouts normalise
+                // in insertion order, so slices match exactly.
+                prop_assert_eq!(
+                    csr.outcomes(s, a),
+                    nested.outcomes(s, a),
+                    "outcomes of ({}, {})", s, a
+                );
+                outcomes += csr.outcomes(s, a).len();
+            }
+        }
+        prop_assert_eq!(csr.n_action_nodes(), action_nodes);
+        prop_assert_eq!(csr.n_outcomes(), outcomes);
+    }
+
+    #[test]
+    fn csr_solve_is_bitwise_equal_to_the_nested_jacobi_oracle(
+        (n, txs) in arb_transitions(),
+        rho in 0.1f64..0.95,
+    ) {
+        let (csr, nested) = build_pair(n, &txs);
+        let fast = solve(&csr, rho, EPS);
+        let oracle = solve_nested_jacobi(&nested, rho, EPS);
+        prop_assert_eq!(fast.iterations, oracle.iterations);
+        prop_assert_eq!(&fast.policy, &oracle.policy);
+        for (s, (a, b)) in fast.values.iter().zip(&oracle.values).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "V*({}): {} vs {}", s, a, b);
+        }
+        for (s, (qa, qb)) in fast.q.iter().zip(&oracle.q).enumerate() {
+            prop_assert_eq!(qa.len(), qb.len());
+            for (a, (x, y)) in qa.iter().zip(qb).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "Q*({}, {}): {} vs {}", s, a, x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_schedules_are_bitwise_identical(
+        (n, txs) in arb_transitions(),
+        rho in 0.1f64..0.95,
+    ) {
+        let (csr, _) = build_pair(n, &txs);
+        let serial = solve_with_mode(&csr, rho, EPS, ExecutionMode::Serial);
+        let parallel = solve_with_mode(&csr, rho, EPS, ExecutionMode::Parallel);
+        prop_assert_eq!(serial.iterations, parallel.iterations);
+        prop_assert_eq!(&serial.policy, &parallel.policy);
+        for (a, b) in serial.values.iter().zip(&parallel.values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (qa, qb) in serial.q.iter().zip(&parallel.q) {
+            for (x, y) in qa.iter().zip(qb) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! crates.io crate is a manifest-only change.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 pub mod slice;
 
@@ -18,10 +19,17 @@ pub mod prelude {
 }
 
 /// Number of worker threads a parallel call will use.
+///
+/// Cached after the first call: `available_parallelism` can hit the
+/// filesystem (cgroup quotas) on Linux, and hot loops consult this on
+/// every parallel sweep.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Run two closures, potentially in parallel, returning both results.
