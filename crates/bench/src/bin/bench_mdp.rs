@@ -4,6 +4,7 @@
 //! cargo run --release -p capman-bench --bin bench_mdp             # full sizes
 //! cargo run --release -p capman-bench --bin bench_mdp -- --quick  # CI smoke
 //! cargo run --release -p capman-bench --bin bench_mdp -- --out p  # custom path
+//! cargo run --release -p capman-bench --bin bench_mdp -- --require-parallel-win
 //! ```
 //!
 //! Per fixture size the binary times the pre-CSR nested-Vec
@@ -28,6 +29,11 @@ use capman_mdp::ExecutionMode;
 const RHO: f64 = 0.95;
 const EPS: f64 = 1e-9;
 const SEED: u64 = 42;
+
+/// Sizes below the solver's parallel-dispatch floor run the serial
+/// kernel either way, so `--require-parallel-win` skips them. Mirrors
+/// `PAR_MIN_STATES` in `capman_mdp::value_iteration`.
+const PARALLEL_FLOOR: usize = 256;
 
 /// Wall time of one call to `f`, milliseconds.
 fn time_once_ms<T>(mut f: impl FnMut() -> T) -> f64 {
@@ -144,6 +150,7 @@ fn similarity_row(n_states: usize) -> SimilarityRow {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let require_parallel_win = args.iter().any(|a| a == "--require-parallel-win");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -178,6 +185,23 @@ fn main() {
             row.speedup_serial(),
             row.speedup_parallel()
         );
+        // Multi-core CI asks for proof that the rayon fan-out pays off:
+        // at parallel-eligible sizes the chunked sweep must beat the
+        // serial one outright.
+        if require_parallel_win && row.states >= PARALLEL_FLOOR {
+            assert!(
+                rayon::current_num_threads() > 1,
+                "--require-parallel-win needs a multi-core runner \
+                 (rayon sees 1 thread)"
+            );
+            assert!(
+                row.csr_parallel_ms < row.csr_serial_ms,
+                "parallel sweep must win at {} states ({:.3} ms vs {:.3} ms serial)",
+                row.states,
+                row.csr_parallel_ms,
+                row.csr_serial_ms
+            );
+        }
         report.solver.push(row);
     }
 

@@ -1,0 +1,204 @@
+//! Measure the coarse-to-fine recalibration pipeline and write
+//! `BENCH_recalibrate.json`.
+//!
+//! ```text
+//! cargo run --release -p capman-bench --bin bench_recalibrate             # full sizes
+//! cargo run --release -p capman-bench --bin bench_recalibrate -- --quick  # CI smoke
+//! cargo run --release -p capman-bench --bin bench_recalibrate -- --out p  # custom path
+//! ```
+//!
+//! Per fixture size the binary solves the hierarchically clustered
+//! device MDP (see `capman_bench::mdp_fixtures::clustered_device_mdp`)
+//! three ways — the warm-started coarse-to-fine pipeline, the per-level
+//! cold baseline, and the warm pipeline with the opt-in f32 kernel —
+//! asserts that warm and cold reach the same fixed point and policy
+//! (and that f32 stays within 1e-3 of the f64 oracle) **before** any
+//! timing, then reports per-level warm-vs-cold sweep counts and
+//! interleaved-rep wall times.
+
+use std::time::Instant;
+
+use capman_bench::mdp_fixtures::{clustered_device_mdp, RECAL_THETAS};
+use capman_bench::perf_report::{RecalLevelRow, RecalReport, RecalRow};
+use capman_mdp::pipeline::{QuotientScratch, RecalibrationPipeline};
+use capman_mdp::value_iteration::Precision;
+use capman_mdp::ExecutionMode;
+
+// rho = 0.9 keeps the f32 kernel inside its documented 1e-3 envelope
+// (error ~ F32_EPS_FLOOR * rho / (1 - rho)) while still forcing a cold
+// solve through ~200 full-space sweeps at eps = 1e-9.
+const RHO: f64 = 0.9;
+const EPS: f64 = 1e-9;
+const SEED: u64 = 42;
+
+/// Wall time of one call to `f`, milliseconds.
+fn time_once_ms<T>(mut f: impl FnMut() -> T) -> f64 {
+    let t0 = Instant::now();
+    let out = f();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(out);
+    ms
+}
+
+fn recal_row(n_states: usize, reps: usize, strict: bool) -> RecalRow {
+    let (mdp, sigma) = clustered_device_mdp(n_states, SEED);
+    let pipe = RecalibrationPipeline::new(RHO, EPS);
+    let pipe32 = pipe.with_precision(Precision::F32);
+    let mut scratch = QuotientScratch::new();
+    let mode = ExecutionMode::Parallel; // auto-dispatches per level
+
+    // --- Equivalence before timing -------------------------------------
+    let warm = pipe.solve_with_scratch(&mdp, &sigma, &RECAL_THETAS, None, mode, &mut scratch);
+    let cold = pipe.solve_cold(&mdp, &sigma, &RECAL_THETAS, mode, &mut scratch);
+    assert_eq!(
+        warm.solution.policy, cold.solution.policy,
+        "warm and cold pipelines must extract the same greedy policy"
+    );
+    let tol = 2.0 * EPS / (1.0 - RHO);
+    for (s, (a, b)) in warm
+        .solution
+        .values
+        .iter()
+        .zip(&cold.solution.values)
+        .enumerate()
+    {
+        assert!(
+            (a - b).abs() < tol,
+            "state {s}: warm {a} vs cold {b} outside the contraction bound"
+        );
+    }
+    let fast = pipe32.solve_with_scratch(&mdp, &sigma, &RECAL_THETAS, None, mode, &mut scratch);
+    let f32_max_abs_err = fast
+        .solution
+        .values
+        .iter()
+        .zip(&cold.solution.values)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        f32_max_abs_err < 1e-3,
+        "f32 kernel drifted {f32_max_abs_err} from the f64 oracle"
+    );
+
+    // The headline claim, checked on sweeps (deterministic) always:
+    assert_eq!(
+        warm.levels.len(),
+        cold.levels.len(),
+        "both pipelines must solve the same ladder"
+    );
+    assert!(
+        warm.total_sweeps() < cold.total_sweeps(),
+        "warm pipeline must need fewer sweeps ({} vs {})",
+        warm.total_sweeps(),
+        cold.total_sweeps()
+    );
+
+    // --- Timing (interleaved reps, min) --------------------------------
+    let mut warm_ms = f64::INFINITY;
+    let mut cold_ms = f64::INFINITY;
+    let mut f32_ms = f64::INFINITY;
+    for _ in 0..reps {
+        warm_ms = warm_ms.min(time_once_ms(|| {
+            pipe.solve_with_scratch(&mdp, &sigma, &RECAL_THETAS, None, mode, &mut scratch)
+        }));
+        cold_ms = cold_ms.min(time_once_ms(|| {
+            pipe.solve_cold(&mdp, &sigma, &RECAL_THETAS, mode, &mut scratch)
+        }));
+        f32_ms = f32_ms.min(time_once_ms(|| {
+            pipe32.solve_with_scratch(&mdp, &sigma, &RECAL_THETAS, None, mode, &mut scratch)
+        }));
+    }
+    if strict {
+        assert!(
+            warm_ms < cold_ms,
+            "warm pipeline must be faster at {n_states} states ({warm_ms:.3} ms vs {cold_ms:.3} ms)"
+        );
+    }
+
+    let levels = warm
+        .levels
+        .iter()
+        .zip(&cold.levels)
+        .map(|(w, c)| {
+            assert_eq!(w.theta, c.theta);
+            assert_eq!(w.n_clusters, c.n_clusters);
+            RecalLevelRow {
+                theta: w.theta,
+                n_clusters: w.n_clusters,
+                warm_sweeps: w.sweeps,
+                cold_sweeps: c.sweeps,
+            }
+        })
+        .collect();
+
+    RecalRow {
+        states: n_states,
+        action_nodes: mdp.n_action_nodes(),
+        outcomes: mdp.n_outcomes(),
+        levels,
+        warm_final_sweeps: warm.final_sweeps,
+        cold_final_sweeps: cold.final_sweeps,
+        warm_total_sweeps: warm.total_sweeps(),
+        cold_total_sweeps: cold.total_sweeps(),
+        warm_ms,
+        cold_ms,
+        f32_ms,
+        f32_max_abs_err,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_recalibrate.json")
+        .to_string();
+
+    // Quick mode keeps the equivalence and sweep-count asserts but skips
+    // the wall-clock assert: on a loaded CI box a 96-state timing can
+    // flap, while sweep counts are deterministic.
+    let (sizes, reps): (&[usize], usize) = if quick {
+        (&[96, 128], 2)
+    } else {
+        (&[256, 512, 1024], 5)
+    };
+
+    let mut report = RecalReport {
+        threads: rayon::current_num_threads(),
+        rho: RHO,
+        eps: EPS,
+        ..RecalReport::default()
+    };
+
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>11} {:>11} {:>9}",
+        "states", "warm_sweeps", "cold_sweeps", "sweep_ratio", "warm_ms", "cold_ms", "speedup"
+    );
+    for &n in sizes {
+        let row = recal_row(n, reps, !quick);
+        println!(
+            "{:>7} {:>12} {:>12} {:>11.1}x {:>11.3} {:>11.3} {:>8.1}x",
+            row.states,
+            row.warm_total_sweeps,
+            row.cold_total_sweeps,
+            row.sweep_ratio(),
+            row.warm_ms,
+            row.cold_ms,
+            row.speedup()
+        );
+        for lvl in &row.levels {
+            println!(
+                "        level theta={:<5} {:>5} clusters: warm {:>5} vs cold {:>5} sweeps",
+                lvl.theta, lvl.n_clusters, lvl.warm_sweeps, lvl.cold_sweeps
+            );
+        }
+        report.rows.push(row);
+    }
+
+    std::fs::write(&out_path, report.to_json()).expect("write BENCH_recalibrate.json");
+    println!("\nwrote {out_path}");
+}

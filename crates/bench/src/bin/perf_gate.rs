@@ -1,0 +1,132 @@
+//! Cross-PR perf regression gate over `BENCH_mdp.json`.
+//!
+//! ```text
+//! perf_gate <committed.json> <fresh.json> [--max-slowdown 1.30] [--min-ms 0.25]
+//! ```
+//!
+//! CI regenerates the benchmark report and compares it against the
+//! committed one **at matching state counts**: if a gated metric slowed
+//! down by more than the allowed factor (default 1.30, i.e. >30%), the
+//! gate exits non-zero and prints the offending rows.
+//!
+//! Gated metrics are the *serial* solver time (`csr_serial_ms`) and the
+//! similarity engine time (`engine_ms`). The parallel solver time is
+//! reported but not gated — its variance on shared CI runners (core
+//! stealing, migration) swamps a 30% threshold. Rows whose committed
+//! time is below the `--min-ms` floor are skipped too: at sub-floor
+//! durations the timer and allocator noise exceed any real regression.
+//! Fixture sizes present in only one file are reported and ignored.
+
+use capman_bench::perf_report::{parse_rows, row_value};
+
+/// A gated metric within a section of the report.
+const GATES: [(&str, &str); 2] = [("solver", "csr_serial_ms"), ("similarity", "engine_ms")];
+
+struct Args {
+    committed: String,
+    fresh: String,
+    max_slowdown: f64,
+    min_ms: f64,
+}
+
+fn parse_args() -> Args {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str, default: f64| -> f64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let positional: Vec<&String> = {
+        // Strip flag pairs to recover the two file paths.
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.starts_with("--") {
+                    skip_next = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    if positional.len() != 2 {
+        eprintln!(
+            "usage: perf_gate <committed.json> <fresh.json> [--max-slowdown 1.30] [--min-ms 0.25]"
+        );
+        std::process::exit(2);
+    }
+    Args {
+        committed: positional[0].clone(),
+        fresh: positional[1].clone(),
+        max_slowdown: flag("--max-slowdown", 1.30),
+        min_ms: flag("--min-ms", 0.25),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let committed = std::fs::read_to_string(&args.committed)
+        .unwrap_or_else(|e| panic!("read {}: {e}", args.committed));
+    let fresh =
+        std::fs::read_to_string(&args.fresh).unwrap_or_else(|e| panic!("read {}: {e}", args.fresh));
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (section, metric) in GATES {
+        let old_rows = parse_rows(&committed, section);
+        let new_rows = parse_rows(&fresh, section);
+        for old in &old_rows {
+            let Some(states) = row_value(old, "states") else {
+                continue;
+            };
+            let Some(new) = new_rows
+                .iter()
+                .find(|r| row_value(r, "states") == Some(states))
+            else {
+                println!("{section}/{states}: only in committed report, skipped");
+                continue;
+            };
+            let (Some(old_ms), Some(new_ms)) = (row_value(old, metric), row_value(new, metric))
+            else {
+                continue;
+            };
+            if old_ms < args.min_ms {
+                println!(
+                    "{section}/{states} {metric}: committed {old_ms:.3} ms below the \
+                     {:.2} ms noise floor, skipped",
+                    args.min_ms
+                );
+                continue;
+            }
+            compared += 1;
+            let ratio = new_ms / old_ms;
+            let verdict = if ratio > args.max_slowdown {
+                failures += 1;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            println!(
+                "{section}/{states} {metric}: {old_ms:.3} ms -> {new_ms:.3} ms \
+                 ({ratio:.2}x, limit {:.2}x) {verdict}",
+                args.max_slowdown
+            );
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("perf_gate compared no rows — report schema drifted?");
+        std::process::exit(2);
+    }
+    if failures > 0 {
+        eprintln!("perf_gate: {failures} gated metric(s) regressed");
+        std::process::exit(1);
+    }
+    println!("perf_gate: all {compared} gated metrics within limits");
+}

@@ -18,6 +18,7 @@
 //! the pre-CSR and CSR solvers run identical iteration counts and the
 //! measured speedup isolates the storage layout, not the sweep order.
 
+use capman_mdp::matrix::SquareMatrix;
 use capman_mdp::mdp::{Mdp, MdpBuilder};
 use capman_mdp::reference::NestedMdp;
 use rand::rngs::StdRng;
@@ -76,6 +77,134 @@ pub fn build_csr(n_states: usize, txs: &[Transition]) -> Mdp {
     b.build()
 }
 
+/// States per (fine) similarity cluster of the hierarchical fixture.
+pub const CLUSTER_SIZE: usize = 8;
+
+/// Fine clusters per supercluster of the hierarchical fixture.
+pub const CLUSTERS_PER_SUPER: usize = 4;
+
+/// Pairwise similarity of states in the same fine cluster.
+pub const SIGMA_SAME_CLUSTER: f64 = 0.98;
+
+/// Pairwise similarity of states in the same supercluster only.
+pub const SIGMA_SAME_SUPER: f64 = 0.85;
+
+/// Pairwise similarity of unrelated states.
+pub const SIGMA_UNRELATED: f64 = 0.4;
+
+/// A similarity-threshold ladder for the hierarchical fixture, coarse →
+/// fine: 0.3 merges whole superclusters (distance `1 - 0.85 = 0.15`),
+/// 0.05 merges only fine clusters (distance `1 - 0.98 = 0.02`).
+pub const RECAL_THETAS: [f64; 2] = [0.3, 0.05];
+
+/// Generate a *hierarchically clustered* device MDP plus the similarity
+/// matrix its structure implies — the recalibration-pipeline fixture.
+///
+/// States come in fine clusters of [`CLUSTER_SIZE`], grouped into
+/// superclusters of [`CLUSTERS_PER_SUPER`] clusters. All members of a
+/// fine cluster share their cluster's transition template (edges target
+/// the *first member* of other clusters, so aggregating a cluster onto
+/// its representative loses almost nothing), with a small per-member
+/// reward jitter; templates within a supercluster are themselves
+/// perturbed copies of the supercluster's template. The graph is
+/// recurrent (self-loop plus cross-cluster edges per action), so a cold
+/// solve at discount `rho` needs the full `O(log(eps)/log(rho))` sweep
+/// budget — exactly the regime where a coarse-to-fine warm start pays.
+///
+/// The returned `sigma` mirrors the hierarchy ([`SIGMA_SAME_CLUSTER`] /
+/// [`SIGMA_SAME_SUPER`] / [`SIGMA_UNRELATED`]), so thresholding it at
+/// [`RECAL_THETAS`] yields quotients of `n/32` and `n/8` states.
+///
+/// # Panics
+///
+/// Panics unless `n_states` is a positive multiple of
+/// `CLUSTER_SIZE * CLUSTERS_PER_SUPER` (= 32).
+pub fn clustered_device_mdp(n_states: usize, seed: u64) -> (Mdp, SquareMatrix) {
+    let span = CLUSTER_SIZE * CLUSTERS_PER_SUPER;
+    assert!(
+        n_states > 0 && n_states.is_multiple_of(span),
+        "n_states must be a positive multiple of {span}"
+    );
+    let n_clusters = n_states / CLUSTER_SIZE;
+    let n_supers = n_clusters / CLUSTERS_PER_SUPER;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Supercluster templates: per action, a few target clusters with
+    // weights and rewards.
+    let actions_used = 3usize;
+    type Edge = (usize, f64, f64); // (target cluster, weight, reward)
+    let super_templates: Vec<Vec<Vec<Edge>>> = (0..n_supers)
+        .map(|_| {
+            (0..actions_used)
+                .map(|_| {
+                    let n_targets = rng.gen_range(2..=4usize);
+                    (0..n_targets)
+                        .map(|_| {
+                            (
+                                rng.gen_range(0..n_clusters),
+                                rng.gen_range(0.5..2.0),
+                                rng.gen_range(0.1..0.9),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Fine-cluster templates: the supercluster template with perturbed
+    // rewards (members of one supercluster are similar, not identical).
+    let cluster_templates: Vec<Vec<Vec<Edge>>> = (0..n_clusters)
+        .map(|c| {
+            super_templates[c / CLUSTERS_PER_SUPER]
+                .iter()
+                .map(|edges| {
+                    edges
+                        .iter()
+                        .map(|&(t, w, r)| {
+                            let dr: f64 = rng.gen_range(-0.05..0.05);
+                            (t, w, (r + dr).clamp(0.0, 1.0))
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut b = MdpBuilder::new(n_states, N_ACTIONS);
+    for s in 0..n_states {
+        let c = s / CLUSTER_SIZE;
+        for (a, edges) in cluster_templates[c].iter().enumerate() {
+            // The tick self-loop keeps the graph recurrent.
+            let jitter: f64 = rng.gen_range(-0.01..0.01);
+            b.transition(s, a, s, 1.0, (0.5 + jitter).clamp(0.0, 1.0));
+            for &(target, w, r) in edges {
+                // Target the cluster's first member: quotienting onto
+                // representatives is then near-exact.
+                let next = target * CLUSTER_SIZE;
+                let jitter: f64 = rng.gen_range(-0.01..0.01);
+                b.transition(s, a, next, w, (r + jitter).clamp(0.0, 1.0));
+            }
+        }
+    }
+
+    let mut sigma = SquareMatrix::identity(n_states);
+    for u in 0..n_states {
+        for v in 0..u {
+            let s = if u / CLUSTER_SIZE == v / CLUSTER_SIZE {
+                SIGMA_SAME_CLUSTER
+            } else if u / span == v / span {
+                SIGMA_SAME_SUPER
+            } else {
+                SIGMA_UNRELATED
+            };
+            sigma.set(u, v, s);
+            sigma.set(v, u, s);
+        }
+    }
+    (b.build(), sigma)
+}
+
 /// Build the nested-Vec reference [`NestedMdp`] from the same list.
 pub fn build_nested(n_states: usize, txs: &[Transition]) -> NestedMdp {
     let mut m = NestedMdp::new(n_states, N_ACTIONS);
@@ -100,6 +229,23 @@ mod tests {
         let mdp = build_csr(64, &a);
         assert!(mdp.is_absorbing(63));
         assert!(!mdp.is_absorbing(0));
+    }
+
+    #[test]
+    fn clustered_fixture_compresses_at_the_ladder_thresholds() {
+        use capman_mdp::abstraction::Abstraction;
+        let (mdp, sigma) = clustered_device_mdp(128, 5);
+        assert_eq!(mdp.n_states(), 128);
+        let coarse = Abstraction::from_similarity(&sigma, RECAL_THETAS[0]);
+        let fine = Abstraction::from_similarity(&sigma, RECAL_THETAS[1]);
+        assert_eq!(
+            coarse.n_clusters(),
+            128 / (CLUSTER_SIZE * CLUSTERS_PER_SUPER)
+        );
+        assert_eq!(fine.n_clusters(), 128 / CLUSTER_SIZE);
+        // Deterministic in the seed.
+        let (again, _) = clustered_device_mdp(128, 5);
+        assert_eq!(mdp.n_outcomes(), again.n_outcomes());
     }
 
     #[test]

@@ -119,6 +119,242 @@ impl PerfReport {
     }
 }
 
+/// One quotient level of a recalibration measurement, warm vs cold.
+#[derive(Debug, Clone)]
+pub struct RecalLevelRow {
+    /// Similarity threshold that induced the level.
+    pub theta: f64,
+    /// Quotient states at this level.
+    pub n_clusters: usize,
+    /// Jacobi sweeps with the coarse-to-fine warm start.
+    pub warm_sweeps: usize,
+    /// Jacobi sweeps solving the same level from zeros.
+    pub cold_sweeps: usize,
+}
+
+/// One recalibration measurement row (one fixture size).
+#[derive(Debug, Clone)]
+pub struct RecalRow {
+    /// State count of the fixture.
+    pub states: usize,
+    /// `(state, action)` pairs with outcomes.
+    pub action_nodes: usize,
+    /// Total transition edges.
+    pub outcomes: usize,
+    /// Per-level sweep ledger, coarse → fine.
+    pub levels: Vec<RecalLevelRow>,
+    /// Full-space sweeps after the warm-started ladder.
+    pub warm_final_sweeps: usize,
+    /// Full-space sweeps from a cold start.
+    pub cold_final_sweeps: usize,
+    /// Total sweeps, warm pipeline (levels + final).
+    pub warm_total_sweeps: usize,
+    /// Total sweeps, cold baseline (levels + final).
+    pub cold_total_sweeps: usize,
+    /// Warm pipeline wall time, milliseconds (min over reps).
+    pub warm_ms: f64,
+    /// Cold baseline wall time, milliseconds (min over reps).
+    pub cold_ms: f64,
+    /// Warm pipeline with the f32 kernel, milliseconds.
+    pub f32_ms: f64,
+    /// Max abs deviation of the f32 values from the f64 oracle.
+    pub f32_max_abs_err: f64,
+}
+
+impl RecalRow {
+    /// Wall-time speedup of the warm pipeline over the cold baseline.
+    pub fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms
+    }
+
+    /// Sweep reduction: cold total over warm total.
+    pub fn sweep_ratio(&self) -> f64 {
+        self.cold_total_sweeps as f64 / self.warm_total_sweeps.max(1) as f64
+    }
+}
+
+/// The report `bench_recalibrate` writes to `BENCH_recalibrate.json`.
+#[derive(Debug, Clone, Default)]
+pub struct RecalReport {
+    /// Worker threads available to the parallel paths.
+    pub threads: usize,
+    /// Discount factor of every solve.
+    pub rho: f64,
+    /// Precision target of every solve.
+    pub eps: f64,
+    /// Measurement rows, one per fixture size.
+    pub rows: Vec<RecalRow>,
+}
+
+impl RecalReport {
+    /// Render the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"generated_by\": \"cargo run --release -p capman-bench --bin bench_recalibrate\","
+        );
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"rho\": {},", self.rho);
+        let _ = writeln!(out, "  \"eps\": {:e},", self.eps);
+        out.push_str("  \"recalibration\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"states\": {},", row.states);
+            let _ = writeln!(out, "      \"action_nodes\": {},", row.action_nodes);
+            let _ = writeln!(out, "      \"outcomes\": {},", row.outcomes);
+            out.push_str("      \"levels\": [\n");
+            for (j, lvl) in row.levels.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"theta\": {}, \"n_clusters\": {}, \"warm_sweeps\": {}, \"cold_sweeps\": {}}}",
+                    lvl.theta, lvl.n_clusters, lvl.warm_sweeps, lvl.cold_sweeps
+                );
+                out.push_str(if j + 1 < row.levels.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("      ],\n");
+            let _ = writeln!(
+                out,
+                "      \"warm_final_sweeps\": {},",
+                row.warm_final_sweeps
+            );
+            let _ = writeln!(
+                out,
+                "      \"cold_final_sweeps\": {},",
+                row.cold_final_sweeps
+            );
+            let _ = writeln!(
+                out,
+                "      \"warm_total_sweeps\": {},",
+                row.warm_total_sweeps
+            );
+            let _ = writeln!(
+                out,
+                "      \"cold_total_sweeps\": {},",
+                row.cold_total_sweeps
+            );
+            push_f64(&mut out, "warm_ms", row.warm_ms, true);
+            push_f64(&mut out, "cold_ms", row.cold_ms, true);
+            push_f64(&mut out, "f32_ms", row.f32_ms, true);
+            let _ = writeln!(out, "      \"f32_max_abs_err\": {:e},", row.f32_max_abs_err);
+            push_f64(&mut out, "sweep_ratio", row.sweep_ratio(), true);
+            push_f64(&mut out, "speedup", row.speedup(), false);
+            out.push_str(if i + 1 < self.rows.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Extract every `"key": number` pair from one JSON object body — the
+/// minimal parsing the cross-PR perf gate needs (the vendored serde has
+/// no format backend). Nested arrays/objects inside the body are not
+/// descended into for keys, but their contents are skipped correctly
+/// for the flat keys that follow them.
+fn object_numbers(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => depth = depth.saturating_sub(1),
+            b'"' if depth == 0 => {
+                let start = i + 1;
+                let end = body[start..].find('"').map(|e| start + e);
+                let Some(end) = end else { break };
+                let key = &body[start..end];
+                i = end + 1;
+                // Expect a colon, then capture a bare number if present.
+                let rest = body[i..].trim_start();
+                if let Some(after) = rest.strip_prefix(':') {
+                    let after = after.trim_start();
+                    let num: String = after
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+                        .collect();
+                    if let Ok(v) = num.parse::<f64>() {
+                        out.push((key.to_string(), v));
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse the rows of one named array (`"solver"`, `"similarity"`,
+/// `"recalibration"`) out of a report previously written by
+/// [`PerfReport::to_json`] / [`RecalReport::to_json`]: each row becomes
+/// the list of its numeric `"key": value` pairs. Returns an empty list
+/// if the section is missing.
+pub fn parse_rows(json: &str, section: &str) -> Vec<Vec<(String, f64)>> {
+    let needle = format!("\"{section}\": [");
+    let Some(start) = json.find(&needle) else {
+        return Vec::new();
+    };
+    let body = &json[start + needle.len()..];
+    // Find the matching closing bracket of the section array.
+    let mut depth = 1usize;
+    let mut end = body.len();
+    for (i, c) in body.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &body[..end];
+    // Split into top-level objects.
+    let mut rows = Vec::new();
+    let mut obj_depth = 0usize;
+    let mut obj_start = None;
+    for (i, c) in body.char_indices() {
+        match c {
+            '{' => {
+                if obj_depth == 0 {
+                    obj_start = Some(i + 1);
+                }
+                obj_depth += 1;
+            }
+            '}' => {
+                obj_depth -= 1;
+                if obj_depth == 0 {
+                    if let Some(s) = obj_start.take() {
+                        rows.push(object_numbers(&body[s..i]));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Look up a key in one parsed row.
+pub fn row_value(row: &[(String, f64)], key: &str) -> Option<f64> {
+    row.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +390,106 @@ mod tests {
             "unbalanced braces"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    fn recal_report() -> RecalReport {
+        RecalReport {
+            threads: 1,
+            rho: 0.95,
+            eps: 1e-9,
+            rows: vec![RecalRow {
+                states: 256,
+                action_nodes: 700,
+                outcomes: 2500,
+                levels: vec![
+                    RecalLevelRow {
+                        theta: 0.3,
+                        n_clusters: 8,
+                        warm_sweeps: 380,
+                        cold_sweeps: 380,
+                    },
+                    RecalLevelRow {
+                        theta: 0.05,
+                        n_clusters: 32,
+                        warm_sweeps: 40,
+                        cold_sweeps: 380,
+                    },
+                ],
+                warm_final_sweeps: 45,
+                cold_final_sweeps: 400,
+                warm_total_sweeps: 465,
+                cold_total_sweeps: 1160,
+                warm_ms: 1.0,
+                cold_ms: 2.5,
+                f32_ms: 0.8,
+                f32_max_abs_err: 3.0e-4,
+            }],
+        }
+    }
+
+    #[test]
+    fn recal_json_has_the_expected_shape() {
+        let json = recal_report().to_json();
+        assert!(json.contains("\"recalibration\": ["));
+        assert!(json.contains("\"warm_total_sweeps\": 465"));
+        assert!(json.contains("\"cold_sweeps\": 380"));
+        assert!(json.contains("\"speedup\": 2.5000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn parse_rows_round_trips_the_solver_section() {
+        let report = PerfReport {
+            threads: 2,
+            solver: vec![
+                SolverRow {
+                    states: 128,
+                    action_nodes: 400,
+                    outcomes: 1200,
+                    iterations: 30,
+                    nested_ms: 4.0,
+                    csr_serial_ms: 1.5,
+                    csr_parallel_ms: 1.0,
+                },
+                SolverRow {
+                    states: 512,
+                    action_nodes: 1700,
+                    outcomes: 5100,
+                    iterations: 40,
+                    nested_ms: 9.0,
+                    csr_serial_ms: 3.0,
+                    csr_parallel_ms: 2.0,
+                },
+            ],
+            similarity: vec![SimilarityRow {
+                states: 256,
+                reference_ms: 100.0,
+                engine_ms: 10.0,
+            }],
+        };
+        let json = report.to_json();
+        let solver = parse_rows(&json, "solver");
+        assert_eq!(solver.len(), 2);
+        assert_eq!(row_value(&solver[0], "states"), Some(128.0));
+        assert_eq!(row_value(&solver[1], "states"), Some(512.0));
+        assert_eq!(row_value(&solver[1], "csr_serial_ms"), Some(3.0));
+        let similarity = parse_rows(&json, "similarity");
+        assert_eq!(similarity.len(), 1);
+        assert_eq!(row_value(&similarity[0], "engine_ms"), Some(10.0));
+        assert!(parse_rows(&json, "missing").is_empty());
+    }
+
+    #[test]
+    fn parse_rows_skips_nested_level_arrays() {
+        let json = recal_report().to_json();
+        let rows = parse_rows(&json, "recalibration");
+        assert_eq!(rows.len(), 1);
+        // Flat keys of the row parse...
+        assert_eq!(row_value(&rows[0], "states"), Some(256.0));
+        assert_eq!(row_value(&rows[0], "cold_total_sweeps"), Some(1160.0));
+        assert_eq!(row_value(&rows[0], "f32_max_abs_err"), Some(3.0e-4));
+        // ...while the nested per-level keys stay out of the flat row.
+        assert_eq!(row_value(&rows[0], "warm_sweeps"), None);
     }
 }

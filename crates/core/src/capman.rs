@@ -216,6 +216,9 @@ impl Policy for CapmanPolicy {
                     bound_pruned: run.bound_pruned,
                     wall_us: run.wall_us,
                     graph_action_nodes: cal.graph_action_nodes,
+                    bellman_sweeps: cal.bellman_sweeps,
+                    bellman_levels: cal.levels.len(),
+                    warm_started: cal.warm_started,
                 });
             }
         }

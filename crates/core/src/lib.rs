@@ -64,5 +64,7 @@ pub mod telemetry;
 pub use config::SimConfig;
 pub use experiments::PolicyKind;
 pub use metrics::Outcome;
+pub use online::{Calibration, Calibrator, CalibratorSpec};
+pub use oracle::select_calibrator;
 pub use scenario::{Scenario, ScenarioRunner};
 pub use sim::Simulator;

@@ -18,12 +18,16 @@ use capman_battery::chemistry::Class;
 use capman_device::fsm::Action;
 use capman_device::states::DeviceState;
 use capman_mdp::abstraction::Abstraction;
-use capman_mdp::engine::{RunStats, SimilarityEngine};
+use capman_mdp::engine::{ExecutionMode, RunStats, SimilarityEngine};
 use capman_mdp::graph::MdpGraph;
+use capman_mdp::pipeline::{LevelStats, QuotientScratch, RecalibrationPipeline};
 use capman_mdp::similarity::SimilarityParams;
-use capman_mdp::value_iteration::{solve, Solution};
+use capman_mdp::value_iteration::{Precision, Solution};
 
 use crate::profiler::Profiler;
+
+/// Bellman precision target of a calibration solve.
+const SOLVE_EPS: f64 = 1e-6;
 
 /// A finished background calibration.
 #[derive(Debug, Clone)]
@@ -38,6 +42,48 @@ pub struct Calibration {
     pub graph_action_nodes: usize,
     /// Engine counters/timings of the similarity run.
     pub engine_run: RunStats,
+    /// Quotient levels the coarse-to-fine Bellman pipeline solved.
+    pub levels: Vec<LevelStats>,
+    /// Total Jacobi sweeps across the pipeline (levels + final solve).
+    pub bellman_sweeps: usize,
+    /// Whether the pipeline was seeded from the previous calibration's
+    /// value vector (false for the first calibration).
+    pub warm_started: bool,
+}
+
+/// The tunable knobs of a [`Calibrator`], as plain data — the form
+/// candidate configurations take when the offline oracle scores them
+/// through what-if rollouts ([`crate::oracle::select_calibrator`]) and
+/// when a [`crate::scenario::Scenario`] carries a non-default
+/// calibration setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibratorSpec {
+    /// MDP discount factor `rho`.
+    pub rho: f64,
+    /// Similarity-clustering threshold `theta` (distance scale).
+    pub theta: f64,
+    /// Calibration interval, simulated seconds.
+    pub every_s: f64,
+}
+
+impl CalibratorSpec {
+    /// The paper's defaults (mirrors [`Calibrator::paper`]).
+    pub fn paper() -> Self {
+        CalibratorSpec {
+            rho: 0.05,
+            theta: 0.1,
+            every_s: 1200.0,
+        }
+    }
+
+    /// Instantiate the calibrator this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`Calibrator::new`]).
+    pub fn build(&self) -> Calibrator {
+        Calibrator::new(self.rho, self.theta, self.every_s)
+    }
 }
 
 /// Schedules and runs background calibrations.
@@ -56,6 +102,16 @@ pub struct Calibrator {
     recalibrations: u64,
     cached: Option<Calibration>,
     engine: SimilarityEngine,
+    /// Bellman kernel width (f64 default; see
+    /// [`capman_mdp::value_iteration::Precision`]).
+    precision: Precision,
+    /// Quotient-CSR arena reused by every calibration's pipeline run.
+    scratch: QuotientScratch,
+    /// Value vector of the previous calibration — the cross-calibration
+    /// warm start. The device state space is fixed, so consecutive
+    /// calibrations solve MDPs of the same size with slowly drifting
+    /// probabilities: the old fixed point is an excellent seed.
+    prior_values: Option<Vec<f64>>,
 }
 
 impl Calibrator {
@@ -86,6 +142,9 @@ impl Calibrator {
             recalibrations: 0,
             cached: None,
             engine: SimilarityEngine::parallel(),
+            precision: Precision::F64,
+            scratch: QuotientScratch::new(),
+            prior_values: None,
         }
     }
 
@@ -96,9 +155,32 @@ impl Calibrator {
         self
     }
 
+    /// Switch the Bellman kernel precision (opt-in
+    /// [`Precision::F32`] for devices where ~1e-3 value precision
+    /// suffices; the extracted policy is computed in f64 either way).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// The similarity engine and its lifetime statistics.
     pub fn engine(&self) -> &SimilarityEngine {
         &self.engine
+    }
+
+    /// The quotient ladder of one calibration, coarse → fine: widened
+    /// multiples of `theta` down to `theta` itself (the clustering the
+    /// scheduler reuses decisions from). Degenerate rungs — zero, or
+    /// duplicates after clamping to 1 — are dropped; the pipeline also
+    /// skips any rung whose clustering achieves no compression.
+    fn theta_ladder(&self) -> Vec<f64> {
+        let mut ladder: Vec<f64> = [4.0, 2.0, 1.0]
+            .iter()
+            .map(|m| (m * self.theta).min(1.0))
+            .filter(|t| *t > 0.0)
+            .collect();
+        ladder.dedup();
+        ladder
     }
 
     /// Run a calibration now, unconditionally, and cache the result.
@@ -126,13 +208,28 @@ impl Calibrator {
         params.max_iterations = 200;
         let sim = self.engine.compute(&graph, &params);
         let abstraction = Abstraction::from_similarity(&sim.sigma_s, self.theta);
-        let solution = solve(&mdp, self.rho, 1e-6);
+        // Coarse-to-fine Bellman pipeline over the similarity ladder,
+        // warm-started from the previous calibration's fixed point.
+        let pipeline =
+            RecalibrationPipeline::new(self.rho, SOLVE_EPS).with_precision(self.precision);
+        let out = pipeline.solve_with_scratch(
+            &mdp,
+            &sim.sigma_s,
+            &self.theta_ladder(),
+            self.prior_values.as_deref(),
+            ExecutionMode::Parallel,
+            &mut self.scratch,
+        );
+        self.prior_values = Some(out.solution.values.clone());
         self.cached = Some(Calibration {
-            solution,
+            solution: out.solution,
             abstraction,
             similarity_iterations: sim.iterations,
             graph_action_nodes: graph.n_action_nodes(),
             engine_run: self.engine.stats().last_run.clone(),
+            bellman_sweeps: out.levels.iter().map(|l| l.sweeps).sum::<usize>() + out.final_sweeps,
+            levels: out.levels,
+            warm_started: out.warm_started,
         });
         let raw_us = t0.elapsed().as_secs_f64() * 1e6;
         self.overhead_us += raw_us / compute_speed.max(1e-6);
@@ -314,5 +411,79 @@ mod tests {
     #[should_panic(expected = "rho")]
     fn rejects_bad_rho() {
         let _ = Calibrator::new(1.0, 0.1, 100.0);
+    }
+
+    #[test]
+    fn first_calibration_is_cold_later_ones_warm_start() {
+        let mut c = Calibrator::paper();
+        let p = seeded_profiler();
+        c.recalibrate(0.0, &p, 1.0);
+        let first = c.calibration().expect("calibrated").clone();
+        assert!(!first.warm_started, "nothing to warm-start from yet");
+        assert!(first.bellman_sweeps > 0);
+        c.recalibrate(1300.0, &p, 1.0);
+        let second = c.calibration().expect("calibrated");
+        assert!(second.warm_started, "second run seeds from the first");
+        // Same profile, same MDP: the warm solve re-confirms the fixed
+        // point in (almost) no sweeps and finds the same policy.
+        assert!(second.bellman_sweeps <= first.bellman_sweeps);
+        assert_eq!(second.solution.policy, first.solution.policy);
+    }
+
+    #[test]
+    fn pipeline_calibration_matches_the_direct_cold_solve() {
+        use capman_mdp::value_iteration::solve;
+        let p = seeded_profiler();
+        let mut c = Calibrator::paper();
+        c.recalibrate(0.0, &p, 1.0);
+        let cal = c.calibration().expect("calibrated");
+        let cold = solve(&p.to_mdp(), c.rho, 1e-6);
+        assert_eq!(cal.solution.policy, cold.policy);
+        let tol = 2.0 * 1e-6 / (1.0 - c.rho);
+        for (a, b) in cal.solution.values.iter().zip(&cold.values) {
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn f32_precision_calibration_reaches_the_same_decisions() {
+        let p = seeded_profiler();
+        let mut exact = Calibrator::paper();
+        let mut fast = Calibrator::paper().with_precision(Precision::F32);
+        exact.recalibrate(0.0, &p, 1.0);
+        fast.recalibrate(0.0, &p, 1.0);
+        for state in [
+            DeviceState::asleep(),
+            DeviceState::awake(),
+            DeviceState::awake().with_battery(Class::Little),
+        ] {
+            assert_eq!(exact.q_preference(state), fast.q_preference(state));
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_build() {
+        let spec = CalibratorSpec {
+            rho: 0.2,
+            theta: 0.3,
+            every_s: 600.0,
+        };
+        let c = spec.build();
+        assert_eq!(c.rho, 0.2);
+        assert_eq!(c.theta, 0.3);
+        assert_eq!(c.every_s, 600.0);
+        let paper = CalibratorSpec::paper().build();
+        assert_eq!(paper.rho, Calibrator::paper().rho);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn spec_build_validates_like_the_constructor() {
+        let _ = CalibratorSpec {
+            rho: 0.0,
+            theta: 0.1,
+            every_s: 100.0,
+        }
+        .build();
     }
 }

@@ -8,10 +8,56 @@
 //! this policy without seeing the future.
 
 use capman_battery::chemistry::Class;
+use capman_device::phone::PhoneProfile;
 use capman_device::power::PowerModel;
-use capman_workload::Trace;
+use capman_workload::{Trace, WorkloadKind};
 
+use crate::config::SimConfig;
+use crate::experiments::PolicyKind;
+use crate::metrics::Outcome;
+use crate::online::CalibratorSpec;
 use crate::policy::{usable_or_fallback, DecisionContext, Policy};
+use crate::scenario::{Scenario, ScenarioRunner};
+
+/// Offline candidate selection, "serving ground truth": score candidate
+/// calibrator configurations by running each as a complete what-if
+/// CAPMAN rollout through [`ScenarioRunner`] (one independent scenario
+/// per candidate, fanned across cores), and pick the one that serves
+/// the most work — ties broken by service time, then by candidate
+/// order. Returns the winning index and every candidate's [`Outcome`]
+/// (outcome `i` belongs to candidate `i`, per the runner's ordering
+/// contract).
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty or a candidate spec is invalid.
+pub fn select_calibrator(
+    candidates: &[CalibratorSpec],
+    workload: WorkloadKind,
+    phone: &PhoneProfile,
+    seed: u64,
+    config: SimConfig,
+) -> (usize, Vec<Outcome>) {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let scenarios: Vec<Scenario> = candidates
+        .iter()
+        .map(|&spec| {
+            Scenario::new(PolicyKind::Capman, workload, phone.clone(), seed, config)
+                .with_calibrator(spec)
+        })
+        .collect();
+    let outcomes = ScenarioRunner::new().run(&scenarios);
+    let better = |a: &Outcome, b: &Outcome| {
+        (a.work_served, a.service_time_s) > (b.work_served, b.service_time_s)
+    };
+    let mut best = 0;
+    for (i, o) in outcomes.iter().enumerate().skip(1) {
+        if better(o, &outcomes[best]) {
+            best = i;
+        }
+    }
+    (best, outcomes)
+}
 
 /// The clairvoyant scheduling baseline.
 #[derive(Debug, Clone)]
@@ -146,5 +192,53 @@ mod tests {
         let mut c = ctx_at(100.0, 0.5, 0.5);
         c.little_usable = false;
         assert_eq!(o.decide(&c), Class::Big);
+    }
+
+    #[test]
+    fn candidate_selection_scores_every_rollout_and_picks_the_best() {
+        let config = SimConfig {
+            max_horizon_s: 900.0,
+            tec_enabled: true,
+            ..SimConfig::paper()
+        };
+        let candidates = [
+            CalibratorSpec::paper(),
+            CalibratorSpec {
+                rho: 0.3,
+                ..CalibratorSpec::paper()
+            },
+        ];
+        let (best, outcomes) = select_calibrator(
+            &candidates,
+            WorkloadKind::Pcmark,
+            &PhoneProfile::nexus(),
+            5,
+            config,
+        );
+        assert_eq!(outcomes.len(), candidates.len());
+        assert!(best < candidates.len());
+        for o in &outcomes {
+            assert_eq!(o.policy, "CAPMAN");
+            assert!(o.work_served > 0.0);
+        }
+        // The winner dominates on the (work, service-time) score.
+        for o in &outcomes {
+            assert!(
+                (outcomes[best].work_served, outcomes[best].service_time_s)
+                    >= (o.work_served, o.service_time_s)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate")]
+    fn candidate_selection_rejects_an_empty_slate() {
+        let _ = select_calibrator(
+            &[],
+            WorkloadKind::Pcmark,
+            &PhoneProfile::nexus(),
+            1,
+            SimConfig::paper(),
+        );
     }
 }

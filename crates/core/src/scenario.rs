@@ -22,9 +22,12 @@ use capman_mdp::ExecutionMode;
 use capman_workload::{generate, WorkloadKind};
 use rayon::prelude::*;
 
+use crate::capman::CapmanPolicy;
 use crate::config::SimConfig;
 use crate::experiments::{build_pack, build_policy, PolicyKind};
 use crate::metrics::Outcome;
+use crate::online::CalibratorSpec;
+use crate::policy::Policy;
 use crate::sim::Simulator;
 
 /// One independent discharge-cycle simulation: which policy runs which
@@ -44,6 +47,10 @@ pub struct Scenario {
     /// Explicit battery pack; `None` uses the policy's default pack
     /// ([`build_pack`]).
     pub pack: Option<BatteryPack>,
+    /// Non-default calibrator for CAPMAN scenarios (the what-if rollouts
+    /// the offline oracle scores candidate configurations with); `None`
+    /// uses the paper calibrator. Ignored by non-CAPMAN policies.
+    pub calibrator: Option<CalibratorSpec>,
 }
 
 impl Scenario {
@@ -62,6 +69,7 @@ impl Scenario {
             seed,
             config,
             pack: None,
+            calibrator: None,
         }
     }
 
@@ -71,11 +79,24 @@ impl Scenario {
         self
     }
 
+    /// Run CAPMAN with a non-default calibrator configuration (candidate
+    /// scoring; no effect on other policies).
+    pub fn with_calibrator(mut self, spec: CalibratorSpec) -> Self {
+        self.calibrator = Some(spec);
+        self
+    }
+
     /// Run this scenario to completion on the calling thread.
     pub fn run(&self) -> Outcome {
         let trace = generate(self.workload, self.config.max_horizon_s, self.seed);
         let pack = self.pack.clone().unwrap_or_else(|| build_pack(self.kind));
-        let policy = build_policy(self.kind, &trace, &self.phone);
+        let policy: Box<dyn Policy> = match (self.kind, self.calibrator) {
+            (PolicyKind::Capman, Some(spec)) => Box::new(CapmanPolicy::with_calibrator(
+                self.phone.compute_speed,
+                spec.build(),
+            )),
+            _ => build_policy(self.kind, &trace, &self.phone),
+        };
         Simulator::new(self.phone.clone(), trace, pack, policy, self.config).run()
     }
 }
@@ -184,6 +205,28 @@ mod tests {
         let out = ScenarioRunner::new().run(&scenarios);
         assert_eq!(out[0].policy, "Dual");
         assert_eq!(out[1].policy, "Practice");
+    }
+
+    #[test]
+    fn calibrator_override_changes_the_capman_run() {
+        let base = short(PolicyKind::Capman, WorkloadKind::Pcmark, 11);
+        // An aggressive interval calibrates far more often than the
+        // paper's 20-minute default within the same horizon.
+        let mut eager = base.clone().with_calibrator(CalibratorSpec {
+            every_s: 60.0,
+            ..CalibratorSpec::paper()
+        });
+        eager.config.max_horizon_s = 3600.0;
+        let mut default = base;
+        default.config.max_horizon_s = 3600.0;
+        let out = ScenarioRunner::new().run(&[eager, default]);
+        let calib = |o: &Outcome| o.telemetry.calibrations().len();
+        assert!(
+            calib(&out[0]) > calib(&out[1]),
+            "eager: {}, default: {}",
+            calib(&out[0]),
+            calib(&out[1])
+        );
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub struct CalibrationSample {
     pub wall_us: f64,
     /// Action nodes in the pruned calibration graph.
     pub graph_action_nodes: usize,
+    /// Jacobi sweeps of the coarse-to-fine Bellman pipeline (quotient
+    /// levels plus the final full-space solve).
+    pub bellman_sweeps: usize,
+    /// Quotient levels the pipeline solved before the full space.
+    pub bellman_levels: usize,
+    /// Whether the solve was seeded from the previous calibration.
+    pub warm_started: bool,
 }
 
 impl CalibrationSample {
@@ -222,6 +229,9 @@ mod tests {
             bound_pruned: 10,
             wall_us: 300.0,
             graph_action_nodes: 8,
+            bellman_sweeps: 120,
+            bellman_levels: 2,
+            warm_started: false,
         });
         t.push_calibration(CalibrationSample {
             time_s: 2400.0,
@@ -231,10 +241,16 @@ mod tests {
             bound_pruned: 10,
             wall_us: 100.0,
             graph_action_nodes: 8,
+            bellman_sweeps: 9,
+            bellman_levels: 2,
+            warm_started: true,
         });
         assert_eq!(t.calibrations().len(), 2);
         assert!((t.mean_calibration_wall_us() - 200.0).abs() < 1e-9);
         assert!((t.calibrations()[0].cache_hit_rate() - 0.6).abs() < 1e-12);
         assert_eq!(t.calibrations()[1].cache_hit_rate(), 1.0);
+        // The warm second calibration spends far fewer Bellman sweeps.
+        assert!(t.calibrations()[1].warm_started);
+        assert!(t.calibrations()[1].bellman_sweeps < t.calibrations()[0].bellman_sweeps);
     }
 }

@@ -95,6 +95,49 @@ impl Abstraction {
     pub fn compression(&self) -> f64 {
         self.n_clusters() as f64 / self.n_states().max(1) as f64
     }
+
+    /// Dense renumbering of the clustering — the form the quotient-MDP
+    /// construction consumes. Cluster ids are assigned in representative
+    /// index order (the greedy scan makes every state's representative
+    /// no larger than the state itself, so this is also first-appearance
+    /// order).
+    pub fn cluster_map(&self) -> ClusterMap {
+        let n = self.representative.len();
+        let mut id_of = vec![usize::MAX; n];
+        let mut reps = Vec::new();
+        for u in 0..n {
+            let r = self.representative[u];
+            if id_of[r] == usize::MAX {
+                id_of[r] = reps.len();
+                reps.push(r);
+            }
+        }
+        let cluster_of = self.representative.iter().map(|&r| id_of[r]).collect();
+        ClusterMap { cluster_of, reps }
+    }
+}
+
+/// A dense renumbering of an [`Abstraction`]: cluster ids are contiguous
+/// `0..n_clusters`, in representative index order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMap {
+    /// Dense cluster id per state.
+    pub cluster_of: Vec<usize>,
+    /// Representative state per cluster id (each representative maps to
+    /// its own cluster: `cluster_of[reps[c]] == c`).
+    pub reps: Vec<usize>,
+}
+
+impl ClusterMap {
+    /// Number of clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.cluster_of.len()
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +199,25 @@ mod tests {
         let a = Abstraction::from_similarity(&sim_two_groups(), 0.1);
         assert!((a.value_loss_bound(0.0) - 0.1).abs() < 1e-12);
         assert!((a.value_loss_bound(0.9) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_map_is_a_dense_consistent_renumbering() {
+        let a = Abstraction::from_similarity(&sim_two_groups(), 0.2);
+        let cm = a.cluster_map();
+        assert_eq!(cm.n_states(), a.n_states());
+        assert_eq!(cm.n_clusters(), a.n_clusters());
+        for u in 0..a.n_states() {
+            let c = cm.cluster_of[u];
+            assert!(c < cm.n_clusters());
+            // The cluster's representative is the state's representative.
+            assert_eq!(cm.reps[c], a.representative(u));
+        }
+        for (c, &r) in cm.reps.iter().enumerate() {
+            assert_eq!(cm.cluster_of[r], c);
+        }
+        // Ids are assigned in representative index order.
+        assert!(cm.reps.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //!   bound-based pruning of exact EMD solves.
 //! * [`abstraction`] — similarity-threshold state aggregation used by the
 //!   online scheduler to reuse decisions.
+//! * [`pipeline`] — coarse-to-fine recalibration: quotient MDPs built
+//!   directly in CSR form from an abstraction ladder, each level's
+//!   Bellman solve warm-started from the previous one.
 //!
 //! # Example
 //!
@@ -56,6 +59,7 @@ pub mod graph;
 pub mod hausdorff;
 pub mod matrix;
 pub mod mdp;
+pub mod pipeline;
 pub mod policy_iteration;
 pub mod qlearning;
 pub mod reference;
@@ -66,5 +70,6 @@ pub use engine::{EngineStats, ExecutionMode, RunStats, SimilarityEngine};
 pub use graph::MdpGraph;
 pub use matrix::SquareMatrix;
 pub use mdp::{Mdp, MdpBuilder};
+pub use pipeline::{LevelStats, PipelineOutcome, QuotientScratch, RecalibrationPipeline};
 pub use similarity::{SimilarityParams, SimilarityResult};
-pub use value_iteration::{solve_with_mode, Solution};
+pub use value_iteration::{solve_warm, solve_warm_with, solve_with_mode, Precision, Solution};

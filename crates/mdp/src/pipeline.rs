@@ -1,0 +1,587 @@
+//! Coarse-to-fine warm-started Bellman recalibration.
+//!
+//! `Calibrator::recalibrate` used to solve the full device MDP from a
+//! cold start every time the similarity recursion finished. But the
+//! calibration already *has* a similarity matrix, and similarity
+//! thresholds induce a ladder of quotient MDPs: a coarse clustering with
+//! few states, refined step by step down to the full state space. The
+//! pipeline here exploits that ladder:
+//!
+//! 1. For each threshold `theta` (coarse → fine) build the **quotient
+//!    MDP** of the [`Abstraction`] directly in CSR form — the
+//!    representative state's action nodes keep their precomputed
+//!    expected rewards, and their successor probabilities are summed per
+//!    successor *cluster*. No nested intermediate is materialised and
+//!    one [`QuotientScratch`] arena is reused across all levels.
+//! 2. Solve each quotient with Jacobi sweeps **warm-started** from the
+//!    previous level's solution, mapped through the clustering:
+//!    [`restrict`] seeds cluster `c` from the current full-space value
+//!    of its representative, and [`lift`] writes the converged cluster
+//!    value back to every member state.
+//! 3. Finish with a full-space solve warm-started from the finest
+//!    quotient's lift (and, across calibrations, from the previous
+//!    calibration's values).
+//!
+//! Value iteration contracts toward the unique fixed point from any
+//! seed, so the final solution is the *exact* full-space optimum — the
+//! quotient levels only buy a better seed. A quotient value differs
+//! from the full value by at most `theta / (1 - rho)` (the Section
+//! III-D bound), so each level starts within a ball that shrinks with
+//! `theta` and the expensive full-space sweeps are spent only on the
+//! last `O(log(theta / eps))` contraction digits. The
+//! `bench_recalibrate` report records per-level warm-vs-cold sweep
+//! counts to keep this honest.
+
+use crate::abstraction::{Abstraction, ClusterMap};
+use crate::engine::ExecutionMode;
+use crate::matrix::SquareMatrix;
+use crate::mdp::{Mdp, SolverView};
+use crate::value_iteration::{
+    auto_mode, converge_view, extract_q_policy, validate_solver_params, Precision, Solution,
+};
+
+/// Restrict a full-space value vector to a quotient level: cluster `c`
+/// is seeded with the value of its representative state. `out` is
+/// overwritten (and resized) to `n_clusters` values.
+pub fn restrict(v_full: &[f64], cm: &ClusterMap, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(cm.reps.iter().map(|&r| v_full[r]));
+}
+
+/// Lift a quotient level's value vector back to the full space: every
+/// state takes its cluster's value.
+///
+/// # Panics
+///
+/// Panics if `v_full` is not `n_states` long.
+pub fn lift(v_coarse: &[f64], cm: &ClusterMap, v_full: &mut [f64]) {
+    assert_eq!(v_full.len(), cm.n_states(), "lift target length mismatch");
+    for (slot, &c) in v_full.iter_mut().zip(&cm.cluster_of) {
+        *slot = v_coarse[c];
+    }
+}
+
+/// Reusable arena for quotient-MDP construction — the five CSR columns
+/// of a [`SolverView`] plus the per-cluster accumulator the aggregation
+/// scatters into. One scratch serves every level of a pipeline run (and
+/// every run, if the caller keeps it around): each level clears and
+/// refills the columns without reallocating once the high-water mark is
+/// reached.
+#[derive(Debug, Default, Clone)]
+pub struct QuotientScratch {
+    succ: Vec<u32>,
+    prob: Vec<f64>,
+    node_ptr: Vec<usize>,
+    node_reward: Vec<f64>,
+    action_ptr: Vec<usize>,
+    /// Per-cluster probability accumulator; zero outside
+    /// [`build`](QuotientScratch::build) (re-zeroed via `touched`).
+    accum: Vec<f64>,
+    /// Clusters touched by the current action node, in first-touch
+    /// order — this fixes the successor order deterministically.
+    touched: Vec<u32>,
+}
+
+impl QuotientScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        QuotientScratch::default()
+    }
+
+    /// Build the quotient of `view` under `cm` into this scratch,
+    /// overwriting any previous level.
+    ///
+    /// Cluster `c` inherits the action nodes of its representative
+    /// `cm.reps[c]`: the expected immediate reward is carried over
+    /// verbatim (it is invariant under successor aggregation) and the
+    /// outcome probabilities are summed per successor cluster, in
+    /// first-touch order. A cluster whose representative is absorbing
+    /// stays absorbing.
+    fn build(&mut self, view: &SolverView<'_>, cm: &ClusterMap) {
+        let nc = cm.n_clusters();
+        self.succ.clear();
+        self.prob.clear();
+        self.node_ptr.clear();
+        self.node_reward.clear();
+        self.action_ptr.clear();
+        self.accum.clear();
+        self.accum.resize(nc, 0.0);
+        self.node_ptr.push(0);
+        self.action_ptr.push(0);
+        for &r in &cm.reps {
+            for k in view.action_ptr[r]..view.action_ptr[r + 1] {
+                self.node_reward.push(view.node_reward[k]);
+                self.touched.clear();
+                for i in view.node_ptr[k]..view.node_ptr[k + 1] {
+                    let c2 = cm.cluster_of[view.succ[i] as usize];
+                    // Normalised probabilities are strictly positive, so
+                    // a zero accumulator means "not yet touched".
+                    if self.accum[c2] == 0.0 {
+                        self.touched.push(c2 as u32);
+                    }
+                    self.accum[c2] += view.prob[i];
+                }
+                for &c2 in &self.touched {
+                    self.succ.push(c2);
+                    self.prob.push(self.accum[c2 as usize]);
+                    self.accum[c2 as usize] = 0.0;
+                }
+                self.node_ptr.push(self.succ.len());
+            }
+            self.action_ptr.push(self.node_reward.len());
+        }
+    }
+
+    /// The solver view of the level currently held in the scratch.
+    fn view(&self) -> SolverView<'_> {
+        SolverView {
+            succ: &self.succ,
+            prob: &self.prob,
+            node_ptr: &self.node_ptr,
+            node_reward: &self.node_reward,
+            action_ptr: &self.action_ptr,
+        }
+    }
+}
+
+/// Per-level accounting of one pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// The similarity threshold that induced this level.
+    pub theta: f64,
+    /// States of the quotient MDP.
+    pub n_clusters: usize,
+    /// Jacobi sweeps spent on this level.
+    pub sweeps: usize,
+}
+
+/// The result of a pipeline run: the exact full-space solution plus the
+/// sweep ledger the recalibration telemetry and `bench_recalibrate`
+/// report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome {
+    /// The full-space solution (identical fixed point to a cold
+    /// [`crate::value_iteration::solve`], by contraction).
+    pub solution: Solution,
+    /// Quotient levels actually solved, coarse → fine. Thresholds whose
+    /// clustering achieved no compression are skipped and do not appear.
+    pub levels: Vec<LevelStats>,
+    /// Sweeps of the final full-space solve.
+    pub final_sweeps: usize,
+    /// Whether the coarsest level (or, with no levels, the full solve)
+    /// was seeded from caller-provided prior values rather than zeros.
+    pub warm_started: bool,
+}
+
+impl PipelineOutcome {
+    /// Total Jacobi sweeps across every level and the final solve.
+    pub fn total_sweeps(&self) -> usize {
+        self.levels.iter().map(|l| l.sweeps).sum::<usize>() + self.final_sweeps
+    }
+}
+
+/// The coarse-to-fine recalibration pipeline (see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct RecalibrationPipeline {
+    rho: f64,
+    eps: f64,
+    precision: Precision,
+}
+
+impl RecalibrationPipeline {
+    /// A pipeline solving to precision `eps` under discount `rho`, with
+    /// the bitwise-contracted `f64` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is not in `(0, 1)` or `eps` is not positive.
+    pub fn new(rho: f64, eps: f64) -> Self {
+        validate_solver_params(rho, eps);
+        RecalibrationPipeline {
+            rho,
+            eps,
+            precision: Precision::F64,
+        }
+    }
+
+    /// Switch the sweep kernel (quotient levels *and* the final solve).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// The configured discount.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The configured precision target.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Solve `mdp` coarse-to-fine through the quotient ladder induced by
+    /// `thetas` (given coarse → fine, i.e. non-increasing) over `sigma`,
+    /// warm-starting every level from the previous one and optionally
+    /// the whole run from `prior` (a value vector from an earlier
+    /// calibration; ignored with a cold start if its length does not
+    /// match the — possibly re-profiled — state space).
+    ///
+    /// Allocates a fresh [`QuotientScratch`]; callers on the hot path
+    /// keep one and use [`solve_with_scratch`](Self::solve_with_scratch).
+    pub fn solve(
+        &self,
+        mdp: &Mdp,
+        sigma: &SquareMatrix,
+        thetas: &[f64],
+        prior: Option<&[f64]>,
+        mode: ExecutionMode,
+    ) -> PipelineOutcome {
+        self.solve_with_scratch(mdp, sigma, thetas, prior, mode, &mut QuotientScratch::new())
+    }
+
+    /// [`solve`](Self::solve) reusing a caller-held scratch arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not `n_states × n_states` or a `theta` is
+    /// outside `[0, 1]`.
+    pub fn solve_with_scratch(
+        &self,
+        mdp: &Mdp,
+        sigma: &SquareMatrix,
+        thetas: &[f64],
+        prior: Option<&[f64]>,
+        mode: ExecutionMode,
+        scratch: &mut QuotientScratch,
+    ) -> PipelineOutcome {
+        let n = mdp.n_states();
+        assert_eq!(sigma.n(), n, "similarity matrix does not match the MDP");
+        let view = mdp.solver_view();
+
+        let warm_started =
+            matches!(prior, Some(p) if p.len() == n && p.iter().all(|v| v.is_finite()));
+        let mut v_full = if warm_started {
+            prior.expect("checked above").to_vec()
+        } else {
+            vec![0.0; n]
+        };
+
+        let mut levels = Vec::new();
+        let mut v_coarse = Vec::new();
+        let mut sweep_buf = Vec::new();
+        for &theta in thetas {
+            let cm = Abstraction::from_similarity(sigma, theta).cluster_map();
+            if cm.n_clusters() == n {
+                // No compression: this level would just duplicate the
+                // final solve at full width. Skip it.
+                continue;
+            }
+            scratch.build(&view, &cm);
+            restrict(&v_full, &cm, &mut v_coarse);
+            let sweeps = converge_view(
+                &scratch.view(),
+                self.rho,
+                self.eps,
+                &mut v_coarse,
+                &mut sweep_buf,
+                level_mode(mode, cm.n_clusters()),
+                self.precision,
+            );
+            lift(&v_coarse, &cm, &mut v_full);
+            levels.push(LevelStats {
+                theta,
+                n_clusters: cm.n_clusters(),
+                sweeps,
+            });
+        }
+
+        let final_sweeps = converge_view(
+            &view,
+            self.rho,
+            self.eps,
+            &mut v_full,
+            &mut sweep_buf,
+            level_mode(mode, n),
+            self.precision,
+        );
+        let (q, policy) = extract_q_policy(mdp, &view, self.rho, &v_full);
+        let iterations = levels.iter().map(|l| l.sweeps).sum::<usize>() + final_sweeps;
+        PipelineOutcome {
+            solution: Solution {
+                values: v_full,
+                q,
+                policy,
+                iterations,
+            },
+            levels,
+            final_sweeps,
+            warm_started,
+        }
+    }
+
+    /// The cold baseline `bench_recalibrate` compares against: the same
+    /// quotient ladder, but every level *and* the final solve start from
+    /// zeros and no values flow between levels. The returned solution is
+    /// exactly the cold full-space solve; the per-level sweeps measure
+    /// what warm-starting saves.
+    pub fn solve_cold(
+        &self,
+        mdp: &Mdp,
+        sigma: &SquareMatrix,
+        thetas: &[f64],
+        mode: ExecutionMode,
+        scratch: &mut QuotientScratch,
+    ) -> PipelineOutcome {
+        let n = mdp.n_states();
+        assert_eq!(sigma.n(), n, "similarity matrix does not match the MDP");
+        let view = mdp.solver_view();
+
+        let mut levels = Vec::new();
+        let mut v_coarse = Vec::new();
+        let mut sweep_buf = Vec::new();
+        for &theta in thetas {
+            let cm = Abstraction::from_similarity(sigma, theta).cluster_map();
+            if cm.n_clusters() == n {
+                continue;
+            }
+            scratch.build(&view, &cm);
+            v_coarse.clear();
+            v_coarse.resize(cm.n_clusters(), 0.0);
+            let sweeps = converge_view(
+                &scratch.view(),
+                self.rho,
+                self.eps,
+                &mut v_coarse,
+                &mut sweep_buf,
+                level_mode(mode, cm.n_clusters()),
+                self.precision,
+            );
+            levels.push(LevelStats {
+                theta,
+                n_clusters: cm.n_clusters(),
+                sweeps,
+            });
+        }
+
+        let mut v_full = vec![0.0; n];
+        let final_sweeps = converge_view(
+            &view,
+            self.rho,
+            self.eps,
+            &mut v_full,
+            &mut sweep_buf,
+            level_mode(mode, n),
+            self.precision,
+        );
+        let (q, policy) = extract_q_policy(mdp, &view, self.rho, &v_full);
+        let iterations = levels.iter().map(|l| l.sweeps).sum::<usize>() + final_sweeps;
+        PipelineOutcome {
+            solution: Solution {
+                values: v_full,
+                q,
+                policy,
+                iterations,
+            },
+            levels,
+            final_sweeps,
+            warm_started: false,
+        }
+    }
+}
+
+/// Quotient levels can be far smaller than the full space; re-run the
+/// serial/parallel dispatch per level (and for the final solve) so a
+/// 12-cluster coarse level is not fanned out across cores.
+/// `ExecutionMode::Parallel` therefore means "parallel where it pays",
+/// matching what `value_iteration::solve` does for a single solve.
+fn level_mode(requested: ExecutionMode, n_clusters: usize) -> ExecutionMode {
+    match requested {
+        ExecutionMode::Serial => ExecutionMode::Serial,
+        ExecutionMode::Parallel => auto_mode(n_clusters),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mdp::MdpBuilder;
+    use crate::value_iteration::solve_with_mode;
+
+    /// A deterministic pseudo-random MDP with `groups` clusters of
+    /// near-identical states, plus a similarity matrix reflecting the
+    /// grouping.
+    fn clustered(n_states: usize, groups: usize, seed: u64) -> (Mdp, SquareMatrix) {
+        let mut b = MdpBuilder::new(n_states, 4);
+        let mut x: u64 = seed | 1;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        // Group templates: every member of a group gets the template's
+        // transitions (to group representatives), with tiny per-member
+        // reward jitter so members are similar but not identical.
+        let mut templates = Vec::new();
+        for _ in 0..groups {
+            let mut t = Vec::new();
+            for a in 0..3 {
+                let next_group = (rand() as usize) % groups;
+                let r = (rand() % 900) as f64 / 1000.0;
+                t.push((a, next_group, r));
+            }
+            templates.push(t);
+        }
+        for s in 0..n_states {
+            let g = s % groups;
+            for &(a, next_group, r) in &templates[g] {
+                // Members map group targets to that group's first member.
+                let next = next_group;
+                let jitter = (rand() % 20) as f64 / 1000.0;
+                b.transition(s, a, next, 1.0, (r + jitter).min(1.0));
+            }
+        }
+        let mut sigma = SquareMatrix::identity(n_states);
+        for u in 0..n_states {
+            for v in 0..n_states {
+                if u != v && u % groups == v % groups {
+                    sigma.set(u, v, 0.97);
+                } else if u != v {
+                    sigma.set(u, v, 0.2);
+                }
+            }
+        }
+        (b.build(), sigma)
+    }
+
+    #[test]
+    fn pipeline_matches_the_cold_solver_fixed_point() {
+        let (m, sigma) = clustered(80, 8, 42);
+        let rho = 0.9;
+        let eps = 1e-9;
+        let cold = solve_with_mode(&m, rho, eps, ExecutionMode::Serial);
+        let out = RecalibrationPipeline::new(rho, eps).solve(
+            &m,
+            &sigma,
+            &[0.3, 0.05],
+            None,
+            ExecutionMode::Serial,
+        );
+        assert_eq!(out.solution.policy, cold.policy);
+        // Both are within eps/(1-rho) of V*.
+        let tol = 2.0 * eps / (1.0 - rho);
+        for (a, b) in out.solution.values.iter().zip(&cold.values) {
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warm_pipeline_spends_fewer_full_space_sweeps() {
+        let (m, sigma) = clustered(120, 6, 7);
+        let pipe = RecalibrationPipeline::new(0.95, 1e-8);
+        let mut scratch = QuotientScratch::new();
+        let warm = pipe.solve_with_scratch(
+            &m,
+            &sigma,
+            &[0.3],
+            None,
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        let cold = pipe.solve_cold(&m, &sigma, &[0.3], ExecutionMode::Serial, &mut scratch);
+        assert!(!warm.levels.is_empty(), "the ladder must compress");
+        assert!(
+            warm.final_sweeps < cold.final_sweeps,
+            "warm final solve ({}) should beat cold ({})",
+            warm.final_sweeps,
+            cold.final_sweeps
+        );
+        assert!(warm.total_sweeps() < cold.total_sweeps());
+    }
+
+    #[test]
+    fn prior_values_warm_start_the_whole_run() {
+        let (m, sigma) = clustered(60, 6, 11);
+        let pipe = RecalibrationPipeline::new(0.9, 1e-9);
+        let first = pipe.solve(&m, &sigma, &[0.3], None, ExecutionMode::Serial);
+        assert!(!first.warm_started);
+        let second = pipe.solve(
+            &m,
+            &sigma,
+            &[0.3],
+            Some(&first.solution.values),
+            ExecutionMode::Serial,
+        );
+        assert!(second.warm_started);
+        assert!(second.total_sweeps() <= first.total_sweeps());
+        assert_eq!(second.solution.policy, first.solution.policy);
+    }
+
+    #[test]
+    fn mismatched_prior_is_ignored_not_fatal() {
+        let (m, sigma) = clustered(40, 4, 3);
+        let pipe = RecalibrationPipeline::new(0.9, 1e-9);
+        let out = pipe.solve(
+            &m,
+            &sigma,
+            &[],
+            Some(&[1.0, 2.0]), // stale: state space was re-profiled
+            ExecutionMode::Serial,
+        );
+        assert!(!out.warm_started);
+        assert!(out.levels.is_empty());
+    }
+
+    #[test]
+    fn uncompressed_levels_are_skipped() {
+        let (m, sigma) = clustered(30, 3, 5);
+        let pipe = RecalibrationPipeline::new(0.9, 1e-9);
+        // theta = 0 keeps every state distinct — no level to solve.
+        let out = pipe.solve(&m, &sigma, &[0.0], None, ExecutionMode::Serial);
+        assert!(out.levels.is_empty());
+        assert_eq!(out.total_sweeps(), out.final_sweeps);
+    }
+
+    #[test]
+    fn quotient_preserves_probability_mass_and_rewards() {
+        let (m, sigma) = clustered(50, 5, 9);
+        let cm = Abstraction::from_similarity(&sigma, 0.3).cluster_map();
+        assert!(cm.n_clusters() < m.n_states());
+        let mut scratch = QuotientScratch::new();
+        scratch.build(&m.solver_view(), &cm);
+        let qv = scratch.view();
+        for c in 0..cm.n_clusters() {
+            let r = cm.reps[c];
+            let full = m.solver_view();
+            let n_nodes_full = full.action_ptr[r + 1] - full.action_ptr[r];
+            let n_nodes_q = qv.action_ptr[c + 1] - qv.action_ptr[c];
+            assert_eq!(n_nodes_full, n_nodes_q, "cluster {c}");
+            for (kq, kf) in (qv.action_ptr[c]..qv.action_ptr[c + 1])
+                .zip(full.action_ptr[r]..full.action_ptr[r + 1])
+            {
+                assert_eq!(qv.node_reward[kq], full.node_reward[kf]);
+                let mass: f64 = qv.prob[qv.node_ptr[kq]..qv.node_ptr[kq + 1]].iter().sum();
+                assert!((mass - 1.0).abs() < 1e-12, "node {kq} mass {mass}");
+                // Successor clusters are distinct.
+                let succs = &qv.succ[qv.node_ptr[kq]..qv.node_ptr[kq + 1]];
+                let mut sorted: Vec<u32> = succs.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), succs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_and_lift_round_trip_on_cluster_constant_vectors() {
+        let (_, sigma) = clustered(24, 4, 13);
+        let cm = Abstraction::from_similarity(&sigma, 0.3).cluster_map();
+        let v_coarse_in: Vec<f64> = (0..cm.n_clusters()).map(|c| c as f64 * 1.5).collect();
+        let mut v_full = vec![0.0; cm.n_states()];
+        lift(&v_coarse_in, &cm, &mut v_full);
+        let mut v_coarse_out = Vec::new();
+        restrict(&v_full, &cm, &mut v_coarse_out);
+        assert_eq!(v_coarse_in, v_coarse_out);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests for the warm-started / coarse-to-fine solver paths
+//! added for online recalibration.
+//!
+//! Three contracts, each over randomly generated device-like MDPs:
+//!
+//! 1. `solve_warm` from *any* finite seed reaches the same fixed point
+//!    as the cold `solve` — values within the contraction stopping
+//!    bound, and any policy disagreement confined to numerical Q-ties;
+//! 2. the opt-in f32 sweep stays within `1e-3` of the f64 oracle for
+//!    `rho <= 0.9` (the envelope documented on `Precision::F32`);
+//! 3. the coarse-to-fine [`RecalibrationPipeline`] lands on the cold
+//!    solver's fixed point regardless of the similarity matrix, theta
+//!    ladder, or prior vector it is fed — the ladder is an accelerator,
+//!    never an answer-changer.
+
+use proptest::prelude::*;
+
+use capman_mdp::matrix::SquareMatrix;
+use capman_mdp::mdp::{Mdp, MdpBuilder};
+use capman_mdp::pipeline::RecalibrationPipeline;
+use capman_mdp::value_iteration::{solve, solve_warm, solve_warm_with, Precision, Solution};
+use capman_mdp::ExecutionMode;
+
+const N_ACTIONS: usize = 5;
+const EPS: f64 = 1e-9;
+
+type Tx = (usize, usize, usize, f64, f64);
+
+/// Splitmix-style stream from a drawn seed, the same reproducibility
+/// trick `csr_equivalence.rs` uses.
+fn splitmix(seed: u64) -> impl FnMut(u64) -> u64 {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    move |m: u64| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) % m
+    }
+}
+
+/// A state count, a raw transition table and a seed for auxiliary draws
+/// (warm-start vectors, similarity matrices). Sized to cross the
+/// solver's parallel chunk boundary (64 states) in a good fraction of
+/// cases.
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<Tx>, u64)> {
+    (2usize..160, 0u64..1_000_000, 0usize..300).prop_map(|(n, seed, len)| {
+        let mut next = splitmix(seed);
+        let txs = (0..len)
+            .map(|_| {
+                (
+                    next(n as u64) as usize,
+                    next(N_ACTIONS as u64) as usize,
+                    next(n as u64) as usize,
+                    0.1 + next(1000) as f64 / 200.0,
+                    next(1000) as f64 / 1000.0,
+                )
+            })
+            .collect();
+        (n, txs, seed)
+    })
+}
+
+fn build(n: usize, txs: &[Tx]) -> Mdp {
+    let mut b = MdpBuilder::new(n, N_ACTIONS);
+    for &(s, a, to, w, rew) in txs {
+        b.transition(s, a, to, w, rew);
+    }
+    b.build()
+}
+
+/// A finite but otherwise arbitrary warm-start vector in `[-10, 10)`.
+fn arb_seed_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut next = splitmix(seed ^ 0x9e3779b97f4a7c15);
+    (0..n)
+        .map(|_| next(20_000) as f64 / 1000.0 - 10.0)
+        .collect()
+}
+
+/// A symmetric similarity matrix with unit diagonal and random
+/// off-diagonal mass — deliberately *not* a real structural-similarity
+/// output, so the pipeline contract is exercised on adversarial
+/// clusterings too.
+fn arb_sigma(n: usize, seed: u64) -> SquareMatrix {
+    let mut next = splitmix(seed ^ 0x5851f42d4c957f2d);
+    let mut sigma = SquareMatrix::identity(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = next(1000) as f64 / 1000.0;
+            sigma.set(i, j, v);
+            sigma.set(j, i, v);
+        }
+    }
+    sigma
+}
+
+/// Both solutions stop within `eps * rho / (1 - rho)` of the true fixed
+/// point, so they sit within twice that of each other; policies may
+/// only disagree where the Q values tie to within that same slack.
+fn assert_same_fixed_point(a: &Solution, b: &Solution, rho: f64) {
+    let tol = 2.0 * EPS * rho / (1.0 - rho) + 1e-12;
+    for (s, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "V({s}) differs beyond the contraction bound: {x} vs {y}"
+        );
+    }
+    assert_eq!(a.policy.len(), b.policy.len());
+    for (s, (pa, pb)) in a.policy.iter().zip(&b.policy).enumerate() {
+        if pa == pb {
+            continue;
+        }
+        let (Some(aa), Some(ab)) = (*pa, *pb) else {
+            panic!("state {s}: one solution thinks the state is absorbing ({pa:?} vs {pb:?})");
+        };
+        // Greedy argmax can flip on a numerical tie; the Q gap must
+        // then be inside the value tolerance in *both* tables.
+        let gap_a = (a.q[s][aa] - a.q[s][ab]).abs();
+        let gap_b = (b.q[s][aa] - b.q[s][ab]).abs();
+        assert!(
+            gap_a <= tol && gap_b <= tol,
+            "state {s}: policies pick {aa} vs {ab} with Q gaps {gap_a:e}/{gap_b:e} beyond tolerance"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn warm_solve_reaches_the_cold_fixed_point(
+        (n, txs, seed) in arb_instance(),
+        rho in 0.1f64..0.95,
+    ) {
+        let mdp = build(n, &txs);
+        let cold = solve(&mdp, rho, EPS);
+        let v0 = arb_seed_vector(n, seed);
+        let warm = solve_warm(&mdp, rho, EPS, &v0, ExecutionMode::Serial);
+        assert_same_fixed_point(&warm, &cold, rho);
+    }
+
+    #[test]
+    fn warm_solve_from_the_answer_is_nearly_free(
+        (n, txs, _) in arb_instance(),
+        rho in 0.1f64..0.95,
+    ) {
+        let mdp = build(n, &txs);
+        let cold = solve(&mdp, rho, EPS);
+        let warm = solve_warm(&mdp, rho, EPS, &cold.values, ExecutionMode::Serial);
+        // One sweep to confirm the residual is already below eps.
+        prop_assert_eq!(warm.iterations, 1);
+        assert_same_fixed_point(&warm, &cold, rho);
+    }
+
+    #[test]
+    fn f32_sweep_stays_within_its_documented_envelope(
+        (n, txs, _) in arb_instance(),
+        rho in 0.1f64..0.9,
+    ) {
+        let mdp = build(n, &txs);
+        let oracle = solve(&mdp, rho, EPS);
+        let zeros = vec![0.0; n];
+        let fast = solve_warm_with(
+            &mdp,
+            rho,
+            EPS,
+            &zeros,
+            ExecutionMode::Serial,
+            Precision::F32,
+        );
+        for (s, (x, y)) in fast.values.iter().zip(&oracle.values).enumerate() {
+            prop_assert!(
+                (x - y).abs() < 1e-3,
+                "state {}: f32 {} drifted from f64 {}",
+                s,
+                x,
+                y
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_fixed_point_matches_the_direct_solve(
+        (n, txs, seed) in arb_instance(),
+        rho in 0.1f64..0.95,
+        theta_coarse in 0.1f64..0.6,
+        theta_fine in 0.01f64..0.1,
+        with_prior in any::<bool>(),
+    ) {
+        let mdp = build(n, &txs);
+        let sigma = arb_sigma(n, seed);
+        let cold = solve(&mdp, rho, EPS);
+
+        let prior = arb_seed_vector(n, seed.wrapping_add(1));
+        let pipeline = RecalibrationPipeline::new(rho, EPS);
+        let out = pipeline.solve(
+            &mdp,
+            &sigma,
+            &[theta_coarse, theta_fine],
+            with_prior.then_some(prior.as_slice()),
+            ExecutionMode::Parallel,
+        );
+        prop_assert_eq!(out.warm_started, with_prior);
+        assert_same_fixed_point(&out.solution, &cold, rho);
+    }
+}
