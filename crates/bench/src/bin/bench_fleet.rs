@@ -1,0 +1,186 @@
+//! Measure fleet throughput with inline vs pooled calibration and
+//! write `BENCH_fleet.json`.
+//!
+//! ```text
+//! cargo run --release -p capman-bench --bin bench_fleet                    # 1k/4k/16k ladder
+//! cargo run --release -p capman-bench --bin bench_fleet -- --devices 1024  # one size
+//! cargo run --release -p capman-bench --bin bench_fleet -- --quick         # CI smoke sizes
+//! cargo run --release -p capman-bench --bin bench_fleet -- --require-async-win
+//! ```
+//!
+//! Per fleet size the binary instantiates the same two-cohort CAPMAN
+//! fleet twice — once with inline (blocking, per-device) calibration,
+//! once with the async calibration pool — and measures devices/sec for
+//! both. Before any number is reported it asserts the async mode's
+//! correctness envelope:
+//!
+//! * **no lost ticks** — every device executes exactly as many
+//!   scheduling ticks as under inline calibration (the calibration path
+//!   must not change how long a device runs);
+//! * **zero dropped calibrations** — the bounded pool queue never
+//!   overflowed;
+//! * **bounded staleness** — no device waited past its own horizon for
+//!   a calibration it requested.
+//!
+//! `--require-async-win` additionally asserts the pool beats inline by
+//! at least 2x at 4096+ devices (the multicore CI leg turns this on;
+//! the win comes from cohort coalescing — one background solve serves
+//! every device of a cohort — so it holds even single-core).
+
+use std::time::Instant;
+
+use capman_bench::perf_report::{FleetReport, FleetRow};
+use capman_fleet::{
+    CalibrationMode, Fleet, FleetConfig, FleetProfile, FleetResult, FleetRunner, PoolConfig,
+};
+use capman_workload::WorkloadKind;
+
+// A compressed fixture: a 25-minute discharge with a 5-minute
+// calibration cadence packs four calibration intervals into a horizon
+// short enough to sweep 16k devices. (The paper's 20-minute cadence
+// over a full-day discharge has the same solve-to-tick ratio; only the
+// absolute wall time differs.)
+const HORIZON_S: f64 = 1500.0;
+const EVERY_S: f64 = 300.0;
+const BATCH: usize = 64;
+
+fn build_fleet(devices: usize) -> Fleet {
+    let mut video = FleetProfile::capman("video", WorkloadKind::Video, 41);
+    let mut pcmark = FleetProfile::capman("pcmark", WorkloadKind::Pcmark, 43);
+    for profile in [&mut video, &mut pcmark] {
+        profile.config.max_horizon_s = HORIZON_S;
+        profile.calibrator.every_s = EVERY_S;
+    }
+    assert!(
+        devices >= 2 && devices.is_multiple_of(2),
+        "need an even device count"
+    );
+    Fleet::build(vec![video, pcmark], devices / 2)
+}
+
+fn run_mode(fleet: &Fleet, mode: CalibrationMode) -> (FleetResult, f64) {
+    let runner = FleetRunner::new(FleetConfig {
+        mode,
+        batch: BATCH,
+        pool: PoolConfig {
+            workers: 2,
+            queue_depth: 64,
+        },
+        parallel: true,
+    });
+    let t0 = Instant::now();
+    let result = runner.run(fleet);
+    (result, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn fleet_row(devices: usize, require_async_win: bool) -> FleetRow {
+    let fleet = build_fleet(devices);
+    let (inline, inline_wall_ms) = run_mode(&fleet, CalibrationMode::Inline);
+    let (pool, pool_wall_ms) = run_mode(&fleet, CalibrationMode::Pool);
+
+    // --- Correctness envelope before any throughput number ------------
+    let ticks = |r: &FleetResult| r.summaries.iter().map(|s| s.ticks).collect::<Vec<_>>();
+    assert_eq!(
+        ticks(&inline),
+        ticks(&pool),
+        "async calibration must not change how long devices tick"
+    );
+    let counters = pool.aggregate.pool;
+    assert_eq!(
+        counters.dropped, 0,
+        "pool queue overflowed — no tick may lose its calibration"
+    );
+    assert_eq!(
+        counters.completed, counters.enqueued,
+        "every enqueued calibration must complete"
+    );
+    let staleness_max_s = pool.aggregate.staleness_s.max();
+    assert!(
+        staleness_max_s <= HORIZON_S,
+        "staleness {staleness_max_s} s exceeds the device horizon"
+    );
+
+    let row = FleetRow {
+        devices,
+        cohorts: fleet.profiles.len(),
+        ticks: pool.aggregate.ticks,
+        inline_wall_ms,
+        pool_wall_ms,
+        inline_recalibrations: inline.aggregate.recalibrations,
+        pool_completed: counters.completed,
+        pool_submitted: counters.submitted,
+        pool_coalesced: counters.coalesced,
+        pool_dropped: counters.dropped,
+        staleness_p50_s: pool.aggregate.staleness_s.p50(),
+        staleness_p95_s: pool.aggregate.staleness_s.p95(),
+        staleness_p99_s: pool.aggregate.staleness_s.p99(),
+        staleness_max_s,
+        lifetime_p50_s: pool.aggregate.lifetime_s.p50(),
+        hotspot_p95_c: pool.aggregate.hotspot_c.p95(),
+    };
+    if require_async_win && devices >= 4096 {
+        assert!(
+            row.speedup() >= 2.0,
+            "async pool must be >= 2x inline at {devices} devices, got {:.2}x",
+            row.speedup()
+        );
+    }
+    row
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let require_async_win = args.iter().any(|a| a == "--require-async-win");
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let sizes: Vec<usize> = match flag("--devices") {
+        Some(n) => vec![n.parse().expect("--devices takes a number")],
+        None if quick => vec![256],
+        None => vec![1024, 4096, 16384],
+    };
+
+    let mut report = FleetReport {
+        threads: rayon::current_num_threads(),
+        batch: BATCH,
+        horizon_s: HORIZON_S,
+        every_s: EVERY_S,
+        ..FleetReport::default()
+    };
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>8} {:>10} {:>10}",
+        "devices",
+        "inline_ms",
+        "pool_ms",
+        "inl_dev/s",
+        "pool_dev/s",
+        "speedup",
+        "solves",
+        "stale_p99"
+    );
+    for &devices in &sizes {
+        let row = fleet_row(devices, require_async_win);
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>10.1} {:>10.1} {:>7.1}x {:>10} {:>9.1}s",
+            row.devices,
+            row.inline_wall_ms,
+            row.pool_wall_ms,
+            row.inline_devices_per_s(),
+            row.pool_devices_per_s(),
+            row.speedup(),
+            row.pool_completed,
+            row.staleness_p99_s
+        );
+        report.rows.push(row);
+    }
+
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

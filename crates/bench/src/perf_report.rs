@@ -255,6 +255,138 @@ impl RecalReport {
     }
 }
 
+/// One fleet measurement row: the same fleet carried through a full
+/// discharge cycle twice, with inline (blocking per-device) and pooled
+/// (async, coalesced) calibration.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Cohort profiles the devices were instantiated from.
+    pub cohorts: usize,
+    /// Scheduling ticks per mode (must match between modes — the
+    /// calibration path must not change how long devices tick).
+    pub ticks: u64,
+    /// Wall time with inline calibration, milliseconds.
+    pub inline_wall_ms: f64,
+    /// Wall time with the async calibration pool, milliseconds.
+    pub pool_wall_ms: f64,
+    /// Calibrations run inline (one per device per due interval).
+    pub inline_recalibrations: u64,
+    /// Pool solves actually executed (after cohort coalescing).
+    pub pool_completed: u64,
+    /// Pool requests submitted by devices.
+    pub pool_submitted: u64,
+    /// Requests absorbed by an in-flight cohort calibration.
+    pub pool_coalesced: u64,
+    /// Requests dropped on queue overflow (gated to zero in CI).
+    pub pool_dropped: u64,
+    /// Median per-device max calibration staleness, simulated seconds.
+    pub staleness_p50_s: f64,
+    /// 95th-percentile staleness, simulated seconds.
+    pub staleness_p95_s: f64,
+    /// 99th-percentile staleness, simulated seconds.
+    pub staleness_p99_s: f64,
+    /// Largest staleness observed, simulated seconds.
+    pub staleness_max_s: f64,
+    /// Median battery lifetime across the fleet, seconds (pool mode).
+    pub lifetime_p50_s: f64,
+    /// 95th-percentile peak hot-spot temperature, degC (pool mode).
+    pub hotspot_p95_c: f64,
+}
+
+impl FleetRow {
+    /// Devices per wall-clock second, inline calibration.
+    pub fn inline_devices_per_s(&self) -> f64 {
+        self.devices as f64 / (self.inline_wall_ms / 1e3)
+    }
+
+    /// Devices per wall-clock second, pooled calibration.
+    pub fn pool_devices_per_s(&self) -> f64 {
+        self.devices as f64 / (self.pool_wall_ms / 1e3)
+    }
+
+    /// Throughput gain of the pool over inline calibration.
+    pub fn speedup(&self) -> f64 {
+        self.inline_wall_ms / self.pool_wall_ms
+    }
+}
+
+/// The report `bench_fleet` writes to `BENCH_fleet.json`.
+#[derive(Debug, Clone, Default)]
+pub struct FleetReport {
+    /// Worker threads available to the sharded runner.
+    pub threads: usize,
+    /// Devices per shard.
+    pub batch: usize,
+    /// Simulated horizon of every device, seconds.
+    pub horizon_s: f64,
+    /// Calibration cadence of every cohort, seconds.
+    pub every_s: f64,
+    /// Measurement rows, one per fleet size.
+    pub rows: Vec<FleetRow>,
+}
+
+impl FleetReport {
+    /// Render the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"generated_by\": \"cargo run --release -p capman-bench --bin bench_fleet\","
+        );
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"batch\": {},", self.batch);
+        let _ = writeln!(out, "  \"horizon_s\": {},", self.horizon_s);
+        let _ = writeln!(out, "  \"every_s\": {},", self.every_s);
+        out.push_str("  \"fleet\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"devices\": {},", row.devices);
+            let _ = writeln!(out, "      \"cohorts\": {},", row.cohorts);
+            let _ = writeln!(out, "      \"ticks\": {},", row.ticks);
+            push_f64(&mut out, "inline_wall_ms", row.inline_wall_ms, true);
+            push_f64(&mut out, "pool_wall_ms", row.pool_wall_ms, true);
+            push_f64(
+                &mut out,
+                "inline_devices_per_s",
+                row.inline_devices_per_s(),
+                true,
+            );
+            push_f64(
+                &mut out,
+                "pool_devices_per_s",
+                row.pool_devices_per_s(),
+                true,
+            );
+            push_f64(&mut out, "speedup", row.speedup(), true);
+            let _ = writeln!(
+                out,
+                "      \"inline_recalibrations\": {},",
+                row.inline_recalibrations
+            );
+            let _ = writeln!(out, "      \"pool_completed\": {},", row.pool_completed);
+            let _ = writeln!(out, "      \"pool_submitted\": {},", row.pool_submitted);
+            let _ = writeln!(out, "      \"pool_coalesced\": {},", row.pool_coalesced);
+            let _ = writeln!(out, "      \"pool_dropped\": {},", row.pool_dropped);
+            push_f64(&mut out, "staleness_p50_s", row.staleness_p50_s, true);
+            push_f64(&mut out, "staleness_p95_s", row.staleness_p95_s, true);
+            push_f64(&mut out, "staleness_p99_s", row.staleness_p99_s, true);
+            push_f64(&mut out, "staleness_max_s", row.staleness_max_s, true);
+            push_f64(&mut out, "lifetime_p50_s", row.lifetime_p50_s, true);
+            push_f64(&mut out, "hotspot_p95_c", row.hotspot_p95_c, false);
+            out.push_str(if i + 1 < self.rows.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 /// Extract every `"key": number` pair from one JSON object body — the
 /// minimal parsing the cross-PR perf gate needs (the vendored serde has
 /// no format backend). Nested arrays/objects inside the body are not
@@ -478,6 +610,43 @@ mod tests {
         assert_eq!(similarity.len(), 1);
         assert_eq!(row_value(&similarity[0], "engine_ms"), Some(10.0));
         assert!(parse_rows(&json, "missing").is_empty());
+    }
+
+    #[test]
+    fn fleet_json_round_trips_through_the_gate_parser() {
+        let report = FleetReport {
+            threads: 4,
+            batch: 64,
+            horizon_s: 1500.0,
+            every_s: 600.0,
+            rows: vec![FleetRow {
+                devices: 1024,
+                cohorts: 2,
+                ticks: 1_536_000,
+                inline_wall_ms: 8000.0,
+                pool_wall_ms: 2000.0,
+                inline_recalibrations: 2048,
+                pool_completed: 4,
+                pool_submitted: 2048,
+                pool_coalesced: 2040,
+                pool_dropped: 0,
+                staleness_p50_s: 0.0,
+                staleness_p95_s: 12.0,
+                staleness_p99_s: 40.0,
+                staleness_max_s: 300.0,
+                lifetime_p50_s: 1500.0,
+                hotspot_p95_c: 41.5,
+            }],
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let rows = parse_rows(&json, "fleet");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(row_value(&rows[0], "devices"), Some(1024.0));
+        assert_eq!(row_value(&rows[0], "pool_wall_ms"), Some(2000.0));
+        assert_eq!(row_value(&rows[0], "speedup"), Some(4.0));
+        assert_eq!(row_value(&rows[0], "pool_dropped"), Some(0.0));
     }
 
     #[test]

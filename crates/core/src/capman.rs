@@ -23,6 +23,7 @@
 
 use capman_battery::chemistry::Class;
 use capman_device::fsm::Action;
+use capman_device::states::DeviceState;
 
 use crate::online::Calibrator;
 use crate::policy::{usable_or_fallback, DecisionContext, Observation, Policy};
@@ -81,13 +82,17 @@ impl Default for CapmanFeatures {
     }
 }
 
-/// The CAPMAN battery scheduler.
-#[derive(Debug)]
-pub struct CapmanPolicy {
-    profiler: Profiler,
-    calibrator: Calibrator,
-    /// Phone compute speed (normalises calibration overhead, Fig. 16).
-    compute_speed: f64,
+/// The threshold/hysteresis decision core of CAPMAN, factored out of
+/// [`CapmanPolicy`] so the fleet's pool-calibrated policy variant (which
+/// reads calibration snapshots published by background workers instead
+/// of owning a [`Calibrator`]) makes bit-identical choices.
+///
+/// The engine owns everything *stateful* about a decision — current
+/// selection, hysteresis, dwell bookkeeping — and is fed the two inputs
+/// that differ between the inline and pooled schedulers: the power
+/// prediction and the calibrated Q-preference for the deadband.
+#[derive(Debug, Clone)]
+pub struct DecisionEngine {
     /// Base surge threshold, watts.
     thr_base_w: f64,
     /// Gain of the depletion-balance controller.
@@ -103,6 +108,158 @@ pub struct CapmanPolicy {
     last_switch_s: f64,
     /// Mechanism toggles (all on by default).
     features: CapmanFeatures,
+}
+
+impl DecisionEngine {
+    /// The paper's thresholds with every mechanism enabled.
+    pub fn paper() -> Self {
+        DecisionEngine::with_features(CapmanFeatures::all())
+    }
+
+    /// The paper's thresholds with some mechanisms disabled.
+    pub fn with_features(features: CapmanFeatures) -> Self {
+        DecisionEngine {
+            thr_base_w: 1.5,
+            beta: 2.5,
+            deadband_w: 0.2,
+            min_dwell_s: 4.0,
+            current: Class::Big,
+            last_switch_s: f64::NEG_INFINITY,
+            features,
+        }
+    }
+
+    /// The mechanism toggles this engine runs with.
+    pub fn features(&self) -> CapmanFeatures {
+        self.features
+    }
+
+    /// The currently held selection.
+    pub fn current(&self) -> Class {
+        self.current
+    }
+
+    /// Whether this step's actions signal an imminent surge.
+    pub fn surge_signal(actions: &[Action]) -> bool {
+        actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::AppLaunch
+                    | Action::ScreenOn
+                    | Action::Wake
+                    | Action::NetSendStart
+                    | Action::NetReceiveStart
+            )
+        })
+    }
+
+    /// Choose the cell for the upcoming step from a power prediction
+    /// and the calibrated Q-preference consulted inside the deadband.
+    pub fn choose(
+        &mut self,
+        ctx: &DecisionContext<'_>,
+        predicted_w: f64,
+        q_preference: Option<Class>,
+    ) -> Class {
+        let mut pred = predicted_w;
+        if self.features.prediction && Self::surge_signal(ctx.actions) {
+            // A surge-class action fired: trust the prediction upward.
+            // The bump clears the default threshold plus deadband, but a
+            // strongly raised (LITTLE-protecting) threshold still wins.
+            pred = pred.max(ctx.last_power_w).max(self.thr_base_w * 1.5);
+        }
+
+        // Steer both cells toward simultaneous exhaustion.
+        let thr = if self.features.balance {
+            let imbalance = ctx.little_soc - ctx.big_soc;
+            (self.thr_base_w * (1.0 - self.beta * imbalance)).clamp(0.4, 6.0)
+        } else {
+            self.thr_base_w
+        };
+
+        // The TEC's active-power burst is itself served by LITTLE.
+        let hot = ctx.tec_on || ctx.hotspot_c > 44.0;
+        let effective_thr = if hot { thr * 0.7 } else { thr };
+
+        let deadband = if self.features.hysteresis {
+            self.deadband_w
+        } else {
+            0.0
+        };
+        let mut preferred = if pred > effective_thr + deadband {
+            Class::Little
+        } else if pred < effective_thr - deadband {
+            Class::Big
+        } else {
+            // Inside the hysteresis band: consult the calibrated MDP's
+            // switch-action Q-values; otherwise hold the current choice.
+            q_preference.unwrap_or(self.current)
+        };
+
+        // Head guard: a diffusion-starved big cell cannot carry real
+        // load — let it rest and recover through the valve while the
+        // LITTLE cell serves, then reuse it for gentle stretches. This is
+        // how CAPMAN extracts the big cell's bound charge instead of
+        // stranding it (the Dual/Heuristic baselines lack this and brown
+        // out on a drained big cell).
+        if self.features.head_guard {
+            if preferred == Class::Big && ctx.big_head < 0.12 && ctx.little_usable {
+                preferred = Class::Little;
+            } else if preferred == Class::Little && ctx.little_head < 0.05 && ctx.big_usable {
+                preferred = Class::Big;
+            }
+        }
+
+        // Dwell: a voluntary flip inside the dwell window is not worth
+        // its switching cost; surge signals may pre-empt it.
+        if self.features.hysteresis
+            && preferred != self.current
+            && ctx.time_s - self.last_switch_s < self.min_dwell_s
+            && !Self::surge_signal(ctx.actions)
+        {
+            preferred = self.current;
+        }
+
+        let chosen = usable_or_fallback(preferred, ctx);
+        if chosen != self.current {
+            self.last_switch_s = ctx.time_s;
+        }
+        self.current = chosen;
+        self.current
+    }
+}
+
+/// One-step-ahead power prediction shared by the inline and pooled
+/// schedulers: the device state already reflects this step's system-call
+/// actions, so the learned per-state power estimate *is* a prediction.
+/// States never visited fall back to their similarity representative
+/// (the reuse that runtime calibration enables), then to the last
+/// measured power.
+pub fn predict_power_w(
+    profiler: &Profiler,
+    representative: Option<DeviceState>,
+    ctx: &DecisionContext<'_>,
+) -> f64 {
+    if let Some(p) = profiler.state_power_w(ctx.state) {
+        return p;
+    }
+    if let Some(rep) = representative {
+        if let Some(p) = profiler.state_power_w(rep) {
+            return p;
+        }
+    }
+    ctx.last_power_w
+}
+
+/// The CAPMAN battery scheduler.
+#[derive(Debug)]
+pub struct CapmanPolicy {
+    profiler: Profiler,
+    calibrator: Calibrator,
+    /// Phone compute speed (normalises calibration overhead, Fig. 16).
+    compute_speed: f64,
+    /// The threshold/hysteresis decision core.
+    engine: DecisionEngine,
     /// Calibration events not yet drained into telemetry.
     pending_calibrations: Vec<CalibrationSample>,
 }
@@ -122,13 +279,7 @@ impl CapmanPolicy {
             profiler: Profiler::new(),
             calibrator,
             compute_speed,
-            thr_base_w: 1.5,
-            beta: 2.5,
-            deadband_w: 0.2,
-            min_dwell_s: 4.0,
-            current: Class::Big,
-            last_switch_s: f64::NEG_INFINITY,
-            features: CapmanFeatures::all(),
+            engine: DecisionEngine::paper(),
             pending_calibrations: Vec::new(),
         }
     }
@@ -137,41 +288,8 @@ impl CapmanPolicy {
     /// bench).
     pub fn with_features(compute_speed: f64, features: CapmanFeatures) -> Self {
         let mut policy = CapmanPolicy::new(compute_speed);
-        policy.features = features;
+        policy.engine = DecisionEngine::with_features(features);
         policy
-    }
-
-    /// Predict the power of the upcoming step.
-    ///
-    /// The device state already reflects this step's system-call actions,
-    /// so the learned per-state power estimate *is* a one-step-ahead
-    /// prediction. States never visited fall back to their similarity
-    /// representative (the reuse that runtime calibration enables), then
-    /// to the last measured power.
-    fn predict_power_w(&self, ctx: &DecisionContext<'_>) -> f64 {
-        if let Some(p) = self.profiler.state_power_w(ctx.state) {
-            return p;
-        }
-        if let Some(rep) = self.calibrator.representative(ctx.state) {
-            if let Some(p) = self.profiler.state_power_w(rep) {
-                return p;
-            }
-        }
-        ctx.last_power_w
-    }
-
-    /// Whether this step's actions signal an imminent surge.
-    fn surge_signal(actions: &[Action]) -> bool {
-        actions.iter().any(|a| {
-            matches!(
-                a,
-                Action::AppLaunch
-                    | Action::ScreenOn
-                    | Action::Wake
-                    | Action::NetSendStart
-                    | Action::NetReceiveStart
-            )
-        })
     }
 
     /// Read-only access to the profiler (for tests and tooling).
@@ -219,81 +337,22 @@ impl Policy for CapmanPolicy {
                     bellman_sweeps: cal.bellman_sweeps,
                     bellman_levels: cal.levels.len(),
                     warm_started: cal.warm_started,
+                    staleness_s: 0.0,
                 });
             }
         }
 
-        let mut pred = if self.features.prediction {
-            self.predict_power_w(ctx)
+        let pred = if self.engine.features().prediction {
+            predict_power_w(
+                &self.profiler,
+                self.calibrator.representative(ctx.state),
+                ctx,
+            )
         } else {
             ctx.last_power_w
         };
-        if self.features.prediction && Self::surge_signal(ctx.actions) {
-            // A surge-class action fired: trust the prediction upward.
-            // The bump clears the default threshold plus deadband, but a
-            // strongly raised (LITTLE-protecting) threshold still wins.
-            pred = pred.max(ctx.last_power_w).max(self.thr_base_w * 1.5);
-        }
-
-        // Steer both cells toward simultaneous exhaustion.
-        let thr = if self.features.balance {
-            let imbalance = ctx.little_soc - ctx.big_soc;
-            (self.thr_base_w * (1.0 - self.beta * imbalance)).clamp(0.4, 6.0)
-        } else {
-            self.thr_base_w
-        };
-
-        // The TEC's active-power burst is itself served by LITTLE.
-        let hot = ctx.tec_on || ctx.hotspot_c > 44.0;
-        let effective_thr = if hot { thr * 0.7 } else { thr };
-
-        let deadband = if self.features.hysteresis {
-            self.deadband_w
-        } else {
-            0.0
-        };
-        let mut preferred = if pred > effective_thr + deadband {
-            Class::Little
-        } else if pred < effective_thr - deadband {
-            Class::Big
-        } else {
-            // Inside the hysteresis band: consult the calibrated MDP's
-            // switch-action Q-values; otherwise hold the current choice.
-            self.calibrator
-                .q_preference(ctx.state)
-                .unwrap_or(self.current)
-        };
-
-        // Head guard: a diffusion-starved big cell cannot carry real
-        // load — let it rest and recover through the valve while the
-        // LITTLE cell serves, then reuse it for gentle stretches. This is
-        // how CAPMAN extracts the big cell's bound charge instead of
-        // stranding it (the Dual/Heuristic baselines lack this and brown
-        // out on a drained big cell).
-        if self.features.head_guard {
-            if preferred == Class::Big && ctx.big_head < 0.12 && ctx.little_usable {
-                preferred = Class::Little;
-            } else if preferred == Class::Little && ctx.little_head < 0.05 && ctx.big_usable {
-                preferred = Class::Big;
-            }
-        }
-
-        // Dwell: a voluntary flip inside the dwell window is not worth
-        // its switching cost; surge signals may pre-empt it.
-        if self.features.hysteresis
-            && preferred != self.current
-            && ctx.time_s - self.last_switch_s < self.min_dwell_s
-            && !Self::surge_signal(ctx.actions)
-        {
-            preferred = self.current;
-        }
-
-        let chosen = usable_or_fallback(preferred, ctx);
-        if chosen != self.current {
-            self.last_switch_s = ctx.time_s;
-        }
-        self.current = chosen;
-        self.current
+        self.engine
+            .choose(ctx, pred, self.calibrator.q_preference(ctx.state))
     }
 
     fn overhead_us(&self) -> f64 {

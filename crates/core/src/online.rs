@@ -51,6 +51,42 @@ pub struct Calibration {
     pub warm_started: bool,
 }
 
+impl Calibration {
+    /// The battery preference this calibration's MDP solution holds for
+    /// `state` (through its similarity representative), if the solution
+    /// has Q-values for both switch actions there.
+    ///
+    /// Lives on the calibration itself — not the [`Calibrator`] — so a
+    /// snapshot published through a lock-free cell (the fleet's async
+    /// calibration pool) answers queries without the scheduler that
+    /// produced it.
+    pub fn q_preference(&self, state: DeviceState) -> Option<Class> {
+        let prefer_from = |idx: usize| -> Option<Class> {
+            let q = &self.solution.q[idx];
+            let q_big = q[Action::SwitchToBig.index()];
+            let q_little = q[Action::SwitchToLittle.index()];
+            if !q_big.is_finite() && !q_little.is_finite() {
+                return None;
+            }
+            Some(if q_little > q_big {
+                Class::Little
+            } else {
+                Class::Big
+            })
+        };
+        // Prefer the state's own Q-values, then its similarity
+        // representative's (the decision-reuse path).
+        prefer_from(state.index())
+            .or_else(|| prefer_from(self.abstraction.representative(state.index())))
+    }
+
+    /// The similarity representative of `state` under this calibration's
+    /// clustering.
+    pub fn representative(&self, state: DeviceState) -> DeviceState {
+        DeviceState::from_index(self.abstraction.representative(state.index()))
+    }
+}
+
 /// The tunable knobs of a [`Calibrator`], as plain data — the form
 /// candidate configurations take when the offline oracle scores them
 /// through what-if rollouts ([`crate::oracle::select_calibrator`]) and
@@ -257,34 +293,14 @@ impl Calibrator {
     }
 
     /// The battery preference the cached MDP solution holds for `state`
-    /// (through its similarity representative), if the solution has
-    /// Q-values for both switch actions there.
+    /// (see [`Calibration::q_preference`]).
     pub fn q_preference(&self, state: DeviceState) -> Option<Class> {
-        let cal = self.cached.as_ref()?;
-        let prefer_from = |idx: usize| -> Option<Class> {
-            let q = &cal.solution.q[idx];
-            let q_big = q[Action::SwitchToBig.index()];
-            let q_little = q[Action::SwitchToLittle.index()];
-            if !q_big.is_finite() && !q_little.is_finite() {
-                return None;
-            }
-            Some(if q_little > q_big {
-                Class::Little
-            } else {
-                Class::Big
-            })
-        };
-        // Prefer the state's own Q-values, then its similarity
-        // representative's (the decision-reuse path).
-        prefer_from(state.index())
-            .or_else(|| prefer_from(cal.abstraction.representative(state.index())))
+        self.cached.as_ref()?.q_preference(state)
     }
 
     /// The similarity representative of a state, if calibrated.
     pub fn representative(&self, state: DeviceState) -> Option<DeviceState> {
-        self.cached
-            .as_ref()
-            .map(|c| DeviceState::from_index(c.abstraction.representative(state.index())))
+        self.cached.as_ref().map(|c| c.representative(state))
     }
 
     /// The latest calibration, if any.

@@ -56,6 +56,11 @@ pub struct CalibrationSample {
     pub bellman_levels: usize,
     /// Whether the solve was seeded from the previous calibration.
     pub warm_started: bool,
+    /// Simulated seconds between the calibration being requested and
+    /// the first scheduling tick that observed its result. Zero for
+    /// inline (blocking) calibrations; positive when the work ran on an
+    /// asynchronous pool while the device kept ticking.
+    pub staleness_s: f64,
 }
 
 impl CalibrationSample {
@@ -67,6 +72,43 @@ impl CalibrationSample {
         } else {
             self.cache_hits as f64 / looked_up as f64
         }
+    }
+}
+
+/// Throughput counters of one fleet shard: how many devices a worker
+/// carried through how many scheduling ticks, and the wall-clock it
+/// took. The fleet runner fills one per shard and the report derives
+/// devices/sec and ticks/sec from the sums; they live here (rather than
+/// in the fleet crate) so single-run tooling can emit the same counter
+/// shape for a "fleet of one".
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShardThroughput {
+    /// Shard index within the run.
+    pub shard: usize,
+    /// Devices simulated by this shard.
+    pub devices: u64,
+    /// Scheduling ticks executed across those devices.
+    pub ticks: u64,
+    /// Wall-clock the shard took, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ShardThroughput {
+    /// Devices per wall-clock second (0.0 for a zero-duration shard).
+    pub fn devices_per_s(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.devices as f64 / (self.wall_ms / 1e3)
+    }
+
+    /// Scheduling ticks per wall-clock second (0.0 for a zero-duration
+    /// shard).
+    pub fn ticks_per_s(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.ticks as f64 / (self.wall_ms / 1e3)
     }
 }
 
@@ -103,13 +145,23 @@ impl Telemetry {
         &self.calibrations
     }
 
-    /// Mean engine wall time per calibration, microseconds (NaN when no
-    /// calibration ran).
+    /// Mean engine wall time per calibration, microseconds (0.0 when no
+    /// calibration ran — fleet aggregation folds empty shards, so every
+    /// aggregate here is total on empty sample sets).
     pub fn mean_calibration_wall_us(&self) -> f64 {
         if self.calibrations.is_empty() {
-            return f64::NAN;
+            return 0.0;
         }
         self.calibrations.iter().map(|c| c.wall_us).sum::<f64>() / self.calibrations.len() as f64
+    }
+
+    /// Largest calibration staleness observed, simulated seconds (0.0
+    /// when no calibration ran or all were inline).
+    pub fn max_calibration_staleness_s(&self) -> f64 {
+        self.calibrations
+            .iter()
+            .map(|c| c.staleness_s)
+            .fold(0.0, f64::max)
     }
 
     /// Number of samples.
@@ -130,18 +182,18 @@ impl Telemetry {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
-    /// Mean hot-spot temperature, degC.
+    /// Mean hot-spot temperature, degC (0.0 on an empty series).
     pub fn mean_hotspot_c(&self) -> f64 {
         if self.samples.is_empty() {
-            return f64::NAN;
+            return 0.0;
         }
         self.samples.iter().map(|s| s.hotspot_c).sum::<f64>() / self.samples.len() as f64
     }
 
-    /// Mean active power, milliwatts.
+    /// Mean active power, milliwatts (0.0 on an empty series).
     pub fn mean_power_mw(&self) -> f64 {
         if self.samples.is_empty() {
-            return f64::NAN;
+            return 0.0;
         }
         self.samples.iter().map(|s| s.power_mw).sum::<f64>() / self.samples.len() as f64
     }
@@ -209,13 +261,33 @@ mod tests {
     }
 
     #[test]
-    fn empty_series_is_safe() {
+    fn empty_series_aggregates_to_zero_not_nan() {
+        // Fleet aggregation folds empty shards through these; every
+        // aggregate must be a number, not NaN.
         let t = Telemetry::new();
         assert!(t.is_empty());
         assert_eq!(t.tec_duty(), 0.0);
-        assert!(t.mean_power_mw().is_nan());
+        assert_eq!(t.little_share(), 0.0);
+        assert_eq!(t.mean_power_mw(), 0.0);
+        assert_eq!(t.mean_hotspot_c(), 0.0);
         assert!(t.calibrations().is_empty());
-        assert!(t.mean_calibration_wall_us().is_nan());
+        assert_eq!(t.mean_calibration_wall_us(), 0.0);
+        assert_eq!(t.max_calibration_staleness_s(), 0.0);
+    }
+
+    #[test]
+    fn shard_throughput_rates_handle_zero_wall() {
+        let idle = ShardThroughput::default();
+        assert_eq!(idle.devices_per_s(), 0.0);
+        assert_eq!(idle.ticks_per_s(), 0.0);
+        let busy = ShardThroughput {
+            shard: 1,
+            devices: 128,
+            ticks: 128_000,
+            wall_ms: 2000.0,
+        };
+        assert!((busy.devices_per_s() - 64.0).abs() < 1e-9);
+        assert!((busy.ticks_per_s() - 64_000.0).abs() < 1e-9);
     }
 
     #[test]
@@ -232,6 +304,7 @@ mod tests {
             bellman_sweeps: 120,
             bellman_levels: 2,
             warm_started: false,
+            staleness_s: 0.0,
         });
         t.push_calibration(CalibrationSample {
             time_s: 2400.0,
@@ -244,9 +317,11 @@ mod tests {
             bellman_sweeps: 9,
             bellman_levels: 2,
             warm_started: true,
+            staleness_s: 3.0,
         });
         assert_eq!(t.calibrations().len(), 2);
         assert!((t.mean_calibration_wall_us() - 200.0).abs() < 1e-9);
+        assert_eq!(t.max_calibration_staleness_s(), 3.0);
         assert!((t.calibrations()[0].cache_hit_rate() - 0.6).abs() < 1e-12);
         assert_eq!(t.calibrations()[1].cache_hit_rate(), 1.0);
         // The warm second calibration spends far fewer Bellman sweeps.

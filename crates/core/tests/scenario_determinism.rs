@@ -1,0 +1,116 @@
+//! The scenario runner's determinism contract, exercised end to end.
+//!
+//! The fleet runner (and every figure harness) leans on one guarantee:
+//! `ScenarioRunner::run` returns exactly what a serial pass over the
+//! same scenarios would — same outcomes, same order — no matter how the
+//! scenarios are dealt across cores. `Outcome` is `PartialEq` over
+//! every field (floats compared exactly), so after masking the only
+//! honest exceptions — wall-clock measurements (scheduler overhead,
+//! per-calibration engine wall time), which depend on the machine, not
+//! the simulation — the equality below is a bit-identity claim, not an
+//! approximation.
+
+use capman_core::config::SimConfig;
+use capman_core::experiments::PolicyKind;
+use capman_core::metrics::Outcome;
+use capman_core::online::CalibratorSpec;
+use capman_core::scenario::{Scenario, ScenarioRunner};
+use capman_core::telemetry::{CalibrationSample, Telemetry};
+use capman_device::phone::PhoneProfile;
+use capman_workload::WorkloadKind;
+
+/// The outcome with its wall-clock timing fields zeroed; everything
+/// else (every simulated quantity, every telemetry sample, every
+/// calibration's sweep/solve/staleness ledger) must match exactly.
+fn masked(outcome: &Outcome) -> Outcome {
+    let mut telemetry = Telemetry::new();
+    for sample in outcome.telemetry.samples() {
+        telemetry.push(*sample);
+    }
+    for calibration in outcome.telemetry.calibrations() {
+        telemetry.push_calibration(CalibrationSample {
+            wall_us: 0.0,
+            ..calibration.clone()
+        });
+    }
+    Outcome {
+        scheduler_overhead_us: 0.0,
+        telemetry,
+        ..outcome.clone()
+    }
+}
+
+fn scenario(kind: PolicyKind, workload: WorkloadKind, seed: u64) -> Scenario {
+    let config = SimConfig {
+        max_horizon_s: 1200.0,
+        tec_enabled: kind.has_tec(),
+        ..SimConfig::paper()
+    };
+    Scenario::new(kind, workload, PhoneProfile::nexus(), seed, config)
+}
+
+/// A mixed (trace x policy) batch: different policies, workloads, seeds
+/// and horizons, so completion times differ and any schedule-dependent
+/// reordering or cross-scenario leakage would show.
+fn mixed_batch() -> Vec<Scenario> {
+    let mut capman = scenario(PolicyKind::Capman, WorkloadKind::Pcmark, 11);
+    // Calibrate within the short horizon so the calibration path is in
+    // the comparison too.
+    capman = capman.with_calibrator(CalibratorSpec {
+        every_s: 400.0,
+        ..CalibratorSpec::paper()
+    });
+    let mut long_dual = scenario(PolicyKind::Dual, WorkloadKind::Video, 7);
+    long_dual.config.max_horizon_s = 2400.0;
+    vec![
+        capman,
+        long_dual,
+        scenario(PolicyKind::Practice, WorkloadKind::Video, 7),
+        scenario(PolicyKind::Heuristic, WorkloadKind::Geekbench, 13),
+        scenario(PolicyKind::Dual, WorkloadKind::Pcmark, 5),
+        scenario(PolicyKind::Heuristic, WorkloadKind::Video, 5),
+    ]
+}
+
+#[test]
+fn parallel_outcomes_are_bit_identical_to_serial_in_input_order() {
+    let scenarios = mixed_batch();
+    let serial = ScenarioRunner::serial().run(&scenarios);
+    let parallel = ScenarioRunner::new().run(&scenarios);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            masked(s),
+            masked(p),
+            "scenario {i}: parallel fan-out must reproduce the serial pass exactly"
+        );
+    }
+    // Order follows input, not completion: the outcomes line up with
+    // the scenarios that produced them.
+    let expected = [
+        "CAPMAN",
+        "Dual",
+        "Practice",
+        "Heuristic",
+        "Dual",
+        "Heuristic",
+    ];
+    for (i, (outcome, name)) in parallel.iter().zip(expected).enumerate() {
+        assert_eq!(outcome.policy, name, "slot {i} must hold scenario {i}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    let scenarios = mixed_batch();
+    let runner = ScenarioRunner::new();
+    let first = runner.run(&scenarios);
+    let second = runner.run(&scenarios);
+    for (f, s) in first.iter().zip(&second) {
+        assert_eq!(
+            masked(f),
+            masked(s),
+            "same scenarios, same outcomes, every time"
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Fleet simulation service: thousands of phone instances, sharded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod pool;
+pub mod profile;
+pub mod runner;
+pub mod sketch;
+
+pub use policy::PooledCapmanPolicy;
+pub use pool::{CalibrationPool, CalibrationSnapshot, PoolConfig, PoolCounters, SubmitOutcome};
+pub use profile::{DeviceSpec, Fleet, FleetProfile};
+pub use runner::{
+    CalibrationMode, DeviceSummary, FleetAggregate, FleetConfig, FleetResult, FleetRunner,
+};
+pub use sketch::QuantileSketch;

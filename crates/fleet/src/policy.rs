@@ -1,0 +1,278 @@
+//! The pool-calibrated CAPMAN scheduler.
+//!
+//! [`PooledCapmanPolicy`] is the fleet-mode variant of
+//! `capman_core::capman::CapmanPolicy`: the same profiler, the same
+//! [`DecisionEngine`] (so decisions are bit-identical given the same
+//! calibration), but instead of *running* calibrations inline on the
+//! scheduling tick, it submits requests to a shared
+//! [`CalibrationPool`](crate::pool::CalibrationPool) and reads whatever
+//! snapshot the pool last published for its cohort. Ticks never block
+//! on calibration; the price is *staleness* — decisions may be taken
+//! against a calibration that is a few simulated seconds old, which the
+//! policy measures and reports through the standard
+//! [`CalibrationSample`] telemetry channel.
+
+use std::sync::Arc;
+
+use capman_battery::chemistry::Class;
+use capman_core::capman::{predict_power_w, DecisionEngine};
+use capman_core::online::CalibratorSpec;
+use capman_core::policy::{DecisionContext, Observation, Policy};
+use capman_core::profiler::Profiler;
+use capman_core::telemetry::CalibrationSample;
+
+use crate::pool::{CalibrationPool, CalibrationSnapshot};
+
+/// CAPMAN with calibration delegated to a shared background pool.
+pub struct PooledCapmanPolicy {
+    profiler: Profiler,
+    pool: Arc<CalibrationPool>,
+    cohort: usize,
+    compute_speed: f64,
+    engine: DecisionEngine,
+    /// The cohort's calibration cadence (mirrors the inline calibrator).
+    every_s: f64,
+    /// Observations required before the first request.
+    warmup_observations: u64,
+    last_request_s: f64,
+    /// Simulated time of the oldest request this device is still
+    /// waiting on (staleness is measured from here).
+    pending_since_s: Option<f64>,
+    /// Last snapshot sequence number adopted.
+    seen_seq: u64,
+    snapshot: Arc<CalibrationSnapshot>,
+    adoptions: u64,
+    pending_samples: Vec<CalibrationSample>,
+}
+
+impl PooledCapmanPolicy {
+    /// A pooled scheduler for one device of `cohort`, requesting on the
+    /// cadence of `spec`.
+    pub fn new(
+        pool: Arc<CalibrationPool>,
+        cohort: usize,
+        spec: CalibratorSpec,
+        compute_speed: f64,
+    ) -> Self {
+        assert!(compute_speed > 0.0, "compute speed must be positive");
+        let snapshot = pool.snapshot(cohort);
+        PooledCapmanPolicy {
+            profiler: Profiler::new(),
+            pool,
+            cohort,
+            compute_speed,
+            engine: DecisionEngine::paper(),
+            every_s: spec.every_s,
+            warmup_observations: 60,
+            last_request_s: f64::NEG_INFINITY,
+            pending_since_s: None,
+            seen_seq: snapshot.seq,
+            snapshot,
+            adoptions: 0,
+            pending_samples: Vec::new(),
+        }
+    }
+
+    /// Snapshot sequence number the device currently decides from.
+    pub fn seen_seq(&self) -> u64 {
+        self.seen_seq
+    }
+}
+
+impl Policy for PooledCapmanPolicy {
+    fn name(&self) -> &'static str {
+        "CAPMAN"
+    }
+
+    fn observe(&mut self, obs: &Observation) {
+        self.profiler.observe(
+            obs.prev_state,
+            obs.action,
+            obs.new_state,
+            obs.reward,
+            obs.power_w,
+        );
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> Class {
+        // Adopt the latest published snapshot — one lock-free-style
+        // load; never waits on an in-progress calibration.
+        let snap = self.pool.snapshot(self.cohort);
+        if snap.seq > self.seen_seq {
+            self.seen_seq = snap.seq;
+            self.adoptions += 1;
+            let staleness_s = self
+                .pending_since_s
+                .take()
+                .map_or(0.0, |since| (ctx.time_s - since).max(0.0));
+            if let Some(cal) = &snap.calibration {
+                let run = &cal.engine_run;
+                self.pending_samples.push(CalibrationSample {
+                    time_s: ctx.time_s,
+                    sweeps: run.sweeps,
+                    emd_solves: run.emd_solves,
+                    cache_hits: run.cache_hits,
+                    bound_pruned: run.bound_pruned,
+                    wall_us: run.wall_us,
+                    graph_action_nodes: cal.graph_action_nodes,
+                    bellman_sweeps: cal.bellman_sweeps,
+                    bellman_levels: cal.levels.len(),
+                    warm_started: cal.warm_started,
+                    staleness_s,
+                });
+            }
+            self.snapshot = snap;
+        }
+
+        // Request a calibration only when the cohort's published one is
+        // stale for *this* device's clock (or absent). Devices of a
+        // cohort share one calibration, so once any device has driven a
+        // solve, its cohort-mates find a fresh snapshot and stay
+        // silent — this is what caps pool work at O(cohorts) solves per
+        // interval instead of O(devices). The per-device cadence gate
+        // on top stops a pending (unpublished) request from being
+        // re-submitted every tick.
+        let snapshot_stale = match self.snapshot.calibration {
+            None => true,
+            Some(_) => ctx.time_s - self.snapshot.requested_at_s >= self.every_s,
+        };
+        if snapshot_stale
+            && self.profiler.observations() >= self.warmup_observations
+            && ctx.time_s - self.last_request_s >= self.every_s
+        {
+            self.pool
+                .submit(self.cohort, ctx.time_s, &self.profiler, self.compute_speed);
+            self.last_request_s = ctx.time_s;
+            if self.pending_since_s.is_none() {
+                self.pending_since_s = Some(ctx.time_s);
+            }
+        }
+
+        let calibration = self.snapshot.calibration.as_ref();
+        let pred = if self.engine.features().prediction {
+            predict_power_w(
+                &self.profiler,
+                calibration.map(|c| c.representative(ctx.state)),
+                ctx,
+            )
+        } else {
+            ctx.last_power_w
+        };
+        let q_pref = calibration.and_then(|c| c.q_preference(ctx.state));
+        self.engine.choose(ctx, pred, q_pref)
+    }
+
+    fn overhead_us(&self) -> f64 {
+        // Calibration runs off the tick path; the scheduler itself pays
+        // (approximately) nothing. The pool's wall time is reported
+        // through the calibration telemetry instead.
+        0.0
+    }
+
+    fn recalibrations(&self) -> u64 {
+        self.adoptions
+    }
+
+    fn drain_calibrations(&mut self) -> Vec<CalibrationSample> {
+        std::mem::take(&mut self.pending_samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use capman_device::fsm::Action;
+    use capman_device::states::DeviceState;
+
+    fn ctx(state: DeviceState, time_s: f64) -> DecisionContext<'static> {
+        DecisionContext {
+            time_s,
+            state,
+            actions: &[],
+            last_power_w: 0.8,
+            big_soc: 0.9,
+            little_soc: 0.9,
+            big_head: 0.9,
+            little_head: 0.9,
+            big_usable: true,
+            little_usable: true,
+            dual: true,
+            tec_on: false,
+            hotspot_c: 35.0,
+        }
+    }
+
+    fn warmed(policy: &mut PooledCapmanPolicy) {
+        let awake = DeviceState::awake();
+        let asleep = DeviceState::asleep();
+        for i in 0..40 {
+            let power = 1.0 + (i % 5) as f64 * 0.5;
+            policy.observe(&Observation {
+                time_s: i as f64,
+                prev_state: asleep,
+                action: Action::ScreenOn,
+                new_state: awake,
+                reward: 0.9,
+                power_w: power,
+            });
+            policy.observe(&Observation {
+                time_s: i as f64,
+                prev_state: awake,
+                action: Action::ScreenOff,
+                new_state: asleep,
+                reward: 0.9,
+                power_w: 0.2,
+            });
+        }
+    }
+
+    #[test]
+    fn ticks_do_not_block_and_eventually_adopt_a_snapshot() {
+        let pool = Arc::new(CalibrationPool::spawn(
+            &[CalibratorSpec::paper()],
+            PoolConfig::default(),
+        ));
+        let mut policy =
+            PooledCapmanPolicy::new(Arc::clone(&pool), 0, CalibratorSpec::paper(), 1.0);
+        warmed(&mut policy);
+        // First due tick submits; the decision itself returns instantly
+        // from the placeholder snapshot.
+        let _ = policy.decide(&ctx(DeviceState::awake(), 1200.0));
+        assert_eq!(policy.recalibrations(), 0, "not yet adopted");
+        pool.drain();
+        // Next tick observes the published calibration.
+        let _ = policy.decide(&ctx(DeviceState::awake(), 1203.0));
+        assert_eq!(policy.recalibrations(), 1);
+        let samples = policy.drain_calibrations();
+        assert_eq!(samples.len(), 1);
+        assert!(
+            (samples[0].staleness_s - 3.0).abs() < 1e-9,
+            "staleness measured from the device's request to first adoption"
+        );
+        assert_eq!(policy.overhead_us(), 0.0, "tick path pays no solve time");
+    }
+
+    #[test]
+    fn two_devices_share_one_cohort_calibration() {
+        let pool = Arc::new(CalibrationPool::spawn(
+            &[CalibratorSpec::paper()],
+            PoolConfig::default(),
+        ));
+        let mut a = PooledCapmanPolicy::new(Arc::clone(&pool), 0, CalibratorSpec::paper(), 1.0);
+        let mut b = PooledCapmanPolicy::new(Arc::clone(&pool), 0, CalibratorSpec::paper(), 1.0);
+        warmed(&mut a);
+        warmed(&mut b);
+        let _ = a.decide(&ctx(DeviceState::awake(), 1200.0));
+        let _ = b.decide(&ctx(DeviceState::awake(), 1200.0));
+        pool.drain();
+        let _ = a.decide(&ctx(DeviceState::awake(), 1201.0));
+        let _ = b.decide(&ctx(DeviceState::awake(), 1201.0));
+        let counters = pool.counters();
+        assert!(
+            counters.completed < counters.submitted,
+            "cohort coalescing must absorb at least one of the burst"
+        );
+        assert_eq!(a.seen_seq(), b.seen_seq(), "both read the same snapshot");
+    }
+}

@@ -1,0 +1,418 @@
+//! The asynchronous calibration pool.
+//!
+//! CAPMAN's calibration is a background activity (Section III-D): the
+//! scheduler keeps taking per-second decisions from the *last completed*
+//! calibration while the next one runs. The seed reproduced that by
+//! paying the calibration wall-time inline inside the device tick —
+//! faithful for one device, hopeless for a fleet: at 4k devices a
+//! calibration storm serialises every shard behind the slowest solve.
+//!
+//! The pool moves calibration off the tick path:
+//!
+//! * Devices *submit* calibration requests; workers execute them on
+//!   background threads against a per-cohort [`Calibrator`] that keeps
+//!   its warm-start state (prior value vector, EMD memo cache) across
+//!   runs, exactly like the inline calibrator does.
+//! * Completed calibrations are *published* through an
+//!   [`ArcSwap`]-backed snapshot slot per cohort. A device tick does one
+//!   lock-free-style `load_full` and always observes a complete,
+//!   immutable [`CalibrationSnapshot`] — never a torn or in-progress
+//!   one (see `vendor/arc-swap` for the protocol and its test).
+//! * Requests are *coalesced* per cohort: devices of a cohort are
+//!   seed-perturbed instances of one shared profile, so one calibration
+//!   serves all of them. While a cohort has a calibration in flight,
+//!   further submissions from its devices are counted and absorbed
+//!   instead of queued. This is where the fleet-scale win comes from —
+//!   O(cohorts) solves per calibration interval instead of O(devices).
+//! * The queue is bounded; when it overflows the submission is counted
+//!   as dropped rather than blocking the simulation tick. The fleet
+//!   smoke gate asserts this counter stays zero in CI.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use arc_swap::ArcSwap;
+use capman_core::online::{Calibration, Calibrator, CalibratorSpec};
+use capman_core::profiler::Profiler;
+
+/// A published calibration: what device ticks read.
+///
+/// Snapshots are immutable once published; the pool only ever swaps in
+/// a freshly allocated one. `seq` increases by one per publication per
+/// cohort, so a reader can detect "new calibration arrived" with one
+/// integer compare.
+#[derive(Debug, Clone)]
+pub struct CalibrationSnapshot {
+    /// Publication sequence number, per cohort, starting at 1 (the
+    /// pre-calibration placeholder is seq 0 with no calibration).
+    pub seq: u64,
+    /// Simulated time at which the request producing this snapshot was
+    /// submitted — staleness is measured against this.
+    pub requested_at_s: f64,
+    /// Wall-clock of the background solve, microseconds (raw, before
+    /// compute-speed normalisation).
+    pub wall_us: f64,
+    /// The calibration itself; `None` only in the seq-0 placeholder.
+    pub calibration: Option<Calibration>,
+}
+
+impl CalibrationSnapshot {
+    fn empty() -> Self {
+        CalibrationSnapshot {
+            seq: 0,
+            requested_at_s: 0.0,
+            wall_us: 0.0,
+            calibration: None,
+        }
+    }
+}
+
+/// Outcome of a [`CalibrationPool::submit`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The request was queued for a worker.
+    Enqueued,
+    /// The cohort already has a calibration in flight; this request was
+    /// absorbed by it.
+    Coalesced,
+    /// The queue was full; the request was discarded (the device keeps
+    /// using its current snapshot).
+    Dropped,
+}
+
+/// Pool sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Background worker threads.
+    pub workers: usize,
+    /// Bounded request-queue depth.
+    pub queue_depth: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 2,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Counter snapshot for reports and gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolCounters {
+    /// Total `submit` calls.
+    pub submitted: u64,
+    /// Requests actually handed to workers.
+    pub enqueued: u64,
+    /// Requests absorbed by an in-flight cohort calibration.
+    pub coalesced: u64,
+    /// Requests discarded because the queue was full.
+    pub dropped: u64,
+    /// Calibrations completed and published.
+    pub completed: u64,
+}
+
+struct Request {
+    cohort: usize,
+    now_s: f64,
+    profiler: Profiler,
+    compute_speed: f64,
+}
+
+struct CohortSlot {
+    snapshot: ArcSwap<CalibrationSnapshot>,
+    calibrator: Mutex<Calibrator>,
+    in_flight: AtomicBool,
+}
+
+struct Shared {
+    slots: Vec<CohortSlot>,
+    completed: AtomicU64,
+}
+
+/// Background calibration service shared by every shard of a fleet run.
+pub struct CalibrationPool {
+    shared: Arc<Shared>,
+    tx: Option<SyncSender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: AtomicU64,
+    enqueued: AtomicU64,
+    coalesced: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl CalibrationPool {
+    /// Spawn a pool with one calibrator slot per cohort spec.
+    pub fn spawn(specs: &[CalibratorSpec], config: PoolConfig) -> Self {
+        assert!(config.workers > 0, "pool needs at least one worker");
+        assert!(config.queue_depth > 0, "pool needs a queue");
+        let slots = specs
+            .iter()
+            .map(|spec| CohortSlot {
+                snapshot: ArcSwap::from_pointee(CalibrationSnapshot::empty()),
+                calibrator: Mutex::new(spec.build()),
+                in_flight: AtomicBool::new(false),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            slots,
+            completed: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || Self::worker(&shared, &rx))
+            })
+            .collect();
+        CalibrationPool {
+            shared,
+            tx: Some(tx),
+            workers,
+            submitted: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn worker(shared: &Shared, rx: &Mutex<Receiver<Request>>) {
+        loop {
+            // Hold the receiver lock only for the dequeue, not the solve.
+            let req = {
+                let rx = rx.lock().expect("pool receiver poisoned");
+                rx.recv()
+            };
+            let Ok(req) = req else {
+                return; // channel closed: pool is shutting down
+            };
+            let slot = &shared.slots[req.cohort];
+            let wall_us = {
+                let mut calibrator = slot.calibrator.lock().expect("calibrator poisoned");
+                calibrator.recalibrate(req.now_s, &req.profiler, req.compute_speed)
+            };
+            let calibration = {
+                let calibrator = slot.calibrator.lock().expect("calibrator poisoned");
+                calibrator.calibration().cloned()
+            };
+            let prev_seq = slot.snapshot.load_full().seq;
+            slot.snapshot.store(Arc::new(CalibrationSnapshot {
+                seq: prev_seq + 1,
+                requested_at_s: req.now_s,
+                wall_us,
+                calibration,
+            }));
+            // Publish before accounting: once `completed` covers this
+            // request, `drain` may return and readers must already see
+            // the snapshot.
+            shared.completed.fetch_add(1, Ordering::Release);
+            slot.in_flight.store(false, Ordering::Release);
+        }
+    }
+
+    /// Submit a calibration request for `cohort`, built from the
+    /// requesting device's learned `profiler`. Never blocks.
+    pub fn submit(
+        &self,
+        cohort: usize,
+        now_s: f64,
+        profiler: &Profiler,
+        compute_speed: f64,
+    ) -> SubmitOutcome {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.shared.slots[cohort];
+        if slot.in_flight.swap(true, Ordering::AcqRel) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::Coalesced;
+        }
+        let req = Request {
+            cohort,
+            now_s,
+            profiler: profiler.clone(),
+            compute_speed,
+        };
+        match self
+            .tx
+            .as_ref()
+            .expect("pool already shut down")
+            .try_send(req)
+        {
+            Ok(()) => {
+                self.enqueued.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Enqueued
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                slot.in_flight.store(false, Ordering::Release);
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Dropped
+            }
+        }
+    }
+
+    /// The latest published snapshot of a cohort. Never blocks on an
+    /// in-progress publication; always a complete snapshot.
+    pub fn snapshot(&self, cohort: usize) -> Arc<CalibrationSnapshot> {
+        self.shared.slots[cohort].snapshot.load_full()
+    }
+
+    /// Block until every enqueued request has been completed and
+    /// published. Used at end-of-run so reports see final state.
+    pub fn drain(&self) {
+        loop {
+            let enqueued = self.enqueued.load(Ordering::Acquire);
+            let completed = self.shared.completed.load(Ordering::Acquire);
+            if completed >= enqueued {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Acquire),
+        }
+    }
+
+    /// Number of cohort slots.
+    pub fn cohorts(&self) -> usize {
+        self.shared.slots.len()
+    }
+}
+
+impl Drop for CalibrationPool {
+    fn drop(&mut self) {
+        // Close the queue so workers exit their recv loop, then join.
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capman_core::profiler::Profiler;
+    use capman_device::fsm::Action;
+    use capman_device::states::DeviceState;
+
+    /// A profiler warmed past the calibrator's observation threshold.
+    fn warm_profiler() -> Profiler {
+        let mut profiler = Profiler::new();
+        let awake = DeviceState::awake();
+        let asleep = DeviceState::asleep();
+        for i in 0..40 {
+            let power = 1.0 + (i % 5) as f64 * 0.5;
+            profiler.observe(asleep, Action::ScreenOn, awake, 0.9, power);
+            profiler.observe(awake, Action::TimerTick, awake, 0.9, power);
+            profiler.observe(awake, Action::ScreenOff, asleep, 0.9, 0.2);
+        }
+        profiler
+    }
+
+    #[test]
+    fn placeholder_snapshot_has_no_calibration() {
+        let pool = CalibrationPool::spawn(&[CalibratorSpec::paper()], PoolConfig::default());
+        let snap = pool.snapshot(0);
+        assert_eq!(snap.seq, 0);
+        assert!(snap.calibration.is_none());
+    }
+
+    #[test]
+    fn submit_publishes_a_complete_snapshot() {
+        let pool = CalibrationPool::spawn(&[CalibratorSpec::paper()], PoolConfig::default());
+        let profiler = warm_profiler();
+        assert_eq!(
+            pool.submit(0, 1200.0, &profiler, 1.0),
+            SubmitOutcome::Enqueued
+        );
+        pool.drain();
+        let snap = pool.snapshot(0);
+        assert_eq!(snap.seq, 1);
+        assert!(snap.calibration.is_some(), "published snapshot is complete");
+        assert!(snap.wall_us > 0.0);
+        assert_eq!(snap.requested_at_s, 1200.0);
+        let c = pool.counters();
+        assert_eq!(c.submitted, 1);
+        assert_eq!(c.enqueued, 1);
+        assert_eq!(c.completed, 1);
+        assert_eq!(c.dropped, 0);
+    }
+
+    #[test]
+    fn cohort_requests_coalesce_while_in_flight() {
+        let pool = CalibrationPool::spawn(&[CalibratorSpec::paper()], PoolConfig::default());
+        let profiler = warm_profiler();
+        // First submission wins the in-flight flag; a burst of follow-ups
+        // from the rest of the cohort is absorbed, not queued.
+        let first = pool.submit(0, 1200.0, &profiler, 1.0);
+        assert_eq!(first, SubmitOutcome::Enqueued);
+        let mut coalesced = 0;
+        for _ in 0..64 {
+            if pool.submit(0, 1200.0, &profiler, 1.0) == SubmitOutcome::Coalesced {
+                coalesced += 1;
+            }
+        }
+        assert!(
+            coalesced > 0,
+            "burst must coalesce against the in-flight run"
+        );
+        pool.drain();
+        let c = pool.counters();
+        assert_eq!(c.submitted, 65);
+        assert_eq!(c.enqueued + c.coalesced + c.dropped, c.submitted);
+        assert_eq!(c.completed, c.enqueued, "drain waits for all enqueued work");
+        // After drain the flag is clear: the next request enqueues again.
+        assert_eq!(
+            pool.submit(0, 2400.0, &profiler, 1.0),
+            SubmitOutcome::Enqueued
+        );
+        pool.drain();
+        assert!(pool.snapshot(0).seq >= 2);
+    }
+
+    #[test]
+    fn sequence_numbers_increase_monotonically_per_cohort() {
+        let pool = CalibrationPool::spawn(
+            &[CalibratorSpec::paper(), CalibratorSpec::paper()],
+            PoolConfig::default(),
+        );
+        let profiler = warm_profiler();
+        for round in 0..3u64 {
+            for cohort in 0..2 {
+                pool.submit(cohort, 1200.0 * (round + 1) as f64, &profiler, 1.0);
+            }
+            pool.drain();
+        }
+        for cohort in 0..2 {
+            assert_eq!(pool.snapshot(cohort).seq, 3);
+        }
+    }
+
+    #[test]
+    fn warm_start_survives_across_pool_calibrations() {
+        let pool = CalibrationPool::spawn(&[CalibratorSpec::paper()], PoolConfig::default());
+        let profiler = warm_profiler();
+        pool.submit(0, 1200.0, &profiler, 1.0);
+        pool.drain();
+        pool.submit(0, 2400.0, &profiler, 1.0);
+        pool.drain();
+        let snap = pool.snapshot(0);
+        let calibration = snap.calibration.as_ref().expect("calibrated");
+        assert!(
+            calibration.warm_started,
+            "second calibration must reuse the first's fixed point"
+        );
+    }
+}

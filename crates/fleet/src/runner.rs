@@ -1,0 +1,434 @@
+//! The sharded fleet runner.
+//!
+//! [`FleetRunner`] carries every device of a [`Fleet`] through its full
+//! discharge cycle, dealing devices across cores in cache-sized batches
+//! (shards). Each shard worker writes its [`DeviceSummary`] results
+//! into disjoint output slots, so the summary vector follows fleet
+//! order — device `i`'s summary is at index `i` whatever the schedule —
+//! and with inline (synchronous) calibration the parallel run is
+//! bit-identical to a serial pass over the same fleet.
+//!
+//! With [`CalibrationMode::Pool`], CAPMAN cohorts delegate calibration
+//! to a shared [`CalibrationPool`]: ticks never block on a solve, one
+//! background calibration serves a whole cohort, and the per-device
+//! staleness this introduces is measured and folded into the fleet
+//! aggregate's percentile sketches.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use capman_core::capman::CapmanPolicy;
+use capman_core::experiments::{build_pack, build_policy, PolicyKind};
+use capman_core::metrics::Outcome;
+use capman_core::policy::Policy;
+use capman_core::sim::Simulator;
+use capman_core::telemetry::ShardThroughput;
+use rayon::prelude::*;
+
+use crate::policy::PooledCapmanPolicy;
+use crate::pool::{CalibrationPool, PoolConfig, PoolCounters};
+use crate::profile::{DeviceSpec, Fleet};
+use crate::sketch::QuantileSketch;
+
+/// How CAPMAN cohorts calibrate during a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationMode {
+    /// Each device owns a calibrator and pays the solve inline on the
+    /// tick that triggers it (the single-device seed behaviour).
+    Inline,
+    /// Devices submit to a shared background pool and read published
+    /// snapshots; ticks never block (see [`crate::pool`]).
+    Pool,
+}
+
+/// Fleet-run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Calibration execution mode.
+    pub mode: CalibrationMode,
+    /// Devices per shard (rayon work unit). Sized so one shard's hot
+    /// state stays cache-resident; 64 is a good default.
+    pub batch: usize,
+    /// Pool sizing (ignored in [`CalibrationMode::Inline`]).
+    pub pool: PoolConfig,
+    /// Deal shards across cores (`false`: one serial pass, the
+    /// determinism reference).
+    pub parallel: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            mode: CalibrationMode::Inline,
+            batch: 64,
+            pool: PoolConfig::default(),
+            parallel: true,
+        }
+    }
+}
+
+/// Per-device result, reduced from the full [`Outcome`] to what fleet
+/// reports need. `PartialEq` compares exactly (f64 bit semantics via
+/// `==`), which is what the sharded-vs-serial determinism contract is
+/// stated in terms of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSummary {
+    /// Fleet-unique device id.
+    pub device_id: u64,
+    /// Cohort index.
+    pub cohort: usize,
+    /// Seconds until the discharge cycle ended.
+    pub service_time_s: f64,
+    /// Work served, utilisation-seconds.
+    pub work_served: f64,
+    /// Energy delivered to the load, joules.
+    pub energy_delivered_j: f64,
+    /// Peak hot-spot temperature, degC.
+    pub max_hotspot_c: f64,
+    /// Battery switches performed.
+    pub switches: u64,
+    /// Scheduling ticks executed (telemetry samples).
+    pub ticks: u64,
+    /// Calibrations this device adopted (pool) or ran (inline).
+    pub recalibrations: u64,
+    /// Largest calibration staleness observed, simulated seconds.
+    pub max_staleness_s: f64,
+}
+
+impl DeviceSummary {
+    fn from_outcome(spec: &DeviceSpec, outcome: &Outcome) -> Self {
+        DeviceSummary {
+            device_id: spec.device_id,
+            cohort: spec.cohort,
+            service_time_s: outcome.service_time_s,
+            work_served: outcome.work_served,
+            energy_delivered_j: outcome.energy_delivered_j,
+            max_hotspot_c: outcome.max_hotspot_c,
+            switches: outcome.switches,
+            ticks: outcome.telemetry.len() as u64,
+            recalibrations: outcome.recalibrations,
+            max_staleness_s: outcome.telemetry.max_calibration_staleness_s(),
+        }
+    }
+}
+
+/// Fleet-level aggregation: streaming percentile sketches over the
+/// per-device summaries plus run-wide counters.
+#[derive(Debug, Clone)]
+pub struct FleetAggregate {
+    /// Devices simulated.
+    pub devices: u64,
+    /// Total scheduling ticks across the fleet.
+    pub ticks: u64,
+    /// Total calibrations adopted/ran across the fleet.
+    pub recalibrations: u64,
+    /// Battery lifetime (service time) distribution, seconds.
+    pub lifetime_s: QuantileSketch,
+    /// Peak hot-spot temperature distribution, degC.
+    pub hotspot_c: QuantileSketch,
+    /// Per-device max calibration-staleness distribution, seconds.
+    pub staleness_s: QuantileSketch,
+    /// Pool counters (all-zero in inline mode).
+    pub pool: PoolCounters,
+    /// Per-shard throughput counters.
+    pub shards: Vec<ShardThroughput>,
+    /// Wall-clock of the whole run, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl FleetAggregate {
+    /// Devices per wall-clock second over the whole run.
+    pub fn devices_per_s(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.devices as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// A completed fleet run: summaries in fleet order plus the aggregate.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Per-device summaries; index `i` is device `i` of the fleet.
+    pub summaries: Vec<DeviceSummary>,
+    /// Fleet-level aggregation.
+    pub aggregate: FleetAggregate,
+}
+
+/// Runs fleets to completion under a [`FleetConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetRunner {
+    config: FleetConfig,
+}
+
+impl FleetRunner {
+    /// A runner with the given configuration.
+    pub fn new(config: FleetConfig) -> Self {
+        FleetRunner { config }
+    }
+
+    /// The configuration this runner applies.
+    pub fn config(&self) -> FleetConfig {
+        self.config
+    }
+
+    /// Simulate every device of the fleet and aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet is empty or the batch size is zero.
+    pub fn run(&self, fleet: &Fleet) -> FleetResult {
+        assert!(!fleet.is_empty(), "cannot run an empty fleet");
+        assert!(self.config.batch > 0, "batch size must be positive");
+        let t0 = Instant::now();
+        let pool = match self.config.mode {
+            CalibrationMode::Inline => None,
+            CalibrationMode::Pool => {
+                let specs: Vec<_> = fleet.profiles.iter().map(|p| p.calibrator).collect();
+                Some(Arc::new(CalibrationPool::spawn(&specs, self.config.pool)))
+            }
+        };
+
+        let batch = self.config.batch;
+        let summaries: Vec<DeviceSummary>;
+        let mut shards: Vec<ShardThroughput>;
+        if self.config.parallel {
+            let mut slots: Vec<Option<DeviceSummary>> =
+                fleet.devices.iter().map(|_| None).collect();
+            let shard_stats: Mutex<Vec<ShardThroughput>> = Mutex::new(Vec::new());
+            slots
+                .par_chunks_mut(batch)
+                .enumerate()
+                .for_each(|shard, chunk| {
+                    let t_shard = Instant::now();
+                    let start = shard * batch;
+                    let mut ticks = 0u64;
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let spec = &fleet.devices[start + offset];
+                        let summary = run_device(fleet, spec, pool.as_ref());
+                        ticks += summary.ticks;
+                        *slot = Some(summary);
+                    }
+                    shard_stats
+                        .lock()
+                        .expect("shard stats poisoned")
+                        .push(ShardThroughput {
+                            shard,
+                            devices: chunk.len() as u64,
+                            ticks,
+                            wall_ms: t_shard.elapsed().as_secs_f64() * 1e3,
+                        });
+                });
+            summaries = slots
+                .into_iter()
+                .map(|s| s.expect("every device slot is filled exactly once"))
+                .collect();
+            shards = shard_stats.into_inner().expect("shard stats poisoned");
+            shards.sort_by_key(|s| s.shard);
+        } else {
+            let t_shard = Instant::now();
+            summaries = fleet
+                .devices
+                .iter()
+                .map(|spec| run_device(fleet, spec, pool.as_ref()))
+                .collect();
+            shards = vec![ShardThroughput {
+                shard: 0,
+                devices: summaries.len() as u64,
+                ticks: summaries.iter().map(|s| s.ticks).sum(),
+                wall_ms: t_shard.elapsed().as_secs_f64() * 1e3,
+            }];
+        }
+
+        let pool_counters = match &pool {
+            Some(pool) => {
+                pool.drain();
+                pool.counters()
+            }
+            None => PoolCounters::default(),
+        };
+        let aggregate = aggregate(fleet, &summaries, pool_counters, shards, t0);
+        FleetResult {
+            summaries,
+            aggregate,
+        }
+    }
+}
+
+/// Simulate one device to completion.
+fn run_device(
+    fleet: &Fleet,
+    spec: &DeviceSpec,
+    pool: Option<&Arc<CalibrationPool>>,
+) -> DeviceSummary {
+    let profile = &fleet.profiles[spec.cohort];
+    let trace = profile.trace(spec);
+    let config = profile.device_config(spec);
+    let pack = build_pack(profile.kind);
+    let policy: Box<dyn Policy> = match (profile.kind, pool) {
+        (PolicyKind::Capman, Some(pool)) => Box::new(PooledCapmanPolicy::new(
+            Arc::clone(pool),
+            spec.cohort,
+            profile.calibrator,
+            profile.phone.compute_speed,
+        )),
+        (PolicyKind::Capman, None) => Box::new(CapmanPolicy::with_calibrator(
+            profile.phone.compute_speed,
+            profile.calibrator.build(),
+        )),
+        _ => build_policy(profile.kind, &trace, &profile.phone),
+    };
+    let outcome = Simulator::new(profile.phone.clone(), trace, pack, policy, config).run();
+    DeviceSummary::from_outcome(spec, &outcome)
+}
+
+/// Fold per-device summaries into the fleet aggregate. Runs serially in
+/// fleet order over already-reduced summaries, so it is deterministic
+/// regardless of how the shards were scheduled.
+fn aggregate(
+    fleet: &Fleet,
+    summaries: &[DeviceSummary],
+    pool: PoolCounters,
+    shards: Vec<ShardThroughput>,
+    t0: Instant,
+) -> FleetAggregate {
+    let horizon = fleet
+        .profiles
+        .iter()
+        .map(|p| p.config.max_horizon_s)
+        .fold(1.0, f64::max);
+    let mut lifetime_s = QuantileSketch::new(0.0, horizon, 2048);
+    let mut hotspot_c = QuantileSketch::new(15.0, 90.0, 750);
+    let mut staleness_s = QuantileSketch::new(0.0, 120.0, 1200);
+    let mut ticks = 0u64;
+    let mut recalibrations = 0u64;
+    for s in summaries {
+        lifetime_s.insert(s.service_time_s);
+        hotspot_c.insert(s.max_hotspot_c);
+        staleness_s.insert(s.max_staleness_s);
+        ticks += s.ticks;
+        recalibrations += s.recalibrations;
+    }
+    FleetAggregate {
+        devices: summaries.len() as u64,
+        ticks,
+        recalibrations,
+        lifetime_s,
+        hotspot_c,
+        staleness_s,
+        pool,
+        shards,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::FleetProfile;
+    use capman_workload::WorkloadKind;
+
+    /// A small, short-horizon fleet that still crosses the calibration
+    /// interval at least once for CAPMAN cohorts.
+    fn tiny_fleet(devices_per_profile: usize) -> Fleet {
+        let mut capman = FleetProfile::capman("video", WorkloadKind::Video, 21);
+        capman.config.max_horizon_s = 1500.0;
+        capman.calibrator.every_s = 600.0;
+        let mut dual = FleetProfile::capman("pcmark-dual", WorkloadKind::Pcmark, 22);
+        dual.kind = PolicyKind::Dual;
+        dual.config.max_horizon_s = 1500.0;
+        dual.config.tec_enabled = false;
+        Fleet::build(vec![capman, dual], devices_per_profile)
+    }
+
+    #[test]
+    fn sharded_parallel_run_is_bit_identical_to_serial() {
+        let fleet = tiny_fleet(3);
+        let serial = FleetRunner::new(FleetConfig {
+            parallel: false,
+            ..FleetConfig::default()
+        })
+        .run(&fleet);
+        let parallel = FleetRunner::new(FleetConfig {
+            parallel: true,
+            batch: 2,
+            ..FleetConfig::default()
+        })
+        .run(&fleet);
+        assert_eq!(serial.summaries, parallel.summaries);
+    }
+
+    #[test]
+    fn summaries_follow_fleet_order() {
+        let fleet = tiny_fleet(2);
+        let result = FleetRunner::new(FleetConfig {
+            batch: 3,
+            ..FleetConfig::default()
+        })
+        .run(&fleet);
+        assert_eq!(result.summaries.len(), fleet.len());
+        for (spec, summary) in fleet.devices.iter().zip(&result.summaries) {
+            assert_eq!(spec.device_id, summary.device_id);
+            assert_eq!(spec.cohort, summary.cohort);
+        }
+    }
+
+    #[test]
+    fn pool_mode_completes_with_no_dropped_calibrations() {
+        let fleet = tiny_fleet(2);
+        let result = FleetRunner::new(FleetConfig {
+            mode: CalibrationMode::Pool,
+            batch: 2,
+            ..FleetConfig::default()
+        })
+        .run(&fleet);
+        let agg = &result.aggregate;
+        assert_eq!(agg.devices as usize, fleet.len());
+        assert_eq!(agg.pool.dropped, 0, "bounded queue must not overflow here");
+        assert_eq!(
+            agg.pool.completed, agg.pool.enqueued,
+            "drain waits out the queue"
+        );
+        assert!(
+            agg.pool.submitted >= agg.pool.enqueued,
+            "coalescing cannot invent requests"
+        );
+        // CAPMAN devices adopted at least one pooled calibration.
+        let adopted: u64 = result
+            .summaries
+            .iter()
+            .filter(|s| s.cohort == 0)
+            .map(|s| s.recalibrations)
+            .sum();
+        assert!(adopted > 0, "pooled calibrations must reach the devices");
+    }
+
+    #[test]
+    fn pool_mode_loses_no_ticks_against_inline() {
+        let fleet = tiny_fleet(2);
+        let inline = FleetRunner::new(FleetConfig::default()).run(&fleet);
+        let pooled = FleetRunner::new(FleetConfig {
+            mode: CalibrationMode::Pool,
+            ..FleetConfig::default()
+        })
+        .run(&fleet);
+        // Calibration execution mode must not change how long devices
+        // tick: same devices, same tick counts.
+        let ticks = |r: &FleetResult| r.summaries.iter().map(|s| s.ticks).collect::<Vec<_>>();
+        assert_eq!(ticks(&inline), ticks(&pooled));
+    }
+
+    #[test]
+    fn aggregate_sketches_cover_every_device() {
+        let fleet = tiny_fleet(2);
+        let result = FleetRunner::new(FleetConfig::default()).run(&fleet);
+        let agg = &result.aggregate;
+        assert_eq!(agg.lifetime_s.count(), agg.devices);
+        assert_eq!(agg.hotspot_c.count(), agg.devices);
+        assert!(agg.lifetime_s.p50() > 0.0);
+        let shard_devices: u64 = agg.shards.iter().map(|s| s.devices).sum();
+        assert_eq!(shard_devices, agg.devices);
+        let shard_ticks: u64 = agg.shards.iter().map(|s| s.ticks).sum();
+        assert_eq!(shard_ticks, agg.ticks);
+    }
+}

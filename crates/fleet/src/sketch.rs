@@ -1,0 +1,216 @@
+//! Deterministic streaming quantile sketches for fleet aggregation.
+//!
+//! At fleet scale we cannot afford to keep every per-device sample
+//! around just to report p50/p95/p99 at the end, and we must not let
+//! the aggregate depend on the order shards finish in. A
+//! [`QuantileSketch`] is a fixed-range, fixed-bin histogram: insertion
+//! is O(1), memory is constant, and merging two sketches is a bin-wise
+//! add — commutative and associative, so sharded parallel aggregation
+//! produces bit-identical results to a serial pass regardless of shard
+//! scheduling.
+//!
+//! The price is bounded resolution: a quantile is reported as the upper
+//! edge of the bin holding it, i.e. within `(hi - lo) / bins` of the
+//! exact order statistic. That is ample for the fleet report (hotspot
+//! temperatures to ~0.1 degC, lifetimes to a few seconds, staleness to
+//! fractions of a second).
+
+/// A fixed-range streaming histogram answering quantile queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    /// A sketch covering `[lo, hi]` with `bins` equal-width bins.
+    /// Samples outside the range clamp into the edge bins (and are
+    /// still reflected exactly in [`min`](Self::min) / [`max`](Self::max)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "sketch needs at least one bin");
+        assert!(hi > lo, "sketch range must be non-empty");
+        QuantileSketch {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample. Non-finite samples are ignored.
+    pub fn insert(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another sketch of the same geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches have different ranges or bin counts.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(self.lo, other.lo, "sketch geometries must match");
+        assert_eq!(self.hi, other.hi, "sketch geometries must match");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bin counts must match"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the upper edge of the bin
+    /// holding that order statistic, clamped to the observed extremes.
+    /// Returns 0.0 for an empty sketch (mirrors the telemetry rule that
+    /// empty aggregates read as zero, not NaN).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the order statistic we are after, 1-based.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let width = (self.hi - self.lo) / self.counts.len() as f64;
+                let edge = self.lo + width * (idx as f64 + 1.0);
+                return edge.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile shorthand.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_reads_zero_everywhere() {
+        let s = QuantileSketch::new(0.0, 100.0, 64);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_ramp() {
+        let mut s = QuantileSketch::new(0.0, 100.0, 1000);
+        for i in 0..10_000 {
+            s.insert(i as f64 / 100.0);
+        }
+        let width = 100.0 / 1000.0;
+        assert!((s.p50() - 50.0).abs() <= width + 1e-9, "p50 = {}", s.p50());
+        assert!((s.p95() - 95.0).abs() <= width + 1e-9, "p95 = {}", s.p95());
+        assert!((s.p99() - 99.0).abs() <= width + 1e-9, "p99 = {}", s.p99());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let samples: Vec<f64> = (0..500).map(|i| (i as f64 * 37.0) % 80.0).collect();
+        let mut serial = QuantileSketch::new(0.0, 80.0, 128);
+        for &x in &samples {
+            serial.insert(x);
+        }
+        // Two shard orders.
+        let mut a1 = QuantileSketch::new(0.0, 80.0, 128);
+        let mut a2 = QuantileSketch::new(0.0, 80.0, 128);
+        for (i, &x) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                a1.insert(x);
+            } else {
+                a2.insert(x);
+            }
+        }
+        let mut merged_fwd = a1.clone();
+        merged_fwd.merge(&a2);
+        let mut merged_rev = a2.clone();
+        merged_rev.merge(&a1);
+        assert_eq!(merged_fwd, serial);
+        assert_eq!(merged_rev, serial);
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_but_extremes_stay_exact() {
+        let mut s = QuantileSketch::new(0.0, 10.0, 10);
+        s.insert(-5.0);
+        s.insert(25.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.min(), -5.0);
+        assert_eq!(s.max(), 25.0);
+        assert!(s.quantile(1.0) <= 25.0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut s = QuantileSketch::new(0.0, 1.0, 4);
+        s.insert(f64::NAN);
+        s.insert(f64::INFINITY);
+        assert_eq!(s.count(), 0);
+    }
+}

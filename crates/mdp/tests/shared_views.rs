@@ -1,0 +1,25 @@
+//! The fleet's sharing contract over solver artefacts.
+//!
+//! A fleet run hands the *same* solved artefacts to many threads at
+//! once: calibration pool workers publish `Solution`s and
+//! `Abstraction`s behind snapshot swaps, and every shard reads them
+//! concurrently while ticking devices. That only stays safe as long as
+//! the solver's read-only views are `Send + Sync` — a regression here
+//! (say an `Rc` or a raw-pointer cache sneaking into `Solution`) would
+//! surface as a distant, confusing compile error inside the fleet
+//! crate. These assertions pin the contract where it belongs.
+
+use capman_mdp::abstraction::Abstraction;
+use capman_mdp::{Mdp, MdpGraph, SimilarityResult, Solution, SquareMatrix};
+
+fn assert_shared_view<T: Send + Sync + 'static>() {}
+
+#[test]
+fn solver_artefacts_are_shareable_across_shards() {
+    assert_shared_view::<Solution>();
+    assert_shared_view::<Abstraction>();
+    assert_shared_view::<SimilarityResult>();
+    assert_shared_view::<SquareMatrix>();
+    assert_shared_view::<Mdp>();
+    assert_shared_view::<MdpGraph>();
+}

@@ -32,9 +32,11 @@
 
 pub mod generators;
 pub mod io;
+pub mod perturb;
 pub mod stats;
 pub mod trace;
 pub mod zipf;
 
 pub use generators::{generate, WorkloadKind};
+pub use perturb::{generate_perturbed, Perturbation};
 pub use trace::{Segment, Trace};

@@ -1,0 +1,149 @@
+//! Per-device perturbation of a generated trace.
+//!
+//! A fleet simulation drives thousands of devices from a handful of
+//! shared workload profiles ("Characterizing Smartphone Power Management
+//! in the Wild" motivates populations of realistic per-device traces
+//! rather than one canonical trace per workload). A [`Perturbation`] is
+//! the deterministic, seed-derived per-device variation applied on top
+//! of a shared profile: the trace keeps its segment structure and action
+//! timeline (the system-call signals CAPMAN's profiler learns from) while
+//! the component demand is scaled to model device-to-device spread in
+//! installed apps, screen time and radio conditions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generators::{generate, WorkloadKind};
+use crate::trace::{Segment, Trace};
+
+/// A deterministic per-device demand perturbation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    /// Multiplier on CPU utilisation (clamped back to `0..=100`).
+    pub cpu_scale: f64,
+    /// Multiplier on the WiFi packet rate.
+    pub packet_scale: f64,
+}
+
+impl Perturbation {
+    /// The no-op perturbation (`apply` returns the trace unchanged).
+    pub fn identity() -> Self {
+        Perturbation {
+            cpu_scale: 1.0,
+            packet_scale: 1.0,
+        }
+    }
+
+    /// A perturbation drawn from `seed`: both scales uniform in
+    /// `[1 - jitter, 1 + jitter]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is not in `[0, 1)`.
+    pub fn sampled(seed: u64, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        if jitter == 0.0 {
+            return Perturbation::identity();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        Perturbation {
+            cpu_scale: rng.gen_range(1.0 - jitter..=1.0 + jitter),
+            packet_scale: rng.gen_range(1.0 - jitter..=1.0 + jitter),
+        }
+    }
+
+    /// Whether applying this perturbation changes anything.
+    pub fn is_identity(&self) -> bool {
+        self.cpu_scale == 1.0 && self.packet_scale == 1.0
+    }
+
+    /// The perturbed copy of `trace`: same segments, same boundary
+    /// actions, scaled demand.
+    pub fn apply(&self, trace: &Trace) -> Trace {
+        if self.is_identity() {
+            return trace.clone();
+        }
+        let segments = trace
+            .segments()
+            .iter()
+            .map(|seg| {
+                let mut demand = seg.demand;
+                demand.cpu_util = (demand.cpu_util * self.cpu_scale).clamp(0.0, 100.0);
+                demand.packet_rate = (demand.packet_rate * self.packet_scale).max(0.0);
+                Segment {
+                    start_s: seg.start_s,
+                    duration_s: seg.duration_s,
+                    demand,
+                    actions: seg.actions.clone(),
+                }
+            })
+            .collect();
+        Trace::new(trace.name().to_string(), segments)
+    }
+}
+
+/// Generate a workload trace and apply a per-device perturbation — the
+/// fleet's device-instantiation path.
+pub fn generate_perturbed(
+    kind: WorkloadKind,
+    horizon_s: f64,
+    seed: u64,
+    perturbation: Perturbation,
+) -> Trace {
+    perturbation.apply(&generate(kind, horizon_s, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_a_bitwise_no_op() {
+        let trace = generate(WorkloadKind::Pcmark, 1200.0, 7);
+        let same = Perturbation::identity().apply(&trace);
+        assert_eq!(trace, same);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_seed() {
+        let a = Perturbation::sampled(99, 0.2);
+        let b = Perturbation::sampled(99, 0.2);
+        let c = Perturbation::sampled(100, 0.2);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should perturb differently");
+        assert!((1.0 - 0.2..=1.0 + 0.2).contains(&a.cpu_scale));
+        assert!((1.0 - 0.2..=1.0 + 0.2).contains(&a.packet_scale));
+    }
+
+    #[test]
+    fn zero_jitter_is_the_identity() {
+        assert!(Perturbation::sampled(4, 0.0).is_identity());
+    }
+
+    #[test]
+    fn demand_scales_but_structure_survives() {
+        let trace = generate(WorkloadKind::Video, 1800.0, 3);
+        let scaled = Perturbation {
+            cpu_scale: 1.5,
+            packet_scale: 0.5,
+        }
+        .apply(&trace);
+        assert_eq!(trace.segments().len(), scaled.segments().len());
+        for (a, b) in trace.segments().iter().zip(scaled.segments()) {
+            assert_eq!(a.start_s, b.start_s);
+            assert_eq!(a.duration_s, b.duration_s);
+            assert_eq!(a.actions, b.actions, "action timeline must survive");
+            assert!(b.demand.cpu_util <= 100.0, "utilisation stays clamped");
+            if a.demand.cpu_util > 0.0 && a.demand.cpu_util * 1.5 <= 100.0 {
+                assert!((b.demand.cpu_util - a.demand.cpu_util * 1.5).abs() < 1e-9);
+            }
+            assert!((b.demand.packet_rate - a.demand.packet_rate * 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn rejects_out_of_range_jitter() {
+        let _ = Perturbation::sampled(1, 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `arc-swap` crate.
+//!
+//! Implements the subset of the arc-swap 1.x surface the fleet
+//! simulation service uses — [`ArcSwap::load_full`], [`ArcSwap::store`]
+//! and [`ArcSwap::swap`] — without `unsafe` code (the workspace forbids
+//! it), so the real crate can be dropped back in as a manifest-only
+//! change.
+//!
+//! # Protocol
+//!
+//! The real crate juggles raw pointers with hazard-pointer-style debt
+//! tracking. This stand-in gets the same *observable* contract — a
+//! reader always obtains a fully constructed `Arc<T>` snapshot, never a
+//! torn or partially written one, and never waits on a writer's
+//! in-progress publication — from a slot ring:
+//!
+//! * `SLOTS` mutex-guarded cells each hold one complete `Arc<T>`.
+//! * An atomic `current` index names the latest *published* slot.
+//! * A writer serialises on `writer`, builds the new `Arc<T>` fully,
+//!   installs it into a slot **different** from `current` (so no reader
+//!   is directed at the cell being written), and only then publishes the
+//!   new index with a release store.
+//!
+//! A reader loads `current` (acquire), locks that slot for the duration
+//! of one `Arc::clone`, and returns. The slot a reader locks is never
+//! the slot a writer is concurrently filling — a reader can only
+//! contend with a writer if it slept between loading `current` and
+//! locking the slot for `SLOTS - 1` intervening publications, and even
+//! then it merely waits for one complete store and reads a complete
+//! (older or newer) snapshot. Torn reads are impossible by
+//! construction: slot contents are only ever replaced wholesale under
+//! the slot lock, and the index is only advanced after the store
+//! completes (release/acquire pairing makes the written `Arc` visible
+//! before the index naming it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Slots in the publication ring. Two would be correct; a few more keep
+/// the pathological reader-sleeps-across-many-publications case from
+/// ever colliding with the write path in practice.
+const SLOTS: usize = 4;
+
+/// An `Arc<T>` that can be atomically replaced while readers
+/// concurrently take complete snapshots of the latest published value.
+#[derive(Debug)]
+pub struct ArcSwap<T> {
+    slots: [Mutex<Arc<T>>; SLOTS],
+    /// Index of the latest published slot.
+    current: AtomicUsize,
+    /// Serialises writers; holds nothing — the lock *is* the token.
+    writer: Mutex<()>,
+}
+
+impl<T> ArcSwap<T> {
+    /// A swap cell publishing `initial`.
+    pub fn new(initial: Arc<T>) -> Self {
+        ArcSwap {
+            slots: std::array::from_fn(|_| Mutex::new(Arc::clone(&initial))),
+            current: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// A swap cell publishing `Arc::new(value)` (mirrors
+    /// `arc_swap::ArcSwap::from_pointee`).
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// A complete snapshot of the latest published value.
+    ///
+    /// Never blocks on a writer's in-progress publication; the returned
+    /// `Arc` is always one that a writer finished installing.
+    pub fn load_full(&self) -> Arc<T> {
+        let idx = self.current.load(Ordering::Acquire);
+        let slot = self.slots[idx]
+            .lock()
+            .expect("arc-swap stand-in: slot lock poisoned");
+        Arc::clone(&slot)
+    }
+
+    /// Publish `new` as the latest value.
+    pub fn store(&self, new: Arc<T>) {
+        let _ = self.swap(new);
+    }
+
+    /// Publish `new`, returning the previously published value.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let _token = self
+            .writer
+            .lock()
+            .expect("arc-swap stand-in: writer lock poisoned");
+        let published = self.current.load(Ordering::Relaxed);
+        let target = (published + 1) % SLOTS;
+        {
+            let mut slot = self.slots[target]
+                .lock()
+                .expect("arc-swap stand-in: slot lock poisoned");
+            *slot = new;
+        }
+        // The new value is fully installed; only now direct readers at it.
+        self.current.store(target, Ordering::Release);
+        let prev = self.slots[published]
+            .lock()
+            .expect("arc-swap stand-in: slot lock poisoned");
+        Arc::clone(&prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn load_returns_the_initial_value() {
+        let cell = ArcSwap::from_pointee(41);
+        assert_eq!(*cell.load_full(), 41);
+    }
+
+    #[test]
+    fn store_publishes_and_swap_returns_the_previous() {
+        let cell = ArcSwap::from_pointee(1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load_full(), 2);
+        let prev = cell.swap(Arc::new(3));
+        assert_eq!(*prev, 2);
+        assert_eq!(*cell.load_full(), 3);
+    }
+
+    /// A snapshot whose internal consistency is checkable: every word
+    /// equals `tag`, and the checksum ties them together. A torn read —
+    /// a reader observing a half-written snapshot — would surface as a
+    /// mixed payload or a checksum mismatch.
+    struct Consistent {
+        tag: u64,
+        payload: [u64; 64],
+        checksum: u64,
+    }
+
+    impl Consistent {
+        fn new(tag: u64) -> Self {
+            Consistent {
+                tag,
+                payload: [tag; 64],
+                checksum: tag.wrapping_mul(65),
+            }
+        }
+
+        fn verify(&self) {
+            let sum: u64 = self
+                .payload
+                .iter()
+                .fold(self.tag, |acc, &w| acc.wrapping_add(w));
+            assert_eq!(sum, self.checksum, "torn snapshot observed");
+            assert!(self.payload.iter().all(|&w| w == self.tag));
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_a_partial_snapshot() {
+        let cell = Arc::new(ArcSwap::from_pointee(Consistent::new(0)));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut last_tag = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = cell.load_full();
+                        snap.verify();
+                        // Publications are observed in order, never
+                        // rolled back.
+                        assert!(snap.tag >= last_tag, "snapshot went backwards");
+                        last_tag = snap.tag;
+                    }
+                });
+            }
+            for tag in 1..=2000 {
+                cell.store(Arc::new(Consistent::new(tag)));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(cell.load_full().tag, 2000);
+    }
+
+    #[test]
+    fn old_snapshots_stay_valid_after_further_publications() {
+        let cell = ArcSwap::from_pointee(Consistent::new(7));
+        let old = cell.load_full();
+        for tag in 8..20 {
+            cell.store(Arc::new(Consistent::new(tag)));
+        }
+        // The reader's Arc keeps the superseded snapshot alive and
+        // intact regardless of ring reuse.
+        old.verify();
+        assert_eq!(old.tag, 7);
+        assert_eq!(cell.load_full().tag, 19);
+    }
+}
