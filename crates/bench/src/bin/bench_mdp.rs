@@ -158,6 +158,14 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_mdp.json")
         .to_string();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let trace_out = flag("--trace-out");
+    let metrics_out = flag("--metrics-out");
 
     let (solver_sizes, sim_sizes, reps): (&[usize], &[usize], usize) = if quick {
         (&[64, 128], &[32], 2)
@@ -223,4 +231,21 @@ fn main() {
 
     std::fs::write(&out_path, report.to_json()).expect("write BENCH_mdp.json");
     println!("\nwrote {out_path}");
+
+    // Observability exports (meaningful with --features obs; empty
+    // otherwise).
+    if let Some(path) = trace_out.as_deref() {
+        let drain = capman_obs::drain();
+        std::fs::write(path, capman_obs::export::chrome_trace(&drain))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path} ({} spans)", drain.records.len());
+    }
+    if let Some(path) = metrics_out.as_deref() {
+        std::fs::write(
+            path,
+            capman_obs::export::metrics_json(&capman_obs::snapshot()),
+        )
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
 }

@@ -11,14 +11,21 @@
 //! >30%), the gate exits non-zero and prints the offending rows.
 //!
 //! Gated metrics are the *serial* solver time (`csr_serial_ms`), the
-//! similarity engine time (`engine_ms`), and the fleet's pooled wall
-//! time (`pool_wall_ms`, keyed by device count). The parallel solver
-//! time is reported but not gated — its variance on shared CI runners
-//! (core stealing, migration) swamps a 30% threshold. Rows whose
-//! committed time is below the `--min-ms` floor are skipped too: at
-//! sub-floor durations the timer and allocator noise exceed any real
-//! regression. Fixture sizes present in only one file are reported and
-//! ignored.
+//! similarity engine time (`engine_ms`), the fleet's pooled wall
+//! time (`pool_wall_ms`, keyed by device count), and the fleet's p99
+//! calibration staleness (`staleness_p99_s`) — so observability-visible
+//! regressions (devices deciding from older calibrations) fail CI, not
+//! just throughput ones. The parallel solver time is reported but not
+//! gated — its variance on shared CI runners (core stealing, migration)
+//! swamps a 30% threshold. Rows whose committed time is below the
+//! `--min-ms` floor are skipped too: at sub-floor durations the timer
+//! and allocator noise exceed any real regression — except for metrics
+//! gated in [`GateMode::FloorAsBaseline`], where a sub-floor committed
+//! value is *good news* to defend, not noise to skip: the ratio is
+//! taken against `max(committed, floor)`, so a healthy 0.1 s baseline
+//! still catches a jump past `0.25 s x limit` while staying immune to
+//! bucket-resolution jitter below the floor. Fixture sizes present in
+//! only one file are reported and ignored.
 //!
 //! The gate **skips cleanly (exit 0)** instead of failing when it has
 //! nothing to compare: a missing committed or fresh report (a section
@@ -29,12 +36,45 @@
 
 use capman_bench::perf_report::{parse_rows, row_value};
 
-/// A gated metric: `(section, key_field, metric)`. Rows are matched
-/// across reports by the value of `key_field`.
-const GATES: [(&str, &str, &str); 3] = [
-    ("solver", "states", "csr_serial_ms"),
-    ("similarity", "states", "engine_ms"),
-    ("fleet", "devices", "pool_wall_ms"),
+/// How a gated metric treats committed values below the `--min-ms`
+/// noise floor.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GateMode {
+    /// Skip sub-floor rows entirely (wall-time metrics: below the floor
+    /// the timer noise exceeds any real regression).
+    SkipBelowFloor,
+    /// Gate sub-floor rows against the floor itself: `ratio =
+    /// new / max(committed, floor)`. For metrics whose healthy value
+    /// sits *under* the floor (p99 staleness at bucket resolution),
+    /// skipping would disable the gate forever, while a raw ratio
+    /// against a near-zero baseline would flake on bucket jitter.
+    FloorAsBaseline,
+}
+
+/// A gated metric: `(section, key_field, metric, mode)`. Rows are
+/// matched across reports by the value of `key_field`. Units need not
+/// be milliseconds — `staleness_p99_s` is simulated seconds; the
+/// `--min-ms` floor is interpreted in the metric's own unit.
+const GATES: [(&str, &str, &str, GateMode); 4] = [
+    (
+        "solver",
+        "states",
+        "csr_serial_ms",
+        GateMode::SkipBelowFloor,
+    ),
+    (
+        "similarity",
+        "states",
+        "engine_ms",
+        GateMode::SkipBelowFloor,
+    ),
+    ("fleet", "devices", "pool_wall_ms", GateMode::SkipBelowFloor),
+    (
+        "fleet",
+        "devices",
+        "staleness_p99_s",
+        GateMode::FloorAsBaseline,
+    ),
 ];
 
 struct Args {
@@ -103,7 +143,7 @@ fn main() {
 
     let mut failures = 0usize;
     let mut compared = 0usize;
-    for (section, key_field, metric) in GATES {
+    for (section, key_field, metric, mode) in GATES {
         let old_rows = parse_rows(&committed, section);
         let new_rows = parse_rows(&fresh, section);
         if old_rows.is_empty() || new_rows.is_empty() {
@@ -132,16 +172,19 @@ fn main() {
             else {
                 continue;
             };
-            if old_ms < args.min_ms {
+            if old_ms < args.min_ms && mode == GateMode::SkipBelowFloor {
                 println!(
-                    "{section}/{key_field}={key} {metric}: committed {old_ms:.3} ms below the \
-                     {:.2} ms noise floor, skipped",
+                    "{section}/{key_field}={key} {metric}: committed {old_ms:.3} below the \
+                     {:.2} noise floor, skipped",
                     args.min_ms
                 );
                 continue;
             }
             compared += 1;
-            let ratio = new_ms / old_ms;
+            // FloorAsBaseline rows divide by at least the floor, so a
+            // sub-floor baseline cannot amplify bucket jitter into a
+            // failure but a genuine jump past floor x limit still trips.
+            let ratio = new_ms / old_ms.max(args.min_ms);
             let verdict = if ratio > args.max_slowdown {
                 failures += 1;
                 "REGRESSION"
@@ -149,7 +192,7 @@ fn main() {
                 "ok"
             };
             println!(
-                "{section}/{key_field}={key} {metric}: {old_ms:.3} ms -> {new_ms:.3} ms \
+                "{section}/{key_field}={key} {metric}: {old_ms:.3} -> {new_ms:.3} \
                  ({ratio:.2}x, limit {:.2}x) {verdict}",
                 args.max_slowdown
             );

@@ -7,6 +7,18 @@
 
 use std::fmt::Write as _;
 
+/// `num / den` with the zero/degenerate denominator guarded to 0.0 —
+/// every ratio a report derives goes through here so an empty or
+/// zero-wall measurement renders as 0, never NaN/Inf (which would also
+/// corrupt the hand-written JSON).
+pub fn guarded_ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
 /// One solver measurement row.
 #[derive(Debug, Clone)]
 pub struct SolverRow {
@@ -27,14 +39,16 @@ pub struct SolverRow {
 }
 
 impl SolverRow {
-    /// Speedup of the serial CSR solver over the nested baseline.
+    /// Speedup of the serial CSR solver over the nested baseline
+    /// (0.0 when the CSR measurement is degenerate).
     pub fn speedup_serial(&self) -> f64 {
-        self.nested_ms / self.csr_serial_ms
+        guarded_ratio(self.nested_ms, self.csr_serial_ms)
     }
 
-    /// Speedup of the parallel CSR solver over the nested baseline.
+    /// Speedup of the parallel CSR solver over the nested baseline
+    /// (0.0 when the CSR measurement is degenerate).
     pub fn speedup_parallel(&self) -> f64 {
-        self.nested_ms / self.csr_parallel_ms
+        guarded_ratio(self.nested_ms, self.csr_parallel_ms)
     }
 }
 
@@ -50,9 +64,10 @@ pub struct SimilarityRow {
 }
 
 impl SimilarityRow {
-    /// Speedup of the engine over the reference recursion.
+    /// Speedup of the engine over the reference recursion (0.0 when the
+    /// engine measurement is degenerate).
     pub fn speedup(&self) -> f64 {
-        self.reference_ms / self.engine_ms
+        guarded_ratio(self.reference_ms, self.engine_ms)
     }
 }
 
@@ -162,9 +177,10 @@ pub struct RecalRow {
 }
 
 impl RecalRow {
-    /// Wall-time speedup of the warm pipeline over the cold baseline.
+    /// Wall-time speedup of the warm pipeline over the cold baseline
+    /// (0.0 when the warm measurement is degenerate).
     pub fn speedup(&self) -> f64 {
-        self.cold_ms / self.warm_ms
+        guarded_ratio(self.cold_ms, self.warm_ms)
     }
 
     /// Sweep reduction: cold total over warm total.
@@ -296,19 +312,22 @@ pub struct FleetRow {
 }
 
 impl FleetRow {
-    /// Devices per wall-clock second, inline calibration.
+    /// Devices per wall-clock second, inline calibration (0.0 when the
+    /// measurement is degenerate).
     pub fn inline_devices_per_s(&self) -> f64 {
-        self.devices as f64 / (self.inline_wall_ms / 1e3)
+        guarded_ratio(self.devices as f64, self.inline_wall_ms / 1e3)
     }
 
-    /// Devices per wall-clock second, pooled calibration.
+    /// Devices per wall-clock second, pooled calibration (0.0 when the
+    /// measurement is degenerate).
     pub fn pool_devices_per_s(&self) -> f64 {
-        self.devices as f64 / (self.pool_wall_ms / 1e3)
+        guarded_ratio(self.devices as f64, self.pool_wall_ms / 1e3)
     }
 
-    /// Throughput gain of the pool over inline calibration.
+    /// Throughput gain of the pool over inline calibration (0.0 when
+    /// the pool measurement is degenerate).
     pub fn speedup(&self) -> f64 {
-        self.inline_wall_ms / self.pool_wall_ms
+        guarded_ratio(self.inline_wall_ms, self.pool_wall_ms)
     }
 }
 
@@ -383,6 +402,75 @@ impl FleetReport {
             });
         }
         out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The `bench_fleet --obs-overhead` measurement: the same pooled fleet
+/// run with the observability runtime switch off vs on, interleaved, so
+/// both arms share thermal/cache conditions. With the `obs` feature
+/// compiled out the two arms run identical code and the delta bounds
+/// harness noise; with it compiled in, the off-arm measures the
+/// one-branch disabled path and the on-arm the full recording cost.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadReport {
+    /// Whether the binary was built with `--features obs`.
+    pub obs_compiled: bool,
+    /// Devices in the measured fleet.
+    pub devices: usize,
+    /// Interleaved repetitions per arm (min wall is reported).
+    pub reps: usize,
+    /// Min wall time with the runtime switch off, milliseconds.
+    pub wall_off_ms: f64,
+    /// Min wall time with the runtime switch on, milliseconds.
+    pub wall_on_ms: f64,
+}
+
+impl ObsOverheadReport {
+    /// Devices per second with observability off (0.0 if degenerate).
+    pub fn devices_per_s_off(&self) -> f64 {
+        guarded_ratio(self.devices as f64, self.wall_off_ms / 1e3)
+    }
+
+    /// Devices per second with observability on (0.0 if degenerate).
+    pub fn devices_per_s_on(&self) -> f64 {
+        guarded_ratio(self.devices as f64, self.wall_on_ms / 1e3)
+    }
+
+    /// Throughput cost of the on-arm relative to the off-arm, percent
+    /// (negative values mean the on-arm happened to be faster — noise).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.wall_off_ms > 0.0 {
+            (self.wall_on_ms / self.wall_off_ms - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Render the report as JSON (section `obs_overhead`, one row,
+    /// parseable by [`parse_rows`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"generated_by\": \"cargo run --release -p capman-bench --bin bench_fleet -- --obs-overhead\","
+        );
+        let _ = writeln!(out, "  \"obs_compiled\": {},", self.obs_compiled);
+        out.push_str("  \"obs_overhead\": [\n    {\n");
+        let _ = writeln!(out, "      \"devices\": {},", self.devices);
+        let _ = writeln!(out, "      \"reps\": {},", self.reps);
+        push_f64(&mut out, "wall_off_ms", self.wall_off_ms, true);
+        push_f64(&mut out, "wall_on_ms", self.wall_on_ms, true);
+        push_f64(
+            &mut out,
+            "devices_per_s_off",
+            self.devices_per_s_off(),
+            true,
+        );
+        push_f64(&mut out, "devices_per_s_on", self.devices_per_s_on(), true);
+        push_f64(&mut out, "overhead_pct", self.overhead_pct(), false);
+        out.push_str("    }\n  ]\n}\n");
         out
     }
 }
@@ -647,6 +735,121 @@ mod tests {
         assert_eq!(row_value(&rows[0], "pool_wall_ms"), Some(2000.0));
         assert_eq!(row_value(&rows[0], "speedup"), Some(4.0));
         assert_eq!(row_value(&rows[0], "pool_dropped"), Some(0.0));
+    }
+
+    #[test]
+    fn every_ratio_helper_guards_zero_denominators() {
+        let solver = SolverRow {
+            states: 0,
+            action_nodes: 0,
+            outcomes: 0,
+            iterations: 0,
+            nested_ms: 0.0,
+            csr_serial_ms: 0.0,
+            csr_parallel_ms: 0.0,
+        };
+        assert_eq!(solver.speedup_serial(), 0.0);
+        assert_eq!(solver.speedup_parallel(), 0.0);
+        let similarity = SimilarityRow {
+            states: 0,
+            reference_ms: 5.0,
+            engine_ms: 0.0,
+        };
+        assert_eq!(similarity.speedup(), 0.0);
+        let recal = RecalRow {
+            states: 0,
+            action_nodes: 0,
+            outcomes: 0,
+            levels: Vec::new(),
+            warm_final_sweeps: 0,
+            cold_final_sweeps: 0,
+            warm_total_sweeps: 0,
+            cold_total_sweeps: 0,
+            warm_ms: 0.0,
+            cold_ms: 7.0,
+            f32_ms: 0.0,
+            f32_max_abs_err: 0.0,
+        };
+        assert_eq!(recal.speedup(), 0.0);
+        assert!(recal.sweep_ratio().is_finite(), "max(1) guards the sweeps");
+        let fleet = FleetRow {
+            devices: 16,
+            cohorts: 0,
+            ticks: 0,
+            inline_wall_ms: 0.0,
+            pool_wall_ms: 0.0,
+            inline_recalibrations: 0,
+            pool_completed: 0,
+            pool_submitted: 0,
+            pool_coalesced: 0,
+            pool_dropped: 0,
+            staleness_p50_s: 0.0,
+            staleness_p95_s: 0.0,
+            staleness_p99_s: 0.0,
+            staleness_max_s: 0.0,
+            lifetime_p50_s: 0.0,
+            hotspot_p95_c: 0.0,
+        };
+        assert_eq!(fleet.inline_devices_per_s(), 0.0);
+        assert_eq!(fleet.pool_devices_per_s(), 0.0);
+        assert_eq!(fleet.speedup(), 0.0);
+        let obs = ObsOverheadReport {
+            obs_compiled: false,
+            devices: 256,
+            reps: 3,
+            wall_off_ms: 0.0,
+            wall_on_ms: 0.0,
+        };
+        assert_eq!(obs.devices_per_s_off(), 0.0);
+        assert_eq!(obs.devices_per_s_on(), 0.0);
+        assert_eq!(obs.overhead_pct(), 0.0);
+        // Negative denominators are as degenerate as zero ones.
+        assert_eq!(guarded_ratio(1.0, -3.0), 0.0);
+        assert_eq!(guarded_ratio(6.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn obs_overhead_json_round_trips_through_the_gate_parser() {
+        let report = ObsOverheadReport {
+            obs_compiled: true,
+            devices: 1024,
+            reps: 3,
+            wall_off_ms: 800.0,
+            wall_on_ms: 820.0,
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let rows = parse_rows(&json, "obs_overhead");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(row_value(&rows[0], "devices"), Some(1024.0));
+        assert_eq!(row_value(&rows[0], "wall_on_ms"), Some(820.0));
+        assert_eq!(row_value(&rows[0], "overhead_pct"), Some(2.5));
+    }
+
+    #[test]
+    fn registry_metrics_json_round_trips_through_the_gate_parser() {
+        // `export::metrics_json` promises a BENCH-shaped report; this is
+        // the consumer-side proof — the flat row the registry emits is
+        // readable with the same parser the perf gate uses.
+        let registry = capman_obs::Registry::new();
+        registry.counter("fleet_devices_total", "Devices").add(4096);
+        registry.gauge("pool_queue_depth", "Depth").set(3);
+        let h = registry.histogram("adoption_staleness_s", "Staleness", &[0.1, 1.0, 10.0]);
+        for _ in 0..99 {
+            h.observe(0.05);
+        }
+        h.observe(5.0);
+        let json = capman_obs::export::metrics_json(&registry.snapshot());
+        let rows = parse_rows(&json, "metrics");
+        assert_eq!(rows.len(), 1, "one flat row per snapshot");
+        assert_eq!(row_value(&rows[0], "fleet_devices_total"), Some(4096.0));
+        assert_eq!(row_value(&rows[0], "pool_queue_depth"), Some(3.0));
+        assert_eq!(
+            row_value(&rows[0], "adoption_staleness_s_count"),
+            Some(100.0)
+        );
+        assert_eq!(row_value(&rows[0], "adoption_staleness_s_p99"), Some(0.1));
     }
 
     #[test]

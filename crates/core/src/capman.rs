@@ -324,6 +324,13 @@ impl Policy for CapmanPolicy {
             .calibrator
             .maybe_recalibrate(ctx.time_s, &self.profiler, self.compute_speed)
         {
+            if capman_obs::enabled() {
+                capman_obs::counter!(
+                    "inline_recalibrations_total",
+                    "Calibrations run inline on the decision path (blocking the tick)"
+                )
+                .inc();
+            }
             if let Some(cal) = self.calibrator.calibration() {
                 let run = &cal.engine_run;
                 self.pending_calibrations.push(CalibrationSample {

@@ -224,6 +224,7 @@ impl Calibrator {
     /// Returns the wall-clock overhead in microseconds *before* compute
     /// speed normalisation.
     pub fn recalibrate(&mut self, now_s: f64, profiler: &Profiler, compute_speed: f64) -> f64 {
+        let _span = capman_obs::span("calibrate", profiler.observations());
         let t0 = Instant::now();
         let mdp = profiler.to_mdp();
         // CAPMAN's pruning: keep the action nodes that decide batteries —
@@ -268,6 +269,23 @@ impl Calibrator {
             warm_started: out.warm_started,
         });
         let raw_us = t0.elapsed().as_secs_f64() * 1e6;
+        if capman_obs::enabled() {
+            let cal = self.cached.as_ref().expect("cached just above");
+            capman_obs::counter!("calibrations_total", "Calibration solves executed").inc();
+            if cal.warm_started {
+                capman_obs::counter!(
+                    "calibration_warm_starts_total",
+                    "Calibrations seeded from the previous value vector"
+                )
+                .inc();
+            }
+            capman_obs::histogram!(
+                "calibration_solve_us",
+                "Wall time of one calibration solve, microseconds",
+                &[100.0, 250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 1e6]
+            )
+            .observe(raw_us);
+        }
         self.overhead_us += raw_us / compute_speed.max(1e-6);
         self.recalibrations += 1;
         self.last_run_s = now_s;

@@ -88,6 +88,7 @@ impl Scenario {
 
     /// Run this scenario to completion on the calling thread.
     pub fn run(&self) -> Outcome {
+        let _span = capman_obs::span("scenario_run", self.seed);
         let trace = generate(self.workload, self.config.max_horizon_s, self.seed);
         let pack = self.pack.clone().unwrap_or_else(|| build_pack(self.kind));
         let policy: Box<dyn Policy> = match (self.kind, self.calibrator) {

@@ -174,12 +174,10 @@ impl Telemetry {
         self.samples.is_empty()
     }
 
-    /// Maximum hot-spot temperature seen, degC.
+    /// Maximum hot-spot temperature seen, degC (0.0 on an empty series
+    /// — an empty shard must fold to a finite aggregate, not -inf).
     pub fn max_hotspot_c(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(|s| s.hotspot_c)
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.samples.iter().map(|s| s.hotspot_c).fold(0.0, f64::max)
     }
 
     /// Mean hot-spot temperature, degC (0.0 on an empty series).
@@ -198,12 +196,9 @@ impl Telemetry {
         self.samples.iter().map(|s| s.power_mw).sum::<f64>() / self.samples.len() as f64
     }
 
-    /// Peak active power, milliwatts.
+    /// Peak active power, milliwatts (0.0 on an empty series).
     pub fn max_power_mw(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(|s| s.power_mw)
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.samples.iter().map(|s| s.power_mw).fold(0.0, f64::max)
     }
 
     /// Fraction of samples with the TEC energised.
@@ -273,6 +268,43 @@ mod tests {
         assert!(t.calibrations().is_empty());
         assert_eq!(t.mean_calibration_wall_us(), 0.0);
         assert_eq!(t.max_calibration_staleness_s(), 0.0);
+        assert_eq!(t.max_power_mw(), 0.0, "peak of nothing is 0, not -inf");
+        assert_eq!(t.max_hotspot_c(), 0.0, "peak of nothing is 0, not -inf");
+    }
+
+    #[test]
+    fn zero_denominator_ratios_are_zero_not_nan() {
+        // Every ratio helper on this type must survive a zero
+        // denominator: a calibration that never looked a pair up, and a
+        // shard that finished in under the clock's resolution.
+        let no_lookups = CalibrationSample {
+            time_s: 0.0,
+            sweeps: 0,
+            emd_solves: 0,
+            cache_hits: 0,
+            bound_pruned: 5,
+            wall_us: 0.0,
+            graph_action_nodes: 0,
+            bellman_sweeps: 0,
+            bellman_levels: 0,
+            warm_started: false,
+            staleness_s: 0.0,
+        };
+        assert_eq!(no_lookups.cache_hit_rate(), 0.0);
+        let instant = ShardThroughput {
+            shard: 0,
+            devices: 64,
+            ticks: 64_000,
+            wall_ms: 0.0,
+        };
+        assert_eq!(instant.devices_per_s(), 0.0);
+        assert_eq!(instant.ticks_per_s(), 0.0);
+        let negative_wall = ShardThroughput {
+            wall_ms: -1.0,
+            ..instant
+        };
+        assert_eq!(negative_wall.devices_per_s(), 0.0);
+        assert_eq!(negative_wall.ticks_per_s(), 0.0);
     }
 
     #[test]

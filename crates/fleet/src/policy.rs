@@ -105,6 +105,20 @@ impl Policy for PooledCapmanPolicy {
                 .pending_since_s
                 .take()
                 .map_or(0.0, |since| (ctx.time_s - since).max(0.0));
+            if capman_obs::enabled() {
+                capman_obs::counter!(
+                    "pool_adoptions_total",
+                    "Snapshot adoptions by device schedulers"
+                )
+                .inc();
+                capman_obs::event("pool_adopt", snap.seq);
+                capman_obs::histogram!(
+                    "adoption_staleness_s",
+                    "Simulated seconds between a device's request and its adoption",
+                    &[0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0]
+                )
+                .observe(staleness_s);
+            }
             if let Some(cal) = &snap.calibration {
                 let run = &cal.engine_run;
                 self.pending_samples.push(CalibrationSample {

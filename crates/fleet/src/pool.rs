@@ -191,7 +191,15 @@ impl CalibrationPool {
             let Ok(req) = req else {
                 return; // channel closed: pool is shutting down
             };
+            if capman_obs::enabled() {
+                capman_obs::gauge!(
+                    "pool_queue_depth",
+                    "Calibration requests waiting in the queue"
+                )
+                .sub(1);
+            }
             let slot = &shared.slots[req.cohort];
+            let _solve_span = capman_obs::span("pool_solve", req.cohort as u64);
             let wall_us = {
                 let mut calibrator = slot.calibrator.lock().expect("calibrator poisoned");
                 calibrator.recalibrate(req.now_s, &req.profiler, req.compute_speed)
@@ -207,6 +215,20 @@ impl CalibrationPool {
                 wall_us,
                 calibration,
             }));
+            if capman_obs::enabled() {
+                capman_obs::counter!(
+                    "pool_completed_total",
+                    "Calibrations completed and published"
+                )
+                .inc();
+                capman_obs::histogram!(
+                    "pool_solve_us",
+                    "Background calibration solve wall time, microseconds",
+                    &[100.0, 250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 1e6]
+                )
+                .observe(wall_us);
+                capman_obs::event("pool_publish", req.cohort as u64);
+            }
             // Publish before accounting: once `completed` covers this
             // request, `drain` may return and readers must already see
             // the snapshot.
@@ -225,9 +247,20 @@ impl CalibrationPool {
         compute_speed: f64,
     ) -> SubmitOutcome {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        if capman_obs::enabled() {
+            capman_obs::counter!("pool_submitted_total", "Calibration requests submitted").inc();
+            capman_obs::event("pool_request", cohort as u64);
+        }
         let slot = &self.shared.slots[cohort];
         if slot.in_flight.swap(true, Ordering::AcqRel) {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
+            if capman_obs::enabled() {
+                capman_obs::counter!(
+                    "pool_coalesced_total",
+                    "Requests absorbed by an in-flight cohort calibration"
+                )
+                .inc();
+            }
             return SubmitOutcome::Coalesced;
         }
         let req = Request {
@@ -244,11 +277,26 @@ impl CalibrationPool {
         {
             Ok(()) => {
                 self.enqueued.fetch_add(1, Ordering::Relaxed);
+                if capman_obs::enabled() {
+                    capman_obs::counter!("pool_enqueued_total", "Requests handed to workers").inc();
+                    capman_obs::gauge!(
+                        "pool_queue_depth",
+                        "Calibration requests waiting in the queue"
+                    )
+                    .add(1);
+                }
                 SubmitOutcome::Enqueued
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 slot.in_flight.store(false, Ordering::Release);
                 self.dropped.fetch_add(1, Ordering::Relaxed);
+                if capman_obs::enabled() {
+                    capman_obs::counter!(
+                        "pool_dropped_total",
+                        "Requests discarded on queue overflow"
+                    )
+                    .inc();
+                }
                 SubmitOutcome::Dropped
             }
         }

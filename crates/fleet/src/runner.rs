@@ -180,6 +180,7 @@ impl FleetRunner {
     pub fn run(&self, fleet: &Fleet) -> FleetResult {
         assert!(!fleet.is_empty(), "cannot run an empty fleet");
         assert!(self.config.batch > 0, "batch size must be positive");
+        let _run_span = capman_obs::span("fleet_run", fleet.len() as u64);
         let t0 = Instant::now();
         let pool = match self.config.mode {
             CalibrationMode::Inline => None,
@@ -200,6 +201,7 @@ impl FleetRunner {
                 .par_chunks_mut(batch)
                 .enumerate()
                 .for_each(|shard, chunk| {
+                    let _shard_span = capman_obs::span("fleet_shard", shard as u64);
                     let t_shard = Instant::now();
                     let start = shard * batch;
                     let mut ticks = 0u64;
@@ -209,6 +211,7 @@ impl FleetRunner {
                         ticks += summary.ticks;
                         *slot = Some(summary);
                     }
+                    record_shard_metrics(chunk.len() as u64, ticks);
                     shard_stats
                         .lock()
                         .expect("shard stats poisoned")
@@ -226,16 +229,19 @@ impl FleetRunner {
             shards = shard_stats.into_inner().expect("shard stats poisoned");
             shards.sort_by_key(|s| s.shard);
         } else {
+            let _shard_span = capman_obs::span("fleet_shard", 0);
             let t_shard = Instant::now();
             summaries = fleet
                 .devices
                 .iter()
                 .map(|spec| run_device(fleet, spec, pool.as_ref()))
                 .collect();
+            let ticks = summaries.iter().map(|s| s.ticks).sum();
+            record_shard_metrics(summaries.len() as u64, ticks);
             shards = vec![ShardThroughput {
                 shard: 0,
                 devices: summaries.len() as u64,
-                ticks: summaries.iter().map(|s| s.ticks).sum(),
+                ticks,
                 wall_ms: t_shard.elapsed().as_secs_f64() * 1e3,
             }];
         }
@@ -252,6 +258,18 @@ impl FleetRunner {
             summaries,
             aggregate,
         }
+    }
+}
+
+/// Feed the registry from exactly the per-shard values that go into
+/// [`ShardThroughput`], so registry totals always equal the
+/// `ShardThroughput`-derived sums (the obs acceptance test checks this
+/// equality).
+fn record_shard_metrics(devices: u64, ticks: u64) {
+    if capman_obs::enabled() {
+        capman_obs::counter!("fleet_shards_total", "Fleet shards executed").inc();
+        capman_obs::counter!("fleet_devices_total", "Devices simulated to completion").add(devices);
+        capman_obs::counter!("fleet_ticks_total", "Scheduler ticks across all devices").add(ticks);
     }
 }
 

@@ -525,6 +525,21 @@ impl SimilarityEngine {
         run.cache_hits = cache_hits.load(Ordering::Relaxed);
         run.bound_pruned = bound_pruned.load(Ordering::Relaxed);
         run.wall_us = t_run.elapsed().as_secs_f64() * 1e6;
+        if capman_obs::enabled() {
+            capman_obs::counter!("similarity_runs_total", "Similarity-engine runs").inc();
+            capman_obs::counter!("emd_solves_total", "EMD transport problems solved")
+                .add(run.emd_solves as u64);
+            capman_obs::counter!(
+                "emd_cache_hits_total",
+                "EMD results served from the memo table"
+            )
+            .add(run.cache_hits as u64);
+            capman_obs::counter!(
+                "emd_bound_pruned_total",
+                "EMD solves skipped by the Hausdorff bound"
+            )
+            .add(run.bound_pruned as u64);
+        }
 
         self.stats.runs += 1;
         self.stats.pair_evaluations += run.pair_evaluations;

@@ -277,6 +277,7 @@ impl RecalibrationPipeline {
                 // final solve at full width. Skip it.
                 continue;
             }
+            let _level_span = capman_obs::span("bellman_level", cm.n_clusters() as u64);
             scratch.build(&view, &cm);
             restrict(&v_full, &cm, &mut v_coarse);
             let sweeps = converge_view(
@@ -296,15 +297,18 @@ impl RecalibrationPipeline {
             });
         }
 
-        let final_sweeps = converge_view(
-            &view,
-            self.rho,
-            self.eps,
-            &mut v_full,
-            &mut sweep_buf,
-            level_mode(mode, n),
-            self.precision,
-        );
+        let final_sweeps = {
+            let _final_span = capman_obs::span("bellman_final", n as u64);
+            converge_view(
+                &view,
+                self.rho,
+                self.eps,
+                &mut v_full,
+                &mut sweep_buf,
+                level_mode(mode, n),
+                self.precision,
+            )
+        };
         let (q, policy) = extract_q_policy(mdp, &view, self.rho, &v_full);
         let iterations = levels.iter().map(|l| l.sweeps).sum::<usize>() + final_sweeps;
         PipelineOutcome {

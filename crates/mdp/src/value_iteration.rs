@@ -339,10 +339,20 @@ pub(crate) fn converge_view(
     mode: ExecutionMode,
     precision: Precision,
 ) -> usize {
-    match precision {
+    let sweeps = match precision {
         Precision::F64 => converge_f64(view, rho, eps, values, scratch, mode),
         Precision::F32 => converge_f32(view, rho, eps, values, mode),
+    };
+    if capman_obs::enabled() {
+        capman_obs::counter!(
+            "bellman_solves_total",
+            "Value-iteration solves run to convergence"
+        )
+        .inc();
+        capman_obs::counter!("bellman_sweeps_total", "Jacobi sweeps across all solves")
+            .add(sweeps as u64);
     }
+    sweeps
 }
 
 /// Extract `Q*` and the greedy policy from converged `values`, in

@@ -1,0 +1,282 @@
+//! Exporters: Chrome `trace_event` JSON for span drains, Prometheus
+//! text format and a flat JSON snapshot for the metrics registry.
+//!
+//! All three are hand-written strings (the vendored serde stand-in has
+//! no format backend). The JSON snapshot deliberately mirrors the
+//! `BENCH_*.json` shape — one named section holding an array of flat
+//! `"key": number` objects — so `capman_bench::perf_report::parse_rows`
+//! reads it without a real JSON parser.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::TraceDrain;
+
+/// Escape a string for a JSON literal. Metric names and span labels are
+/// ASCII identifiers in practice; this keeps the exporters honest if one
+/// ever is not.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON-safe float: finite values as written, non-finite as 0 (JSON
+/// has no NaN/Inf literal).
+fn json_f64(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Render a span drain as Chrome `trace_event` JSON (the format
+/// `chrome://tracing` and <https://ui.perfetto.dev> open directly).
+/// Spans become `ph:"X"` complete events, instants become `ph:"i"`;
+/// timestamps are microseconds since the tracer epoch, one `tid` per
+/// recording thread.
+pub fn chrome_trace(drain: &TraceDrain) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n");
+    let _ = writeln!(out, "  \"droppedSpans\": {},", drain.dropped);
+    out.push_str("  \"traceEvents\": [\n");
+    for (i, r) in drain.records.iter().enumerate() {
+        let ts_us = r.start_ns as f64 / 1e3;
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"cat\": \"obs\", \"ph\": \"{}\", \"ts\": {:.3}, ",
+            json_escape(r.label),
+            if r.is_event { "i" } else { "X" },
+            ts_us
+        );
+        if r.is_event {
+            out.push_str("\"s\": \"t\", ");
+        } else {
+            let _ = write!(
+                out,
+                "\"dur\": {:.3}, ",
+                (r.end_ns - r.start_ns) as f64 / 1e3
+            );
+        }
+        let _ = write!(
+            out,
+            "\"pid\": 1, \"tid\": {}, \"args\": {{\"span_id\": {}, \"parent\": {}, \"arg\": {}}}}}",
+            r.thread, r.id, r.parent, r.arg
+        );
+        out.push_str(if i + 1 < drain.records.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render a metrics snapshot in Prometheus text exposition format:
+/// `# HELP` / `# TYPE` per family, cumulative `le`-labelled buckets plus
+/// `_sum` / `_count` for histograms.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, help, value) in &snap.counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, help, value) in &snap.gauges {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for h in &snap.histograms {
+        let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+        let _ = writeln!(out, "# TYPE {} histogram", h.name);
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cumulative += count;
+            let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", h.name, bound, cumulative);
+        }
+        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+        let _ = writeln!(out, "{}_sum {}", h.name, json_f64(h.sum));
+        let _ = writeln!(out, "{}_count {}", h.name, h.count);
+    }
+    out
+}
+
+/// Bucket-resolution quantile from snapshot counts, matching
+/// `Histogram::quantile` (0.0 when empty, upper bound of the holding
+/// bucket, largest finite bound for `+Inf`).
+fn snapshot_quantile(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || bounds.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bounds
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| *bounds.last().expect("bounds checked non-empty"));
+        }
+    }
+    *bounds.last().expect("bounds checked non-empty")
+}
+
+/// Render a metrics snapshot as flat JSON: a single `"metrics"` section
+/// holding one row of `"key": number` pairs — counters and gauges by
+/// name, histograms flattened to `<name>_count` / `<name>_sum` /
+/// `<name>_p50` / `<name>_p95` / `<name>_p99`. Parseable with
+/// `perf_report::parse_rows(json, "metrics")`, so `perf_gate` can
+/// consume registry output like any other bench report.
+pub fn metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for (name, _, value) in &snap.counters {
+        pairs.push((name.clone(), value.to_string()));
+    }
+    for (name, _, value) in &snap.gauges {
+        pairs.push((name.clone(), value.to_string()));
+    }
+    for h in &snap.histograms {
+        pairs.push((format!("{}_count", h.name), h.count.to_string()));
+        pairs.push((format!("{}_sum", h.name), format!("{:.4}", json_f64(h.sum))));
+        for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            pairs.push((
+                format!("{}_{suffix}", h.name),
+                format!(
+                    "{:.4}",
+                    json_f64(snapshot_quantile(&h.bounds, &h.counts, q))
+                ),
+            ));
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"generated_by\": \"capman-obs\",\n  \"metrics\": [\n    {\n");
+    for (i, (key, value)) in pairs.iter().enumerate() {
+        let _ = write!(out, "      \"{}\": {}", json_escape(key), value);
+        out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::Tracer;
+
+    fn balanced(json: &str) {
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_trace_renders_spans_and_events() {
+        let t = Tracer::new(64);
+        {
+            let _outer = t.span("solve", 3);
+            t.event("publish", 7);
+        }
+        let json = chrome_trace(&t.drain());
+        balanced(&json);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\": \"solve\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"name\": \"publish\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"droppedSpans\": 0"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_drain_is_well_formed() {
+        let t = Tracer::new(64);
+        let json = chrome_trace(&t.drain());
+        balanced(&json);
+        assert!(json.contains("\"traceEvents\": [\n  ]"));
+    }
+
+    #[test]
+    fn prometheus_text_has_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("solves_total", "Solves").add(4);
+        r.gauge("queue_depth", "Depth").set(2);
+        let h = r.histogram("lat_ms", "Latency", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE solves_total counter"));
+        assert!(text.contains("solves_total 4"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 2"));
+        assert!(text.contains("lat_ms_bucket{le=\"1\"} 1"));
+        assert!(
+            text.contains("lat_ms_bucket{le=\"10\"} 2"),
+            "buckets cumulate"
+        );
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_ms_count 3"));
+        assert!(text.contains("lat_ms_sum 55.5"));
+    }
+
+    #[test]
+    fn metrics_json_flattens_histograms() {
+        let r = Registry::new();
+        r.counter("hits_total", "Hits").add(9);
+        let h = r.histogram("stale_s", "Staleness", &[0.1, 1.0, 10.0]);
+        for _ in 0..99 {
+            h.observe(0.05);
+        }
+        h.observe(5.0);
+        let json = metrics_json(&r.snapshot());
+        balanced(&json);
+        assert!(json.contains("\"metrics\": ["));
+        assert!(json.contains("\"hits_total\": 9"));
+        assert!(json.contains("\"stale_s_count\": 100"));
+        assert!(json.contains("\"stale_s_p50\": 0.1000"));
+        assert!(json.contains("\"stale_s_p99\": 0.1000"));
+    }
+
+    #[test]
+    fn empty_snapshot_exports_are_valid() {
+        let snap = Registry::new().snapshot();
+        assert_eq!(prometheus_text(&snap), "");
+        balanced(&metrics_json(&snap));
+    }
+
+    #[test]
+    fn snapshot_quantile_matches_live_histogram() {
+        let r = Registry::new();
+        let h = r.histogram("q", "Q", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 9.0] {
+            h.observe(v);
+        }
+        let snap = r.snapshot();
+        let hs = &snap.histograms[0];
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                snapshot_quantile(&hs.bounds, &hs.counts, q),
+                h.quantile(q),
+                "q = {q}"
+            );
+        }
+        assert_eq!(snapshot_quantile(&[1.0], &[0, 0], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! The metrics registry: sharded atomic counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! Every metric is built from plain `std::sync::atomic` cells — no
+//! locks on the update path. Counters and histograms are *sharded*:
+//! each thread is assigned (round-robin, on first use) one of
+//! [`N_SHARDS`] cache-line-padded cells and only ever RMWs its own,
+//! so concurrent increments from a fleet's shard workers and the
+//! calibration pool's background threads never contend on one cache
+//! line. Reads (`value`, snapshots) sum the shards; they are exact once
+//! the writers have quiesced, which is when reports read them (end of a
+//! run, after `drain`).
+//!
+//! The [`Registry`] hands out `Arc` handles keyed by metric name —
+//! registering the same name twice returns the same metric, so call
+//! sites can cache a handle in a `OnceLock` (see the `counter!` /
+//! `gauge!` / `histogram!` macros in the crate root) and the registry
+//! mutex is only touched once per site per process.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Update shards per metric. 16 lines cover the core counts this
+/// workspace fans out to; threads beyond that share shards round-robin.
+pub const N_SHARDS: usize = 16;
+
+/// One cache line worth of counter cell, so neighbouring shards never
+/// false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// The shard this thread updates. Assigned round-robin on first use and
+/// sticky for the thread's lifetime.
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|slot| {
+        let cached = slot.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        let assigned = NEXT.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+        slot.set(assigned);
+        assigned
+    })
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    help: String,
+    shards: [PaddedU64; N_SHARDS],
+}
+
+impl Counter {
+    fn new(name: &str, help: &str) -> Self {
+        Counter {
+            name: name.to_string(),
+            help: help.to_string(),
+            shards: std::array::from_fn(|_| PaddedU64::default()),
+        }
+    }
+
+    /// The registered metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered help line.
+    pub fn help(&self) -> &str {
+        &self.help
+    }
+
+    /// Add `n` to the counter. Wait-free: one relaxed RMW on the
+    /// calling thread's shard.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across every shard.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A gauge: a signed value that can move both ways (queue depths,
+/// in-flight counts). Single cell — gauges are set/adjusted far less
+/// often than counters are bumped.
+#[derive(Debug)]
+pub struct Gauge {
+    name: String,
+    help: String,
+    cell: AtomicI64,
+}
+
+impl Gauge {
+    fn new(name: &str, help: &str) -> Self {
+        Gauge {
+            name: name.to_string(),
+            help: help.to_string(),
+            cell: AtomicI64::new(0),
+        }
+    }
+
+    /// The registered metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered help line.
+    pub fn help(&self) -> &str {
+        &self.help
+    }
+
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the gauge up by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Move the gauge down by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard of a histogram: per-bucket counts plus an f64 sum kept as
+/// bits (CAS-add; contention-free because only one thread writes a
+/// shard in steady state).
+#[derive(Debug)]
+struct HistShard {
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram. Bucket `i` counts observations `v` with
+/// `v <= bounds[i]` (and above the previous bound); one implicit
+/// `+Inf` bucket catches the rest, Prometheus-style.
+#[derive(Debug)]
+pub struct Histogram {
+    name: String,
+    help: String,
+    bounds: Vec<f64>,
+    shards: Vec<HistShard>,
+}
+
+impl Histogram {
+    fn new(name: &str, help: &str, bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            name: name.to_string(),
+            help: help.to_string(),
+            bounds: bounds.to_vec(),
+            shards: (0..N_SHARDS)
+                .map(|_| HistShard {
+                    counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                    sum_bits: AtomicU64::new(0.0f64.to_bits()),
+                })
+                .collect(),
+        }
+    }
+
+    /// The registered metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered help line.
+    pub fn help(&self) -> &str {
+        &self.help
+    }
+
+    /// The finite upper bounds (the `+Inf` bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Record one observation. Lock-free: a relaxed bucket RMW plus a
+    /// CAS loop on the shard's running sum (uncontended — the shard is
+    /// effectively thread-private).
+    pub fn observe(&self, v: f64) {
+        let shard = &self.shards[shard_index()];
+        let bucket = self.bounds.partition_point(|&ub| v > ub);
+        shard.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        let mut cur = shard.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match shard.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Non-cumulative per-bucket counts (length `bounds.len() + 1`; the
+    /// last entry is the `+Inf` bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.bounds.len() + 1];
+        for shard in &self.shards {
+            for (slot, c) in out.iter_mut().zip(&shard.counts) {
+                *slot += c.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.bucket_counts().iter().sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(|s| f64::from_bits(s.sum_bits.load(Ordering::Relaxed)))
+            .sum()
+    }
+
+    /// Approximate quantile `q` in `[0, 1]` from the bucket counts: the
+    /// upper bound of the bucket holding the q-th observation (the last
+    /// finite bound for the `+Inf` bucket), 0.0 with no observations.
+    /// Bucket-resolution only — good enough for report lines, not for
+    /// gating tight latencies.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bounds.get(i).copied().unwrap_or_else(|| {
+                    // +Inf bucket: report the largest finite bound.
+                    *self.bounds.last().expect("bounds are non-empty")
+                });
+            }
+        }
+        *self.bounds.last().expect("bounds are non-empty")
+    }
+}
+
+/// Point-in-time copy of one histogram, for exporters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Help line.
+    pub help: String,
+    /// Finite upper bounds.
+    pub bounds: Vec<f64>,
+    /// Non-cumulative counts, `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Point-in-time copy of a whole registry, sorted by metric name within
+/// each kind — what the Prometheus/JSON exporters and tests consume.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, help, total)` per counter.
+    pub counters: Vec<(String, String, u64)>,
+    /// `(name, help, value)` per gauge.
+    pub gauges: Vec<(String, String, i64)>,
+    /// One snapshot per histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// The metric directory: hands out handles, serves snapshots.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<Vec<Arc<Counter>>>,
+    gauges: Mutex<Vec<Arc<Gauge>>>,
+    histograms: Mutex<Vec<Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// Idempotent: a second registration returns the existing handle
+    /// (the first `help` wins).
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        let mut list = self.counters.lock().expect("counter directory poisoned");
+        if let Some(found) = list.iter().find(|c| c.name == name) {
+            return Arc::clone(found);
+        }
+        let created = Arc::new(Counter::new(name, help));
+        list.push(Arc::clone(&created));
+        created
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        let mut list = self.gauges.lock().expect("gauge directory poisoned");
+        if let Some(found) = list.iter().find(|g| g.name == name) {
+            return Arc::clone(found);
+        }
+        let created = Arc::new(Gauge::new(name, help));
+        list.push(Arc::clone(&created));
+        created
+    }
+
+    /// The histogram registered under `name`, creating it with `bounds`
+    /// on first use (later registrations keep the first bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics on first registration if `bounds` is empty, non-finite,
+    /// or not strictly increasing.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut list = self
+            .histograms
+            .lock()
+            .expect("histogram directory poisoned");
+        if let Some(found) = list.iter().find(|h| h.name == name) {
+            return Arc::clone(found);
+        }
+        let created = Arc::new(Histogram::new(name, help, bounds));
+        list.push(Arc::clone(&created));
+        created
+    }
+
+    /// Copy out every metric, sorted by name within each kind.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, String, u64)> = self
+            .counters
+            .lock()
+            .expect("counter directory poisoned")
+            .iter()
+            .map(|c| (c.name.clone(), c.help.clone(), c.value()))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges: Vec<(String, String, i64)> = self
+            .gauges
+            .lock()
+            .expect("gauge directory poisoned")
+            .iter()
+            .map(|g| (g.name.clone(), g.help.clone(), g.value()))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<HistogramSnapshot> = self
+            .histograms
+            .lock()
+            .expect("histogram directory poisoned")
+            .iter()
+            .map(|h| HistogramSnapshot {
+                name: h.name.clone(),
+                help: h.help.clone(),
+                bounds: h.bounds.clone(),
+                counts: h.bucket_counts(),
+                sum: h.sum(),
+                count: h.count(),
+            })
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_shards() {
+        let r = Registry::new();
+        let c = r.counter("requests_total", "Requests");
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+        // Idempotent registration returns the same cells.
+        let again = r.counter("requests_total", "ignored");
+        again.inc();
+        assert_eq!(c.value(), 43);
+        assert_eq!(c.help(), "Requests", "first help wins");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth", "Queue depth");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.value(), 3);
+        g.set(-7);
+        assert_eq!(g.value(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_sum_and_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ms", "Latency", &[1.0, 10.0, 100.0]);
+        for v in [0.5, 0.9, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 556.4).abs() < 1e-9);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        // p50 of 5 observations is the 3rd -> bucket (1, 10].
+        assert_eq!(h.quantile(0.5), 10.0);
+        // The +Inf bucket reports the largest finite bound.
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.quantile(0.0), 1.0, "rank clamps to the first sample");
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero_not_nan() {
+        let r = Registry::new();
+        let h = r.histogram("idle", "Never observed", &[1.0]);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn boundary_observations_land_in_the_le_bucket() {
+        let r = Registry::new();
+        let h = r.histogram("edges", "Boundary semantics", &[1.0, 2.0]);
+        h.observe(1.0); // le="1" (v <= bound, Prometheus semantics)
+        h.observe(2.0); // le="2"
+        assert_eq!(h.bucket_counts(), vec![1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_are_rejected() {
+        let r = Registry::new();
+        let _ = r.histogram("bad", "", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b_total", "B").add(2);
+        r.counter("a_total", "A").add(1);
+        r.gauge("g", "G").set(9);
+        r.histogram("h", "H", &[1.0]).observe(0.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a_total");
+        assert_eq!(snap.counters[1].0, "b_total");
+        assert_eq!(snap.counters[1].2, 2);
+        assert_eq!(snap.gauges[0].2, 9);
+        assert_eq!(snap.histograms[0].count, 1);
+        assert_eq!(snap.histograms[0].counts, vec![1, 0]);
+    }
+}

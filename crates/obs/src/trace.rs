@@ -1,0 +1,510 @@
+//! The span tracer: per-thread ring buffers of `(span, parent, label,
+//! t_start, t_end)` records.
+//!
+//! Recording is designed for the fleet's threading model: every thread
+//! owns one ring buffer, a span push touches only the owning thread's
+//! ring (the per-ring mutex is uncontended in steady state — the only
+//! other locker is an end-of-run [`drain`](Tracer::drain)), and span
+//! identity comes from one global atomic, so records from different
+//! threads can be correlated after the fact. A full ring overwrites its
+//! oldest record and counts the drop instead of blocking or growing —
+//! tracing must never apply backpressure to the simulation.
+//!
+//! Spans are RAII: [`Tracer::span`] returns a [`SpanGuard`] that
+//! records the interval when dropped. Nesting is tracked per thread —
+//! a span started while another is open becomes its child, which is
+//! what makes the Chrome export (see [`crate::export`]) render
+//! calibration solves nested inside shard execution. Zero-length
+//! *events* ([`Tracer::event`]) mark instants (pool request / publish /
+//! adopt hops) with the same parent correlation.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span (or instant event, when `end_ns == start_ns` and
+/// `is_event` is set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, 0 for roots.
+    pub parent: u64,
+    /// Static label (`"calibrate"`, `"fleet_shard"`, ...).
+    pub label: &'static str,
+    /// Start, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the tracer's epoch.
+    pub end_ns: u64,
+    /// Tracer-assigned thread index.
+    pub thread: u64,
+    /// Free numeric payload (cohort index, shard index, level size...).
+    pub arg: u64,
+    /// Whether this is an instant event rather than an interval.
+    pub is_event: bool,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    records: VecDeque<SpanRecord>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct ThreadRing {
+    thread: u64,
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl ThreadRing {
+    fn push(&self, record: SpanRecord) {
+        let mut state = self.state.lock().expect("span ring poisoned");
+        if state.records.len() == self.capacity {
+            state.records.pop_front();
+            state.dropped += 1;
+        }
+        state.records.push_back(record);
+    }
+}
+
+/// Per-thread recording context for one tracer: the ring plus the open
+/// span stack that tracks nesting.
+struct ThreadCtx {
+    tracer_id: usize,
+    ring: Arc<ThreadRing>,
+    stack: Vec<u64>,
+    tick: u32,
+}
+
+thread_local! {
+    /// Contexts for every tracer this thread has recorded into. A
+    /// linear scan — in practice one global tracer, plus short-lived
+    /// test instances.
+    static THREAD_CTXS: RefCell<Vec<ThreadCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Everything a [`Tracer::drain`] hands back.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDrain {
+    /// Records from every thread's ring, sorted by `(start_ns, id)`.
+    /// Each record appears in exactly one drain.
+    pub records: Vec<SpanRecord>,
+    /// Records lost to ring overwrites since the previous drain.
+    pub dropped: u64,
+}
+
+/// The span recorder (see the module docs).
+#[derive(Debug)]
+pub struct Tracer {
+    tracer_id: usize,
+    epoch: Instant,
+    capacity: usize,
+    next_span: AtomicU64,
+    next_thread: AtomicU64,
+    sample_every: AtomicU32,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+}
+
+/// Default per-thread ring capacity: at ~64 B a record, 64k spans keep
+/// a thread's ring around 4 MiB while comfortably holding every span of
+/// a 16k-device bench shard.
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+static NEXT_TRACER_ID: AtomicUsize = AtomicUsize::new(1);
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer whose per-thread rings hold `capacity` records each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Tracer {
+            tracer_id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            capacity,
+            next_span: AtomicU64::new(1),
+            next_thread: AtomicU64::new(0),
+            sample_every: AtomicU32::new(1),
+            rings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record every `every`-th span per thread (1 = all, the default;
+    /// 0 = none). Events follow the same ratio.
+    pub fn set_sample_every(&self, every: u32) {
+        self.sample_every.store(every, Ordering::Relaxed);
+    }
+
+    /// The configured sampling denominator.
+    pub fn sample_every(&self) -> u32 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this tracer was created.
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Run `f` with this thread's context, registering a fresh ring on
+    /// the thread's first record into this tracer.
+    fn with_ctx<R>(&self, f: impl FnOnce(&mut ThreadCtx) -> R) -> R {
+        THREAD_CTXS.with(|ctxs| {
+            let mut ctxs = ctxs.borrow_mut();
+            if let Some(ctx) = ctxs.iter_mut().find(|c| c.tracer_id == self.tracer_id) {
+                return f(ctx);
+            }
+            let ring = Arc::new(ThreadRing {
+                thread: self.next_thread.fetch_add(1, Ordering::Relaxed),
+                capacity: self.capacity,
+                state: Mutex::new(RingState::default()),
+            });
+            self.rings
+                .lock()
+                .expect("ring directory poisoned")
+                .push(Arc::clone(&ring));
+            ctxs.push(ThreadCtx {
+                tracer_id: self.tracer_id,
+                ring,
+                stack: Vec::new(),
+                tick: 0,
+            });
+            f(ctxs.last_mut().expect("just pushed"))
+        })
+    }
+
+    /// This thread's sampling decision: admit the record and advance the
+    /// per-thread tick.
+    fn sampled(&self, ctx: &mut ThreadCtx) -> bool {
+        let every = self.sample_every.load(Ordering::Relaxed);
+        if every == 0 {
+            return false;
+        }
+        let tick = ctx.tick;
+        ctx.tick = ctx.tick.wrapping_add(1);
+        tick.is_multiple_of(every)
+    }
+
+    /// Open a span. The returned guard records the interval when it
+    /// drops; `None` means the span was sampled out. Drop the guard on
+    /// the thread that opened it (it is `!Send`, so the compiler holds
+    /// you to that).
+    pub fn span(&self, label: &'static str, arg: u64) -> Option<SpanGuard> {
+        self.with_ctx(|ctx| {
+            if !self.sampled(ctx) {
+                return None;
+            }
+            let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+            let parent = ctx.stack.last().copied().unwrap_or(0);
+            ctx.stack.push(id);
+            Some(SpanGuard {
+                ring: Arc::clone(&ctx.ring),
+                tracer_id: self.tracer_id,
+                epoch: self.epoch,
+                id,
+                parent,
+                label,
+                arg,
+                start_ns: self.now_ns(),
+                _not_send: std::marker::PhantomData,
+            })
+        })
+    }
+
+    /// Record an instant event under the currently open span.
+    pub fn event(&self, label: &'static str, arg: u64) {
+        self.with_ctx(|ctx| {
+            if !self.sampled(ctx) {
+                return;
+            }
+            let now = self.now_ns();
+            let record = SpanRecord {
+                id: self.next_span.fetch_add(1, Ordering::Relaxed),
+                parent: ctx.stack.last().copied().unwrap_or(0),
+                label,
+                start_ns: now,
+                end_ns: now,
+                thread: ctx.ring.thread,
+                arg,
+                is_event: true,
+            };
+            ctx.ring.push(record);
+        });
+    }
+
+    /// Move every completed record out of every thread's ring. Each
+    /// record is returned by exactly one drain (rings are emptied under
+    /// their mutex); spans still open stay with their guard and appear
+    /// in a later drain.
+    pub fn drain(&self) -> TraceDrain {
+        let rings: Vec<Arc<ThreadRing>> = self
+            .rings
+            .lock()
+            .expect("ring directory poisoned")
+            .iter()
+            .map(Arc::clone)
+            .collect();
+        let mut out = TraceDrain::default();
+        for ring in rings {
+            let mut state = ring.state.lock().expect("span ring poisoned");
+            out.records.extend(state.records.drain(..));
+            out.dropped += std::mem::take(&mut state.dropped);
+        }
+        out.records.sort_by_key(|r| (r.start_ns, r.id));
+        out
+    }
+}
+
+/// RAII guard for an open span (see [`Tracer::span`]).
+#[must_use = "a span guard records its interval when dropped"]
+pub struct SpanGuard {
+    ring: Arc<ThreadRing>,
+    tracer_id: usize,
+    epoch: Instant,
+    id: u64,
+    parent: u64,
+    label: &'static str,
+    arg: u64,
+    start_ns: u64,
+    /// The open-span stack is thread-local; keep the guard on its
+    /// opening thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let end_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.ring.push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            label: self.label,
+            start_ns: self.start_ns,
+            end_ns: end_ns.max(self.start_ns),
+            thread: self.ring.thread,
+            arg: self.arg,
+            is_event: false,
+        });
+        THREAD_CTXS.with(|ctxs| {
+            let mut ctxs = ctxs.borrow_mut();
+            if let Some(ctx) = ctxs.iter_mut().find(|c| c.tracer_id == self.tracer_id) {
+                match ctx.stack.last() {
+                    Some(&top) if top == self.id => {
+                        ctx.stack.pop();
+                    }
+                    // Out-of-order drop (guards held across each other):
+                    // surgically remove this id, keep the rest nested.
+                    _ => ctx.stack.retain(|&open| open != self.id),
+                }
+            }
+        });
+    }
+}
+
+/// Check that a drained record set is well-formed: ids unique, every
+/// interval non-negative, and every non-root span contained in a parent
+/// on the same thread. Meaningful on drains with `dropped == 0` and all
+/// guards closed (a dropped or still-open parent is reported as
+/// missing).
+pub fn validate(records: &[SpanRecord]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut by_id: HashMap<u64, &SpanRecord> = HashMap::with_capacity(records.len());
+    for r in records {
+        if r.id == 0 {
+            return Err(format!("span {:?} uses the reserved id 0", r.label));
+        }
+        if r.end_ns < r.start_ns {
+            return Err(format!("span {} ({}) ends before it starts", r.id, r.label));
+        }
+        if by_id.insert(r.id, r).is_some() {
+            return Err(format!("span id {} appears twice", r.id));
+        }
+    }
+    for r in records {
+        if r.parent == 0 {
+            continue;
+        }
+        let Some(p) = by_id.get(&r.parent) else {
+            return Err(format!(
+                "span {} ({}) references missing parent {}",
+                r.id, r.label, r.parent
+            ));
+        };
+        if p.thread != r.thread {
+            return Err(format!(
+                "span {} ({}) is parented across threads ({} vs {})",
+                r.id, r.label, r.thread, p.thread
+            ));
+        }
+        if p.start_ns > r.start_ns || p.end_ns < r.end_ns {
+            return Err(format!(
+                "span {} ({}) [{}, {}] escapes parent {} [{}, {}]",
+                r.id, r.label, r.start_ns, r.end_ns, p.id, p.start_ns, p.end_ns
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_validate() {
+        let t = Tracer::new(128);
+        {
+            let _outer = t.span("outer", 1);
+            t.event("ping", 9);
+            {
+                let _inner = t.span("inner", 2);
+            }
+        }
+        let drain = t.drain();
+        assert_eq!(drain.dropped, 0);
+        assert_eq!(drain.records.len(), 3);
+        validate(&drain.records).expect("well-nested");
+        let outer = drain
+            .records
+            .iter()
+            .find(|r| r.label == "outer")
+            .expect("outer recorded");
+        let inner = drain
+            .records
+            .iter()
+            .find(|r| r.label == "inner")
+            .expect("inner recorded");
+        let ping = drain
+            .records
+            .iter()
+            .find(|r| r.label == "ping")
+            .expect("event recorded");
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(ping.parent, outer.id);
+        assert!(ping.is_event && ping.start_ns == ping.end_ns);
+        assert!(outer.start_ns <= inner.start_ns && outer.end_ns >= inner.end_ns);
+    }
+
+    #[test]
+    fn drain_is_move_not_copy() {
+        let t = Tracer::new(128);
+        {
+            let _s = t.span("once", 0);
+        }
+        assert_eq!(t.drain().records.len(), 1);
+        assert_eq!(t.drain().records.len(), 0, "second drain finds nothing");
+    }
+
+    #[test]
+    fn open_spans_stay_with_their_guard() {
+        let t = Tracer::new(128);
+        let open = t.span("open", 0);
+        {
+            let _closed = t.span("closed", 0);
+        }
+        let first = t.drain();
+        assert_eq!(first.records.len(), 1);
+        assert_eq!(first.records[0].label, "closed");
+        drop(open);
+        let second = t.drain();
+        assert_eq!(second.records.len(), 1);
+        assert_eq!(second.records[0].label, "open");
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let t = Tracer::new(4);
+        for i in 0..7u64 {
+            let _s = t.span("s", i);
+        }
+        let drain = t.drain();
+        assert_eq!(drain.records.len(), 4);
+        assert_eq!(drain.dropped, 3);
+        let args: Vec<u64> = drain.records.iter().map(|r| r.arg).collect();
+        assert_eq!(args, vec![3, 4, 5, 6], "oldest records were evicted");
+    }
+
+    #[test]
+    fn sampling_thins_spans() {
+        let t = Tracer::new(128);
+        t.set_sample_every(2);
+        for i in 0..10u64 {
+            let _s = t.span("s", i);
+        }
+        assert_eq!(t.drain().records.len(), 5);
+        t.set_sample_every(0);
+        for _ in 0..10 {
+            let _s = t.span("s", 0);
+        }
+        assert_eq!(t.drain().records.len(), 0, "0 disables recording");
+    }
+
+    #[test]
+    fn cross_thread_records_share_one_id_space() {
+        let t = std::sync::Arc::new(Tracer::new(128));
+        let mut handles = Vec::new();
+        for k in 0..4u64 {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let _s = t.span("worker", k);
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let drain = t.drain();
+        assert_eq!(drain.records.len(), 4);
+        validate(&drain.records).expect("distinct threads, distinct roots");
+        let mut ids: Vec<u64> = drain.records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "ids unique across threads");
+        let mut threads: Vec<u64> = drain.records.iter().map(|r| r.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        assert_eq!(threads.len(), 4, "each thread got its own ring");
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_orphans() {
+        let r1 = SpanRecord {
+            id: 1,
+            parent: 0,
+            label: "a",
+            start_ns: 0,
+            end_ns: 10,
+            thread: 0,
+            arg: 0,
+            is_event: false,
+        };
+        let dup = vec![r1.clone(), r1.clone()];
+        assert!(validate(&dup).is_err());
+        let orphan = vec![SpanRecord {
+            id: 2,
+            parent: 99,
+            ..r1.clone()
+        }];
+        assert!(validate(&orphan).is_err());
+        let escapes = vec![
+            r1.clone(),
+            SpanRecord {
+                id: 3,
+                parent: 1,
+                start_ns: 5,
+                end_ns: 20,
+                ..r1
+            },
+        ];
+        assert!(validate(&escapes).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Concurrency hammer for the observability substrate: the registry and
+//! tracer are hit simultaneously from the vendored-rayon worker pool
+//! (the fleet's sharding threads) *and* raw `std::thread`s (the
+//! calibration pool's workers), while a drainer races `Tracer::drain`
+//! against live recording. Totals must come out exact — a sharded
+//! counter that loses an increment or a drain that tears or duplicates
+//! a span record would silently corrupt the acceptance comparison
+//! against `ShardThroughput` ground truth.
+//!
+//! Everything here uses *local* `Registry` / `Tracer` instances so the
+//! tests stay independent of the feature-gated global hooks (and of
+//! each other under the parallel test runner).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use capman_obs::trace::validate;
+use capman_obs::{Registry, Tracer};
+use rayon::prelude::*;
+
+#[test]
+fn counters_are_exact_under_rayon_and_raw_threads() {
+    let registry = Arc::new(Registry::new());
+    let counter = registry.counter("hammer_total", "Concurrency hammer");
+    let gauge = registry.gauge("hammer_inflight", "Balanced add/sub");
+    let hist = registry.histogram("hammer_hist", "Observed values", &[10.0, 100.0, 1000.0]);
+
+    // Rayon arm: the fleet runner's access pattern — every chunk of a
+    // shared slice bumps the same metrics from whatever worker thread
+    // the chunk landed on.
+    const DEVICES: usize = 4096;
+    const CHUNK: usize = 64;
+    let mut fleet = vec![0u64; DEVICES];
+    {
+        let counter = Arc::clone(&counter);
+        let gauge = Arc::clone(&gauge);
+        let hist = Arc::clone(&hist);
+        fleet
+            .as_mut_slice()
+            .par_chunks_mut(CHUNK)
+            .enumerate()
+            .for_each(|i, chunk| {
+                for x in chunk.iter_mut() {
+                    *x = 1;
+                    counter.inc();
+                    hist.observe((i % 4) as f64 * 50.0);
+                }
+                gauge.add(1);
+                gauge.sub(1);
+            });
+    }
+
+    // Raw-thread arm: the calibration pool's access pattern — long-lived
+    // workers adding in bursts.
+    const WORKERS: usize = 8;
+    const BURSTS: u64 = 1000;
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let counter = Arc::clone(&counter);
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for j in 0..BURSTS {
+                    counter.add(2);
+                    hist.observe(j as f64);
+                }
+            });
+        }
+    });
+
+    assert_eq!(fleet.iter().sum::<u64>(), DEVICES as u64);
+    assert_eq!(
+        counter.value(),
+        DEVICES as u64 + WORKERS as u64 * BURSTS * 2,
+        "no increment may be lost across shards"
+    );
+    assert_eq!(gauge.value(), 0, "balanced add/sub must cancel exactly");
+    assert_eq!(hist.count(), DEVICES as u64 + WORKERS as u64 * BURSTS);
+    // Histogram sum is a CAS loop over f64 bits; every observation is an
+    // exact small integer, so the sum must be exact too.
+    let rayon_sum: f64 = (0..DEVICES / CHUNK)
+        .map(|i| (i % 4) as f64 * 50.0 * CHUNK as f64)
+        .sum();
+    let thread_sum: f64 = WORKERS as f64 * (0..BURSTS).map(|j| j as f64).sum::<f64>();
+    assert_eq!(hist.sum(), rayon_sum + thread_sum);
+}
+
+#[test]
+fn racing_drains_never_tear_or_duplicate_spans() {
+    let tracer = Arc::new(Tracer::new(1 << 16));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    const WRITERS: usize = 6;
+    const SPANS_PER_WRITER: u64 = 2000;
+
+    let drains = std::thread::scope(|scope| {
+        // Drainer races the writers, draining continuously.
+        let drainer = {
+            let tracer = Arc::clone(&tracer);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut collected = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    collected.push(tracer.drain());
+                    std::thread::yield_now();
+                }
+                collected
+            })
+        };
+        let writers: Vec<_> = (0..WRITERS as u64)
+            .map(|w| {
+                let tracer = Arc::clone(&tracer);
+                scope.spawn(move || {
+                    for i in 0..SPANS_PER_WRITER {
+                        let _outer = tracer.span("outer", w);
+                        tracer.event("tick", i);
+                        let _inner = tracer.span("inner", i);
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        drainer.join().expect("drainer panicked")
+    });
+
+    // One final drain catches anything recorded after the drainer's last
+    // sweep; all writers have finished, so every guard is closed.
+    let mut records = Vec::new();
+    let mut dropped = 0;
+    for d in drains.into_iter().chain(std::iter::once(tracer.drain())) {
+        dropped += d.dropped;
+        records.extend(d.records);
+    }
+    assert_eq!(dropped, 0, "rings were sized to hold everything");
+
+    // Exactly 3 records per (writer, iteration), each id exactly once
+    // across all racing drains: nothing torn, nothing duplicated.
+    let expected = WRITERS as u64 * SPANS_PER_WRITER * 3;
+    assert_eq!(records.len() as u64, expected);
+    let ids: HashSet<u64> = records.iter().map(|r| r.id).collect();
+    assert_eq!(ids.len() as u64, expected, "every span id is unique");
+    for label in ["outer", "inner", "tick"] {
+        assert_eq!(
+            records.iter().filter(|r| r.label == label).count() as u64,
+            WRITERS as u64 * SPANS_PER_WRITER,
+            "per-label totals exact for {label}"
+        );
+    }
+    // The union of racing drains is a complete, well-nested trace.
+    records.sort_by_key(|r| (r.start_ns, r.id));
+    validate(&records).expect("well-nested despite racing drains");
+}

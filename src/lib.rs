@@ -14,6 +14,9 @@
 //!   recursion.
 //! * [`core`] — the CAPMAN scheduler, baselines, simulator, and
 //!   experiment harness.
+//! * [`obs`] — the observability substrate: span tracer, metrics
+//!   registry, Chrome-trace/Prometheus exporters (instrumentation
+//!   compiles in with `--features obs`).
 //!
 //! # Quickstart
 //!
@@ -37,5 +40,6 @@ pub use capman_battery as battery;
 pub use capman_core as core;
 pub use capman_device as device;
 pub use capman_mdp as mdp;
+pub use capman_obs as obs;
 pub use capman_thermal as thermal;
 pub use capman_workload as workload;
