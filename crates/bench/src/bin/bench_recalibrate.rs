@@ -20,6 +20,7 @@ use std::time::Instant;
 
 use capman_bench::mdp_fixtures::{clustered_device_mdp, RECAL_THETAS};
 use capman_bench::perf_report::{RecalLevelRow, RecalReport, RecalRow};
+use capman_bench::trials::{self, SampleGroup};
 use capman_mdp::pipeline::{QuotientScratch, RecalibrationPipeline};
 use capman_mdp::value_iteration::Precision;
 use capman_mdp::ExecutionMode;
@@ -93,12 +94,12 @@ fn recal_row(n_states: usize, reps: usize, strict: bool) -> RecalRow {
         cold.total_sweeps()
     );
 
-    // --- Timing (interleaved reps, min) --------------------------------
-    let mut warm_ms = f64::INFINITY;
+    // --- Timing (interleaved reps, min headline + warm samples) --------
+    let mut warm_ms_samples = Vec::with_capacity(reps);
     let mut cold_ms = f64::INFINITY;
     let mut f32_ms = f64::INFINITY;
     for _ in 0..reps {
-        warm_ms = warm_ms.min(time_once_ms(|| {
+        warm_ms_samples.push(time_once_ms(|| {
             pipe.solve_with_scratch(&mdp, &sigma, &RECAL_THETAS, None, mode, &mut scratch)
         }));
         cold_ms = cold_ms.min(time_once_ms(|| {
@@ -108,6 +109,10 @@ fn recal_row(n_states: usize, reps: usize, strict: bool) -> RecalRow {
             pipe32.solve_with_scratch(&mdp, &sigma, &RECAL_THETAS, None, mode, &mut scratch)
         }));
     }
+    let warm_ms = warm_ms_samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     if strict {
         assert!(
             warm_ms < cold_ms,
@@ -141,6 +146,7 @@ fn recal_row(n_states: usize, reps: usize, strict: bool) -> RecalRow {
         warm_total_sweeps: warm.total_sweeps(),
         cold_total_sweeps: cold.total_sweeps(),
         warm_ms,
+        warm_ms_samples,
         cold_ms,
         f32_ms,
         f32_max_abs_err,
@@ -157,6 +163,11 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("BENCH_recalibrate.json")
         .to_string();
+    let trials_out = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     // Quick mode keeps the equivalence and sweep-count asserts but skips
     // the wall-clock assert: on a loaded CI box a 96-state timing can
@@ -201,4 +212,22 @@ fn main() {
 
     std::fs::write(&out_path, report.to_json()).expect("write BENCH_recalibrate.json");
     println!("\nwrote {out_path}");
+
+    if let Some(dir) = trials_out.as_deref() {
+        let groups: Vec<SampleGroup> = report
+            .rows
+            .iter()
+            .map(|row| {
+                SampleGroup::new(
+                    &format!("states-{}", row.states),
+                    "warm",
+                    "warm_ms",
+                    &row.warm_ms_samples,
+                )
+            })
+            .collect();
+        trials::emit(std::path::Path::new(dir), "bench_recalibrate", &groups)
+            .unwrap_or_else(|e| panic!("emit trials to {dir}: {e}"));
+        println!("wrote {dir} ({} sample groups)", groups.len());
+    }
 }

@@ -1,100 +1,67 @@
 //! Cross-PR perf regression gate over the committed `BENCH_*.json`
-//! reports.
+//! reports — statistically rigorous edition.
 //!
 //! ```text
-//! perf_gate <committed.json> <fresh.json> [--max-slowdown 1.30] [--min-ms 0.25]
+//! # File mode: committed baseline vs freshly regenerated report.
+//! perf_gate <committed.json> <fresh.json> [--alpha 0.05] [--min-effect 0.05]
+//!           [--max-slowdown 1.30] [--min-ms 0.25]
+//!
+//! # Live mode (no positionals): interleaved A/B arms in-process.
+//! perf_gate [--alpha 0.05] [--reps 10] [--ab-slowdown 1.0] [--ab-seed N]
 //! ```
 //!
-//! CI regenerates a benchmark report and compares it against the
-//! committed one **at matching fixture sizes**: if a gated metric
-//! slowed down by more than the allowed factor (default 1.30, i.e.
-//! >30%), the gate exits non-zero and prints the offending rows.
+//! In file mode, CI regenerates a benchmark report and compares it
+//! against the committed one at matching fixture sizes. Rows that carry
+//! per-rep sample arrays (`"<metric>_samples"`) get a one-sided Welch's
+//! t-test: FAIL only when the slowdown is statistically credible
+//! (`p < alpha`) *and* practically large (mean ratio above the
+//! `--min-effect` floor). Legacy rows without samples fall back to the
+//! old point-ratio rule against `--max-slowdown`. The gated metrics and
+//! floor semantics live in [`capman_bench::gate`].
 //!
-//! Gated metrics are the *serial* solver time (`csr_serial_ms`), the
-//! similarity engine time (`engine_ms`), the fleet's pooled wall
-//! time (`pool_wall_ms`, keyed by device count), and the fleet's p99
-//! calibration staleness (`staleness_p99_s`) — so observability-visible
-//! regressions (devices deciding from older calibrations) fail CI, not
-//! just throughput ones. The parallel solver time is reported but not
-//! gated — its variance on shared CI runners (core stealing, migration)
-//! swamps a 30% threshold. Rows whose committed time is below the
-//! `--min-ms` floor are skipped too: at sub-floor durations the timer
-//! and allocator noise exceed any real regression — except for metrics
-//! gated in [`GateMode::FloorAsBaseline`], where a sub-floor committed
-//! value is *good news* to defend, not noise to skip: the ratio is
-//! taken against `max(committed, floor)`, so a healthy 0.1 s baseline
-//! still catches a jump past `0.25 s x limit` while staying immune to
-//! bucket-resolution jitter below the floor. Fixture sizes present in
-//! only one file are reported and ignored.
+//! In live mode the binary measures its own baseline/candidate arms
+//! back-to-back (the serial CSR solver on the 512-state fixture),
+//! interleaved so machine load hits both arms alike, and judges them
+//! with the same machinery. `--ab-slowdown 1.0` is the A/A sanity
+//! check; `--ab-seed` swaps wall-clock timing for a seeded synthetic
+//! distribution so the check is deterministic.
 //!
-//! The gate **skips cleanly (exit 0)** instead of failing when it has
-//! nothing to compare: a missing committed or fresh report (a section
-//! landing before its first committed baseline), or two reports with no
-//! overlapping gated rows. A hard failure in those cases would force
-//! every new benchmark to land in lockstep with its CI wiring; a loud
-//! skip keeps the gate honest without the coupling.
+//! Exit codes: `0` pass or clean skip (missing report, no matched
+//! rows), `1` regression, `2` usage error, `3` a report **exists but is
+//! not valid JSON** — a corrupt baseline must not silently disable the
+//! gate.
 
-use capman_bench::perf_report::{parse_rows, row_value};
+use capman_bench::gate::{self, GateConfig, GateOutcome};
+use capman_bench::mdp_fixtures::{build_csr, device_like_transitions};
+use capman_mdp::value_iteration::solve_with_mode;
+use capman_mdp::ExecutionMode;
 
-/// How a gated metric treats committed values below the `--min-ms`
-/// noise floor.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum GateMode {
-    /// Skip sub-floor rows entirely (wall-time metrics: below the floor
-    /// the timer noise exceeds any real regression).
-    SkipBelowFloor,
-    /// Gate sub-floor rows against the floor itself: `ratio =
-    /// new / max(committed, floor)`. For metrics whose healthy value
-    /// sits *under* the floor (p99 staleness at bucket resolution),
-    /// skipping would disable the gate forever, while a raw ratio
-    /// against a near-zero baseline would flake on bucket jitter.
-    FloorAsBaseline,
-}
-
-/// A gated metric: `(section, key_field, metric, mode)`. Rows are
-/// matched across reports by the value of `key_field`. Units need not
-/// be milliseconds — `staleness_p99_s` is simulated seconds; the
-/// `--min-ms` floor is interpreted in the metric's own unit.
-const GATES: [(&str, &str, &str, GateMode); 4] = [
-    (
-        "solver",
-        "states",
-        "csr_serial_ms",
-        GateMode::SkipBelowFloor,
-    ),
-    (
-        "similarity",
-        "states",
-        "engine_ms",
-        GateMode::SkipBelowFloor,
-    ),
-    ("fleet", "devices", "pool_wall_ms", GateMode::SkipBelowFloor),
-    (
-        "fleet",
-        "devices",
-        "staleness_p99_s",
-        GateMode::FloorAsBaseline,
-    ),
-];
+const USAGE: &str = "usage: perf_gate <committed.json> <fresh.json> \
+     [--alpha 0.05] [--min-effect 0.05] [--max-slowdown 1.30] [--min-ms 0.25]\n\
+     \x20      perf_gate [--alpha 0.05] [--reps 10] [--ab-slowdown 1.0] [--ab-seed N]";
 
 struct Args {
-    committed: String,
-    fresh: String,
-    max_slowdown: f64,
-    min_ms: f64,
+    positional: Vec<String>,
+    cfg: GateConfig,
+    reps: usize,
+    ab_slowdown: f64,
+    ab_seed: Option<u64>,
 }
 
 fn parse_args() -> Args {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let flag = |name: &str, default: f64| -> f64 {
+    let value_of = |name: &str| -> Option<&String> {
         args.iter()
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1))
+    };
+    let flag = |name: &str, default: f64| -> f64 {
+        value_of(name)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
-    let positional: Vec<&String> = {
-        // Strip flag pairs to recover the two file paths.
+    let positional: Vec<String> = {
+        // Strip flag pairs to recover the file paths, if any.
         let mut skip_next = false;
         args.iter()
             .filter(|a| {
@@ -108,19 +75,21 @@ fn parse_args() -> Args {
                 }
                 true
             })
+            .cloned()
             .collect()
     };
-    if positional.len() != 2 {
-        eprintln!(
-            "usage: perf_gate <committed.json> <fresh.json> [--max-slowdown 1.30] [--min-ms 0.25]"
-        );
-        std::process::exit(2);
-    }
+    let defaults = GateConfig::default();
     Args {
-        committed: positional[0].clone(),
-        fresh: positional[1].clone(),
-        max_slowdown: flag("--max-slowdown", 1.30),
-        min_ms: flag("--min-ms", 0.25),
+        positional,
+        cfg: GateConfig {
+            alpha: flag("--alpha", defaults.alpha),
+            min_effect: flag("--min-effect", defaults.min_effect),
+            max_slowdown: flag("--max-slowdown", defaults.max_slowdown),
+            floor: flag("--min-ms", defaults.floor),
+        },
+        reps: flag("--reps", 10.0) as usize,
+        ab_slowdown: flag("--ab-slowdown", 1.0),
+        ab_seed: value_of("--ab-seed").and_then(|v| v.parse().ok()),
     }
 }
 
@@ -136,80 +105,87 @@ fn read_or_skip(path: &str, role: &str) -> String {
     }
 }
 
-fn main() {
-    let args = parse_args();
-    let committed = read_or_skip(&args.committed, "committed");
-    let fresh = read_or_skip(&args.fresh, "fresh");
-
-    let mut failures = 0usize;
-    let mut compared = 0usize;
-    for (section, key_field, metric, mode) in GATES {
-        let old_rows = parse_rows(&committed, section);
-        let new_rows = parse_rows(&fresh, section);
-        if old_rows.is_empty() || new_rows.is_empty() {
-            println!(
-                "{section}: absent from {} report, skipped",
-                if old_rows.is_empty() {
-                    "committed"
-                } else {
-                    "fresh"
-                }
-            );
-            continue;
-        }
-        for old in &old_rows {
-            let Some(key) = row_value(old, key_field) else {
-                continue;
-            };
-            let Some(new) = new_rows
-                .iter()
-                .find(|r| row_value(r, key_field) == Some(key))
-            else {
-                println!("{section}/{key_field}={key}: only in committed report, skipped");
-                continue;
-            };
-            let (Some(old_ms), Some(new_ms)) = (row_value(old, metric), row_value(new, metric))
-            else {
-                continue;
-            };
-            if old_ms < args.min_ms && mode == GateMode::SkipBelowFloor {
-                println!(
-                    "{section}/{key_field}={key} {metric}: committed {old_ms:.3} below the \
-                     {:.2} noise floor, skipped",
-                    args.min_ms
-                );
-                continue;
-            }
-            compared += 1;
-            // FloorAsBaseline rows divide by at least the floor, so a
-            // sub-floor baseline cannot amplify bucket jitter into a
-            // failure but a genuine jump past floor x limit still trips.
-            let ratio = new_ms / old_ms.max(args.min_ms);
-            let verdict = if ratio > args.max_slowdown {
-                failures += 1;
-                "REGRESSION"
-            } else {
-                "ok"
-            };
-            println!(
-                "{section}/{key_field}={key} {metric}: {old_ms:.3} -> {new_ms:.3} \
-                 ({ratio:.2}x, limit {:.2}x) {verdict}",
-                args.max_slowdown
-            );
-        }
+fn print_outcome(outcome: &GateOutcome) {
+    for note in &outcome.notes {
+        println!("{note}");
     }
+    for row in &outcome.rows {
+        println!("{}: {} {}", row.context, row.detail, row.verdict.label());
+    }
+}
 
-    if compared == 0 {
-        println!(
-            "perf_gate: SKIP — no gated rows matched between {} and {} \
-             (new report shape, or disjoint fixture sizes); nothing to gate",
-            args.committed, args.fresh
-        );
+fn finish(outcome: &GateOutcome, skip_note: Option<String>) -> ! {
+    print_outcome(outcome);
+    if outcome.compared == 0 {
+        if let Some(note) = skip_note {
+            println!("{note}");
+        }
         std::process::exit(0);
     }
-    if failures > 0 {
-        eprintln!("perf_gate: {failures} gated metric(s) regressed");
+    if outcome.failures > 0 {
+        eprintln!("perf_gate: {} gated metric(s) regressed", outcome.failures);
         std::process::exit(1);
     }
-    println!("perf_gate: all {compared} gated metrics within limits");
+    println!(
+        "perf_gate: all {} gated metrics within limits",
+        outcome.compared
+    );
+    std::process::exit(0);
+}
+
+/// Live-mode sampler: one serial CSR solve of the 512-state device
+/// fixture, milliseconds.
+fn solver_sampler() -> impl FnMut() -> f64 {
+    const STATES: usize = 512;
+    let csr = build_csr(STATES, &device_like_transitions(STATES, 42));
+    move || {
+        let t0 = std::time::Instant::now();
+        let out = solve_with_mode(&csr, 0.95, 1e-9, ExecutionMode::Serial);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        drop(out);
+        ms
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.positional.len() {
+        0 => {
+            if args.reps < 2 {
+                eprintln!("perf_gate: live mode needs --reps >= 2");
+                std::process::exit(2);
+            }
+            let outcome = match args.ab_seed {
+                Some(seed) => gate::live_ab(
+                    args.reps,
+                    args.ab_slowdown,
+                    &args.cfg,
+                    gate::synthetic_sampler(seed),
+                ),
+                None => gate::live_ab(args.reps, args.ab_slowdown, &args.cfg, solver_sampler()),
+            };
+            finish(&outcome, None);
+        }
+        2 => {
+            let committed = read_or_skip(&args.positional[0], "committed");
+            let fresh = read_or_skip(&args.positional[1], "fresh");
+            let outcome = match gate::evaluate_reports(&committed, &fresh, &args.cfg) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    eprintln!("perf_gate: CORRUPT — {e}");
+                    std::process::exit(3);
+                }
+            };
+            let skip = format!(
+                "perf_gate: SKIP — no gated rows matched between {} and {} \
+                 (new report shape, or disjoint fixture sizes); nothing to gate",
+                args.positional[0], args.positional[1]
+            );
+            finish(&outcome, Some(skip));
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
 }

@@ -10,8 +10,10 @@ use capman_core::metrics::Outcome;
 use capman_device::phone::PhoneProfile;
 use capman_workload::WorkloadKind;
 
+pub mod gate;
 pub mod mdp_fixtures;
 pub mod perf_report;
+pub mod trials;
 
 /// A reduced-horizon configuration for bench iterations.
 pub fn short_config(kind: PolicyKind, horizon_s: f64) -> SimConfig {

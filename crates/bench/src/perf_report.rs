@@ -36,6 +36,10 @@ pub struct SolverRow {
     pub csr_serial_ms: f64,
     /// CSR solver, parallel schedule, milliseconds.
     pub csr_parallel_ms: f64,
+    /// Every serial-CSR rep, milliseconds — the per-rep distribution
+    /// the statistical perf gate runs Welch's t-test over (empty in
+    /// reports predating the samples schema).
+    pub csr_serial_ms_samples: Vec<f64>,
 }
 
 impl SolverRow {
@@ -61,6 +65,8 @@ pub struct SimilarityRow {
     pub reference_ms: f64,
     /// Parallel memoized engine wall time, milliseconds.
     pub engine_ms: f64,
+    /// Every engine rep, milliseconds (Welch's t-test input).
+    pub engine_ms_samples: Vec<f64>,
 }
 
 impl SimilarityRow {
@@ -87,6 +93,25 @@ fn push_f64(out: &mut String, key: &str, value: f64, trailing: bool) {
     out.push_str(if trailing { ",\n" } else { "\n" });
 }
 
+/// Emit a per-rep sample array. Omitted entirely when empty so reports
+/// from `--reps 1`-era tooling keep their exact legacy shape; the flat
+/// `parse_rows` extractor skips nested arrays either way, so only the
+/// statistical gate sees these.
+fn push_samples(out: &mut String, key: &str, samples: &[f64], trailing: bool) {
+    if samples.is_empty() {
+        return;
+    }
+    let _ = write!(out, "      \"{key}\": [");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{s:.4}");
+    }
+    out.push(']');
+    out.push_str(if trailing { ",\n" } else { "\n" });
+}
+
 impl PerfReport {
     /// Render the report as JSON.
     pub fn to_json(&self) -> String {
@@ -107,6 +132,12 @@ impl PerfReport {
             push_f64(&mut out, "nested_gauss_seidel_ms", row.nested_ms, true);
             push_f64(&mut out, "csr_serial_ms", row.csr_serial_ms, true);
             push_f64(&mut out, "csr_parallel_ms", row.csr_parallel_ms, true);
+            push_samples(
+                &mut out,
+                "csr_serial_ms_samples",
+                &row.csr_serial_ms_samples,
+                true,
+            );
             push_f64(&mut out, "speedup_serial", row.speedup_serial(), true);
             push_f64(&mut out, "speedup_parallel", row.speedup_parallel(), false);
             out.push_str(if i + 1 < self.solver.len() {
@@ -122,6 +153,7 @@ impl PerfReport {
             let _ = writeln!(out, "      \"states\": {},", row.states);
             push_f64(&mut out, "reference_ms", row.reference_ms, true);
             push_f64(&mut out, "engine_ms", row.engine_ms, true);
+            push_samples(&mut out, "engine_ms_samples", &row.engine_ms_samples, true);
             push_f64(&mut out, "speedup", row.speedup(), false);
             out.push_str(if i + 1 < self.similarity.len() {
                 "    },\n"
@@ -168,6 +200,8 @@ pub struct RecalRow {
     pub cold_total_sweeps: usize,
     /// Warm pipeline wall time, milliseconds (min over reps).
     pub warm_ms: f64,
+    /// Every warm-pipeline rep, milliseconds (Welch's t-test input).
+    pub warm_ms_samples: Vec<f64>,
     /// Cold baseline wall time, milliseconds (min over reps).
     pub cold_ms: f64,
     /// Warm pipeline with the f32 kernel, milliseconds.
@@ -255,6 +289,7 @@ impl RecalReport {
                 row.cold_total_sweeps
             );
             push_f64(&mut out, "warm_ms", row.warm_ms, true);
+            push_samples(&mut out, "warm_ms_samples", &row.warm_ms_samples, true);
             push_f64(&mut out, "cold_ms", row.cold_ms, true);
             push_f64(&mut out, "f32_ms", row.f32_ms, true);
             let _ = writeln!(out, "      \"f32_max_abs_err\": {:e},", row.f32_max_abs_err);
@@ -287,6 +322,9 @@ pub struct FleetRow {
     pub inline_wall_ms: f64,
     /// Wall time with the async calibration pool, milliseconds.
     pub pool_wall_ms: f64,
+    /// Every pooled-mode rep, milliseconds (Welch's t-test input;
+    /// one-element when the ladder runs with `--reps 1`).
+    pub pool_wall_ms_samples: Vec<f64>,
     /// Calibrations run inline (one per device per due interval).
     pub inline_recalibrations: u64,
     /// Pool solves actually executed (after cohort coalescing).
@@ -303,6 +341,8 @@ pub struct FleetRow {
     pub staleness_p95_s: f64,
     /// 99th-percentile staleness, simulated seconds.
     pub staleness_p99_s: f64,
+    /// Per-rep p99 staleness, simulated seconds (Welch's t-test input).
+    pub staleness_p99_s_samples: Vec<f64>,
     /// Largest staleness observed, simulated seconds.
     pub staleness_max_s: f64,
     /// Median battery lifetime across the fleet, seconds (pool mode).
@@ -367,6 +407,12 @@ impl FleetReport {
             let _ = writeln!(out, "      \"ticks\": {},", row.ticks);
             push_f64(&mut out, "inline_wall_ms", row.inline_wall_ms, true);
             push_f64(&mut out, "pool_wall_ms", row.pool_wall_ms, true);
+            push_samples(
+                &mut out,
+                "pool_wall_ms_samples",
+                &row.pool_wall_ms_samples,
+                true,
+            );
             push_f64(
                 &mut out,
                 "inline_devices_per_s",
@@ -392,6 +438,12 @@ impl FleetReport {
             push_f64(&mut out, "staleness_p50_s", row.staleness_p50_s, true);
             push_f64(&mut out, "staleness_p95_s", row.staleness_p95_s, true);
             push_f64(&mut out, "staleness_p99_s", row.staleness_p99_s, true);
+            push_samples(
+                &mut out,
+                "staleness_p99_s_samples",
+                &row.staleness_p99_s_samples,
+                true,
+            );
             push_f64(&mut out, "staleness_max_s", row.staleness_max_s, true);
             push_f64(&mut out, "lifetime_p50_s", row.lifetime_p50_s, true);
             push_f64(&mut out, "hotspot_p95_c", row.hotspot_p95_c, false);
@@ -591,17 +643,24 @@ mod tests {
                 nested_ms: 9.0,
                 csr_serial_ms: 3.0,
                 csr_parallel_ms: 3.0,
+                csr_serial_ms_samples: vec![3.1, 2.9, 3.0],
             }],
             similarity: vec![SimilarityRow {
                 states: 256,
                 reference_ms: 100.0,
                 engine_ms: 10.0,
+                engine_ms_samples: Vec::new(),
             }],
         };
         let json = report.to_json();
         assert!(json.contains("\"states\": 512"));
         assert!(json.contains("\"speedup_serial\": 3.0000"));
         assert!(json.contains("\"speedup\": 10.0000"));
+        assert!(json.contains("\"csr_serial_ms_samples\": [3.1000, 2.9000, 3.0000]"));
+        assert!(
+            !json.contains("engine_ms_samples"),
+            "empty sample sets are omitted for legacy-report parity"
+        );
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(
@@ -640,6 +699,7 @@ mod tests {
                 warm_total_sweeps: 465,
                 cold_total_sweeps: 1160,
                 warm_ms: 1.0,
+                warm_ms_samples: vec![1.0, 1.2],
                 cold_ms: 2.5,
                 f32_ms: 0.8,
                 f32_max_abs_err: 3.0e-4,
@@ -671,6 +731,7 @@ mod tests {
                     nested_ms: 4.0,
                     csr_serial_ms: 1.5,
                     csr_parallel_ms: 1.0,
+                    csr_serial_ms_samples: Vec::new(),
                 },
                 SolverRow {
                     states: 512,
@@ -680,12 +741,14 @@ mod tests {
                     nested_ms: 9.0,
                     csr_serial_ms: 3.0,
                     csr_parallel_ms: 2.0,
+                    csr_serial_ms_samples: vec![3.2, 3.0, 3.1],
                 },
             ],
             similarity: vec![SimilarityRow {
                 states: 256,
                 reference_ms: 100.0,
                 engine_ms: 10.0,
+                engine_ms_samples: vec![10.0, 10.5],
             }],
         };
         let json = report.to_json();
@@ -694,6 +757,11 @@ mod tests {
         assert_eq!(row_value(&solver[0], "states"), Some(128.0));
         assert_eq!(row_value(&solver[1], "states"), Some(512.0));
         assert_eq!(row_value(&solver[1], "csr_serial_ms"), Some(3.0));
+        assert_eq!(
+            row_value(&solver[1], "csr_serial_ms_samples"),
+            None,
+            "sample arrays stay out of the flat rows"
+        );
         let similarity = parse_rows(&json, "similarity");
         assert_eq!(similarity.len(), 1);
         assert_eq!(row_value(&similarity[0], "engine_ms"), Some(10.0));
@@ -713,6 +781,7 @@ mod tests {
                 ticks: 1_536_000,
                 inline_wall_ms: 8000.0,
                 pool_wall_ms: 2000.0,
+                pool_wall_ms_samples: vec![2000.0, 2080.0, 2040.0],
                 inline_recalibrations: 2048,
                 pool_completed: 4,
                 pool_submitted: 2048,
@@ -721,6 +790,7 @@ mod tests {
                 staleness_p50_s: 0.0,
                 staleness_p95_s: 12.0,
                 staleness_p99_s: 40.0,
+                staleness_p99_s_samples: vec![40.0, 42.0],
                 staleness_max_s: 300.0,
                 lifetime_p50_s: 1500.0,
                 hotspot_p95_c: 41.5,
@@ -747,6 +817,7 @@ mod tests {
             nested_ms: 0.0,
             csr_serial_ms: 0.0,
             csr_parallel_ms: 0.0,
+            csr_serial_ms_samples: Vec::new(),
         };
         assert_eq!(solver.speedup_serial(), 0.0);
         assert_eq!(solver.speedup_parallel(), 0.0);
@@ -754,6 +825,7 @@ mod tests {
             states: 0,
             reference_ms: 5.0,
             engine_ms: 0.0,
+            engine_ms_samples: Vec::new(),
         };
         assert_eq!(similarity.speedup(), 0.0);
         let recal = RecalRow {
@@ -766,6 +838,7 @@ mod tests {
             warm_total_sweeps: 0,
             cold_total_sweeps: 0,
             warm_ms: 0.0,
+            warm_ms_samples: Vec::new(),
             cold_ms: 7.0,
             f32_ms: 0.0,
             f32_max_abs_err: 0.0,
@@ -778,6 +851,7 @@ mod tests {
             ticks: 0,
             inline_wall_ms: 0.0,
             pool_wall_ms: 0.0,
+            pool_wall_ms_samples: Vec::new(),
             inline_recalibrations: 0,
             pool_completed: 0,
             pool_submitted: 0,
@@ -786,6 +860,7 @@ mod tests {
             staleness_p50_s: 0.0,
             staleness_p95_s: 0.0,
             staleness_p99_s: 0.0,
+            staleness_p99_s_samples: Vec::new(),
             staleness_max_s: 0.0,
             lifetime_p50_s: 0.0,
             hotspot_p95_c: 0.0,

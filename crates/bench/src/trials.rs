@@ -1,0 +1,109 @@
+//! Bridge from bench measurements to lab trials (`--trials DIR`).
+//!
+//! Every `bench_*` binary can re-emit its per-rep samples in the
+//! experiment harness's `result.json` schema: one trial per (fixture ×
+//! metric arm × rep), plus the aggregated `analysis.json` table. That
+//! puts hand-rolled benchmarks and declarative sweeps in the same
+//! on-disk shape, so the same tooling diffs either.
+
+use std::path::Path;
+
+use capman_lab::{write_results, AnalysisTable, TrialOutcome, TrialResult};
+
+/// One emission group: a fixture (the task), a metric arm (the
+/// variant), and its per-rep samples.
+#[derive(Debug, Clone)]
+pub struct SampleGroup {
+    /// Task id, e.g. `states-512`.
+    pub task_id: String,
+    /// Variant name, e.g. `csr_serial`.
+    pub variant: String,
+    /// Objective name carried into each trial, e.g. `csr_serial_ms`.
+    pub objective_name: String,
+    /// One objective value per rep, in rep order.
+    pub samples: Vec<f64>,
+}
+
+impl SampleGroup {
+    /// Build a group from a metric's rep samples.
+    pub fn new(task_id: &str, variant: &str, objective_name: &str, samples: &[f64]) -> SampleGroup {
+        SampleGroup {
+            task_id: task_id.to_string(),
+            variant: variant.to_string(),
+            objective_name: objective_name.to_string(),
+            samples: samples.to_vec(),
+        }
+    }
+}
+
+/// Expand groups into one [`TrialResult`] per rep.
+pub fn to_trials(groups: &[SampleGroup]) -> Vec<TrialResult> {
+    let mut trials = Vec::new();
+    for g in groups {
+        for (rep, &value) in g.samples.iter().enumerate() {
+            trials.push(TrialResult {
+                trial_id: format!("{}-{}-r{rep:02}", g.task_id, g.variant),
+                task_id: g.task_id.clone(),
+                variant: g.variant.clone(),
+                rep,
+                seed: rep as u64,
+                outcome: TrialOutcome::Success,
+                objective_name: g.objective_name.clone(),
+                objective: value,
+                metrics: Vec::new(),
+            });
+        }
+    }
+    trials
+}
+
+/// Write `trials/<id>/result.json` per rep plus `analysis.json` under
+/// `dir`. Groups with no samples contribute nothing.
+pub fn emit(dir: &Path, experiment: &str, groups: &[SampleGroup]) -> Result<(), String> {
+    let trials = to_trials(groups);
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    write_results(&trials, dir)?;
+    let table = AnalysisTable::from_trials(experiment, &trials);
+    let path = dir.join("analysis.json");
+    std::fs::write(&path, table.to_json().to_pretty())
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_expand_to_one_trial_per_rep() {
+        let groups = vec![
+            SampleGroup::new("states-512", "csr_serial", "csr_serial_ms", &[3.0, 3.2]),
+            SampleGroup::new("states-512", "nested", "nested_ms", &[9.0]),
+        ];
+        let trials = to_trials(&groups);
+        assert_eq!(trials.len(), 3);
+        assert_eq!(trials[0].trial_id, "states-512-csr_serial-r00");
+        assert_eq!(trials[1].rep, 1);
+        assert_eq!(trials[2].variant, "nested");
+        assert_eq!(trials[2].objective, 9.0);
+    }
+
+    #[test]
+    fn emit_round_trips_through_the_lab_reader() {
+        let dir = std::env::temp_dir().join(format!("capman-trials-{}", std::process::id()));
+        let groups = vec![SampleGroup::new(
+            "states-64",
+            "engine",
+            "engine_ms",
+            &[1.5, 1.7],
+        )];
+        emit(&dir, "bench_mdp", &groups).expect("emit");
+        let back = capman_lab::read_results(&dir).expect("read back");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].task_id, "states-64");
+        let analysis = std::fs::read_to_string(dir.join("analysis.json")).expect("analysis");
+        let doc = capman_lab::json::parse(&analysis).expect("valid JSON");
+        assert_eq!(doc.str("experiment"), Some("bench_mdp"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

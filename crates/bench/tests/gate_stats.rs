@@ -1,0 +1,97 @@
+//! Statistical self-tests for the gate's verdict machinery: seeded
+//! synthetic timing distributions pushed through the same Welch test
+//! and judge the CI gate runs.
+//!
+//! * Under the null (A/A), the raw false-positive rate must sit in a
+//!   binomial tolerance band around `alpha`, and the full gate verdict
+//!   (which adds the practical-effect floor) must fail *less* often.
+//! * Under a 2x shift at n = 10 reps per arm, the gate must fail every
+//!   time — the power regime CI relies on.
+
+use capman_bench::gate::{judge, GateConfig, RowVerdict};
+use capman_lab::stats::{mean, welch_t_test};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Box–Muller normal draw.
+fn normal(rng: &mut StdRng, mu: f64, sd: f64) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mu + sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn arm(rng: &mut StdRng, n: usize, mu: f64, sd: f64) -> Vec<f64> {
+    (0..n).map(|_| normal(rng, mu, sd)).collect()
+}
+
+#[test]
+fn aa_false_positive_rate_stays_in_the_alpha_band() {
+    let cfg = GateConfig::default();
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let trials = 400;
+    let mut significant = 0usize;
+    let mut gate_fails = 0usize;
+    for _ in 0..trials {
+        let a = arm(&mut rng, 10, 100.0, 5.0);
+        let b = arm(&mut rng, 10, 100.0, 5.0);
+        let w = welch_t_test(&a, &b).expect("10 samples per arm");
+        if w.p_greater < cfg.alpha {
+            significant += 1;
+        }
+        if judge(mean(&a), mean(&b), &a, &b, &cfg).0 == RowVerdict::Fail {
+            gate_fails += 1;
+        }
+    }
+    // E[significant] = 400 * 0.05 = 20, sd = sqrt(400 * .05 * .95) ≈ 4.4;
+    // [6, 38] is a ±~3.2 sd band — loose enough to be seed-stable, tight
+    // enough to catch a mis-calibrated CDF (e.g. a two-sided p) outright.
+    assert!(
+        (6..=38).contains(&significant),
+        "A/A raw significance count {significant}/400 is outside the alpha=0.05 band"
+    );
+    // The min-effect floor only ever removes failures.
+    assert!(
+        gate_fails <= significant,
+        "the practical floor must not add failures ({gate_fails} > {significant})"
+    );
+    // With sd=5 and n=10 the floor (5% of 100 ms) sits ~2.2 se out, so
+    // the gate's own A/A failure rate is pushed well below alpha.
+    assert!(
+        gate_fails <= 16,
+        "gate A/A failure count {gate_fails}/400 too high for alpha=0.05 + 5% floor"
+    );
+}
+
+#[test]
+fn a_2x_shift_is_detected_every_time_at_n10() {
+    let cfg = GateConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xB16B00);
+    for trial in 0..100 {
+        let a = arm(&mut rng, 10, 100.0, 5.0);
+        let b = arm(&mut rng, 10, 200.0, 10.0);
+        let (verdict, detail) = judge(mean(&a), mean(&b), &a, &b, &cfg);
+        assert_eq!(
+            verdict,
+            RowVerdict::Fail,
+            "trial {trial}: a 2x shift must fail the gate — {detail}"
+        );
+    }
+}
+
+#[test]
+fn a_2x_speedup_never_fails() {
+    // Symmetry check on the one-sidedness: big *improvements* must not
+    // trip a slowdown gate no matter how significant they are.
+    let cfg = GateConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xFA57);
+    for trial in 0..100 {
+        let a = arm(&mut rng, 10, 100.0, 5.0);
+        let b = arm(&mut rng, 10, 50.0, 2.5);
+        let (verdict, detail) = judge(mean(&a), mean(&b), &a, &b, &cfg);
+        assert_eq!(
+            verdict,
+            RowVerdict::Pass,
+            "trial {trial}: an improvement failed the gate — {detail}"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! The committed `examples/lab/fig12` experiment must reproduce the
+//! evaluation's own Fig. 12 numbers: running the sweep through
+//! `experiment.yaml` + `tasks.jsonl` and reading the emitted
+//! `result.json` trials back yields exactly the outcomes the direct
+//! `Scenario` grid produces — bit-for-bit f64 equality, no tolerance.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use capman_core::config::SimConfig;
+use capman_core::experiments::PolicyKind;
+use capman_core::scenario::{Scenario, ScenarioRunner};
+use capman_device::phone::PhoneProfile;
+use capman_lab::{read_results, run_to_dir, AnalysisTable, ExperimentSpec, Task, TrialOutcome};
+use capman_workload::WorkloadKind;
+
+fn example_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/lab")
+        .join(name)
+}
+
+fn load(name: &str) -> (ExperimentSpec, Vec<Task>) {
+    let dir = example_dir(name);
+    let yaml = fs::read_to_string(dir.join("experiment.yaml")).expect("committed experiment.yaml");
+    let jsonl = fs::read_to_string(dir.join("tasks.jsonl")).expect("committed tasks.jsonl");
+    (
+        ExperimentSpec::from_yaml(&yaml).expect("spec parses"),
+        Task::from_jsonl(&jsonl).expect("tasks parse"),
+    )
+}
+
+#[test]
+fn the_committed_fig12_example_reproduces_the_direct_grid_exactly() {
+    let (spec, tasks) = load("fig12");
+    assert_eq!(spec.name, "fig12");
+    assert_eq!(spec.variants.len(), PolicyKind::ALL.len());
+    assert_eq!(tasks.len(), WorkloadKind::fig12().len());
+
+    let out = std::env::temp_dir().join(format!("capman-lab-fig12-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out);
+    run_to_dir(&spec, &tasks, &out).expect("sweep runs");
+    let trials = read_results(&out).expect("emitted result.json trials read back");
+    assert_eq!(trials.len(), 30, "6 workloads x 5 policies x 1 rep");
+
+    // The same grid, built the way the evaluation builds it: the
+    // default config per policy (TEC iff the policy drives one) at the
+    // example's compressed horizon, one ScenarioRunner batch.
+    let horizon = spec.horizon_s.expect("example pins a horizon");
+    let scenarios: Vec<Scenario> = WorkloadKind::fig12()
+        .iter()
+        .flat_map(|&workload| {
+            PolicyKind::ALL.iter().map(move |&kind| {
+                let mut config = if kind.has_tec() {
+                    SimConfig::paper_with_tec()
+                } else {
+                    SimConfig::paper()
+                };
+                config.max_horizon_s = horizon;
+                Scenario::new(kind, workload, PhoneProfile::nexus(), 42, config)
+            })
+        })
+        .collect();
+    let direct = ScenarioRunner::new().run(&scenarios);
+
+    // read_results sorts by trial id, which matches plan order here
+    // (tasks outermost, variants inner) — the same row-major layout as
+    // the direct grid. Objectives must agree exactly.
+    for (trial, outcome) in trials.iter().zip(&direct) {
+        assert_eq!(
+            trial.objective, outcome.service_time_s,
+            "{}: sweep objective diverged from the direct scenario run",
+            trial.trial_id
+        );
+        assert_eq!(trial.objective_name, "service_time_s");
+        assert_eq!(trial.seed, 42, "no per-task seed, single rep");
+        assert_eq!(
+            trial.metric("work_served"),
+            Some(outcome.work_served),
+            "{}: secondary metrics must reproduce too",
+            trial.trial_id
+        );
+    }
+    // Variant labels line up with figure order.
+    assert_eq!(trials[0].variant, "oracle");
+    assert_eq!(trials[1].variant, "capman");
+    assert_eq!(trials[4].variant, "practice");
+
+    // The aggregation the CI artifact is built from stays consistent
+    // with the raw trials: one row per (task, variant), n = 1.
+    let table = AnalysisTable::from_trials(&spec.name, &trials);
+    assert_eq!(table.rows.len(), 30);
+    assert!(table.rows.iter().all(|r| r.n == 1));
+
+    let _ = fs::remove_dir_all(&out);
+}
+
+#[test]
+fn the_committed_smoke_example_runs_end_to_end() {
+    let (spec, tasks) = load("smoke");
+    let cells = capman_lab::plan(&spec, &tasks);
+    assert_eq!(cells.len(), 2, "the CI smoke sweep is exactly two cells");
+
+    let out = std::env::temp_dir().join(format!("capman-lab-smoke-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&out);
+    let results = run_to_dir(&spec, &tasks, &out).expect("sweep runs");
+    assert_eq!(results.len(), 2);
+    assert!(
+        results
+            .iter()
+            .all(|r| matches!(r.outcome, TrialOutcome::Success | TrialOutcome::Failure)),
+        "smoke trials must execute, not error"
+    );
+    assert!(results.iter().all(|r| r.objective > 0.0));
+    assert!(out.join("experiment.json").exists());
+    assert!(out.join("trials/t000-v00-r00/result.json").exists());
+    let _ = fs::remove_dir_all(&out);
+}

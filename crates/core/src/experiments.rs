@@ -64,6 +64,18 @@ impl PolicyKind {
     pub fn has_tec(self) -> bool {
         matches!(self, PolicyKind::Capman | PolicyKind::Oracle)
     }
+
+    /// Parse a policy by its figure label, case-insensitively — the form
+    /// experiment variants name policies in (`policy: CAPMAN`).
+    pub fn parse(name: &str) -> Result<PolicyKind, String> {
+        let name = name.trim();
+        PolicyKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                format!("unknown policy {name:?} (expected one of Oracle, CAPMAN, Heuristic, Dual, Practice)")
+            })
+    }
 }
 
 /// The original phone's stock battery capacity, ampere-hours (Nexus 6
@@ -518,6 +530,15 @@ mod tests {
             points[1].tec_on_s,
             points[0].tec_on_s
         );
+    }
+
+    #[test]
+    fn policy_parse_round_trips_every_label() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.label()), Ok(kind));
+            assert_eq!(PolicyKind::parse(&kind.label().to_lowercase()), Ok(kind));
+        }
+        assert!(PolicyKind::parse("fifo").is_err());
     }
 
     #[test]

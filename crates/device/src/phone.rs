@@ -70,6 +70,14 @@ impl PhoneProfile {
         ]
     }
 
+    /// Look a phone up by its figure name, case-insensitively — the form
+    /// experiment datasets name phones in (`"phone": "Nexus"`).
+    pub fn by_name(name: &str) -> Option<PhoneProfile> {
+        PhoneProfile::all()
+            .into_iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
     /// The calibrated power model for this phone.
     pub fn power_model(&self) -> PowerModel {
         PowerModel::calibrated(self.freqs_mhz.len(), self.power_scale)

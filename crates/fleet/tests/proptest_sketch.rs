@@ -1,0 +1,86 @@
+//! Property tests for [`QuantileSketch`] merge — the operation the
+//! sharded fleet runner leans on when it folds per-shard telemetry into
+//! one aggregate. Two laws:
+//!
+//! 1. **Order-insensitivity**: merging any partition of a sample set,
+//!    in any order, reads identically to a single sketch that saw every
+//!    sample directly.
+//! 2. **Boundedness**: a merged quantile stays within one bin width of
+//!    the exact pooled-sample order statistic, and inside the observed
+//!    `[min, max]`.
+
+use capman_fleet::QuantileSketch;
+use proptest::prelude::*;
+
+const LO: f64 = 0.0;
+const HI: f64 = 100.0;
+const BINS: usize = 32;
+const BIN_WIDTH: f64 = (HI - LO) / BINS as f64;
+const SHARDS: usize = 4;
+
+/// The exact order statistic under the sketch's own rank rule
+/// (`ceil(q * n)`, clamped to at least 1).
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize)
+        .max(1)
+        .min(sorted.len());
+    sorted[rank - 1]
+}
+
+/// Shard the samples as tagged and fold the shard sketches in the
+/// given order.
+fn merge_shards(data: &[(f64, usize)], order: impl Iterator<Item = usize>) -> QuantileSketch {
+    let mut shards: Vec<QuantileSketch> = (0..SHARDS)
+        .map(|_| QuantileSketch::new(LO, HI, BINS))
+        .collect();
+    for &(x, shard) in data {
+        shards[shard % SHARDS].insert(x);
+    }
+    let mut merged = QuantileSketch::new(LO, HI, BINS);
+    for i in order {
+        merged.merge(&shards[i]);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_order_insensitive(
+        data in proptest::collection::vec((LO..HI, 0usize..SHARDS), 1..200),
+    ) {
+        let mut whole = QuantileSketch::new(LO, HI, BINS);
+        for &(x, _) in &data {
+            whole.insert(x);
+        }
+        let forward = merge_shards(&data, 0..SHARDS);
+        let reverse = merge_shards(&data, (0..SHARDS).rev());
+
+        prop_assert_eq!(forward.count(), whole.count());
+        prop_assert_eq!(reverse.count(), whole.count());
+        prop_assert_eq!(forward.min(), whole.min());
+        prop_assert_eq!(forward.max(), whole.max());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(forward.quantile(q), whole.quantile(q), "q={}", q);
+            prop_assert_eq!(reverse.quantile(q), whole.quantile(q), "q={}", q);
+        }
+    }
+
+    #[test]
+    fn merged_quantiles_bound_the_pooled_order_statistic(
+        data in proptest::collection::vec((LO..HI, 0usize..SHARDS), 1..200),
+        q in 0.001f64..=1.0,
+    ) {
+        let merged = merge_shards(&data, 0..SHARDS);
+        let mut pooled: Vec<f64> = data.iter().map(|&(x, _)| x).collect();
+        pooled.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let exact = exact_quantile(&pooled, q);
+        let got = merged.quantile(q);
+
+        prop_assert!(got >= merged.min() && got <= merged.max(),
+            "quantile {} outside [{}, {}]", got, merged.min(), merged.max());
+        prop_assert!((got - exact).abs() <= BIN_WIDTH + 1e-9,
+            "quantile {} more than a bin width from the exact {}", got, exact);
+    }
+}

@@ -1,0 +1,313 @@
+//! Small-sample statistics for the perf gate: Welch's unequal-variance
+//! t-test with a hand-rolled Student-t CDF.
+//!
+//! The gate's question is one-sided: *is the candidate slower than the
+//! baseline by more than noise?* Benchmark rep counts are small (3–10)
+//! and the two arms' variances differ (different binaries, different
+//! cache states), which is exactly the regime Welch's test is built
+//! for: the statistic divides the mean difference by the combined
+//! standard error and the Welch–Satterthwaite equation supplies an
+//! effective degrees-of-freedom that discounts the noisier arm.
+//!
+//! The t CDF reduces to the regularized incomplete beta function
+//! `I_x(a, b)`, computed by the standard Lentz continued fraction with
+//! a Lanczos `ln Γ` — no external stats crate, accurate to ~1e-10 over
+//! the df range benchmarks produce.
+
+/// Sample mean. Empty slices read as 0 — callers gate on length first.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1) sample variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// The outcome of one Welch's t-test between a baseline and a candidate
+/// sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welch {
+    /// Baseline sample mean.
+    pub mean_baseline: f64,
+    /// Candidate sample mean.
+    pub mean_candidate: f64,
+    /// The t statistic `(mean_c − mean_b) / se`.
+    pub t: f64,
+    /// Welch–Satterthwaite effective degrees of freedom.
+    pub df: f64,
+    /// One-sided p-value for H₁: candidate mean > baseline mean.
+    /// Small p ⇒ the candidate is credibly slower.
+    pub p_greater: f64,
+}
+
+/// Welch's t-test. Returns `None` when either arm has fewer than two
+/// samples (no variance estimate exists — the caller falls back to a
+/// plain ratio check).
+pub fn welch_t_test(baseline: &[f64], candidate: &[f64]) -> Option<Welch> {
+    if baseline.len() < 2 || candidate.len() < 2 {
+        return None;
+    }
+    let (nb, nc) = (baseline.len() as f64, candidate.len() as f64);
+    let (mb, mc) = (mean(baseline), mean(candidate));
+    let (vb, vc) = (variance(baseline), variance(candidate));
+    let se2 = vb / nb + vc / nc;
+    if se2 == 0.0 {
+        // Two exactly-constant arms: the verdict is the sign of the
+        // mean difference with certainty.
+        let p = if mc > mb {
+            0.0
+        } else if mc < mb {
+            1.0
+        } else {
+            0.5
+        };
+        return Some(Welch {
+            mean_baseline: mb,
+            mean_candidate: mc,
+            t: if mc == mb {
+                0.0
+            } else {
+                f64::INFINITY * (mc - mb).signum()
+            },
+            df: nb + nc - 2.0,
+            p_greater: p,
+        });
+    }
+    let t = (mc - mb) / se2.sqrt();
+    // Welch–Satterthwaite: se⁴ / (Σ (vᵢ/nᵢ)² / (nᵢ−1)).
+    let df = se2 * se2 / ((vb / nb).powi(2) / (nb - 1.0) + (vc / nc).powi(2) / (nc - 1.0));
+    Some(Welch {
+        mean_baseline: mb,
+        mean_candidate: mc,
+        t,
+        df,
+        p_greater: 1.0 - student_t_cdf(t, df),
+    })
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom,
+/// via the symmetric incomplete-beta identity
+/// `P(T ≤ t) = 1 − ½ I_{df/(df+t²)}(df/2, ½)` for `t ≥ 0`.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    if t.is_infinite() {
+        return if t > 0.0 { 1.0 } else { 0.0 };
+    }
+    let x = df / (df + t * t);
+    let tail = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive");
+    assert!((0.0..=1.0).contains(&x), "x must be in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1−x)^b / (a B(a,b)), computed in log space.
+    let front =
+        (a * x.ln() + b * (1.0 - x).ln() + ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)).exp();
+    // The continued fraction converges fast for x ≤ (a+1)/(a+b+2); use
+    // the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) otherwise. `<=` matters:
+    // at exact equality (e.g. the Cauchy median) both sides would defer
+    // to each other forever.
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+/// Lentz's method for the incomplete-beta continued fraction
+/// (Numerical Recipes `betacf`).
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=300 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// `ln Γ(x)` for `x > 0` (Lanczos, g = 7, n = 9; ~15 significant
+/// digits).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma domain is x > 0");
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1−x) = π / sin(πx).
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = 0.999_999_999_999_809_9_f64;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        acc += c / (x + i as f64 + 1.0);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let mut fact = 1.0_f64;
+        for n in 1..=10 {
+            assert!((ln_gamma(n as f64) - fact.ln()).abs() < 1e-10, "Γ({n}) off");
+            fact *= n as f64;
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_cdf_reference_points() {
+        // Symmetry and the median.
+        assert!((student_t_cdf(0.0, 7.0) - 0.5).abs() < 1e-12);
+        for (t, df) in [(1.3, 4.0), (2.7, 11.0), (0.4, 29.0)] {
+            let hi = student_t_cdf(t, df);
+            let lo = student_t_cdf(-t, df);
+            assert!((hi + lo - 1.0).abs() < 1e-10, "symmetry at t={t}, df={df}");
+        }
+        // Large df converges to the normal distribution: Φ(1.959964) ≈ 0.975.
+        assert!((student_t_cdf(1.959_964, 1e6) - 0.975).abs() < 1e-4);
+        // df = 1 is the Cauchy distribution: CDF(1) = 3/4.
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-10);
+        // Tabulated: t_{0.95, 5} = 2.015048…
+        assert!((student_t_cdf(2.015_048, 5.0) - 0.95).abs() < 1e-5);
+        // Tabulated: t_{0.975, 10} = 2.228139…
+        assert!((student_t_cdf(2.228_139, 10.0) - 0.975).abs() < 1e-5);
+    }
+
+    #[test]
+    fn welch_flags_a_clear_shift_and_not_identical_arms() {
+        let baseline = [100.0, 101.0, 99.0, 100.5, 99.5];
+        let candidate = [200.0, 202.0, 198.0, 201.0, 199.0];
+        let w = welch_t_test(&baseline, &candidate).expect("enough samples");
+        assert!(w.p_greater < 1e-6, "p = {}", w.p_greater);
+        assert!(w.mean_candidate > w.mean_baseline);
+
+        let same = welch_t_test(&baseline, &baseline).expect("enough samples");
+        assert!(
+            (same.p_greater - 0.5).abs() < 1e-9,
+            "p = {}",
+            same.p_greater
+        );
+    }
+
+    #[test]
+    fn welch_needs_two_samples_per_arm() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 2.0], &[]).is_none());
+    }
+
+    #[test]
+    fn welch_handles_zero_variance_arms() {
+        let w = welch_t_test(&[5.0, 5.0, 5.0], &[9.0, 9.0, 9.0]).unwrap();
+        assert_eq!(w.p_greater, 0.0);
+        let w = welch_t_test(&[5.0, 5.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(w.p_greater, 0.5);
+        let w = welch_t_test(&[9.0, 9.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(w.p_greater, 1.0);
+    }
+
+    #[test]
+    fn welch_df_interpolates_between_arms() {
+        // Equal variances and sizes: df ≈ n_b + n_c − 2.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [11.0, 12.0, 13.0, 14.0];
+        let w = welch_t_test(&a, &b).unwrap();
+        assert!((w.df - 6.0).abs() < 1e-9, "df = {}", w.df);
+    }
+
+    #[test]
+    fn welch_matches_a_worked_example() {
+        // Hand-checked: means 19.37 vs 22.51, sample variances 1.4490
+        // and 21.4721 → se² = 2.29211, t = 3.14/√2.29211 = 2.07413,
+        // Welch–Satterthwaite df = 10.21. The one-sided p sits between
+        // the tabulated t₀.₉₅,₁₀ = 1.812 (p = 0.05) and
+        // t₀.₉₇₅,₁₀ = 2.228 (p = 0.025) anchors.
+        let a = [19.8, 20.4, 19.6, 17.8, 18.5, 18.9, 18.3, 18.9, 19.5, 22.0];
+        let b = [28.2, 26.6, 20.1, 23.3, 25.2, 22.1, 17.7, 27.6, 20.6, 13.7];
+        let w = welch_t_test(&a, &b).unwrap();
+        assert!((w.t - 2.074_13).abs() < 5e-4, "t = {}", w.t);
+        assert!((w.df - 10.21).abs() < 0.05, "df = {}", w.df);
+        assert!(
+            w.p_greater > 0.025 && w.p_greater < 0.05,
+            "p = {}",
+            w.p_greater
+        );
+    }
+}

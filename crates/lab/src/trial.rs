@@ -1,0 +1,229 @@
+//! Per-trial results: the `result.json` contract.
+//!
+//! Every trial cell the runner executes writes exactly one
+//! `result.json` under `trials/<trial_id>/`, with the harness-standard
+//! schema:
+//!
+//! ```json
+//! {
+//!   "outcome": "success",
+//!   "objective": {"name": "service_time_s", "value": 147000.0},
+//!   "metrics": {"work_served": 8.1e6, "switches": 42},
+//!   "trial": {"task_id": "video", "variant": "capman", "rep": 0, "seed": 42}
+//! }
+//! ```
+//!
+//! `outcome` is `success` when the simulation completed its service
+//! contract, `failure` when the device ended in sustained shortfall
+//! (the run finished but the system under test failed its objective),
+//! and `error` when the trial could not execute at all. `objective` is
+//! the one headline number of the trial; `metrics` is a flat map of
+//! secondary numbers. Analysis tooling aggregates trials purely from
+//! these files — re-reading them reproduces the analysis without
+//! re-running anything.
+
+use crate::json::{obj, Json};
+
+/// Trial completion status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The trial ran and met its service contract.
+    Success,
+    /// The trial ran but the system under test failed (sustained
+    /// shortfall before the horizon).
+    Failure,
+    /// The trial could not execute; the string says why.
+    Error(String),
+}
+
+impl TrialOutcome {
+    /// The schema string (`success` / `failure` / `error`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrialOutcome::Success => "success",
+            TrialOutcome::Failure => "failure",
+            TrialOutcome::Error(_) => "error",
+        }
+    }
+}
+
+/// One executed trial cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// `t{task}-v{variant}-r{rep}` — the trial's directory name.
+    pub trial_id: String,
+    /// Dataset row this cell ran.
+    pub task_id: String,
+    /// Variant this cell ran under.
+    pub variant: String,
+    /// Repetition index, `0..repeats`.
+    pub rep: usize,
+    /// The seed the cell actually used (task seed or design base seed,
+    /// shifted by `rep`).
+    pub seed: u64,
+    /// Completion status.
+    pub outcome: TrialOutcome,
+    /// Headline metric name.
+    pub objective_name: String,
+    /// Headline metric value.
+    pub objective: f64,
+    /// Secondary numeric metrics, in emission order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl TrialResult {
+    /// A metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Render the `result.json` document.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![("outcome", Json::Str(self.outcome.label().to_string()))];
+        if let TrialOutcome::Error(why) = &self.outcome {
+            members.push(("error", Json::Str(why.clone())));
+        }
+        members.push((
+            "objective",
+            obj(vec![
+                ("name", Json::Str(self.objective_name.clone())),
+                ("value", Json::Num(self.objective)),
+            ]),
+        ));
+        members.push((
+            "metrics",
+            Json::Obj(
+                self.metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                    .collect(),
+            ),
+        ));
+        members.push((
+            "trial",
+            obj(vec![
+                ("trial_id", Json::Str(self.trial_id.clone())),
+                ("task_id", Json::Str(self.task_id.clone())),
+                ("variant", Json::Str(self.variant.clone())),
+                ("rep", Json::Num(self.rep as f64)),
+                ("seed", Json::Num(self.seed as f64)),
+            ]),
+        ));
+        obj(members)
+    }
+
+    /// Parse a `result.json` document back into a [`TrialResult`] —
+    /// the read path analysis tooling uses.
+    pub fn from_json(doc: &Json) -> Result<TrialResult, String> {
+        let outcome = match doc.str("outcome") {
+            Some("success") => TrialOutcome::Success,
+            Some("failure") => TrialOutcome::Failure,
+            Some("error") => {
+                TrialOutcome::Error(doc.str("error").unwrap_or("unknown error").to_string())
+            }
+            Some(other) => return Err(format!("unknown outcome {other:?}")),
+            None => return Err("missing `outcome`".into()),
+        };
+        let objective = doc.get("objective").ok_or("missing `objective`")?;
+        let objective_name = objective
+            .str("name")
+            .ok_or("missing `objective.name`")?
+            .to_string();
+        let objective_value = objective.num("value").ok_or("missing `objective.value`")?;
+        let metrics = doc
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or("missing `metrics` object")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|v| (k.clone(), v))
+                    .ok_or_else(|| format!("metric {k:?} is not a number"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let trial = doc.get("trial").ok_or("missing `trial` block")?;
+        let field = |key: &str| {
+            trial
+                .str(key)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing `trial.{key}`"))
+        };
+        Ok(TrialResult {
+            trial_id: field("trial_id")?,
+            task_id: field("task_id")?,
+            variant: field("variant")?,
+            rep: trial.num("rep").ok_or("missing `trial.rep`")? as usize,
+            seed: trial.num("seed").ok_or("missing `trial.seed`")? as u64,
+            outcome,
+            objective_name,
+            objective: objective_value,
+            metrics,
+        })
+    }
+
+    /// Parse a `result.json` source string.
+    pub fn parse(src: &str) -> Result<TrialResult, String> {
+        TrialResult::from_json(&crate::json::parse(src)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrialResult {
+        TrialResult {
+            trial_id: "t000-v01-r00".into(),
+            task_id: "video".into(),
+            variant: "capman".into(),
+            rep: 0,
+            seed: 42,
+            outcome: TrialOutcome::Success,
+            objective_name: "service_time_s".into(),
+            objective: 147_000.5,
+            metrics: vec![("work_served".into(), 8.1e6), ("switches".into(), 42.0)],
+        }
+    }
+
+    #[test]
+    fn result_json_round_trips() {
+        let r = sample();
+        let rendered = r.to_json().to_pretty();
+        assert_eq!(TrialResult::parse(&rendered), Ok(r));
+    }
+
+    #[test]
+    fn schema_shape_is_the_contract() {
+        let doc = sample().to_json();
+        assert_eq!(doc.str("outcome"), Some("success"));
+        assert_eq!(
+            doc.get("objective").unwrap().str("name"),
+            Some("service_time_s")
+        );
+        assert_eq!(doc.get("metrics").unwrap().num("switches"), Some(42.0));
+        assert_eq!(doc.get("trial").unwrap().num("seed"), Some(42.0));
+    }
+
+    #[test]
+    fn error_outcomes_carry_the_reason() {
+        let mut r = sample();
+        r.outcome = TrialOutcome::Error("phone exploded".into());
+        let parsed = TrialResult::parse(&r.to_json().to_compact()).unwrap();
+        assert_eq!(parsed.outcome, TrialOutcome::Error("phone exploded".into()));
+    }
+
+    #[test]
+    fn rejects_documents_off_schema() {
+        for bad in [
+            "{}",
+            "{\"outcome\": \"great\"}",
+            "{\"outcome\": \"success\", \"objective\": {\"name\": \"x\"}}",
+            "{\"outcome\": \"success\", \"objective\": {\"name\": \"x\", \"value\": 1}, \"metrics\": {\"a\": \"str\"}, \"trial\": {}}",
+        ] {
+            assert!(TrialResult::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

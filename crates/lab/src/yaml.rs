@@ -1,0 +1,423 @@
+//! An indentation-based parser for the YAML subset `experiment.yaml`
+//! uses, producing the same [`Json`] tree as the JSON parser so the
+//! spec layer reads one value model regardless of source format.
+//!
+//! Supported grammar — deliberately the plain-config slice of YAML:
+//!
+//! * block mappings (`key: value`, nested by indentation)
+//! * block sequences (`- item`, including `- key: value` mapping items)
+//! * flow sequences and mappings on one line (`[1, 2]`, `{rho: 0.05}`)
+//! * scalars: `null`/`~`, booleans, numbers, bare and quoted strings
+//! * `#` comments and blank lines
+//!
+//! Not supported (and rejected rather than misread): anchors, aliases,
+//! tags, multi-line block scalars, multi-document streams.
+
+use crate::json::Json;
+
+/// Parse a YAML document into a [`Json`] tree.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let rows = split_rows(src)?;
+    if rows.is_empty() {
+        return Ok(Json::Null);
+    }
+    let mut p = Parser { rows, pos: 0 };
+    let root_indent = p.rows[0].indent;
+    let value = p.node(root_indent)?;
+    if let Some(row) = p.rows.get(p.pos) {
+        return Err(format!(
+            "line {}: content after the document root (indentation never returns to column {})",
+            row.line, root_indent
+        ));
+    }
+    Ok(value)
+}
+
+struct Row {
+    indent: usize,
+    text: String,
+    line: usize,
+}
+
+/// Strip comments/blanks and measure indentation. Tabs in indentation
+/// are rejected (YAML forbids them and silently mixing them with spaces
+/// misnests blocks).
+fn split_rows(src: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = i + 1;
+        let indent = raw.len() - raw.trim_start_matches(' ').len();
+        let body = &raw[indent..];
+        if body.starts_with('\t') {
+            return Err(format!("line {line}: tab in indentation"));
+        }
+        let body = strip_comment(body).trim_end();
+        if body.is_empty() || body == "---" {
+            continue;
+        }
+        rows.push(Row {
+            indent,
+            text: body.to_string(),
+            line,
+        });
+    }
+    Ok(rows)
+}
+
+/// Drop a trailing `# comment` that is not inside a quoted scalar.
+fn strip_comment(body: &str) -> &str {
+    let mut quote: Option<char> = None;
+    for (i, c) in body.char_indices() {
+        match (quote, c) {
+            (Some(q), c) if c == q => quote = None,
+            (None, '"' | '\'') => quote = Some(c),
+            (None, '#') if i == 0 || body.as_bytes()[i - 1].is_ascii_whitespace() => {
+                return &body[..i];
+            }
+            _ => {}
+        }
+    }
+    body
+}
+
+struct Parser {
+    rows: Vec<Row>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Parse the block starting at the cursor, which must sit at
+    /// `indent`. Consumes every row indented at least that far.
+    fn node(&mut self, indent: usize) -> Result<Json, String> {
+        let row = &self.rows[self.pos];
+        if row.text == "-" || row.text.starts_with("- ") {
+            self.sequence(indent)
+        } else if split_key(&row.text).is_some() {
+            self.mapping(indent)
+        } else {
+            let value = scalar(&row.text, row.line)?;
+            self.pos += 1;
+            Ok(value)
+        }
+    }
+
+    fn mapping(&mut self, indent: usize) -> Result<Json, String> {
+        let mut members: Vec<(String, Json)> = Vec::new();
+        while let Some(row) = self.rows.get(self.pos) {
+            if row.indent < indent {
+                break;
+            }
+            if row.indent > indent {
+                return Err(format!("line {}: unexpected indentation", row.line));
+            }
+            let line = row.line;
+            let Some((key, rest)) = split_key(&row.text) else {
+                return Err(format!("line {line}: expected `key: value`"));
+            };
+            let key = unquote(key.trim());
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(format!("line {line}: duplicate key {key:?}"));
+            }
+            let rest = rest.trim().to_string();
+            self.pos += 1;
+            let value = if rest.is_empty() {
+                // Value is the nested block, if the next row is deeper.
+                match self.rows.get(self.pos) {
+                    Some(next) if next.indent > indent => {
+                        let child = next.indent;
+                        self.node(child)?
+                    }
+                    _ => Json::Null,
+                }
+            } else {
+                scalar(&rest, line)?
+            };
+            members.push((key, value));
+        }
+        Ok(Json::Obj(members))
+    }
+
+    fn sequence(&mut self, indent: usize) -> Result<Json, String> {
+        let mut items = Vec::new();
+        while let Some(row) = self.rows.get(self.pos) {
+            if row.indent < indent {
+                break;
+            }
+            if row.indent > indent || !(row.text == "-" || row.text.starts_with("- ")) {
+                return Err(format!(
+                    "line {}: expected a `- ` sequence item at column {indent}",
+                    row.line
+                ));
+            }
+            let rest = row.text[1..].trim_start().to_string();
+            let line = row.line;
+            if rest.is_empty() {
+                // `-` alone: the item is the nested block.
+                self.pos += 1;
+                match self.rows.get(self.pos) {
+                    Some(next) if next.indent > indent => {
+                        let child = next.indent;
+                        items.push(self.node(child)?);
+                    }
+                    _ => items.push(Json::Null),
+                }
+            } else if split_key(&rest).is_some() {
+                // `- key: value`: a mapping item whose first entry rides
+                // on the dash line. Rewrite the row as that entry at the
+                // item's inner indentation (dash column + 2) and parse
+                // the mapping from there — following keys of the same
+                // item sit at exactly that column.
+                let inner = indent + 2;
+                self.rows[self.pos] = Row {
+                    indent: inner,
+                    text: rest,
+                    line,
+                };
+                items.push(self.mapping(inner)?);
+            } else {
+                self.pos += 1;
+                items.push(scalar(&rest, line)?);
+            }
+        }
+        Ok(Json::Arr(items))
+    }
+}
+
+/// Split `key: value` at the first `:` that is followed by whitespace
+/// or ends the line, outside quotes and flow brackets.
+fn split_key(text: &str) -> Option<(&str, &str)> {
+    let bytes = text.as_bytes();
+    let mut quote: Option<u8> = None;
+    let mut depth = 0usize;
+    for (i, &c) in bytes.iter().enumerate() {
+        match (quote, c) {
+            (Some(q), c) if c == q => quote = None,
+            (Some(_), _) => {}
+            (None, b'"' | b'\'') => quote = Some(c),
+            (None, b'[' | b'{') => depth += 1,
+            (None, b']' | b'}') => depth = depth.saturating_sub(1),
+            (None, b':')
+                if depth == 0 && (i + 1 == bytes.len() || bytes[i + 1].is_ascii_whitespace()) =>
+            {
+                return Some((&text[..i], &text[i + 1..]));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse a one-line value: flow collection, quoted string, or plain
+/// scalar.
+fn scalar(text: &str, line: usize) -> Result<Json, String> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("line {line}: unterminated flow sequence"))?;
+        let mut items = Vec::new();
+        for part in split_flow(inner, line)? {
+            items.push(scalar(&part, line)?);
+        }
+        return Ok(Json::Arr(items));
+    }
+    if let Some(inner) = text.strip_prefix('{') {
+        let inner = inner
+            .strip_suffix('}')
+            .ok_or_else(|| format!("line {line}: unterminated flow mapping"))?;
+        let mut members = Vec::new();
+        for part in split_flow(inner, line)? {
+            let Some((key, rest)) = part.split_once(':') else {
+                return Err(format!(
+                    "line {line}: expected `key: value` in flow mapping"
+                ));
+            };
+            members.push((unquote(key.trim()), scalar(rest, line)?));
+        }
+        return Ok(Json::Obj(members));
+    }
+    if (text.starts_with('"') && text.ends_with('"') && text.len() >= 2)
+        || (text.starts_with('\'') && text.ends_with('\'') && text.len() >= 2)
+    {
+        return Ok(Json::Str(unquote(text)));
+    }
+    Ok(match text {
+        "null" | "~" => Json::Null,
+        "true" => Json::Bool(true),
+        "false" => Json::Bool(false),
+        _ => match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Json::Num(v),
+            _ => Json::Str(text.to_string()),
+        },
+    })
+}
+
+/// Split flow-collection content on top-level commas.
+fn split_flow(inner: &str, line: usize) -> Result<Vec<String>, String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut quote: Option<char> = None;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match (quote, c) {
+            (Some(q), c) if c == q => {
+                quote = None;
+                current.push(c);
+            }
+            (Some(_), c) => current.push(c),
+            (None, '"' | '\'') => {
+                quote = Some(c);
+                current.push(c);
+            }
+            (None, '[' | '{') => {
+                depth += 1;
+                current.push(c);
+            }
+            (None, ']' | '}') => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| format!("line {line}: unbalanced flow brackets"))?;
+                current.push(c);
+            }
+            (None, ',') if depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                continue;
+            }
+            (None, c) => current.push(c),
+        }
+    }
+    if quote.is_some() || depth != 0 {
+        return Err(format!("line {line}: unterminated flow collection"));
+    }
+    if !current.trim().is_empty() || !parts.is_empty() {
+        parts.push(current);
+    }
+    Ok(parts.into_iter().filter(|p| !p.trim().is_empty()).collect())
+}
+
+fn unquote(text: &str) -> String {
+    for q in ['"', '\''] {
+        if text.len() >= 2 && text.starts_with(q) && text.ends_with(q) {
+            return text[1..text.len() - 1].to_string();
+        }
+    }
+    text.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::obj;
+
+    #[test]
+    fn parses_the_experiment_shape() {
+        let doc = "\
+# the fig12 sweep
+name: fig12
+design:
+  repeats: 3
+  base_seed: 42
+variants:
+  - name: capman
+    policy: CAPMAN
+    calibrator: {rho: 0.05, every_s: 1200}
+  - name: practice
+    policy: Practice
+";
+        let v = parse(doc).expect("valid yaml");
+        assert_eq!(v.str("name"), Some("fig12"));
+        assert_eq!(v.get("design").unwrap().num("repeats"), Some(3.0));
+        let variants = v.get("variants").unwrap().as_arr().unwrap();
+        assert_eq!(variants.len(), 2);
+        assert_eq!(variants[0].str("policy"), Some("CAPMAN"));
+        assert_eq!(
+            variants[0].get("calibrator").unwrap().num("every_s"),
+            Some(1200.0)
+        );
+        assert_eq!(variants[1].str("name"), Some("practice"));
+    }
+
+    #[test]
+    fn scalars_and_flow_collections() {
+        let doc = "\
+a: true
+b: ~
+c: -2.5e3
+d: \"quoted # not a comment\"
+e: [1, 2, 3]
+f: plain string   # comment
+";
+        let v = parse(doc).expect("valid");
+        assert_eq!(v.get("a"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b"), Some(&Json::Null));
+        assert_eq!(v.num("c"), Some(-2500.0));
+        assert_eq!(v.str("d"), Some("quoted # not a comment"));
+        assert_eq!(
+            v.get("e"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.0),
+                Json::Num(3.0)
+            ]))
+        );
+        assert_eq!(v.str("f"), Some("plain string"));
+    }
+
+    #[test]
+    fn nested_sequences_of_scalars() {
+        let doc = "\
+workloads:
+  - video
+  - pcmark
+devices: 64
+";
+        let v = parse(doc).expect("valid");
+        assert_eq!(
+            v.get("workloads"),
+            Some(&Json::Arr(vec![
+                Json::Str("video".into()),
+                Json::Str("pcmark".into())
+            ]))
+        );
+        assert_eq!(v.num("devices"), Some(64.0));
+    }
+
+    #[test]
+    fn mapping_item_fields_align_after_the_dash() {
+        let doc = "\
+variants:
+  - name: a
+    policy: Dual
+    tec: false
+";
+        let v = parse(doc).expect("valid");
+        let item = &v.get("variants").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            item,
+            &obj(vec![
+                ("name", Json::Str("a".into())),
+                ("policy", Json::Str("Dual".into())),
+                ("tec", Json::Bool(false)),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_what_it_does_not_support() {
+        for bad in [
+            "key: value\n\tbad: tabs",
+            "a:\n    b: 1\n  c: misnested",
+            "a: [1, 2",
+            "a: {rho: ",
+            "dup: 1\ndup: 2",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_documents_read_as_null() {
+        assert_eq!(parse("").unwrap(), Json::Null);
+        assert_eq!(parse("# only comments\n\n").unwrap(), Json::Null);
+    }
+}

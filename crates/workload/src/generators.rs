@@ -61,6 +61,47 @@ impl WorkloadKind {
             WorkloadKind::Toggle { period_s } => format!("Toggle {period_s}s"),
         }
     }
+
+    /// Parse a workload name as experiment datasets spell them
+    /// (`tasks.jsonl` rows, `experiment.yaml` variants). Accepts the
+    /// figure labels case-insensitively plus the dashed short forms:
+    /// `geekbench`, `pcmark`, `video`, `eta-50` / `eta-50%`, `idle-on`,
+    /// `toggle-60` / `Toggle 60s`.
+    pub fn parse(name: &str) -> Result<WorkloadKind, String> {
+        let lower = name.trim().to_ascii_lowercase();
+        let norm = lower.replace(' ', "-");
+        match norm.as_str() {
+            "geekbench" => return Ok(WorkloadKind::Geekbench),
+            "pcmark" => return Ok(WorkloadKind::Pcmark),
+            "video" => return Ok(WorkloadKind::Video),
+            "idle-on" | "screen-on-idle" => return Ok(WorkloadKind::IdleOn),
+            _ => {}
+        }
+        if let Some(rest) = norm.strip_prefix("eta-") {
+            let digits = rest.trim_end_matches('%');
+            let eta: u8 = digits
+                .parse()
+                .map_err(|_| format!("bad eta percentage in workload {name:?}"))?;
+            if eta > 100 {
+                return Err(format!("eta {eta} out of range in workload {name:?}"));
+            }
+            return Ok(WorkloadKind::EtaStatic { eta });
+        }
+        if let Some(rest) = norm.strip_prefix("toggle-") {
+            let digits = rest.trim_end_matches('s');
+            let period_s: u32 = digits
+                .parse()
+                .map_err(|_| format!("bad toggle period in workload {name:?}"))?;
+            if period_s == 0 {
+                return Err(format!("toggle period must be positive in {name:?}"));
+            }
+            return Ok(WorkloadKind::Toggle { period_s });
+        }
+        Err(format!(
+            "unknown workload {name:?} (expected geekbench, pcmark, video, \
+             eta-<pct>, idle-on, or toggle-<seconds>)"
+        ))
+    }
 }
 
 /// Generate a trace of at least `horizon_s` seconds for the given kind.
@@ -440,5 +481,36 @@ mod tests {
     #[should_panic(expected = "percentage")]
     fn rejects_eta_above_100() {
         let _ = generate(WorkloadKind::EtaStatic { eta: 101 }, 100.0, 0);
+    }
+
+    #[test]
+    fn parse_round_trips_every_fig12_label() {
+        for kind in WorkloadKind::fig12() {
+            assert_eq!(WorkloadKind::parse(&kind.label()), Ok(kind));
+        }
+        assert_eq!(
+            WorkloadKind::parse("Screen-on idle"),
+            Ok(WorkloadKind::IdleOn)
+        );
+        assert_eq!(
+            WorkloadKind::parse("Toggle 60s"),
+            Ok(WorkloadKind::Toggle { period_s: 60 })
+        );
+    }
+
+    #[test]
+    fn parse_accepts_short_forms_and_rejects_junk() {
+        assert_eq!(
+            WorkloadKind::parse("eta-50"),
+            Ok(WorkloadKind::EtaStatic { eta: 50 })
+        );
+        assert_eq!(WorkloadKind::parse("idle-on"), Ok(WorkloadKind::IdleOn));
+        assert_eq!(
+            WorkloadKind::parse("toggle-30"),
+            Ok(WorkloadKind::Toggle { period_s: 30 })
+        );
+        assert!(WorkloadKind::parse("eta-150").is_err());
+        assert!(WorkloadKind::parse("toggle-0").is_err());
+        assert!(WorkloadKind::parse("quake").is_err());
     }
 }
