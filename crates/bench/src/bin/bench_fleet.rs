@@ -4,6 +4,8 @@
 //! ```text
 //! cargo run --release -p capman-bench --bin bench_fleet                    # 1k/4k/16k ladder
 //! cargo run --release -p capman-bench --bin bench_fleet -- --devices 1024  # one size
+//! cargo run --release -p capman-bench --bin bench_fleet -- --devices 1000000  # arena-only scale run
+//! cargo run --release -p capman-bench --bin bench_fleet -- --arena-devices 1024,16384
 //! cargo run --release -p capman-bench --bin bench_fleet -- --quick         # CI smoke sizes
 //! cargo run --release -p capman-bench --bin bench_fleet -- --require-async-win
 //! cargo run --release -p capman-bench --bin bench_fleet -- --obs-overhead  # obs cost contract
@@ -42,13 +44,28 @@
 //! at least 2x at 4096+ devices (the multicore CI leg turns this on;
 //! the win comes from cohort coalescing — one background solve serves
 //! every device of a cohort — so it holds even single-core).
+//!
+//! Alongside the roster ladder the binary runs an **arena ladder**: the
+//! same fleet through the structure-of-arrays `ArenaRunner`, whose
+//! streaming aggregation never materializes the per-device summary
+//! vector. Each arena row records wall time *and* the process peak RSS
+//! (`VmHWM`), and the ladder asserts the arena's memory contract: every
+//! row's peak RSS stays within 1.5x of the previous (smaller) row's,
+//! and throughput stays within 2x of the smallest row's rate. Roster
+//! runs are skipped above 65 536 devices — materializing rosters and
+//! summary vectors at that scale is exactly what the arena exists to
+//! avoid — so `--devices 1000000` produces an arena-only scale run
+//! (plus the two reference sizes the memory assertions compare against).
+//! `--arena-devices a,b,c` pins the arena ladder explicitly.
 
 use std::time::Instant;
 
-use capman_bench::perf_report::{FleetReport, FleetRow, ObsOverheadReport};
+use capman_bench::perf_report::{ArenaRow, FleetReport, FleetRow, ObsOverheadReport};
+use capman_bench::rss::peak_rss_kb;
 use capman_bench::trials::{self, SampleGroup};
 use capman_fleet::{
-    CalibrationMode, Fleet, FleetConfig, FleetProfile, FleetResult, FleetRunner, PoolConfig,
+    ArenaConfig, ArenaRunner, CalibrationMode, Fleet, FleetConfig, FleetPlan, FleetProfile,
+    FleetResult, FleetRunner, PoolConfig,
 };
 use capman_workload::WorkloadKind;
 
@@ -60,19 +77,37 @@ use capman_workload::WorkloadKind;
 const HORIZON_S: f64 = 1500.0;
 const EVERY_S: f64 = 300.0;
 const BATCH: usize = 64;
+/// Devices resident per shard arena — the arena ladder's memory knob.
+const ARENA_SHARD: usize = 4096;
+/// Largest fleet the roster path (materialized specs + summary vector)
+/// is asked to carry; bigger sizes run arena-only.
+const ROSTER_CEILING: usize = 65_536;
 
-fn build_fleet(devices: usize) -> Fleet {
+fn cohort_profiles() -> Vec<FleetProfile> {
     let mut video = FleetProfile::capman("video", WorkloadKind::Video, 41);
     let mut pcmark = FleetProfile::capman("pcmark", WorkloadKind::Pcmark, 43);
     for profile in [&mut video, &mut pcmark] {
         profile.config.max_horizon_s = HORIZON_S;
         profile.calibrator.every_s = EVERY_S;
     }
+    vec![video, pcmark]
+}
+
+fn assert_even(devices: usize) {
     assert!(
         devices >= 2 && devices.is_multiple_of(2),
         "need an even device count"
     );
-    Fleet::build(vec![video, pcmark], devices / 2)
+}
+
+fn build_fleet(devices: usize) -> Fleet {
+    assert_even(devices);
+    Fleet::build(cohort_profiles(), devices / 2)
+}
+
+fn build_plan(devices: usize) -> FleetPlan {
+    assert_even(devices);
+    FleetPlan::new(cohort_profiles(), devices / 2)
 }
 
 fn run_mode(fleet: &Fleet, mode: CalibrationMode) -> (FleetResult, f64) {
@@ -168,6 +203,110 @@ fn fleet_row(devices: usize, require_async_win: bool, reps: usize) -> FleetRow {
         );
     }
     row
+}
+
+/// One arena-ladder row: the plan-derived fleet through the
+/// structure-of-arrays runner with pooled calibration and streaming
+/// aggregation. The correctness envelope here is the aggregation
+/// contract — every device counted exactly once, no summary vector
+/// materialized, no calibration shed — and peak RSS rides along as the
+/// number the arena exists to bound.
+fn arena_row(devices: usize, reps: usize) -> ArenaRow {
+    assert!(reps >= 1, "need at least one rep");
+    let plan = build_plan(devices);
+    let runner = ArenaRunner::new(ArenaConfig {
+        mode: CalibrationMode::Pool,
+        shard_devices: ARENA_SHARD.min(devices),
+        pool: PoolConfig {
+            workers: 2,
+            queue_depth: 64,
+        },
+        ..ArenaConfig::default()
+    });
+    let mut wall_ms_samples = Vec::with_capacity(reps);
+    let mut first: Option<FleetResult> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let result = runner.run(&plan);
+        wall_ms_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        if first.is_none() {
+            first = Some(result);
+        }
+    }
+    let result = first.expect("reps >= 1");
+    let agg = &result.aggregate;
+
+    // --- Streaming-aggregation envelope -------------------------------
+    assert!(
+        result.summaries.is_empty(),
+        "the arena bench must not materialize the summary vector"
+    );
+    assert_eq!(agg.devices as usize, devices, "every device counted once");
+    assert_eq!(agg.lifetime_s.count(), devices as u64);
+    assert_eq!(agg.pool.dropped, 0, "pool queue must not overflow");
+    assert_eq!(
+        agg.pool.completed, agg.pool.enqueued,
+        "every enqueued calibration must complete"
+    );
+    let staleness_max_s = agg.staleness_s.max();
+    assert!(
+        staleness_max_s <= HORIZON_S,
+        "staleness {staleness_max_s} s exceeds the device horizon"
+    );
+
+    let wall_ms = wall_ms_samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    ArenaRow {
+        devices,
+        shard_devices: runner.config().shard_devices,
+        cohorts: plan.profiles().len(),
+        ticks: agg.ticks,
+        wall_ms,
+        wall_ms_samples,
+        peak_rss_kb: peak_rss_kb(),
+        recalibrations: agg.recalibrations,
+        pool_completed: agg.pool.completed,
+        pool_dropped: agg.pool.dropped,
+        staleness_p99_s: agg.staleness_s.p99(),
+        lifetime_p50_s: agg.lifetime_s.p50(),
+        hotspot_p95_c: agg.hotspot_c.p95(),
+    }
+}
+
+/// The arena's scale contract, asserted over an ascending ladder:
+/// growing the fleet must not grow memory (peak RSS within 1.5x of the
+/// previous row — the `VmHWM` mark is process-monotone, so the bound
+/// says "this row added almost nothing") and must not sink throughput
+/// (within 2x of the smallest row's devices/sec; per-device work is
+/// constant, so a bigger fleet only amortizes fixed costs better).
+fn assert_arena_scaling(rows: &[ArenaRow]) {
+    for pair in rows.windows(2) {
+        let (small, big) = (&pair[0], &pair[1]);
+        if small.peak_rss_kb > 0 {
+            assert!(
+                (big.peak_rss_kb as f64) <= 1.5 * small.peak_rss_kb as f64,
+                "arena memory contract broken: {} devices peaked at {} kB vs {} kB at {}",
+                big.devices,
+                big.peak_rss_kb,
+                small.peak_rss_kb,
+                small.devices
+            );
+        }
+    }
+    if let Some(first) = rows.first() {
+        for row in &rows[1..] {
+            assert!(
+                row.devices_per_s() >= 0.5 * first.devices_per_s(),
+                "arena throughput sank at scale: {:.1} dev/s at {} vs {:.1} dev/s at {}",
+                row.devices_per_s(),
+                row.devices,
+                first.devices_per_s(),
+                first.devices
+            );
+        }
+    }
 }
 
 /// One `--obs-overhead` measurement (see the module docs). Interleaving
@@ -293,11 +432,35 @@ fn main() {
     }
 
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_fleet.json".to_string());
-    let sizes: Vec<usize> = match flag("--devices") {
-        Some(n) => vec![n.parse().expect("--devices takes a number")],
+    let devices_flag: Option<usize> =
+        flag("--devices").map(|n| n.parse().expect("--devices takes a number"));
+    // The roster ladder stops at ROSTER_CEILING: above it the
+    // materialized specs + summary vector are the memory bug the arena
+    // fixes, not a baseline worth waiting on.
+    let sizes: Vec<usize> = match devices_flag {
+        Some(n) if n > ROSTER_CEILING => Vec::new(),
+        Some(n) => vec![n],
         None if quick => vec![256],
         None => vec![1024, 4096, 16384],
     };
+    let mut arena_sizes: Vec<usize> = match flag("--arena-devices") {
+        Some(list) => list
+            .split(',')
+            .map(|n| n.trim().parse().expect("--arena-devices takes numbers"))
+            .collect(),
+        // A scale run keeps the two reference sizes so the memory and
+        // throughput contracts have in-process baselines to hold
+        // against (VmHWM is monotone: ascending order attributes
+        // growth to the row that caused it).
+        None => match devices_flag {
+            Some(n) if n > ROSTER_CEILING => vec![16_384, ROSTER_CEILING, n],
+            Some(n) => vec![n],
+            None if quick => vec![256],
+            None => vec![16_384, ROSTER_CEILING],
+        },
+    };
+    arena_sizes.sort_unstable();
+    arena_sizes.dedup();
 
     let mut report = FleetReport {
         threads: rayon::current_num_threads(),
@@ -334,6 +497,42 @@ fn main() {
         report.rows.push(row);
     }
 
+    println!(
+        "arena ladder (pooled calibration, {} devices/shard):",
+        ARENA_SHARD
+    );
+    println!(
+        "{:>9} {:>12} {:>10} {:>12} {:>8} {:>10}",
+        "devices", "wall_ms", "dev/s", "peak_rss_kb", "solves", "stale_p99"
+    );
+    for &devices in &arena_sizes {
+        // The big rows dominate the wall clock; one rep is plenty once
+        // the gate has the reference sizes' distributions.
+        let row_reps = if devices > ROSTER_CEILING { 1 } else { reps };
+        let row = arena_row(devices, row_reps);
+        println!(
+            "{:>9} {:>12.1} {:>10.1} {:>12} {:>8} {:>9.1}s",
+            row.devices,
+            row.wall_ms,
+            row.devices_per_s(),
+            row.peak_rss_kb,
+            row.pool_completed,
+            row.staleness_p99_s
+        );
+        // Where the roster ladder ran the same fleet, the arena must
+        // have executed the identical simulation (full bit-identity is
+        // pinned by the fleet crate's tests; ticks are the cheap
+        // in-bench witness).
+        if let Some(roster) = report.rows.iter().find(|r| r.devices == row.devices) {
+            assert_eq!(
+                roster.ticks, row.ticks,
+                "arena and roster disagree on ticks at {devices} devices"
+            );
+        }
+        report.arena.push(row);
+    }
+    assert_arena_scaling(&report.arena);
+
     let json = report.to_json();
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("wrote {out_path}");
@@ -353,6 +552,14 @@ fn main() {
                 "staleness_p99",
                 "staleness_p99_s",
                 &row.staleness_p99_s_samples,
+            ));
+        }
+        for row in &report.arena {
+            groups.push(SampleGroup::new(
+                &format!("arena-devices-{}", row.devices),
+                "arena",
+                "wall_ms",
+                &row.wall_ms_samples,
             ));
         }
         trials::emit(std::path::Path::new(dir), "bench_fleet", &groups)

@@ -78,7 +78,7 @@ impl Default for GateConfig {
 /// `"<metric>_samples"`. Units need not be milliseconds —
 /// `staleness_p99_s` is simulated seconds; the floor is interpreted in
 /// the metric's own unit.
-pub const GATES: [(&str, &str, &str, GateMode); 5] = [
+pub const GATES: [(&str, &str, &str, GateMode); 6] = [
     (
         "solver",
         "states",
@@ -104,6 +104,7 @@ pub const GATES: [(&str, &str, &str, GateMode); 5] = [
         "staleness_p99_s",
         GateMode::FloorAsBaseline,
     ),
+    ("arena", "devices", "wall_ms", GateMode::SkipBelowFloor),
 ];
 
 /// Verdict on one gated row.

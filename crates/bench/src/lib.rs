@@ -13,6 +13,7 @@ use capman_workload::WorkloadKind;
 pub mod gate;
 pub mod mdp_fixtures;
 pub mod perf_report;
+pub mod rss;
 pub mod trials;
 
 /// A reduced-horizon configuration for bench iterations.

@@ -371,6 +371,55 @@ impl FleetRow {
     }
 }
 
+/// One arena-path measurement row: the same two-cohort fleet driven
+/// through the structure-of-arrays [`ArenaRunner`] with streaming
+/// (memory-bounded) aggregation and pooled calibration. Where
+/// [`FleetRow`] measures the calibration pool against inline solves,
+/// an arena row measures the data-oriented fleet path itself —
+/// throughput *and* peak memory, because the arena's contract is that
+/// RSS stays flat while the device count grows.
+///
+/// [`ArenaRunner`]: capman_fleet::ArenaRunner
+#[derive(Debug, Clone)]
+pub struct ArenaRow {
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Devices resident per shard arena (the memory knob).
+    pub shard_devices: usize,
+    /// Cohort profiles the devices were instantiated from.
+    pub cohorts: usize,
+    /// Scheduling ticks executed across the fleet.
+    pub ticks: u64,
+    /// Wall time of the arena run, milliseconds (min over reps).
+    pub wall_ms: f64,
+    /// Every rep, milliseconds (Welch's t-test input; one-element when
+    /// the ladder runs with a single rep).
+    pub wall_ms_samples: Vec<f64>,
+    /// Process peak RSS (`VmHWM`) after the row, kibibytes. 0 means
+    /// "unavailable on this platform", not "tiny".
+    pub peak_rss_kb: u64,
+    /// Calibrations adopted by devices.
+    pub recalibrations: u64,
+    /// Pool solves actually executed (after cohort coalescing).
+    pub pool_completed: u64,
+    /// Requests dropped on queue overflow (asserted zero in the bench).
+    pub pool_dropped: u64,
+    /// 99th-percentile per-device max calibration staleness, seconds.
+    pub staleness_p99_s: f64,
+    /// Median battery lifetime across the fleet, seconds.
+    pub lifetime_p50_s: f64,
+    /// 95th-percentile peak hot-spot temperature, degC.
+    pub hotspot_p95_c: f64,
+}
+
+impl ArenaRow {
+    /// Devices per wall-clock second (0.0 when the measurement is
+    /// degenerate).
+    pub fn devices_per_s(&self) -> f64 {
+        guarded_ratio(self.devices as f64, self.wall_ms / 1e3)
+    }
+}
+
 /// The report `bench_fleet` writes to `BENCH_fleet.json`.
 #[derive(Debug, Clone, Default)]
 pub struct FleetReport {
@@ -384,6 +433,9 @@ pub struct FleetReport {
     pub every_s: f64,
     /// Measurement rows, one per fleet size.
     pub rows: Vec<FleetRow>,
+    /// Arena-path rows, one per arena ladder size (empty when the run
+    /// skipped the arena ladder).
+    pub arena: Vec<ArenaRow>,
 }
 
 impl FleetReport {
@@ -448,6 +500,34 @@ impl FleetReport {
             push_f64(&mut out, "lifetime_p50_s", row.lifetime_p50_s, true);
             push_f64(&mut out, "hotspot_p95_c", row.hotspot_p95_c, false);
             out.push_str(if i + 1 < self.rows.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ],\n");
+        if self.arena.is_empty() {
+            out.push_str("  \"arena\": []\n}\n");
+            return out;
+        }
+        out.push_str("  \"arena\": [\n");
+        for (i, row) in self.arena.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"devices\": {},", row.devices);
+            let _ = writeln!(out, "      \"shard_devices\": {},", row.shard_devices);
+            let _ = writeln!(out, "      \"cohorts\": {},", row.cohorts);
+            let _ = writeln!(out, "      \"ticks\": {},", row.ticks);
+            push_f64(&mut out, "wall_ms", row.wall_ms, true);
+            push_samples(&mut out, "wall_ms_samples", &row.wall_ms_samples, true);
+            push_f64(&mut out, "devices_per_s", row.devices_per_s(), true);
+            let _ = writeln!(out, "      \"peak_rss_kb\": {},", row.peak_rss_kb);
+            let _ = writeln!(out, "      \"recalibrations\": {},", row.recalibrations);
+            let _ = writeln!(out, "      \"pool_completed\": {},", row.pool_completed);
+            let _ = writeln!(out, "      \"pool_dropped\": {},", row.pool_dropped);
+            push_f64(&mut out, "staleness_p99_s", row.staleness_p99_s, true);
+            push_f64(&mut out, "lifetime_p50_s", row.lifetime_p50_s, true);
+            push_f64(&mut out, "hotspot_p95_c", row.hotspot_p95_c, false);
+            out.push_str(if i + 1 < self.arena.len() {
                 "    },\n"
             } else {
                 "    }\n"
@@ -795,6 +875,21 @@ mod tests {
                 lifetime_p50_s: 1500.0,
                 hotspot_p95_c: 41.5,
             }],
+            arena: vec![ArenaRow {
+                devices: 1_000_000,
+                shard_devices: 4096,
+                cohorts: 2,
+                ticks: 50_000_000,
+                wall_ms: 500_000.0,
+                wall_ms_samples: vec![500_000.0],
+                peak_rss_kb: 180_000,
+                recalibrations: 5_000_000,
+                pool_completed: 10,
+                pool_dropped: 0,
+                staleness_p99_s: 0.1,
+                lifetime_p50_s: 1500.0,
+                hotspot_p95_c: 41.5,
+            }],
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -805,6 +900,31 @@ mod tests {
         assert_eq!(row_value(&rows[0], "pool_wall_ms"), Some(2000.0));
         assert_eq!(row_value(&rows[0], "speedup"), Some(4.0));
         assert_eq!(row_value(&rows[0], "pool_dropped"), Some(0.0));
+        let arena = parse_rows(&json, "arena");
+        assert_eq!(arena.len(), 1);
+        assert_eq!(row_value(&arena[0], "devices"), Some(1_000_000.0));
+        assert_eq!(row_value(&arena[0], "wall_ms"), Some(500_000.0));
+        assert_eq!(row_value(&arena[0], "devices_per_s"), Some(2000.0));
+        assert_eq!(row_value(&arena[0], "peak_rss_kb"), Some(180_000.0));
+    }
+
+    #[test]
+    fn an_arenaless_fleet_report_still_carries_the_section() {
+        // The gate treats an empty `"arena"` array as a clean section
+        // skip; an absent key would be indistinguishable from a corrupt
+        // report in older parsers, so the section is always emitted.
+        let report = FleetReport {
+            threads: 1,
+            batch: 64,
+            horizon_s: 1500.0,
+            every_s: 300.0,
+            ..FleetReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"arena\": []"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(parse_rows(&json, "arena").is_empty());
     }
 
     #[test]
@@ -868,6 +988,22 @@ mod tests {
         assert_eq!(fleet.inline_devices_per_s(), 0.0);
         assert_eq!(fleet.pool_devices_per_s(), 0.0);
         assert_eq!(fleet.speedup(), 0.0);
+        let arena = ArenaRow {
+            devices: 16,
+            shard_devices: 4,
+            cohorts: 0,
+            ticks: 0,
+            wall_ms: 0.0,
+            wall_ms_samples: Vec::new(),
+            peak_rss_kb: 0,
+            recalibrations: 0,
+            pool_completed: 0,
+            pool_dropped: 0,
+            staleness_p99_s: 0.0,
+            lifetime_p50_s: 0.0,
+            hotspot_p95_c: 0.0,
+        };
+        assert_eq!(arena.devices_per_s(), 0.0);
         let obs = ObsOverheadReport {
             obs_compiled: false,
             devices: 256,

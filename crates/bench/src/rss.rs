@@ -1,0 +1,52 @@
+//! Peak-RSS introspection for the bench binaries.
+//!
+//! The arena fleet bench reports memory alongside throughput: the whole
+//! point of the structure-of-arrays path is that a million-device run
+//! costs roughly the memory of a 64k-device run. The kernel already
+//! tracks the number we want — `VmHWM`, the process's resident-set
+//! high-water mark — so the bench reads it instead of instrumenting the
+//! allocator.
+
+/// The process's peak resident set size (`VmHWM`) in kibibytes, read
+/// from `/proc/self/status`. Returns 0 where the field is unavailable
+/// (non-Linux platforms), so callers must treat 0 as "unknown", never
+/// as "tiny".
+///
+/// The high-water mark is process-wide and monotone: sampled after each
+/// benchmark row it attributes growth to that row only when rows run in
+/// ascending memory order, which is how `bench_fleet` orders its arena
+/// ladder.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vmhwm_reads_positive_on_linux() {
+        let kb = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(kb > 0, "a running process has resident memory");
+        }
+    }
+
+    #[test]
+    fn the_mark_is_monotone() {
+        let before = peak_rss_kb();
+        // Touch a few megabytes so the mark has a chance to move; the
+        // assertion is only that it never goes down.
+        let block = vec![1u8; 4 << 20];
+        std::hint::black_box(&block);
+        assert!(peak_rss_kb() >= before);
+    }
+}

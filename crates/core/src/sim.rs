@@ -11,8 +11,18 @@
 //! sustained continuous shortfall or a high failure rate over a rolling
 //! window (a phone that browns out on every app launch is dead to its
 //! user even if it can still idle).
+//!
+//! The engine itself is [`DeviceSim`]: a resumable, step-wise core that
+//! is generic over the policy, the trace supplier
+//! ([`TraceSource`] — materialized or streamed) and the telemetry sink
+//! (full series or constant-memory counters). [`Simulator`] is the
+//! single-device front door that drives it to completion; the fleet
+//! arena drives the same core in time-sliced windows across thousands of
+//! devices. Both paths execute the identical per-tick operation
+//! sequence, so their results are bitwise equal by construction.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use capman_battery::pack::BatteryPack;
 use capman_device::fsm::Action;
@@ -21,13 +31,13 @@ use capman_device::power::PowerModel;
 use capman_device::states::{DeviceState, TecState};
 use capman_thermal::network::{NodeId, ThermalNetwork};
 use capman_thermal::tec::{Tec, TecController, TecStep};
-use capman_workload::Trace;
+use capman_workload::{Trace, TraceSource};
 
 use crate::actuator::Actuator;
 use crate::config::SimConfig;
 use crate::metrics::{EndReason, Outcome};
 use crate::policy::{DecisionContext, Observation, Policy};
-use crate::telemetry::{Sample, Telemetry};
+use crate::telemetry::{Sample, Telemetry, TelemetrySink};
 
 /// Rolling window for the failure-rate end condition, seconds.
 const FAIL_WINDOW_S: f64 = 120.0;
@@ -35,6 +45,388 @@ const FAIL_WINDOW_S: f64 = 120.0;
 const FAIL_FRACTION: f64 = 0.10;
 /// Share of CPU power concentrated on the die hot spot.
 const HOTSPOT_POWER_SHARE: f64 = 0.45;
+
+/// A resumable single-device discharge-cycle core.
+///
+/// Holds the physics state (pack, thermal network, TEC, power-state
+/// machine) and the outcome accumulators; the policy, trace and
+/// telemetry sink are supplied per call so cohort-shared values can live
+/// outside the per-device row. Cohort-shared immutables (the phone and
+/// its power model) are `Arc`s for the same reason.
+#[derive(Debug)]
+pub struct DeviceSim {
+    phone: Arc<PhoneProfile>,
+    model: Arc<PowerModel>,
+    pack: BatteryPack,
+    config: SimConfig,
+    thermal: ThermalNetwork,
+    tec: Tec,
+    tec_ctl: TecController,
+    actuator: Actuator,
+    state: DeviceState,
+    t: f64,
+    last_power_w: f64,
+    last_sample_t: f64,
+    // Accumulators.
+    energy_delivered_j: f64,
+    energy_heat_j: f64,
+    work_served: f64,
+    tec_on_s: f64,
+    tec_energy_j: f64,
+    max_hotspot_c: f64,
+    hotspot_sum: f64,
+    steps: u64,
+    // End-condition trackers.
+    consecutive_fail_s: f64,
+    window_len: usize,
+    fail_window: VecDeque<bool>,
+    fails_in_window: usize,
+    /// Actions fired in the current step — reused across steps so the
+    /// hot loop allocates nothing in steady state.
+    fired: Vec<Action>,
+    done: Option<EndReason>,
+}
+
+impl DeviceSim {
+    /// Assemble a fresh device at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        phone: Arc<PhoneProfile>,
+        model: Arc<PowerModel>,
+        pack: BatteryPack,
+        config: SimConfig,
+    ) -> Self {
+        config.validate();
+        let window_len = (FAIL_WINDOW_S / config.dt_s).round().max(1.0) as usize;
+        DeviceSim {
+            thermal: ThermalNetwork::phone_at_ambient(config.ambient_c),
+            tec: Tec::ate31(),
+            tec_ctl: TecController::new(config.tec_threshold_c, 2.0),
+            actuator: Actuator::new(),
+            state: DeviceState::asleep(),
+            t: 0.0,
+            last_power_w: 0.0,
+            last_sample_t: f64::NEG_INFINITY,
+            energy_delivered_j: 0.0,
+            energy_heat_j: 0.0,
+            work_served: 0.0,
+            tec_on_s: 0.0,
+            tec_energy_j: 0.0,
+            max_hotspot_c: f64::NEG_INFINITY,
+            hotspot_sum: 0.0,
+            steps: 0,
+            consecutive_fail_s: 0.0,
+            window_len,
+            fail_window: VecDeque::with_capacity(window_len),
+            fails_in_window: 0,
+            fired: Vec::new(),
+            done: None,
+            phone,
+            model,
+            pack,
+            config,
+        }
+    }
+
+    /// Advance one tick. Returns the end reason once the cycle is over
+    /// (and keeps returning it on further calls without re-stepping).
+    pub fn step<P, T, S>(
+        &mut self,
+        policy: &mut P,
+        trace: &mut T,
+        sink: &mut S,
+    ) -> Option<EndReason>
+    where
+        P: Policy + ?Sized,
+        T: TraceSource + ?Sized,
+        S: TelemetrySink + ?Sized,
+    {
+        if self.done.is_some() {
+            return self.done;
+        }
+        if self.t >= self.config.max_horizon_s {
+            self.done = Some(EndReason::HorizonReached);
+            return self.done;
+        }
+        if self.pack.is_depleted() {
+            self.done = Some(EndReason::PackDepleted);
+            return self.done;
+        }
+
+        let dt = self.config.dt_s;
+        let t = self.t;
+
+        // 1. Fire the trace's boundary actions.
+        let prev_state = self.state;
+        self.fired.clear();
+        for seg in trace.segments_in(t, t + dt) {
+            for &a in &seg.actions {
+                self.state = self.state.apply(a);
+                self.fired.push(a);
+            }
+        }
+
+        // 2. Thermal governor: TEC on/off from the hot-spot reading.
+        let hotspot_c = self.thermal.temp_c(NodeId::HotSpot);
+        let tec_on = self.config.tec_enabled && self.tec_ctl.update(hotspot_c);
+        self.state.tec = if tec_on { TecState::On } else { TecState::Off };
+
+        // 3. Battery decision.
+        let target = {
+            let ctx = DecisionContext {
+                time_s: t,
+                state: self.state,
+                actions: &self.fired,
+                last_power_w: self.last_power_w,
+                big_soc: self.pack.big().soc(),
+                little_soc: self.pack.little().map(|c| c.soc()).unwrap_or(1.0),
+                big_usable: self.pack.big().is_usable(),
+                little_usable: self.pack.little().map(|c| c.is_usable()).unwrap_or(false),
+                big_head: self.pack.big().available_head(),
+                little_head: self
+                    .pack
+                    .little()
+                    .map(|c| c.available_head())
+                    .unwrap_or(0.0),
+                hotspot_c,
+                tec_on,
+                dual: self.pack.little().is_some(),
+            };
+            policy.decide(&ctx)
+        };
+        for cal in policy.drain_calibrations() {
+            sink.record_calibration(cal);
+        }
+        if let Some(switch_action) = self.actuator.apply(&mut self.pack, target) {
+            self.state = self.state.apply(switch_action);
+            self.fired.push(switch_action);
+        } else {
+            self.state.battery = self.pack.active();
+        }
+
+        // 4. Demand and thermal throttling.
+        let mut demand = trace.demand_at(t);
+        let throttled = hotspot_c > self.config.throttle_threshold_c;
+        if throttled {
+            demand.cpu_util *= self.config.throttle_factor;
+        }
+        let device_mw = self.model.device_power_mw(&self.state, &demand);
+
+        // 5. TEC physics (pump before integrating the network).
+        let tec_step = if tec_on {
+            self.tec.pump(
+                &mut self.thermal,
+                NodeId::HotSpot,
+                NodeId::Shell,
+                self.tec.rated_current_a(),
+            )
+        } else {
+            TecStep::off()
+        };
+        let total_w = device_mw / 1000.0 + tec_step.power_w;
+
+        // 6. The pack serves the load.
+        let battery_c = self.thermal.temp_c(NodeId::Battery);
+        let pstep = self.pack.step(total_w, dt, battery_c);
+
+        // 7. Component heat into the thermal network.
+        let cpu_w = self.model.cpu().power_mw(self.state.cpu, &demand) / 1000.0;
+        self.thermal
+            .inject(NodeId::Cpu, cpu_w * (1.0 - HOTSPOT_POWER_SHARE));
+        self.thermal
+            .inject(NodeId::HotSpot, cpu_w * HOTSPOT_POWER_SHARE);
+        self.thermal.inject(
+            NodeId::Screen,
+            self.model.screen().power_mw(self.state.screen, &demand) / 1000.0,
+        );
+        self.thermal.inject(
+            NodeId::Shell,
+            self.model.wifi().power_mw(self.state.wifi, &demand) / 1000.0,
+        );
+        self.thermal.inject(NodeId::Battery, pstep.heat_w);
+        self.thermal.step(dt);
+
+        // 8. Bookkeeping.
+        let fail = total_w > 0.0 && pstep.shortfall_w > self.config.shortfall_tolerance * total_w;
+        self.energy_delivered_j += pstep.delivered_w * dt;
+        self.energy_heat_j += pstep.heat_w * dt;
+        if !fail {
+            let freq_share = (demand.freq_index.min(self.phone.n_freqs() - 1) + 1) as f64
+                / self.phone.n_freqs() as f64;
+            self.work_served += demand.cpu_util * freq_share * dt;
+        }
+        if tec_on {
+            self.tec_on_s += dt;
+            self.tec_energy_j += tec_step.power_w * dt;
+        }
+        let spot = self.thermal.temp_c(NodeId::HotSpot);
+        self.max_hotspot_c = self.max_hotspot_c.max(spot);
+        self.hotspot_sum += spot;
+        self.steps += 1;
+
+        // 9. Feed the policy.
+        let reward = if fail {
+            0.0
+        } else {
+            let spent = pstep.delivered_w + pstep.heat_w;
+            if spent > 0.0 {
+                (pstep.delivered_w / spent).clamp(0.0, 1.0)
+            } else {
+                1.0
+            }
+        };
+        policy.observe(&Observation {
+            time_s: t + dt,
+            prev_state,
+            action: self.fired.first().copied().unwrap_or(Action::TimerTick),
+            new_state: self.state,
+            reward,
+            power_w: total_w,
+        });
+        self.last_power_w = total_w;
+
+        // 10. Telemetry.
+        if t - self.last_sample_t >= self.config.sample_every_s {
+            self.last_sample_t = t;
+            sink.record_sample(Sample {
+                time_s: t,
+                power_mw: total_w * 1000.0,
+                hotspot_c: spot,
+                shell_c: self.thermal.temp_c(NodeId::Shell),
+                battery_c: self.thermal.temp_c(NodeId::Battery),
+                big_soc: self.pack.big().soc(),
+                little_soc: self.pack.little().map(|c| c.soc()).unwrap_or(1.0),
+                active: pstep.active,
+                tec_on,
+                voltage_v: pstep.voltage_v,
+            });
+        }
+
+        // 11. End conditions.
+        if fail {
+            self.consecutive_fail_s += dt;
+        } else {
+            self.consecutive_fail_s = 0.0;
+        }
+        if self.fail_window.len() == self.window_len && self.fail_window.pop_front() == Some(true) {
+            self.fails_in_window -= 1;
+        }
+        self.fail_window.push_back(fail);
+        if fail {
+            self.fails_in_window += 1;
+        }
+        let window_full = self.fail_window.len() == self.window_len;
+        if self.consecutive_fail_s >= self.config.shortfall_window_s
+            || (window_full && self.fails_in_window as f64 / self.window_len as f64 > FAIL_FRACTION)
+        {
+            self.done = Some(EndReason::SustainedShortfall);
+            return self.done;
+        }
+
+        self.t += dt;
+        None
+    }
+
+    /// Advance until the cycle ends or the clock reaches `t_end` — the
+    /// fleet arena's time-slice entry point. Returns the end reason if
+    /// the cycle is over.
+    pub fn run_until<P, T, S>(
+        &mut self,
+        policy: &mut P,
+        trace: &mut T,
+        sink: &mut S,
+        t_end: f64,
+    ) -> Option<EndReason>
+    where
+        P: Policy + ?Sized,
+        T: TraceSource + ?Sized,
+        S: TelemetrySink + ?Sized,
+    {
+        while self.done.is_none() && self.t < t_end {
+            self.step(policy, trace, sink);
+        }
+        self.done
+    }
+
+    /// The end reason, once the cycle is over.
+    pub fn end_reason(&self) -> Option<EndReason> {
+        self.done
+    }
+
+    /// Current simulation time, seconds (the service time once done).
+    pub fn time_s(&self) -> f64 {
+        self.t
+    }
+
+    /// Work units served so far.
+    pub fn work_served(&self) -> f64 {
+        self.work_served
+    }
+
+    /// Energy delivered by the pack so far, joules.
+    pub fn energy_delivered_j(&self) -> f64 {
+        self.energy_delivered_j
+    }
+
+    /// Battery switches performed so far.
+    pub fn switches(&self) -> u64 {
+        self.actuator.switches()
+    }
+
+    /// Peak hot-spot temperature, degC (ambient before the first step —
+    /// the same fallback the single-device outcome reports).
+    pub fn peak_hotspot_c(&self) -> f64 {
+        if self.steps > 0 {
+            self.max_hotspot_c
+        } else {
+            self.config.ambient_c
+        }
+    }
+
+    /// Consume the core into a full [`Outcome`]. `policy` must be the
+    /// value that drove the run (its name and counters are reported) and
+    /// `telemetry` the sink it filled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle has not ended yet.
+    pub fn finish(self, policy: &dyn Policy, workload: &str, telemetry: Telemetry) -> Outcome {
+        let end_reason = self.done.expect("finish() before the cycle ended");
+        Outcome {
+            policy: policy.name().to_string(),
+            workload: workload.to_string(),
+            phone: self.phone.name.to_string(),
+            service_time_s: self.t,
+            end_reason,
+            energy_delivered_j: self.energy_delivered_j,
+            energy_heat_j: self.energy_heat_j,
+            work_served: self.work_served,
+            switches: self.actuator.switches(),
+            big_active_s: self.pack.big_active_s(),
+            little_active_s: self.pack.little_active_s(),
+            big_delivered_j: self.pack.big().delivered_j(),
+            little_delivered_j: self.pack.little().map(|c| c.delivered_j()).unwrap_or(0.0),
+            tec_on_s: self.tec_on_s,
+            tec_energy_j: self.tec_energy_j,
+            max_hotspot_c: if self.steps > 0 {
+                self.max_hotspot_c
+            } else {
+                self.config.ambient_c
+            },
+            mean_hotspot_c: if self.steps > 0 {
+                self.hotspot_sum / self.steps as f64
+            } else {
+                self.config.ambient_c
+            },
+            scheduler_overhead_us: policy.overhead_us(),
+            recalibrations: policy.recalibrations(),
+            telemetry,
+        }
+    }
+}
 
 /// A configured discharge-cycle simulation.
 pub struct Simulator {
@@ -72,239 +464,22 @@ impl Simulator {
     }
 
     /// Run one discharge cycle to completion.
-    pub fn run(mut self) -> Outcome {
-        let dt = self.config.dt_s;
-        let mut thermal = ThermalNetwork::phone_at_ambient(self.config.ambient_c);
-        let tec = Tec::ate31();
-        let mut tec_ctl = TecController::new(self.config.tec_threshold_c, 2.0);
-        let mut actuator = Actuator::new();
-        let mut state = DeviceState::asleep();
+    pub fn run(self) -> Outcome {
+        let Simulator {
+            phone,
+            model,
+            mut trace,
+            pack,
+            mut policy,
+            config,
+        } = self;
+        let mut sim = DeviceSim::new(Arc::new(phone), Arc::new(model), pack, config);
         let mut telemetry = Telemetry::new();
-
-        let mut t = 0.0;
-        let mut last_power_w = 0.0;
-        let mut last_sample_t = f64::NEG_INFINITY;
-
-        // Accumulators.
-        let mut energy_delivered_j = 0.0;
-        let mut energy_heat_j = 0.0;
-        let mut work_served = 0.0;
-        let mut tec_on_s = 0.0;
-        let mut tec_energy_j = 0.0;
-        let mut max_hotspot_c = f64::NEG_INFINITY;
-        let mut hotspot_sum = 0.0;
-        let mut steps: u64 = 0;
-
-        // End-condition trackers.
-        let mut consecutive_fail_s = 0.0;
-        let window_len = (FAIL_WINDOW_S / dt).round().max(1.0) as usize;
-        let mut fail_window: VecDeque<bool> = VecDeque::with_capacity(window_len);
-        let mut fails_in_window = 0usize;
-
-        let end_reason = loop {
-            if t >= self.config.max_horizon_s {
-                break EndReason::HorizonReached;
-            }
-            if self.pack.is_depleted() {
-                break EndReason::PackDepleted;
-            }
-
-            // 1. Fire the trace's boundary actions.
-            let prev_state = state;
-            let mut fired: Vec<Action> = Vec::new();
-            for seg in self.trace.segments_starting_in(t, t + dt) {
-                for &a in &seg.actions {
-                    state = state.apply(a);
-                    fired.push(a);
-                }
-            }
-
-            // 2. Thermal governor: TEC on/off from the hot-spot reading.
-            let hotspot_c = thermal.temp_c(NodeId::HotSpot);
-            let tec_on = self.config.tec_enabled && tec_ctl.update(hotspot_c);
-            state.tec = if tec_on { TecState::On } else { TecState::Off };
-
-            // 3. Battery decision.
-            let ctx = DecisionContext {
-                time_s: t,
-                state,
-                actions: &fired,
-                last_power_w,
-                big_soc: self.pack.big().soc(),
-                little_soc: self.pack.little().map(|c| c.soc()).unwrap_or(1.0),
-                big_usable: self.pack.big().is_usable(),
-                little_usable: self.pack.little().map(|c| c.is_usable()).unwrap_or(false),
-                big_head: self.pack.big().available_head(),
-                little_head: self
-                    .pack
-                    .little()
-                    .map(|c| c.available_head())
-                    .unwrap_or(0.0),
-                hotspot_c,
-                tec_on,
-                dual: self.pack.little().is_some(),
-            };
-            let target = self.policy.decide(&ctx);
-            for cal in self.policy.drain_calibrations() {
-                telemetry.push_calibration(cal);
-            }
-            if let Some(switch_action) = actuator.apply(&mut self.pack, target) {
-                state = state.apply(switch_action);
-                fired.push(switch_action);
-            } else {
-                state.battery = self.pack.active();
-            }
-
-            // 4. Demand and thermal throttling.
-            let mut demand = self.trace.at(t).demand;
-            let throttled = hotspot_c > self.config.throttle_threshold_c;
-            if throttled {
-                demand.cpu_util *= self.config.throttle_factor;
-            }
-            let device_mw = self.model.device_power_mw(&state, &demand);
-
-            // 5. TEC physics (pump before integrating the network).
-            let tec_step = if tec_on {
-                tec.pump(
-                    &mut thermal,
-                    NodeId::HotSpot,
-                    NodeId::Shell,
-                    tec.rated_current_a(),
-                )
-            } else {
-                TecStep::off()
-            };
-            let total_w = device_mw / 1000.0 + tec_step.power_w;
-
-            // 6. The pack serves the load.
-            let battery_c = thermal.temp_c(NodeId::Battery);
-            let pstep = self.pack.step(total_w, dt, battery_c);
-
-            // 7. Component heat into the thermal network.
-            let cpu_w = self.model.cpu().power_mw(state.cpu, &demand) / 1000.0;
-            thermal.inject(NodeId::Cpu, cpu_w * (1.0 - HOTSPOT_POWER_SHARE));
-            thermal.inject(NodeId::HotSpot, cpu_w * HOTSPOT_POWER_SHARE);
-            thermal.inject(
-                NodeId::Screen,
-                self.model.screen().power_mw(state.screen, &demand) / 1000.0,
-            );
-            thermal.inject(
-                NodeId::Shell,
-                self.model.wifi().power_mw(state.wifi, &demand) / 1000.0,
-            );
-            thermal.inject(NodeId::Battery, pstep.heat_w);
-            thermal.step(dt);
-
-            // 8. Bookkeeping.
-            let fail =
-                total_w > 0.0 && pstep.shortfall_w > self.config.shortfall_tolerance * total_w;
-            energy_delivered_j += pstep.delivered_w * dt;
-            energy_heat_j += pstep.heat_w * dt;
-            if !fail {
-                let freq_share = (demand.freq_index.min(self.phone.n_freqs() - 1) + 1) as f64
-                    / self.phone.n_freqs() as f64;
-                work_served += demand.cpu_util * freq_share * dt;
-            }
-            if tec_on {
-                tec_on_s += dt;
-                tec_energy_j += tec_step.power_w * dt;
-            }
-            let spot = thermal.temp_c(NodeId::HotSpot);
-            max_hotspot_c = max_hotspot_c.max(spot);
-            hotspot_sum += spot;
-            steps += 1;
-
-            // 9. Feed the policy.
-            let reward = if fail {
-                0.0
-            } else {
-                let spent = pstep.delivered_w + pstep.heat_w;
-                if spent > 0.0 {
-                    (pstep.delivered_w / spent).clamp(0.0, 1.0)
-                } else {
-                    1.0
-                }
-            };
-            self.policy.observe(&Observation {
-                time_s: t + dt,
-                prev_state,
-                action: fired.first().copied().unwrap_or(Action::TimerTick),
-                new_state: state,
-                reward,
-                power_w: total_w,
-            });
-            last_power_w = total_w;
-
-            // 10. Telemetry.
-            if t - last_sample_t >= self.config.sample_every_s {
-                last_sample_t = t;
-                telemetry.push(Sample {
-                    time_s: t,
-                    power_mw: total_w * 1000.0,
-                    hotspot_c: spot,
-                    shell_c: thermal.temp_c(NodeId::Shell),
-                    battery_c: thermal.temp_c(NodeId::Battery),
-                    big_soc: self.pack.big().soc(),
-                    little_soc: self.pack.little().map(|c| c.soc()).unwrap_or(1.0),
-                    active: pstep.active,
-                    tec_on,
-                    voltage_v: pstep.voltage_v,
-                });
-            }
-
-            // 11. End conditions.
-            if fail {
-                consecutive_fail_s += dt;
-            } else {
-                consecutive_fail_s = 0.0;
-            }
-            if fail_window.len() == window_len && fail_window.pop_front() == Some(true) {
-                fails_in_window -= 1;
-            }
-            fail_window.push_back(fail);
-            if fail {
-                fails_in_window += 1;
-            }
-            let window_full = fail_window.len() == window_len;
-            if consecutive_fail_s >= self.config.shortfall_window_s
-                || (window_full && fails_in_window as f64 / window_len as f64 > FAIL_FRACTION)
-            {
-                break EndReason::SustainedShortfall;
-            }
-
-            t += dt;
-        };
-
-        Outcome {
-            policy: self.policy.name().to_string(),
-            workload: self.trace.name().to_string(),
-            phone: self.phone.name.to_string(),
-            service_time_s: t,
-            end_reason,
-            energy_delivered_j,
-            energy_heat_j,
-            work_served,
-            switches: actuator.switches(),
-            big_active_s: self.pack.big_active_s(),
-            little_active_s: self.pack.little_active_s(),
-            big_delivered_j: self.pack.big().delivered_j(),
-            little_delivered_j: self.pack.little().map(|c| c.delivered_j()).unwrap_or(0.0),
-            tec_on_s,
-            tec_energy_j,
-            max_hotspot_c: if steps > 0 {
-                max_hotspot_c
-            } else {
-                self.config.ambient_c
-            },
-            mean_hotspot_c: if steps > 0 {
-                hotspot_sum / steps as f64
-            } else {
-                self.config.ambient_c
-            },
-            scheduler_overhead_us: self.policy.overhead_us(),
-            recalibrations: self.policy.recalibrations(),
-            telemetry,
-        }
+        while sim
+            .step(policy.as_mut(), &mut trace, &mut telemetry)
+            .is_none()
+        {}
+        sim.finish(policy.as_ref(), trace.name(), telemetry)
     }
 }
 
@@ -433,5 +608,45 @@ mod tests {
             "Geekbench should heat the spot, got {}",
             o.max_hotspot_c
         );
+    }
+
+    #[test]
+    fn stepwise_run_until_matches_single_pass_bitwise() {
+        // The fleet arena's time-sliced scheduling resumes a DeviceSim
+        // mid-cycle; the per-tick operation sequence must be identical
+        // to running straight through.
+        let config = quick_config();
+        let build = || {
+            DeviceSim::new(
+                Arc::new(PhoneProfile::nexus()),
+                Arc::new(PhoneProfile::nexus().power_model()),
+                BatteryPack::paper_prototype(),
+                config,
+            )
+        };
+        let mut one_trace = generate(WorkloadKind::Pcmark, 2500.0, 9);
+        let mut one_policy = DualPolicy;
+        let mut one_tel = Telemetry::new();
+        let mut one = build();
+        while one
+            .step(&mut one_policy, &mut one_trace, &mut one_tel)
+            .is_none()
+        {}
+
+        let mut sliced_trace = generate(WorkloadKind::Pcmark, 2500.0, 9);
+        let mut sliced_policy = DualPolicy;
+        let mut sliced_tel = Telemetry::new();
+        let mut sliced = build();
+        let mut w = 0.0;
+        while sliced
+            .run_until(&mut sliced_policy, &mut sliced_trace, &mut sliced_tel, w)
+            .is_none()
+        {
+            w += 300.0;
+        }
+
+        let a = one.finish(&one_policy, "pcmark", one_tel);
+        let b = sliced.finish(&sliced_policy, "pcmark", sliced_tel);
+        assert_eq!(a, b, "time-sliced stepping must be bit-identical");
     }
 }

@@ -112,11 +112,65 @@ impl ShardThroughput {
     }
 }
 
+/// Where the simulation engine delivers telemetry: the full time series
+/// ([`Telemetry`]) or the fleet arena's counters ([`LeanTelemetry`]).
+///
+/// The engine constructs samples identically for every sink; a sink only
+/// chooses what to *retain*, so swapping sinks cannot change simulation
+/// results.
+pub trait TelemetrySink {
+    /// Deliver one time-series sample.
+    fn record_sample(&mut self, sample: Sample);
+    /// Deliver one background-calibration event.
+    fn record_calibration(&mut self, sample: CalibrationSample);
+}
+
+/// A constant-memory telemetry sink for fleet-scale runs: counts samples
+/// and folds the calibration staleness maximum instead of retaining the
+/// series.
+///
+/// The counters match the full sink exactly: `samples` equals
+/// [`Telemetry::len`] and `max_staleness_s` equals
+/// [`Telemetry::max_calibration_staleness_s`] for the same delivery
+/// sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LeanTelemetry {
+    /// Number of samples delivered (the device's scheduling-tick count
+    /// as fleet summaries define it).
+    pub samples: u64,
+    /// Number of calibration events delivered.
+    pub calibrations: u64,
+    /// Largest calibration staleness observed, simulated seconds (0.0
+    /// when no calibration ran or all were inline).
+    pub max_staleness_s: f64,
+}
+
+impl TelemetrySink for LeanTelemetry {
+    fn record_sample(&mut self, _sample: Sample) {
+        self.samples += 1;
+    }
+
+    fn record_calibration(&mut self, sample: CalibrationSample) {
+        self.calibrations += 1;
+        self.max_staleness_s = f64::max(self.max_staleness_s, sample.staleness_s);
+    }
+}
+
 /// A sampled time series with summary statistics.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Telemetry {
     samples: Vec<Sample>,
     calibrations: Vec<CalibrationSample>,
+}
+
+impl TelemetrySink for Telemetry {
+    fn record_sample(&mut self, sample: Sample) {
+        self.push(sample);
+    }
+
+    fn record_calibration(&mut self, sample: CalibrationSample) {
+        self.push_calibration(sample);
+    }
 }
 
 impl Telemetry {
@@ -320,6 +374,37 @@ mod tests {
         };
         assert!((busy.devices_per_s() - 64.0).abs() < 1e-9);
         assert!((busy.ticks_per_s() - 64_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lean_sink_matches_full_sink_counters() {
+        let mut full = Telemetry::new();
+        let mut lean = LeanTelemetry::default();
+        for i in 0..5 {
+            let s = sample(f64::from(i) * 30.0, 1000.0, 40.0, false, Class::Big);
+            full.record_sample(s);
+            lean.record_sample(s);
+        }
+        for staleness in [0.0, 4.5, 2.0] {
+            let cal = CalibrationSample {
+                time_s: 100.0,
+                sweeps: 1,
+                emd_solves: 0,
+                cache_hits: 0,
+                bound_pruned: 0,
+                wall_us: 10.0,
+                graph_action_nodes: 1,
+                bellman_sweeps: 1,
+                bellman_levels: 0,
+                warm_started: false,
+                staleness_s: staleness,
+            };
+            full.record_calibration(cal.clone());
+            lean.record_calibration(cal);
+        }
+        assert_eq!(lean.samples as usize, full.len());
+        assert_eq!(lean.calibrations as usize, full.calibrations().len());
+        assert_eq!(lean.max_staleness_s, full.max_calibration_staleness_s());
     }
 
     #[test]

@@ -3,15 +3,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod dispatch;
 pub mod policy;
 pub mod pool;
 pub mod profile;
 pub mod runner;
 pub mod sketch;
 
+pub use arena::{ArenaConfig, ArenaRunner, DeviceArena, DeviceHandle};
+pub use dispatch::FleetPolicy;
 pub use policy::PooledCapmanPolicy;
 pub use pool::{CalibrationPool, CalibrationSnapshot, PoolConfig, PoolCounters, SubmitOutcome};
-pub use profile::{DeviceSpec, Fleet, FleetProfile};
+pub use profile::{DeviceSpec, Fleet, FleetPlan, FleetProfile};
 pub use runner::{
     CalibrationMode, DeviceSummary, FleetAggregate, FleetConfig, FleetResult, FleetRunner,
 };

@@ -158,6 +158,65 @@ impl Fleet {
     }
 }
 
+/// A fleet described by rule instead of by roster: cohort profiles plus
+/// a device count, with every [`DeviceSpec`] derived on demand.
+///
+/// [`Fleet`] materializes one spec per device, which is fine at tens of
+/// thousands of devices and ruinous at a million (a spec is ~64 bytes;
+/// the roster alone would be tens of megabytes of warm-up allocation).
+/// A plan stores only the shared profiles; [`FleetPlan::spec`] derives
+/// device `i`'s spec arithmetically in exactly the order
+/// [`Fleet::build`] deals devices (ordinal-major, cohorts interleaved
+/// round-robin), so plan-driven runs enumerate the identical fleet.
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    profiles: Vec<Arc<FleetProfile>>,
+    devices_per_profile: usize,
+}
+
+impl FleetPlan {
+    /// A plan with `devices_per_profile` devices in each cohort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or `devices_per_profile` is zero.
+    pub fn new(profiles: Vec<FleetProfile>, devices_per_profile: usize) -> Self {
+        assert!(!profiles.is_empty(), "plan needs at least one profile");
+        assert!(devices_per_profile > 0, "plan needs devices");
+        FleetPlan {
+            profiles: profiles.into_iter().map(Arc::new).collect(),
+            devices_per_profile,
+        }
+    }
+
+    /// The shared cohort profiles.
+    pub fn profiles(&self) -> &[Arc<FleetProfile>] {
+        &self.profiles
+    }
+
+    /// Total devices the plan describes.
+    pub fn len(&self) -> usize {
+        self.profiles.len() * self.devices_per_profile
+    }
+
+    /// Whether the plan describes no devices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Derive device `i`'s spec (in [`Fleet::build`] deal order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn spec(&self, i: usize) -> DeviceSpec {
+        assert!(i < self.len(), "device index out of range");
+        let cohort = i % self.profiles.len();
+        let ordinal = (i / self.profiles.len()) as u64;
+        self.profiles[cohort].device(cohort, ordinal)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +257,23 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn plan_derives_exactly_the_built_fleet() {
+        let profiles = || {
+            vec![
+                FleetProfile::capman("a", WorkloadKind::Video, 1),
+                FleetProfile::capman("b", WorkloadKind::Pcmark, 2),
+                FleetProfile::capman("c", WorkloadKind::Geekbench, 3),
+            ]
+        };
+        let fleet = Fleet::build(profiles(), 4);
+        let plan = FleetPlan::new(profiles(), 4);
+        assert_eq!(plan.len(), fleet.len());
+        for (i, spec) in fleet.devices.iter().enumerate() {
+            assert_eq!(plan.spec(i), *spec, "device {i} must derive identically");
+        }
     }
 
     #[test]

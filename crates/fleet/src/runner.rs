@@ -14,18 +14,16 @@
 //! staleness this introduces is measured and folded into the fleet
 //! aggregate's percentile sketches.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
-use capman_core::capman::CapmanPolicy;
-use capman_core::experiments::{build_pack, build_policy, PolicyKind};
-use capman_core::metrics::Outcome;
+use capman_core::experiments::build_pack;
 use capman_core::policy::Policy;
-use capman_core::sim::Simulator;
-use capman_core::telemetry::ShardThroughput;
+use capman_core::sim::DeviceSim;
+use capman_core::telemetry::{LeanTelemetry, ShardThroughput};
 use rayon::prelude::*;
 
-use crate::policy::PooledCapmanPolicy;
+use crate::dispatch::FleetPolicy;
 use crate::pool::{CalibrationPool, PoolConfig, PoolCounters};
 use crate::profile::{DeviceSpec, Fleet};
 use crate::sketch::QuantileSketch;
@@ -51,8 +49,8 @@ pub struct FleetConfig {
     pub batch: usize,
     /// Pool sizing (ignored in [`CalibrationMode::Inline`]).
     pub pool: PoolConfig,
-    /// Deal shards across cores (`false`: one serial pass, the
-    /// determinism reference).
+    /// Deal shards across cores (`false`: the same shards run one
+    /// after another on the calling thread, the determinism reference).
     pub parallel: bool,
 }
 
@@ -93,23 +91,6 @@ pub struct DeviceSummary {
     pub recalibrations: u64,
     /// Largest calibration staleness observed, simulated seconds.
     pub max_staleness_s: f64,
-}
-
-impl DeviceSummary {
-    fn from_outcome(spec: &DeviceSpec, outcome: &Outcome) -> Self {
-        DeviceSummary {
-            device_id: spec.device_id,
-            cohort: spec.cohort,
-            service_time_s: outcome.service_time_s,
-            work_served: outcome.work_served,
-            energy_delivered_j: outcome.energy_delivered_j,
-            max_hotspot_c: outcome.max_hotspot_c,
-            switches: outcome.switches,
-            ticks: outcome.telemetry.len() as u64,
-            recalibrations: outcome.recalibrations,
-            max_staleness_s: outcome.telemetry.max_calibration_staleness_s(),
-        }
-    }
 }
 
 /// Fleet-level aggregation: streaming percentile sketches over the
@@ -191,59 +172,26 @@ impl FleetRunner {
         };
 
         let batch = self.config.batch;
-        let summaries: Vec<DeviceSummary>;
-        let mut shards: Vec<ShardThroughput>;
+        let n_shards = fleet.len().div_ceil(batch);
+        // One pre-sized cell per shard: every worker writes only its own
+        // cell (indexed by the chunk position), so no lock is taken and
+        // no post-hoc sort is needed — cell order IS shard order, and
+        // concatenating the cells' summaries reproduces fleet order.
+        let mut cells: Vec<ShardCell> = (0..n_shards).map(|_| ShardCell::default()).collect();
         if self.config.parallel {
-            let mut slots: Vec<Option<DeviceSummary>> =
-                fleet.devices.iter().map(|_| None).collect();
-            let shard_stats: Mutex<Vec<ShardThroughput>> = Mutex::new(Vec::new());
-            slots
-                .par_chunks_mut(batch)
-                .enumerate()
-                .for_each(|shard, chunk| {
-                    let _shard_span = capman_obs::span("fleet_shard", shard as u64);
-                    let t_shard = Instant::now();
-                    let start = shard * batch;
-                    let mut ticks = 0u64;
-                    for (offset, slot) in chunk.iter_mut().enumerate() {
-                        let spec = &fleet.devices[start + offset];
-                        let summary = run_device(fleet, spec, pool.as_ref());
-                        ticks += summary.ticks;
-                        *slot = Some(summary);
-                    }
-                    record_shard_metrics(chunk.len() as u64, ticks);
-                    shard_stats
-                        .lock()
-                        .expect("shard stats poisoned")
-                        .push(ShardThroughput {
-                            shard,
-                            devices: chunk.len() as u64,
-                            ticks,
-                            wall_ms: t_shard.elapsed().as_secs_f64() * 1e3,
-                        });
-                });
-            summaries = slots
-                .into_iter()
-                .map(|s| s.expect("every device slot is filled exactly once"))
-                .collect();
-            shards = shard_stats.into_inner().expect("shard stats poisoned");
-            shards.sort_by_key(|s| s.shard);
+            cells.par_chunks_mut(1).enumerate().for_each(|shard, cell| {
+                run_shard(fleet, shard, batch, pool.as_ref(), &mut cell[0]);
+            });
         } else {
-            let _shard_span = capman_obs::span("fleet_shard", 0);
-            let t_shard = Instant::now();
-            summaries = fleet
-                .devices
-                .iter()
-                .map(|spec| run_device(fleet, spec, pool.as_ref()))
-                .collect();
-            let ticks = summaries.iter().map(|s| s.ticks).sum();
-            record_shard_metrics(summaries.len() as u64, ticks);
-            shards = vec![ShardThroughput {
-                shard: 0,
-                devices: summaries.len() as u64,
-                ticks,
-                wall_ms: t_shard.elapsed().as_secs_f64() * 1e3,
-            }];
+            for (shard, cell) in cells.iter_mut().enumerate() {
+                run_shard(fleet, shard, batch, pool.as_ref(), cell);
+            }
+        }
+        let mut summaries: Vec<DeviceSummary> = Vec::with_capacity(fleet.len());
+        let mut shards: Vec<ShardThroughput> = Vec::with_capacity(n_shards);
+        for cell in cells {
+            summaries.extend(cell.summaries);
+            shards.push(cell.throughput.expect("every shard cell ran exactly once"));
         }
 
         let pool_counters = match &pool {
@@ -265,7 +213,7 @@ impl FleetRunner {
 /// [`ShardThroughput`], so registry totals always equal the
 /// `ShardThroughput`-derived sums (the obs acceptance test checks this
 /// equality).
-fn record_shard_metrics(devices: u64, ticks: u64) {
+pub(crate) fn record_shard_metrics(devices: u64, ticks: u64) {
     if capman_obs::enabled() {
         capman_obs::counter!("fleet_shards_total", "Fleet shards executed").inc();
         capman_obs::counter!("fleet_devices_total", "Devices simulated to completion").add(devices);
@@ -273,31 +221,95 @@ fn record_shard_metrics(devices: u64, ticks: u64) {
     }
 }
 
-/// Simulate one device to completion.
+/// One shard's output: its summaries (in device order) plus throughput.
+/// Workers own disjoint cells, so writes need no synchronisation.
+#[derive(Debug, Default)]
+struct ShardCell {
+    summaries: Vec<DeviceSummary>,
+    throughput: Option<ShardThroughput>,
+}
+
+/// Simulate one shard's contiguous device range into its cell. The
+/// shard owns a single [`FleetPolicy`] slot re-initialised in place per
+/// device, so the loop performs no per-device policy allocation.
+fn run_shard(
+    fleet: &Fleet,
+    shard: usize,
+    batch: usize,
+    pool: Option<&Arc<CalibrationPool>>,
+    cell: &mut ShardCell,
+) {
+    let _shard_span = capman_obs::span("fleet_shard", shard as u64);
+    let t_shard = Instant::now();
+    let start = shard * batch;
+    let end = (start + batch).min(fleet.len());
+    cell.summaries.reserve_exact(end - start);
+    let mut slot = FleetPolicy::placeholder();
+    let mut ticks = 0u64;
+    for spec in &fleet.devices[start..end] {
+        let summary = run_device(fleet, spec, pool, &mut slot);
+        ticks += summary.ticks;
+        cell.summaries.push(summary);
+    }
+    record_shard_metrics(cell.summaries.len() as u64, ticks);
+    cell.throughput = Some(ShardThroughput {
+        shard,
+        devices: cell.summaries.len() as u64,
+        ticks,
+        wall_ms: t_shard.elapsed().as_secs_f64() * 1e3,
+    });
+}
+
+/// Simulate one device to completion, re-initialising the shard's
+/// policy slot for it.
 fn run_device(
     fleet: &Fleet,
     spec: &DeviceSpec,
     pool: Option<&Arc<CalibrationPool>>,
+    slot: &mut FleetPolicy,
 ) -> DeviceSummary {
     let profile = &fleet.profiles[spec.cohort];
-    let trace = profile.trace(spec);
+    let mut trace = profile.trace(spec);
     let config = profile.device_config(spec);
     let pack = build_pack(profile.kind);
-    let policy: Box<dyn Policy> = match (profile.kind, pool) {
-        (PolicyKind::Capman, Some(pool)) => Box::new(PooledCapmanPolicy::new(
-            Arc::clone(pool),
-            spec.cohort,
-            profile.calibrator,
-            profile.phone.compute_speed,
-        )),
-        (PolicyKind::Capman, None) => Box::new(CapmanPolicy::with_calibrator(
-            profile.phone.compute_speed,
-            profile.calibrator.build(),
-        )),
-        _ => build_policy(profile.kind, &trace, &profile.phone),
-    };
-    let outcome = Simulator::new(profile.phone.clone(), trace, pack, policy, config).run();
-    DeviceSummary::from_outcome(spec, &outcome)
+    *slot = FleetPolicy::for_device(profile, spec, pool, || trace.clone());
+    let mut sim = DeviceSim::new(
+        Arc::new(profile.phone.clone()),
+        Arc::new(profile.phone.power_model()),
+        pack,
+        config,
+    );
+    let mut lean = LeanTelemetry::default();
+    while sim.step(slot, &mut trace, &mut lean).is_none() {}
+    DeviceSummary {
+        device_id: spec.device_id,
+        cohort: spec.cohort,
+        service_time_s: sim.time_s(),
+        work_served: sim.work_served(),
+        energy_delivered_j: sim.energy_delivered_j(),
+        max_hotspot_c: sim.peak_hotspot_c(),
+        switches: sim.switches(),
+        ticks: lean.samples,
+        recalibrations: slot.recalibrations(),
+        max_staleness_s: lean.max_staleness_s,
+    }
+}
+
+/// The canonical sketch geometries of the fleet aggregate. The arena's
+/// streaming per-shard folds build the same geometries so their bin-wise
+/// merges equal this serial fold exactly.
+pub(crate) fn lifetime_sketch(horizon: f64) -> QuantileSketch {
+    QuantileSketch::new(0.0, horizon, 2048)
+}
+
+/// Peak-hot-spot sketch geometry (see [`lifetime_sketch`]).
+pub(crate) fn hotspot_sketch() -> QuantileSketch {
+    QuantileSketch::new(15.0, 90.0, 750)
+}
+
+/// Calibration-staleness sketch geometry (see [`lifetime_sketch`]).
+pub(crate) fn staleness_sketch() -> QuantileSketch {
+    QuantileSketch::new(0.0, 120.0, 1200)
 }
 
 /// Fold per-device summaries into the fleet aggregate. Runs serially in
@@ -315,9 +327,9 @@ fn aggregate(
         .iter()
         .map(|p| p.config.max_horizon_s)
         .fold(1.0, f64::max);
-    let mut lifetime_s = QuantileSketch::new(0.0, horizon, 2048);
-    let mut hotspot_c = QuantileSketch::new(15.0, 90.0, 750);
-    let mut staleness_s = QuantileSketch::new(0.0, 120.0, 1200);
+    let mut lifetime_s = lifetime_sketch(horizon);
+    let mut hotspot_c = hotspot_sketch();
+    let mut staleness_s = staleness_sketch();
     let mut ticks = 0u64;
     let mut recalibrations = 0u64;
     for s in summaries {
@@ -344,6 +356,7 @@ fn aggregate(
 mod tests {
     use super::*;
     use crate::profile::FleetProfile;
+    use capman_core::experiments::PolicyKind;
     use capman_workload::WorkloadKind;
 
     /// A small, short-horizon fleet that still crosses the calibration

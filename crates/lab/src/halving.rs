@@ -98,6 +98,7 @@ pub fn select_calibrator_halving(
                 tec: None,
                 horizon_s: None,
                 calibration: CalibrationMode::Pool,
+                arena: false,
             })
             .collect(),
     };

@@ -22,7 +22,9 @@ use capman_core::experiments::PolicyKind;
 use capman_core::metrics::{EndReason, Outcome};
 use capman_core::online::CalibratorSpec;
 use capman_core::scenario::{Scenario, ScenarioRunner};
-use capman_fleet::{Fleet, FleetConfig, FleetProfile, FleetRunner, PoolConfig};
+use capman_fleet::{
+    ArenaConfig, ArenaRunner, Fleet, FleetConfig, FleetPlan, FleetProfile, FleetRunner, PoolConfig,
+};
 
 use crate::spec::{ExperimentSpec, Task, TaskKind, Variant};
 use crate::trial::{TrialOutcome, TrialResult};
@@ -196,17 +198,29 @@ fn run_fleet_cell(
             p
         })
         .collect();
-    let fleet = Fleet::build(profiles, devices / workloads.len());
-    let runner = FleetRunner::new(FleetConfig {
-        mode: variant.calibration,
-        batch: 64,
-        pool: PoolConfig {
-            workers: 2,
-            queue_depth: 64,
-        },
-        parallel: true,
-    });
-    let result = runner.run(&fleet);
+    let pool = PoolConfig {
+        workers: 2,
+        queue_depth: 64,
+    };
+    // `arena: true` arms run the identical fleet through the
+    // structure-of-arrays path (same numbers, bounded memory), so a
+    // sweep can A/B the two runners on any fleet task.
+    let result = if variant.arena {
+        ArenaRunner::new(ArenaConfig {
+            mode: variant.calibration,
+            pool,
+            ..ArenaConfig::default()
+        })
+        .run(&FleetPlan::new(profiles, devices / workloads.len()))
+    } else {
+        FleetRunner::new(FleetConfig {
+            mode: variant.calibration,
+            batch: 64,
+            pool,
+            parallel: true,
+        })
+        .run(&Fleet::build(profiles, devices / workloads.len()))
+    };
     let a = &result.aggregate;
     TrialResult {
         objective: a.devices_per_s(),
@@ -431,5 +445,35 @@ mod tests {
         assert!(results[0].objective > 0.0);
         assert_eq!(results[0].metric("devices"), Some(4.0));
         assert!(matches!(results[1].outcome, TrialOutcome::Error(_)));
+    }
+
+    #[test]
+    fn arena_arms_reproduce_roster_arms_on_fleet_tasks() {
+        // Inline calibration keeps both arms deterministic, so every
+        // simulation-derived metric must agree exactly; only wall_ms
+        // and the throughput objective may differ between runners.
+        let spec = spec(
+            "name: fleet-arena\n\
+             variants:\n\
+             \x20 - name: roster\n    policy: CAPMAN\n    calibration: inline\n\
+             \x20 - name: arena\n    policy: CAPMAN\n    calibration: inline\n    arena: true\n",
+        );
+        let ts = tasks(
+            "{\"task_id\": \"f\", \"fleet\": {\"devices\": 6, \"workloads\": [\"video\", \"pcmark\"]}, \"horizon_s\": 600}\n",
+        );
+        let results = run_experiment(&spec, &ts);
+        assert_eq!(results.len(), 2);
+        assert!(results[1].objective > 0.0, "arena arm must run");
+        for key in [
+            "devices",
+            "ticks",
+            "recalibrations",
+            "lifetime_p50_s",
+            "lifetime_p95_s",
+            "hotspot_p95_c",
+            "staleness_p99_s",
+        ] {
+            assert_eq!(results[0].metric(key), results[1].metric(key), "{key}");
+        }
     }
 }

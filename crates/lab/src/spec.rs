@@ -75,6 +75,10 @@ pub struct Variant {
     pub horizon_s: Option<f64>,
     /// Calibration execution mode for fleet tasks.
     pub calibration: CalibrationMode,
+    /// Run fleet tasks through the structure-of-arrays arena runner
+    /// (plan-derived devices, streaming aggregation) instead of the
+    /// roster runner. `arena: true` in the experiment YAML.
+    pub arena: bool,
 }
 
 /// One dataset row.
@@ -236,6 +240,11 @@ impl Variant {
             Some(m) if m.eq_ignore_ascii_case("inline") => CalibrationMode::Inline,
             Some(m) => return Err(at(&format!("calibration: expected inline|pool, got {m:?}"))),
         };
+        let arena = match v.get("arena") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(at("arena: expected a boolean")),
+        };
         Ok(Variant {
             name,
             policy,
@@ -243,6 +252,7 @@ impl Variant {
             tec,
             horizon_s,
             calibration,
+            arena,
         })
     }
 }

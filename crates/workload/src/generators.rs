@@ -104,6 +104,118 @@ impl WorkloadKind {
     }
 }
 
+/// Where generated segments land: the batch [`TraceBuilder`] or the
+/// streaming cursor's window buffer ([`crate::stream::TraceCursor`]).
+///
+/// Both sinks receive the *identical* call sequence from
+/// [`WorkloadGen`], which is what makes streamed traces bit-identical to
+/// batch-materialized ones.
+pub(crate) trait SegmentSink {
+    /// Append a segment of `duration_s` starting at the current cursor.
+    fn push_segment(&mut self, duration_s: f64, demand: Demand, actions: Vec<Action>);
+}
+
+impl SegmentSink for TraceBuilder {
+    fn push_segment(&mut self, duration_s: f64, demand: Demand, actions: Vec<Action>) {
+        self.push(duration_s, demand, actions);
+    }
+}
+
+/// Per-kind generator parameters hoisted out of the emission loop (the
+/// Zipf tables and toggle timings are shared constants, not per-burst
+/// state).
+#[derive(Debug, Clone)]
+enum GenParams {
+    Geekbench,
+    Pcmark { gap_zipf: Zipf },
+    Video,
+    EtaStatic { p_pcmark: f64, burst_zipf: Zipf },
+    IdleOn,
+    Toggle { on_s: f64, off_s: f64 },
+}
+
+/// A resumable workload generator: the seeded RNG plus the per-kind
+/// parameters, emitting the prelude on the first call and one
+/// generator-loop iteration per call afterwards.
+///
+/// Driving it to the horizon through a [`TraceBuilder`] reproduces
+/// [`generate`] exactly; driving it lazily through a window buffer gives
+/// the fleet's streaming traces the identical RNG call order, hence
+/// bit-identical segments.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkloadGen {
+    params: GenParams,
+    rng: StdRng,
+    started: bool,
+}
+
+impl WorkloadGen {
+    /// Build the generator for `kind` from the trace seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta > 100` or a toggle period is under 2 s.
+    pub(crate) fn new(kind: WorkloadKind, seed: u64) -> Self {
+        let params = match kind {
+            WorkloadKind::Geekbench => GenParams::Geekbench,
+            WorkloadKind::Pcmark => GenParams::Pcmark {
+                gap_zipf: Zipf::new(6, 1.1),
+            },
+            WorkloadKind::Video => GenParams::Video,
+            WorkloadKind::EtaStatic { eta } => {
+                assert!(eta <= 100, "eta is a percentage");
+                GenParams::EtaStatic {
+                    p_pcmark: f64::from(eta) / 100.0,
+                    burst_zipf: Zipf::new(5, 1.2),
+                }
+            }
+            WorkloadKind::IdleOn => GenParams::IdleOn,
+            WorkloadKind::Toggle { period_s } => {
+                assert!(period_s >= 2, "toggle period must be at least 2 s");
+                let period = f64::from(period_s);
+                let on_s = (period / 2.0).max(1.0);
+                let off_s = (period - on_s).max(1.0);
+                GenParams::Toggle { on_s, off_s }
+            }
+        };
+        WorkloadGen {
+            params,
+            rng: StdRng::seed_from_u64(seed ^ 0xCA9A_u64.rotate_left(17)),
+            started: false,
+        }
+    }
+
+    /// Emit the next burst of segments into `sink`: the prelude on the
+    /// first call (possibly empty), one loop iteration per call after.
+    /// Every step call appends at least one segment.
+    pub(crate) fn emit<S: SegmentSink>(&mut self, sink: &mut S) {
+        let rng = &mut self.rng;
+        if !self.started {
+            self.started = true;
+            match &self.params {
+                GenParams::Geekbench => geekbench_prelude(sink, rng),
+                GenParams::Pcmark { .. } => pcmark_prelude(sink),
+                GenParams::Video => video_prelude(sink),
+                GenParams::EtaStatic { .. } => eta_static_prelude(sink),
+                GenParams::IdleOn => idle_on_prelude(sink),
+                GenParams::Toggle { .. } => {}
+            }
+        } else {
+            match &self.params {
+                GenParams::Geekbench => geekbench_step(sink, rng),
+                GenParams::Pcmark { gap_zipf } => pcmark_step(sink, gap_zipf, rng),
+                GenParams::Video => video_step(sink, rng),
+                GenParams::EtaStatic {
+                    p_pcmark,
+                    burst_zipf,
+                } => eta_static_step(sink, *p_pcmark, burst_zipf, rng),
+                GenParams::IdleOn => idle_on_step(sink),
+                GenParams::Toggle { on_s, off_s } => toggle_step(sink, *on_s, *off_s),
+            }
+        }
+    }
+}
+
 /// Generate a trace of at least `horizon_s` seconds for the given kind.
 ///
 /// # Panics
@@ -111,18 +223,11 @@ impl WorkloadKind {
 /// Panics if `horizon_s` is not positive or `eta > 100`.
 pub fn generate(kind: WorkloadKind, horizon_s: f64, seed: u64) -> Trace {
     assert!(horizon_s > 0.0, "horizon must be positive");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA9A_u64.rotate_left(17));
+    let mut gen = WorkloadGen::new(kind, seed);
     let mut b = TraceBuilder::new();
-    match kind {
-        WorkloadKind::Geekbench => geekbench(&mut b, horizon_s, &mut rng),
-        WorkloadKind::Pcmark => pcmark(&mut b, horizon_s, &mut rng),
-        WorkloadKind::Video => video(&mut b, horizon_s, &mut rng),
-        WorkloadKind::EtaStatic { eta } => {
-            assert!(eta <= 100, "eta is a percentage");
-            eta_static(&mut b, horizon_s, eta, &mut rng)
-        }
-        WorkloadKind::IdleOn => idle_on(&mut b, horizon_s),
-        WorkloadKind::Toggle { period_s } => toggle(&mut b, horizon_s, period_s),
+    gen.emit(&mut b); // prelude
+    while b.cursor_s() < horizon_s {
+        gen.emit(&mut b);
     }
     b.build(kind.label())
 }
@@ -136,33 +241,33 @@ fn full_demand(rng: &mut StdRng) -> Demand {
     }
 }
 
-/// Geekbench: saturating compute, screen on, sporadic result uploads.
-fn geekbench(b: &mut TraceBuilder, horizon_s: f64, rng: &mut StdRng) {
-    b.push(
+/// Geekbench prelude: saturating compute from the first second.
+fn geekbench_prelude<S: SegmentSink>(b: &mut S, rng: &mut StdRng) {
+    b.push_segment(
         1.0,
         full_demand(rng),
         vec![Action::ScreenOn, Action::AppLaunch],
     );
-    while b.cursor_s() < horizon_s {
-        let dur = rng.gen_range(15.0..40.0);
-        let upload = rng.gen_bool(0.15);
-        let mut d = full_demand(rng);
-        let mut actions = vec![Action::CpuBusy];
-        if upload {
-            d.packet_rate = rng.gen_range(120.0..200.0);
-            actions.push(Action::NetSendStart);
-        } else {
-            actions.push(Action::NetStop);
-        }
-        b.push(dur, d, actions);
-    }
 }
 
-/// PCMark: CPU-intensive phases with occasional user interactions whose
-/// gaps follow a Zipf law (the paper's skewed arrivals).
-fn pcmark(b: &mut TraceBuilder, horizon_s: f64, rng: &mut StdRng) {
-    let gap_zipf = Zipf::new(6, 1.1);
-    b.push(
+/// Geekbench: saturating compute, screen on, sporadic result uploads.
+fn geekbench_step<S: SegmentSink>(b: &mut S, rng: &mut StdRng) {
+    let dur = rng.gen_range(15.0..40.0);
+    let upload = rng.gen_bool(0.15);
+    let mut d = full_demand(rng);
+    let mut actions = vec![Action::CpuBusy];
+    if upload {
+        d.packet_rate = rng.gen_range(120.0..200.0);
+        actions.push(Action::NetSendStart);
+    } else {
+        actions.push(Action::NetStop);
+    }
+    b.push_segment(dur, d, actions);
+}
+
+/// PCMark prelude: a moderate compute opening segment.
+fn pcmark_prelude<S: SegmentSink>(b: &mut S) {
+    b.push_segment(
         1.0,
         Demand {
             cpu_util: 70.0,
@@ -172,48 +277,49 @@ fn pcmark(b: &mut TraceBuilder, horizon_s: f64, rng: &mut StdRng) {
         },
         vec![Action::ScreenOn, Action::AppLaunch],
     );
-    while b.cursor_s() < horizon_s {
-        // A compute phase.
-        let phase = Demand {
-            cpu_util: rng.gen_range(55.0..85.0),
-            freq_index: usize::MAX,
-            brightness: 180.0,
-            packet_rate: rng.gen_range(0.0..8.0),
-        };
-        let gap = gap_zipf.sample(rng) as f64 * rng.gen_range(4.0..9.0);
-        b.push(gap, phase, vec![Action::CpuBusy]);
-        // An interaction surge: app launch, full utilisation, burst of
-        // traffic — the V-edge trigger.
-        let surge = Demand {
-            cpu_util: 100.0,
-            freq_index: usize::MAX,
-            brightness: 220.0,
-            packet_rate: rng.gen_range(90.0..150.0),
-        };
-        b.push(
-            rng.gen_range(1.5..4.0),
-            surge,
-            vec![Action::AppLaunch, Action::NetReceiveStart],
-        );
-        // Settle.
-        b.push(
-            rng.gen_range(2.0..5.0),
-            Demand {
-                cpu_util: 40.0,
-                freq_index: 2,
-                brightness: 180.0,
-                packet_rate: 2.0,
-            },
-            vec![Action::NetStop, Action::CpuIdle],
-        );
-    }
 }
 
-/// Video: the paper's workload "keeps playing short videos" — steady
-/// streaming stretches punctuated by a per-video start spike (decoder
-/// spin-up plus prefetch burst), the V-edge trigger of Fig. 3(a).
-fn video(b: &mut TraceBuilder, horizon_s: f64, rng: &mut StdRng) {
-    b.push(
+/// PCMark: CPU-intensive phases with occasional user interactions whose
+/// gaps follow a Zipf law (the paper's skewed arrivals).
+fn pcmark_step<S: SegmentSink>(b: &mut S, gap_zipf: &Zipf, rng: &mut StdRng) {
+    // A compute phase.
+    let phase = Demand {
+        cpu_util: rng.gen_range(55.0..85.0),
+        freq_index: usize::MAX,
+        brightness: 180.0,
+        packet_rate: rng.gen_range(0.0..8.0),
+    };
+    let gap = gap_zipf.sample(rng) as f64 * rng.gen_range(4.0..9.0);
+    b.push_segment(gap, phase, vec![Action::CpuBusy]);
+    // An interaction surge: app launch, full utilisation, burst of
+    // traffic — the V-edge trigger.
+    let surge = Demand {
+        cpu_util: 100.0,
+        freq_index: usize::MAX,
+        brightness: 220.0,
+        packet_rate: rng.gen_range(90.0..150.0),
+    };
+    b.push_segment(
+        rng.gen_range(1.5..4.0),
+        surge,
+        vec![Action::AppLaunch, Action::NetReceiveStart],
+    );
+    // Settle.
+    b.push_segment(
+        rng.gen_range(2.0..5.0),
+        Demand {
+            cpu_util: 40.0,
+            freq_index: 2,
+            brightness: 180.0,
+            packet_rate: 2.0,
+        },
+        vec![Action::NetStop, Action::CpuIdle],
+    );
+}
+
+/// Video prelude: app start plus initial buffering.
+fn video_prelude<S: SegmentSink>(b: &mut S) {
+    b.push_segment(
         2.0,
         Demand {
             cpu_util: 45.0,
@@ -223,38 +329,40 @@ fn video(b: &mut TraceBuilder, horizon_s: f64, rng: &mut StdRng) {
         },
         vec![Action::ScreenOn, Action::AppLaunch, Action::NetReceiveStart],
     );
-    while b.cursor_s() < horizon_s {
-        // One short video: a start spike, then stable playback.
-        let spike = Demand {
-            cpu_util: 100.0,
-            freq_index: usize::MAX,
-            brightness: 220.0,
-            packet_rate: rng.gen_range(150.0..220.0),
-        };
-        b.push(
-            rng.gen_range(2.0..4.5),
-            spike,
-            vec![Action::AppLaunch, Action::NetSendStart],
-        );
-        let stable = Demand {
-            cpu_util: rng.gen_range(26.0..34.0),
-            freq_index: 2,
-            brightness: 220.0,
-            packet_rate: rng.gen_range(55.0..70.0),
-        };
-        b.push(
-            rng.gen_range(14.0..40.0),
-            stable,
-            vec![Action::NetReceiveStart, Action::CpuBusy],
-        );
-    }
 }
 
-/// eta-Static: Zipf-skewed interleaving of PCMark-style bursts and
-/// Video-style stretches in the requested ratio.
-fn eta_static(b: &mut TraceBuilder, horizon_s: f64, eta: u8, rng: &mut StdRng) {
-    let p_pcmark = f64::from(eta) / 100.0;
-    b.push(
+/// Video: the paper's workload "keeps playing short videos" — steady
+/// streaming stretches punctuated by a per-video start spike (decoder
+/// spin-up plus prefetch burst), the V-edge trigger of Fig. 3(a).
+fn video_step<S: SegmentSink>(b: &mut S, rng: &mut StdRng) {
+    // One short video: a start spike, then stable playback.
+    let spike = Demand {
+        cpu_util: 100.0,
+        freq_index: usize::MAX,
+        brightness: 220.0,
+        packet_rate: rng.gen_range(150.0..220.0),
+    };
+    b.push_segment(
+        rng.gen_range(2.0..4.5),
+        spike,
+        vec![Action::AppLaunch, Action::NetSendStart],
+    );
+    let stable = Demand {
+        cpu_util: rng.gen_range(26.0..34.0),
+        freq_index: 2,
+        brightness: 220.0,
+        packet_rate: rng.gen_range(55.0..70.0),
+    };
+    b.push_segment(
+        rng.gen_range(14.0..40.0),
+        stable,
+        vec![Action::NetReceiveStart, Action::CpuBusy],
+    );
+}
+
+/// eta-Static prelude: a calm mixed-use opening segment.
+fn eta_static_prelude<S: SegmentSink>(b: &mut S) {
+    b.push_segment(
         1.0,
         Demand {
             cpu_util: 40.0,
@@ -264,51 +372,53 @@ fn eta_static(b: &mut TraceBuilder, horizon_s: f64, eta: u8, rng: &mut StdRng) {
         },
         vec![Action::ScreenOn, Action::AppLaunch],
     );
-    let burst_zipf = Zipf::new(5, 1.2);
-    while b.cursor_s() < horizon_s {
-        if rng.gen_bool(p_pcmark) {
-            // PCMark-like: surge then settle (short, bursty).
-            let intensity = burst_zipf.sample(rng) as f64;
-            let surge = Demand {
-                cpu_util: (70.0 + 6.0 * intensity).min(100.0),
-                freq_index: usize::MAX,
-                brightness: 210.0,
-                packet_rate: 20.0 * intensity,
-            };
-            b.push(
-                rng.gen_range(1.5..4.5),
-                surge,
-                vec![Action::AppLaunch, Action::NetReceiveStart],
-            );
-            b.push(
-                rng.gen_range(3.0..8.0),
-                Demand {
-                    cpu_util: 45.0,
-                    freq_index: 3,
-                    brightness: 200.0,
-                    packet_rate: 5.0,
-                },
-                vec![Action::NetStop, Action::CpuIdle],
-            );
-        } else {
-            // Video-like: stable stretch.
-            b.push(
-                rng.gen_range(20.0..50.0),
-                Demand {
-                    cpu_util: rng.gen_range(26.0..34.0),
-                    freq_index: 2,
-                    brightness: 220.0,
-                    packet_rate: rng.gen_range(55.0..70.0),
-                },
-                vec![Action::NetReceiveStart, Action::CpuBusy],
-            );
-        }
+}
+
+/// eta-Static: Zipf-skewed interleaving of PCMark-style bursts and
+/// Video-style stretches in the requested ratio.
+fn eta_static_step<S: SegmentSink>(b: &mut S, p_pcmark: f64, burst_zipf: &Zipf, rng: &mut StdRng) {
+    if rng.gen_bool(p_pcmark) {
+        // PCMark-like: surge then settle (short, bursty).
+        let intensity = burst_zipf.sample(rng) as f64;
+        let surge = Demand {
+            cpu_util: (70.0 + 6.0 * intensity).min(100.0),
+            freq_index: usize::MAX,
+            brightness: 210.0,
+            packet_rate: 20.0 * intensity,
+        };
+        b.push_segment(
+            rng.gen_range(1.5..4.5),
+            surge,
+            vec![Action::AppLaunch, Action::NetReceiveStart],
+        );
+        b.push_segment(
+            rng.gen_range(3.0..8.0),
+            Demand {
+                cpu_util: 45.0,
+                freq_index: 3,
+                brightness: 200.0,
+                packet_rate: 5.0,
+            },
+            vec![Action::NetStop, Action::CpuIdle],
+        );
+    } else {
+        // Video-like: stable stretch.
+        b.push_segment(
+            rng.gen_range(20.0..50.0),
+            Demand {
+                cpu_util: rng.gen_range(26.0..34.0),
+                freq_index: 2,
+                brightness: 220.0,
+                packet_rate: rng.gen_range(55.0..70.0),
+            },
+            vec![Action::NetReceiveStart, Action::CpuBusy],
+        );
     }
 }
 
-/// Screen-on idle (Fig. 2a): the panel burns, the CPU naps.
-fn idle_on(b: &mut TraceBuilder, horizon_s: f64) {
-    b.push(
+/// Screen-on idle prelude (Fig. 2a): the panel lights up.
+fn idle_on_prelude<S: SegmentSink>(b: &mut S) {
+    b.push_segment(
         1.0,
         Demand {
             cpu_util: 3.0,
@@ -318,49 +428,45 @@ fn idle_on(b: &mut TraceBuilder, horizon_s: f64) {
         },
         vec![Action::ScreenOn],
     );
-    while b.cursor_s() < horizon_s {
-        b.push(
-            60.0,
-            Demand {
-                cpu_util: 3.0,
-                freq_index: 0,
-                brightness: 180.0,
-                packet_rate: 0.0,
-            },
-            vec![Action::CpuIdle],
-        );
-    }
+}
+
+/// Screen-on idle (Fig. 2a): the panel burns, the CPU naps.
+fn idle_on_step<S: SegmentSink>(b: &mut S) {
+    b.push_segment(
+        60.0,
+        Demand {
+            cpu_util: 3.0,
+            freq_index: 0,
+            brightness: 180.0,
+            packet_rate: 0.0,
+        },
+        vec![Action::CpuIdle],
+    );
 }
 
 /// Phone on/off toggling at a fixed period (Fig. 2b): each wake is a
-/// short full-power surge, each sleep a suspend.
-fn toggle(b: &mut TraceBuilder, horizon_s: f64, period_s: u32) {
-    assert!(period_s >= 2, "toggle period must be at least 2 s");
-    let period = f64::from(period_s);
-    let on_s = (period / 2.0).max(1.0);
-    let off_s = (period - on_s).max(1.0);
-    while b.cursor_s() < horizon_s {
-        b.push(
-            on_s,
-            Demand {
-                cpu_util: 100.0,
-                freq_index: usize::MAX,
-                brightness: 200.0,
-                packet_rate: 40.0,
-            },
-            vec![Action::Wake, Action::ScreenOn, Action::NetReceiveStart],
-        );
-        b.push(
-            off_s,
-            Demand {
-                cpu_util: 0.0,
-                freq_index: 0,
-                brightness: 0.0,
-                packet_rate: 0.0,
-            },
-            vec![Action::ScreenOff, Action::Suspend],
-        );
-    }
+/// short full-power surge, each sleep a suspend. No prelude.
+fn toggle_step<S: SegmentSink>(b: &mut S, on_s: f64, off_s: f64) {
+    b.push_segment(
+        on_s,
+        Demand {
+            cpu_util: 100.0,
+            freq_index: usize::MAX,
+            brightness: 200.0,
+            packet_rate: 40.0,
+        },
+        vec![Action::Wake, Action::ScreenOn, Action::NetReceiveStart],
+    );
+    b.push_segment(
+        off_s,
+        Demand {
+            cpu_util: 0.0,
+            freq_index: 0,
+            brightness: 0.0,
+            packet_rate: 0.0,
+        },
+        vec![Action::ScreenOff, Action::Suspend],
+    );
 }
 
 #[cfg(test)]

@@ -34,9 +34,11 @@ pub mod generators;
 pub mod io;
 pub mod perturb;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod zipf;
 
 pub use generators::{generate, WorkloadKind};
 pub use perturb::{generate_perturbed, Perturbation};
+pub use stream::{TraceCursor, TraceSource};
 pub use trace::{Segment, Trace};

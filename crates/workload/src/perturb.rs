@@ -13,6 +13,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use capman_device::power::Demand;
+
 use crate::generators::{generate, WorkloadKind};
 use crate::trace::{Segment, Trace};
 
@@ -57,6 +59,15 @@ impl Perturbation {
         self.cpu_scale == 1.0 && self.packet_scale == 1.0
     }
 
+    /// The perturbed copy of one segment's demand. Scaling is purely
+    /// per-segment, so applying it inline while streaming segments is
+    /// bitwise identical to perturbing a materialized trace.
+    pub fn apply_demand(&self, mut demand: Demand) -> Demand {
+        demand.cpu_util = (demand.cpu_util * self.cpu_scale).clamp(0.0, 100.0);
+        demand.packet_rate = (demand.packet_rate * self.packet_scale).max(0.0);
+        demand
+    }
+
     /// The perturbed copy of `trace`: same segments, same boundary
     /// actions, scaled demand.
     pub fn apply(&self, trace: &Trace) -> Trace {
@@ -66,16 +77,11 @@ impl Perturbation {
         let segments = trace
             .segments()
             .iter()
-            .map(|seg| {
-                let mut demand = seg.demand;
-                demand.cpu_util = (demand.cpu_util * self.cpu_scale).clamp(0.0, 100.0);
-                demand.packet_rate = (demand.packet_rate * self.packet_scale).max(0.0);
-                Segment {
-                    start_s: seg.start_s,
-                    duration_s: seg.duration_s,
-                    demand,
-                    actions: seg.actions.clone(),
-                }
+            .map(|seg| Segment {
+                start_s: seg.start_s,
+                duration_s: seg.duration_s,
+                demand: self.apply_demand(seg.demand),
+                actions: seg.actions.clone(),
             })
             .collect();
         Trace::new(trace.name().to_string(), segments)

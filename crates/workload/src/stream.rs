@@ -1,0 +1,297 @@
+//! Streaming trace generation for fleet-scale simulation.
+//!
+//! A materialized [`Trace`] costs one `Segment` (plus its action `Vec`)
+//! per behaviour stretch — ~150 heap allocations for a 1500 s workload.
+//! At a million devices that dominates peak RSS, so the fleet arena
+//! drives simulations from a [`TraceCursor`] instead: the per-device
+//! state is just the seeded generator RNG plus a small sliding window of
+//! upcoming segments, refilled on the fly per tick-window and evicted
+//! once the simulation clock passes them.
+//!
+//! Because the cursor feeds the *same* generator emission sequence that
+//! [`crate::generate`] drives into a `TraceBuilder`, and the per-device
+//! [`Perturbation`] scales demand segment-locally, streamed segments are
+//! **bit-identical** to the materialized
+//! [`generate_perturbed`](crate::generate_perturbed) trace — the
+//! property the arena-vs-legacy fleet equivalence tests pin down.
+//!
+//! [`TraceSource`] abstracts over both representations so the simulator
+//! core is agnostic: `Trace` answers window queries from its full
+//! segment list, `TraceCursor` from its sliding window. Both assume the
+//! monotonically advancing query times of a forward simulation.
+
+use capman_device::fsm::Action;
+use capman_device::power::Demand;
+
+use crate::generators::{SegmentSink, WorkloadGen, WorkloadKind};
+use crate::perturb::Perturbation;
+use crate::trace::{Segment, Trace};
+
+/// Compact the cursor's window buffer once this many segments have been
+/// evicted (amortizes the memmove).
+const COMPACT_THRESHOLD: usize = 64;
+
+/// A supplier of trace segments for a forward simulation.
+///
+/// Query times must be monotonically non-decreasing across calls: a
+/// streaming source is allowed to discard segments that end at or before
+/// the latest window start.
+pub trait TraceSource {
+    /// The workload label (used in outcome reporting).
+    fn label(&self) -> &str;
+
+    /// All segments whose start lies in `[t0, t1)` — the simulator fires
+    /// their boundary actions during the step covering that window.
+    fn segments_in(&mut self, t0: f64, t1: f64) -> &[Segment];
+
+    /// Demand of the segment active at `t`, clamped to the final segment
+    /// past the horizon.
+    fn demand_at(&mut self, t: f64) -> Demand;
+}
+
+impl TraceSource for Trace {
+    fn label(&self) -> &str {
+        self.name()
+    }
+
+    fn segments_in(&mut self, t0: f64, t1: f64) -> &[Segment] {
+        self.segments_starting_in(t0, t1)
+    }
+
+    fn demand_at(&mut self, t: f64) -> Demand {
+        self.at(t).demand
+    }
+}
+
+/// The cursor's sliding window: generated-but-not-yet-passed segments,
+/// with the per-device perturbation applied inline at push time.
+#[derive(Debug, Clone)]
+struct WindowBuf {
+    segments: Vec<Segment>,
+    /// Index of the first live (non-evicted) segment.
+    head: usize,
+    /// Generation cursor: end time of the last generated segment.
+    cursor_s: f64,
+    perturbation: Perturbation,
+}
+
+impl WindowBuf {
+    /// Drop segments that ended at or before `t0`, always keeping at
+    /// least one so past-horizon demand lookups can clamp to the final
+    /// segment exactly like [`Trace::at`].
+    fn evict_before(&mut self, t0: f64) {
+        while self.head + 1 < self.segments.len() && self.segments[self.head].end_s() <= t0 {
+            self.head += 1;
+        }
+        if self.head >= COMPACT_THRESHOLD {
+            self.segments.drain(..self.head);
+            self.head = 0;
+        }
+    }
+
+    fn live(&self) -> &[Segment] {
+        &self.segments[self.head..]
+    }
+}
+
+impl SegmentSink for WindowBuf {
+    fn push_segment(&mut self, duration_s: f64, demand: Demand, actions: Vec<Action>) {
+        assert!(duration_s > 0.0, "duration must be positive");
+        // Mirror `Perturbation::apply`: the identity short-circuits, any
+        // other perturbation scales demand segment-locally.
+        let demand = if self.perturbation.is_identity() {
+            demand
+        } else {
+            self.perturbation.apply_demand(demand)
+        };
+        self.segments.push(Segment {
+            start_s: self.cursor_s,
+            duration_s,
+            demand,
+            actions,
+        });
+        self.cursor_s += duration_s;
+    }
+}
+
+/// A lazily generated, perturbed workload trace: the fleet arena's
+/// per-device replacement for a materialized [`Trace`].
+///
+/// Holds the seeded generator (RNG counter) plus a sliding window of
+/// segments; memory is bounded by the window span, not the horizon.
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    gen: WorkloadGen,
+    horizon_s: f64,
+    label: String,
+    buf: WindowBuf,
+    /// True once generation reached the horizon (the batch generator's
+    /// loop exit condition).
+    exhausted: bool,
+}
+
+impl TraceCursor {
+    /// Start a streaming trace with the same parameters
+    /// [`generate_perturbed`](crate::generate_perturbed) takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_s` is not positive, `eta > 100`, or a toggle
+    /// period is under 2 s.
+    pub fn new(kind: WorkloadKind, horizon_s: f64, seed: u64, perturbation: Perturbation) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        TraceCursor {
+            gen: WorkloadGen::new(kind, seed),
+            horizon_s,
+            label: kind.label(),
+            buf: WindowBuf {
+                segments: Vec::new(),
+                head: 0,
+                cursor_s: 0.0,
+                perturbation,
+            },
+            exhausted: false,
+        }
+    }
+
+    /// Emit one generator burst and flip to exhausted once the batch
+    /// loop's exit condition (`cursor >= horizon`) is reached.
+    fn emit_one(&mut self) {
+        self.gen.emit(&mut self.buf);
+        if self.buf.cursor_s >= self.horizon_s {
+            self.exhausted = true;
+        }
+    }
+
+    /// Number of segments currently buffered (live window plus
+    /// not-yet-compacted evictions) — a memory-bound diagnostic.
+    pub fn buffered_segments(&self) -> usize {
+        self.buf.segments.len()
+    }
+}
+
+impl TraceSource for TraceCursor {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn segments_in(&mut self, t0: f64, t1: f64) -> &[Segment] {
+        // A new segment would start at the generation cursor, so the
+        // window is complete once the cursor reaches `t1`.
+        while !self.exhausted && self.buf.cursor_s < t1 {
+            self.emit_one();
+        }
+        self.buf.evict_before(t0);
+        let live = self.buf.live();
+        let lo = live.partition_point(|s| s.start_s < t0);
+        let hi = live.partition_point(|s| s.start_s < t1);
+        &live[lo..hi]
+    }
+
+    fn demand_at(&mut self, t: f64) -> Demand {
+        // The segment containing `t` must end strictly after it.
+        while !self.exhausted && self.buf.cursor_s <= t {
+            self.emit_one();
+        }
+        let live = self.buf.live();
+        debug_assert!(!live.is_empty(), "demand_at before any segment exists");
+        let idx = live.partition_point(|s| s.end_s() <= t).min(live.len() - 1);
+        live[idx].demand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::generate_perturbed;
+
+    fn kinds() -> Vec<WorkloadKind> {
+        let mut v = WorkloadKind::fig12().to_vec();
+        v.push(WorkloadKind::IdleOn);
+        v.push(WorkloadKind::Toggle { period_s: 60 });
+        v
+    }
+
+    #[test]
+    fn cursor_windows_reconstruct_the_batch_trace_bitwise() {
+        for kind in kinds() {
+            for dt in [1.0, 7.3] {
+                let pert = Perturbation::sampled(5, 0.15);
+                let batch = generate_perturbed(kind, 900.0, 42, pert);
+                let mut cur = TraceCursor::new(kind, 900.0, 42, pert);
+                let mut got: Vec<Segment> = Vec::new();
+                let mut t = 0.0;
+                // A generator burst can overshoot the horizon by a few
+                // segments, so sweep far enough to collect the full set.
+                while t < 900.0 + 120.0 {
+                    got.extend(cur.segments_in(t, t + dt).iter().cloned());
+                    t += dt;
+                }
+                assert_eq!(
+                    batch.segments(),
+                    &got[..],
+                    "{kind:?} dt={dt}: streamed segments must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_demand_matches_batch_lookup_bitwise() {
+        for kind in kinds() {
+            let pert = Perturbation::sampled(11, 0.15);
+            let batch = generate_perturbed(kind, 600.0, 9, pert);
+            let mut cur = TraceCursor::new(kind, 600.0, 9, pert);
+            let mut t = 0.0;
+            while t < 650.0 {
+                // Interleave window queries the way the simulator does.
+                let _ = cur.segments_in(t, t + 1.0);
+                assert_eq!(
+                    cur.demand_at(t),
+                    batch.at(t).demand,
+                    "{kind:?} t={t}: demand lookups must agree"
+                );
+                t += 1.0;
+            }
+        }
+    }
+
+    #[test]
+    fn identity_perturbation_matches_plain_generate() {
+        let batch = crate::generate(WorkloadKind::Pcmark, 500.0, 3);
+        let mut cur = TraceCursor::new(WorkloadKind::Pcmark, 500.0, 3, Perturbation::identity());
+        let mut got: Vec<Segment> = Vec::new();
+        let mut t = 0.0;
+        while t < 500.0 + 120.0 {
+            got.extend(cur.segments_in(t, t + 5.0).iter().cloned());
+            t += 5.0;
+        }
+        assert_eq!(batch.segments(), &got[..]);
+    }
+
+    #[test]
+    fn window_memory_stays_bounded() {
+        let mut cur = TraceCursor::new(
+            WorkloadKind::Toggle { period_s: 4 },
+            100_000.0,
+            1,
+            Perturbation::identity(),
+        );
+        let mut t = 0.0;
+        while t < 100_000.0 {
+            let _ = cur.segments_in(t, t + 1.0);
+            assert!(
+                cur.buffered_segments() <= 2 * COMPACT_THRESHOLD + 8,
+                "buffer grew to {} segments at t={t}",
+                cur.buffered_segments()
+            );
+            t += 1.0;
+        }
+    }
+
+    #[test]
+    fn label_matches_kind() {
+        let cur = TraceCursor::new(WorkloadKind::Video, 10.0, 0, Perturbation::identity());
+        assert_eq!(cur.label(), WorkloadKind::Video.label());
+    }
+}
