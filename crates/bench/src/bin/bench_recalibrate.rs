@@ -18,8 +18,11 @@
 
 use std::time::Instant;
 
-use capman_bench::mdp_fixtures::{clustered_device_mdp, RECAL_THETAS};
-use capman_bench::perf_report::{RecalLevelRow, RecalReport, RecalRow};
+use capman_bench::mdp_fixtures::{
+    build_csr, clustered_device_mdp, clustered_device_transitions, drift_clustered_rows,
+    row_patches, RECAL_THETAS,
+};
+use capman_bench::perf_report::{IncrementalRow, RecalLevelRow, RecalReport, RecalRow};
 use capman_bench::trials::{self, SampleGroup};
 use capman_mdp::pipeline::{QuotientScratch, RecalibrationPipeline};
 use capman_mdp::value_iteration::Precision;
@@ -153,6 +156,128 @@ fn recal_row(n_states: usize, reps: usize, strict: bool) -> RecalRow {
     }
 }
 
+/// One drift-ladder point: drift `dirty_frac` of the fixture's rows,
+/// then race the incremental period (in-place `patch_rows` + closure-
+/// restricted `solve_incremental`) against the full-rebuild period
+/// (`build_csr` from the drifted table + warm `solve_with_scratch`) —
+/// the cost a pre-incremental calibrator pays every interval. Patches
+/// are assembled outside the timed region: the profiler hands them over
+/// in O(dirty rows) from its row table. Equivalence is asserted before
+/// any timing: the patched model is bitwise the rebuild, and the
+/// restricted solve matches the full warm solve (bitwise on the
+/// fallback path, policy + contraction tolerance otherwise).
+fn incremental_row(n_states: usize, dirty_frac: f64, reps: usize) -> IncrementalRow {
+    let (base_txs, sigma) = clustered_device_transitions(n_states, SEED);
+    let base_mdp = build_csr(n_states, &base_txs);
+    let pipe = RecalibrationPipeline::new(RHO, EPS);
+    let mut scratch = QuotientScratch::new();
+    let mode = ExecutionMode::Parallel;
+    let prior = pipe
+        .solve_with_scratch(&base_mdp, &sigma, &RECAL_THETAS, None, mode, &mut scratch)
+        .solution
+        .values;
+
+    let mut drifted_txs = base_txs.clone();
+    let dirty = drift_clustered_rows(&mut drifted_txs, dirty_frac, SEED ^ 0x5eed);
+    let patches = row_patches(&drifted_txs, &dirty);
+    let mut owners: Vec<usize> = dirty.iter().map(|&(s, _)| s).collect();
+    owners.dedup(); // dirty rows are sorted by (state, action)
+
+    // --- Equivalence before timing -------------------------------------
+    let mut patched = base_mdp.clone();
+    patched.patch_rows(&patches);
+    assert_eq!(
+        patched,
+        build_csr(n_states, &drifted_txs),
+        "patched model must be bitwise the full rebuild"
+    );
+    let inc = pipe.solve_incremental(
+        &patched,
+        &sigma,
+        &RECAL_THETAS,
+        &prior,
+        &owners,
+        mode,
+        &mut scratch,
+    );
+    let full = pipe.solve_with_scratch(
+        &patched,
+        &sigma,
+        &RECAL_THETAS,
+        Some(&prior),
+        mode,
+        &mut scratch,
+    );
+    if inc.stats.full_fallback {
+        assert_eq!(
+            inc.outcome, full,
+            "the fallback path must be bitwise the full warm pipeline"
+        );
+    } else {
+        assert_eq!(
+            inc.outcome.solution.policy, full.solution.policy,
+            "restricted and full solves must extract the same greedy policy"
+        );
+        let tol = 2.0 * EPS / (1.0 - RHO);
+        for (s, (a, b)) in inc
+            .outcome
+            .solution
+            .values
+            .iter()
+            .zip(&full.solution.values)
+            .enumerate()
+        {
+            assert!(
+                (a - b).abs() < tol,
+                "state {s}: incremental {a} vs full {b} outside the contraction bound"
+            );
+        }
+    }
+
+    // --- Timing (interleaved reps, min headline + per-rep samples) -----
+    let mut wall_ms_samples = Vec::with_capacity(reps);
+    let mut full_ms_samples = Vec::with_capacity(reps);
+    let mut work = patched.clone();
+    for _ in 0..reps {
+        wall_ms_samples.push(time_once_ms(|| {
+            work.patch_rows(&patches);
+            pipe.solve_incremental(
+                &work,
+                &sigma,
+                &RECAL_THETAS,
+                &prior,
+                &owners,
+                mode,
+                &mut scratch,
+            )
+        }));
+        full_ms_samples.push(time_once_ms(|| {
+            let rebuilt = build_csr(n_states, &drifted_txs);
+            pipe.solve_with_scratch(
+                &rebuilt,
+                &sigma,
+                &RECAL_THETAS,
+                Some(&prior),
+                mode,
+                &mut scratch,
+            )
+        }));
+    }
+    let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    IncrementalRow {
+        dirty_frac,
+        states: n_states,
+        dirty_rows: dirty.len(),
+        dirty_states: owners.len(),
+        affected_states: inc.stats.affected_states,
+        full_fallback: inc.stats.full_fallback,
+        wall_ms: min(&wall_ms_samples),
+        wall_ms_samples,
+        full_ms: min(&full_ms_samples),
+        full_ms_samples,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -168,6 +293,12 @@ fn main() {
         .position(|a| a == "--trials")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let dirty_frac_arg: Option<f64> = args
+        .iter()
+        .position(|a| a == "--dirty-frac")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--dirty-frac takes a number in [0, 1]"));
+    let require_incremental_win = args.iter().any(|a| a == "--require-incremental-win");
 
     // Quick mode keeps the equivalence and sweep-count asserts but skips
     // the wall-clock assert: on a loaded CI box a 96-state timing can
@@ -176,6 +307,17 @@ fn main() {
         (&[96, 128], 2)
     } else {
         (&[256, 512, 1024], 5)
+    };
+    // The drift ladder runs at one fixture size so `perf_gate` can key
+    // its rows by dirty fraction alone.
+    let (ladder_states, default_ladder): (usize, &[f64]) = if quick {
+        (96, &[0.05])
+    } else {
+        (1024, &[0.01, 0.05, 0.25, 1.0])
+    };
+    let ladder: Vec<f64> = match dirty_frac_arg {
+        Some(f) => vec![f],
+        None => default_ladder.to_vec(),
     };
 
     let mut report = RecalReport {
@@ -208,6 +350,43 @@ fn main() {
             );
         }
         report.rows.push(row);
+    }
+
+    println!(
+        "\n{:>10} {:>7} {:>10} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "dirty_frac",
+        "states",
+        "dirty_rows",
+        "affected",
+        "fallback",
+        "inc_ms",
+        "full_ms",
+        "speedup"
+    );
+    for &frac in &ladder {
+        let row = incremental_row(ladder_states, frac, reps);
+        println!(
+            "{:>10} {:>7} {:>10} {:>9} {:>9} {:>10.3} {:>10.3} {:>8.1}x",
+            row.dirty_frac,
+            row.states,
+            row.dirty_rows,
+            row.affected_states,
+            if row.full_fallback { "yes" } else { "no" },
+            row.wall_ms,
+            row.full_ms,
+            row.speedup()
+        );
+        if require_incremental_win {
+            assert!(
+                row.wall_ms < row.full_ms,
+                "incremental must beat the full rebuild at dirty_frac {} \
+                 ({:.3} ms vs {:.3} ms)",
+                row.dirty_frac,
+                row.wall_ms,
+                row.full_ms
+            );
+        }
+        report.incremental.push(row);
     }
 
     std::fs::write(&out_path, report.to_json()).expect("write BENCH_recalibrate.json");

@@ -78,7 +78,7 @@ impl Default for GateConfig {
 /// `"<metric>_samples"`. Units need not be milliseconds —
 /// `staleness_p99_s` is simulated seconds; the floor is interpreted in
 /// the metric's own unit.
-pub const GATES: [(&str, &str, &str, GateMode); 6] = [
+pub const GATES: [(&str, &str, &str, GateMode); 7] = [
     (
         "solver",
         "states",
@@ -95,6 +95,12 @@ pub const GATES: [(&str, &str, &str, GateMode); 6] = [
         "recalibration",
         "states",
         "warm_ms",
+        GateMode::SkipBelowFloor,
+    ),
+    (
+        "incremental",
+        "dirty_frac",
+        "wall_ms",
         GateMode::SkipBelowFloor,
     ),
     ("fleet", "devices", "pool_wall_ms", GateMode::SkipBelowFloor),

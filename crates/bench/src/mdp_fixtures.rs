@@ -18,8 +18,10 @@
 //! the pre-CSR and CSR solvers run identical iteration counts and the
 //! measured speedup isolates the storage layout, not the sweep order.
 
+use std::collections::HashSet;
+
 use capman_mdp::matrix::SquareMatrix;
-use capman_mdp::mdp::{Mdp, MdpBuilder};
+use capman_mdp::mdp::{Mdp, MdpBuilder, Outcome, RowPatch};
 use capman_mdp::reference::NestedMdp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -120,6 +122,21 @@ pub const RECAL_THETAS: [f64; 2] = [0.3, 0.05];
 /// Panics unless `n_states` is a positive multiple of
 /// `CLUSTER_SIZE * CLUSTERS_PER_SUPER` (= 32).
 pub fn clustered_device_mdp(n_states: usize, seed: u64) -> (Mdp, SquareMatrix) {
+    let (txs, sigma) = clustered_device_transitions(n_states, seed);
+    (build_csr(n_states, &txs), sigma)
+}
+
+/// The raw transition list of [`clustered_device_mdp`], in builder
+/// insertion order, plus the implied similarity matrix. Building the
+/// list with [`build_csr`] is bitwise identical to the fixture MDP —
+/// the drift-ladder bench mutates this list and compares an in-place
+/// [`Mdp::patch_rows`] against a full rebuild.
+///
+/// # Panics
+///
+/// Panics unless `n_states` is a positive multiple of
+/// `CLUSTER_SIZE * CLUSTERS_PER_SUPER` (= 32).
+pub fn clustered_device_transitions(n_states: usize, seed: u64) -> (Vec<Transition>, SquareMatrix) {
     let span = CLUSTER_SIZE * CLUSTERS_PER_SUPER;
     assert!(
         n_states > 0 && n_states.is_multiple_of(span),
@@ -171,19 +188,19 @@ pub fn clustered_device_mdp(n_states: usize, seed: u64) -> (Mdp, SquareMatrix) {
         })
         .collect();
 
-    let mut b = MdpBuilder::new(n_states, N_ACTIONS);
+    let mut txs = Vec::new();
     for s in 0..n_states {
         let c = s / CLUSTER_SIZE;
         for (a, edges) in cluster_templates[c].iter().enumerate() {
             // The tick self-loop keeps the graph recurrent.
             let jitter: f64 = rng.gen_range(-0.01..0.01);
-            b.transition(s, a, s, 1.0, (0.5 + jitter).clamp(0.0, 1.0));
+            txs.push((s, a, s, 1.0, (0.5 + jitter).clamp(0.0, 1.0)));
             for &(target, w, r) in edges {
                 // Target the cluster's first member: quotienting onto
                 // representatives is then near-exact.
                 let next = target * CLUSTER_SIZE;
                 let jitter: f64 = rng.gen_range(-0.01..0.01);
-                b.transition(s, a, next, w, (r + jitter).clamp(0.0, 1.0));
+                txs.push((s, a, next, w, (r + jitter).clamp(0.0, 1.0)));
             }
         }
     }
@@ -202,7 +219,84 @@ pub fn clustered_device_mdp(n_states: usize, seed: u64) -> (Mdp, SquareMatrix) {
             sigma.set(v, u, s);
         }
     }
-    (b.build(), sigma)
+    (txs, sigma)
+}
+
+/// Jitter the weights and rewards of a `dirty_frac` fraction of the
+/// populated rows of the clustered fixture, *in place*, and return the
+/// dirty `(state, action)` rows (sorted).
+///
+/// Only **member-state** rows drift (states that are not cluster
+/// heads). Cross-cluster edges target cluster heads exclusively, so a
+/// member state's sole predecessor is itself: the backward closure of a
+/// member-row drift is the dirty states themselves, which is exactly
+/// the locality real profiler drift exhibits (heads play the shared
+/// template; members accumulate per-device jitter). Successor sets are
+/// never changed, so the incremental model update stays on the
+/// zero-allocation in-place patch path. At `dirty_frac = 1.0` the
+/// request exceeds the member-row population and clamps to all of it —
+/// ~87.5% of rows, driving the pipeline into its honest full-solve
+/// fallback (the parity point of the drift ladder).
+///
+/// # Panics
+///
+/// Panics if `dirty_frac` is outside `[0, 1]`.
+pub fn drift_clustered_rows(
+    txs: &mut [Transition],
+    dirty_frac: f64,
+    seed: u64,
+) -> Vec<(usize, usize)> {
+    assert!(
+        (0.0..=1.0).contains(&dirty_frac),
+        "dirty_frac must be in [0, 1]"
+    );
+    let mut seen = HashSet::new();
+    let mut total_rows = 0usize;
+    let mut member_rows: Vec<(usize, usize)> = Vec::new();
+    for &(s, a, ..) in txs.iter() {
+        if seen.insert((s, a)) {
+            total_rows += 1;
+            if !s.is_multiple_of(CLUSTER_SIZE) {
+                member_rows.push((s, a));
+            }
+        }
+    }
+    let k = ((dirty_frac * total_rows as f64).round() as usize).min(member_rows.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Partial Fisher–Yates: the first k entries become the dirty rows.
+    for i in 0..k {
+        let j = rng.gen_range(i..member_rows.len());
+        member_rows.swap(i, j);
+    }
+    let mut dirty = member_rows;
+    dirty.truncate(k);
+    dirty.sort_unstable();
+    let dirty_set: HashSet<(usize, usize)> = dirty.iter().copied().collect();
+    for tx in txs.iter_mut() {
+        if dirty_set.contains(&(tx.0, tx.1)) {
+            tx.3 *= rng.gen_range(0.85..1.15f64);
+            tx.4 = (tx.4 + rng.gen_range(-0.02..0.02f64)).clamp(0.0, 1.0);
+        }
+    }
+    dirty
+}
+
+/// Assemble the full-row [`RowPatch`]es for `rows` from a (drifted)
+/// transition list — what a profiler's dirty-set snapshot hands to
+/// [`Mdp::patch_rows`]. Outcomes keep the list's insertion order, so
+/// the patched MDP is bitwise the full rebuild.
+pub fn row_patches(txs: &[Transition], rows: &[(usize, usize)]) -> Vec<RowPatch> {
+    rows.iter()
+        .map(|&(state, action)| RowPatch {
+            state,
+            action,
+            outcomes: txs
+                .iter()
+                .filter(|t| t.0 == state && t.1 == action)
+                .map(|&(_, _, next, prob, reward)| Outcome { next, prob, reward })
+                .collect(),
+        })
+        .collect()
 }
 
 /// Build the nested-Vec reference [`NestedMdp`] from the same list.
@@ -246,6 +340,54 @@ mod tests {
         // Deterministic in the seed.
         let (again, _) = clustered_device_mdp(128, 5);
         assert_eq!(mdp.n_outcomes(), again.n_outcomes());
+    }
+
+    #[test]
+    fn clustered_transitions_rebuild_the_fixture_bitwise() {
+        let (mdp, sigma) = clustered_device_mdp(96, 7);
+        let (txs, sigma2) = clustered_device_transitions(96, 7);
+        assert_eq!(mdp, build_csr(96, &txs));
+        assert_eq!(sigma, sigma2);
+    }
+
+    #[test]
+    fn drift_touches_only_member_rows_and_patches_bitwise() {
+        let (txs, _) = clustered_device_transitions(96, 7);
+        let mut drifted = txs.clone();
+        let dirty = drift_clustered_rows(&mut drifted, 0.1, 13);
+        assert!(!dirty.is_empty());
+        assert!(
+            dirty.iter().all(|&(s, _)| s % CLUSTER_SIZE != 0),
+            "cluster heads carry the shared template and must stay clean"
+        );
+        // Same successors, drifted weights/rewards.
+        assert_eq!(txs.len(), drifted.len());
+        assert!(txs
+            .iter()
+            .zip(&drifted)
+            .all(|(a, b)| (a.0, a.1, a.2) == (b.0, b.1, b.2)));
+        // In-place patch == full rebuild, bitwise.
+        let mut patched = build_csr(96, &txs);
+        let in_place = patched.patch_rows(&row_patches(&drifted, &dirty));
+        assert!(in_place, "same-shape drift must stay on the in-place path");
+        assert_eq!(patched, build_csr(96, &drifted));
+        // Deterministic in the seed.
+        let mut again = txs.clone();
+        assert_eq!(drift_clustered_rows(&mut again, 0.1, 13), dirty);
+        assert_eq!(again, drifted);
+    }
+
+    #[test]
+    fn drift_fraction_scales_and_clamps_to_member_rows() {
+        let (txs, _) = clustered_device_transitions(96, 7);
+        let mut none = txs.clone();
+        assert!(drift_clustered_rows(&mut none, 0.0, 1).is_empty());
+        assert_eq!(none, txs);
+        let mut all = txs.clone();
+        let dirty = drift_clustered_rows(&mut all, 1.0, 1);
+        // Every member row drifts; head rows never do. 84 member states
+        // of 96, 3 actions each.
+        assert_eq!(dirty.len(), 84 * 3);
     }
 
     #[test]

@@ -223,6 +223,42 @@ impl RecalRow {
     }
 }
 
+/// One drift-ladder measurement: incremental recalibration (in-place
+/// row patch + closure-restricted Bellman sweeps) against the
+/// full-rebuild warm baseline, at a given dirty fraction.
+#[derive(Debug, Clone)]
+pub struct IncrementalRow {
+    /// Fraction of populated rows that drifted (the gate's row key).
+    pub dirty_frac: f64,
+    /// State count of the fixture.
+    pub states: usize,
+    /// Dirty `(state, action)` rows patched.
+    pub dirty_rows: usize,
+    /// Distinct owners of the dirty rows.
+    pub dirty_states: usize,
+    /// Backward closure the restricted sweeps covered (the whole space
+    /// on fallback).
+    pub affected_states: usize,
+    /// Whether the pipeline took its full-solve fallback.
+    pub full_fallback: bool,
+    /// Incremental path (patch + restricted solve), milliseconds (min
+    /// over reps).
+    pub wall_ms: f64,
+    /// Every incremental rep, milliseconds (Welch's t-test input).
+    pub wall_ms_samples: Vec<f64>,
+    /// Full rebuild + warm solve, milliseconds (min over reps).
+    pub full_ms: f64,
+    /// Every full-rebuild rep, milliseconds.
+    pub full_ms_samples: Vec<f64>,
+}
+
+impl IncrementalRow {
+    /// Wall-time win of the incremental path over the full rebuild.
+    pub fn speedup(&self) -> f64 {
+        guarded_ratio(self.full_ms, self.wall_ms)
+    }
+}
+
 /// The report `bench_recalibrate` writes to `BENCH_recalibrate.json`.
 #[derive(Debug, Clone, Default)]
 pub struct RecalReport {
@@ -234,6 +270,8 @@ pub struct RecalReport {
     pub eps: f64,
     /// Measurement rows, one per fixture size.
     pub rows: Vec<RecalRow>,
+    /// Drift-ladder rows, one per dirty fraction.
+    pub incremental: Vec<IncrementalRow>,
 }
 
 impl RecalReport {
@@ -296,6 +334,27 @@ impl RecalReport {
             push_f64(&mut out, "sweep_ratio", row.sweep_ratio(), true);
             push_f64(&mut out, "speedup", row.speedup(), false);
             out.push_str(if i + 1 < self.rows.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"incremental\": [\n");
+        for (i, row) in self.incremental.iter().enumerate() {
+            out.push_str("    {\n");
+            push_f64(&mut out, "dirty_frac", row.dirty_frac, true);
+            let _ = writeln!(out, "      \"states\": {},", row.states);
+            let _ = writeln!(out, "      \"dirty_rows\": {},", row.dirty_rows);
+            let _ = writeln!(out, "      \"dirty_states\": {},", row.dirty_states);
+            let _ = writeln!(out, "      \"affected_states\": {},", row.affected_states);
+            let _ = writeln!(out, "      \"full_fallback\": {},", row.full_fallback as u8);
+            push_f64(&mut out, "wall_ms", row.wall_ms, true);
+            push_samples(&mut out, "wall_ms_samples", &row.wall_ms_samples, true);
+            push_f64(&mut out, "full_ms", row.full_ms, true);
+            push_samples(&mut out, "full_ms_samples", &row.full_ms_samples, true);
+            push_f64(&mut out, "speedup", row.speedup(), false);
+            out.push_str(if i + 1 < self.incremental.len() {
                 "    },\n"
             } else {
                 "    }\n"
@@ -784,6 +843,18 @@ mod tests {
                 f32_ms: 0.8,
                 f32_max_abs_err: 3.0e-4,
             }],
+            incremental: vec![IncrementalRow {
+                dirty_frac: 0.05,
+                states: 256,
+                dirty_rows: 13,
+                dirty_states: 12,
+                affected_states: 20,
+                full_fallback: false,
+                wall_ms: 0.2,
+                wall_ms_samples: vec![0.2, 0.25],
+                full_ms: 1.0,
+                full_ms_samples: vec![1.0, 1.1],
+            }],
         }
     }
 
@@ -794,6 +865,11 @@ mod tests {
         assert!(json.contains("\"warm_total_sweeps\": 465"));
         assert!(json.contains("\"cold_sweeps\": 380"));
         assert!(json.contains("\"speedup\": 2.5000"));
+        assert!(json.contains("\"incremental\": ["));
+        assert!(json.contains("\"dirty_frac\": 0.0500"));
+        assert!(json.contains("\"full_fallback\": 0"));
+        assert!(json.contains("\"wall_ms_samples\": [0.2000, 0.2500]"));
+        assert!(json.contains("\"speedup\": 5.0000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

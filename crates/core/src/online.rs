@@ -20,7 +20,8 @@ use capman_device::states::DeviceState;
 use capman_mdp::abstraction::Abstraction;
 use capman_mdp::engine::{ExecutionMode, RunStats, SimilarityEngine};
 use capman_mdp::graph::MdpGraph;
-use capman_mdp::pipeline::{LevelStats, QuotientScratch, RecalibrationPipeline};
+use capman_mdp::mdp::Mdp;
+use capman_mdp::pipeline::{IncrementalStats, LevelStats, QuotientScratch, RecalibrationPipeline};
 use capman_mdp::similarity::SimilarityParams;
 use capman_mdp::value_iteration::{Precision, Solution};
 
@@ -49,6 +50,13 @@ pub struct Calibration {
     /// Whether the pipeline was seeded from the previous calibration's
     /// value vector (false for the first calibration).
     pub warm_started: bool,
+    /// Dirty `(state, action)` rows the profiler reported since the
+    /// cached model snapshot; `None` when the model was rebuilt from
+    /// scratch (first calibration, or a different profiler lineage).
+    pub dirty_rows: Option<usize>,
+    /// Statistics of the restricted Bellman solve, when the incremental
+    /// path ran (requires both a cached model and a prior value vector).
+    pub incremental: Option<IncrementalStats>,
 }
 
 impl Calibration {
@@ -122,6 +130,19 @@ impl CalibratorSpec {
     }
 }
 
+/// The profiler-derived model of the previous calibration, kept so the
+/// next run can patch it forward instead of rebuilding — this is the
+/// per-calibrator scratch buffer that makes steady-state recalibration
+/// allocation-free (the in-place `patch_rows` path).
+#[derive(Debug)]
+struct ModelCache {
+    /// Lineage id of the profiler the model was built from.
+    profiler_id: u64,
+    /// Profiler version at the snapshot.
+    version: u64,
+    mdp: Mdp,
+}
+
 /// Schedules and runs background calibrations.
 #[derive(Debug)]
 pub struct Calibrator {
@@ -143,6 +164,8 @@ pub struct Calibrator {
     precision: Precision,
     /// Quotient-CSR arena reused by every calibration's pipeline run.
     scratch: QuotientScratch,
+    /// Cached profiler-derived MDP, patched forward between runs.
+    model: Option<ModelCache>,
     /// Value vector of the previous calibration — the cross-calibration
     /// warm start. The device state space is fixed, so consecutive
     /// calibrations solve MDPs of the same size with slowly drifting
@@ -180,6 +203,7 @@ impl Calibrator {
             engine: SimilarityEngine::parallel(),
             precision: Precision::F64,
             scratch: QuotientScratch::new(),
+            model: None,
             prior_values: None,
         }
     }
@@ -226,7 +250,22 @@ impl Calibrator {
     pub fn recalibrate(&mut self, now_s: f64, profiler: &Profiler, compute_speed: f64) -> f64 {
         let _span = capman_obs::span("calibrate", profiler.observations());
         let t0 = Instant::now();
-        let mdp = profiler.to_mdp();
+        // Patch the cached model forward when the profiler continues the
+        // lineage it was built from; otherwise rebuild from scratch. The
+        // patched model is bitwise identical to `to_mdp()`, so everything
+        // downstream is oblivious to which path ran.
+        let (mdp, dirty) = match self.model.take() {
+            Some(m) if m.profiler_id == profiler.id() && m.version <= profiler.version() => {
+                let dirty = profiler.changes_since(m.version);
+                let mut mdp = m.mdp;
+                if !dirty.is_empty() {
+                    profiler.to_mdp_incremental(&mut mdp, &dirty);
+                    self.engine.invalidate_states(dirty.states());
+                }
+                (mdp, Some(dirty))
+            }
+            _ => (profiler.to_mdp(), None),
+        };
         // CAPMAN's pruning: keep the action nodes that decide batteries —
         // explicit switch actions plus any action observed to connect
         // states with different battery selections.
@@ -249,14 +288,45 @@ impl Calibrator {
         // warm-started from the previous calibration's fixed point.
         let pipeline =
             RecalibrationPipeline::new(self.rho, SOLVE_EPS).with_precision(self.precision);
-        let out = pipeline.solve_with_scratch(
-            &mdp,
-            &sim.sigma_s,
-            &self.theta_ladder(),
-            self.prior_values.as_deref(),
-            ExecutionMode::Parallel,
-            &mut self.scratch,
-        );
+        let ladder = self.theta_ladder();
+        // With both a patched model and a prior fixed point, restrict the
+        // Bellman sweeps to what the dirty rows can influence.
+        let (out, incremental) = match (&dirty, self.prior_values.as_deref()) {
+            (Some(d), Some(prior)) => {
+                // `solve_incremental` wants the row *owners* — the states
+                // whose Bellman operator changed. Dirty rows are sorted by
+                // (state, action), so owners dedup in place.
+                let mut owners: Vec<usize> = d.rows().iter().map(|&(s, _)| s).collect();
+                owners.dedup();
+                let inc = pipeline.solve_incremental(
+                    &mdp,
+                    &sim.sigma_s,
+                    &ladder,
+                    prior,
+                    &owners,
+                    ExecutionMode::Parallel,
+                    &mut self.scratch,
+                );
+                (inc.outcome, Some(inc.stats))
+            }
+            _ => (
+                pipeline.solve_with_scratch(
+                    &mdp,
+                    &sim.sigma_s,
+                    &ladder,
+                    self.prior_values.as_deref(),
+                    ExecutionMode::Parallel,
+                    &mut self.scratch,
+                ),
+                None,
+            ),
+        };
+        let dirty_rows = dirty.as_ref().map(|d| d.rows().len());
+        self.model = Some(ModelCache {
+            profiler_id: profiler.id(),
+            version: profiler.version(),
+            mdp,
+        });
         self.prior_values = Some(out.solution.values.clone());
         self.cached = Some(Calibration {
             solution: out.solution,
@@ -267,6 +337,8 @@ impl Calibrator {
             bellman_sweeps: out.levels.iter().map(|l| l.sweeps).sum::<usize>() + out.final_sweeps,
             levels: out.levels,
             warm_started: out.warm_started,
+            dirty_rows,
+            incremental,
         });
         let raw_us = t0.elapsed().as_secs_f64() * 1e6;
         if capman_obs::enabled() {
@@ -278,6 +350,20 @@ impl Calibrator {
                     "Calibrations seeded from the previous value vector"
                 )
                 .inc();
+            }
+            if let Some(inc) = &cal.incremental {
+                capman_obs::counter!(
+                    "calibration_incremental_total",
+                    "Calibrations that patched the cached model forward"
+                )
+                .inc();
+                if inc.full_fallback {
+                    capman_obs::counter!(
+                        "calibration_incremental_fallback_total",
+                        "Incremental calibrations that fell back to the full solve"
+                    )
+                    .inc();
+                }
             }
             capman_obs::histogram!(
                 "calibration_solve_us",
@@ -519,5 +605,90 @@ mod tests {
             every_s: 100.0,
         }
         .build();
+    }
+
+    #[test]
+    fn drifted_recalibration_takes_the_incremental_path() {
+        let mut p = seeded_profiler();
+        let mut c = Calibrator::paper();
+        c.recalibrate(0.0, &p, 1.0);
+        let first = c.calibration().expect("calibrated");
+        assert!(first.dirty_rows.is_none(), "first run rebuilds cold");
+        assert!(first.incremental.is_none());
+
+        // Drift a couple of rows, then recalibrate the same lineage.
+        let awake = DeviceState::awake();
+        let asleep = DeviceState::asleep();
+        p.observe(awake, Action::ScreenOff, asleep, 0.95, 0.3);
+        p.observe(asleep, Action::ScreenOn, awake, 0.7, 2.1);
+        c.recalibrate(1300.0, &p, 1.0);
+        let cal = c.calibration().expect("calibrated");
+        assert_eq!(cal.dirty_rows, Some(2));
+        let inc = cal.incremental.expect("incremental path ran");
+        assert_eq!(inc.dirty_states, 2);
+        assert!(cal.warm_started);
+
+        // A fresh calibrator rebuilding everything from the drifted
+        // profile reaches the same decisions.
+        let mut cold = Calibrator::paper();
+        cold.recalibrate(0.0, &p, 1.0);
+        for state in [asleep, awake, awake.with_battery(Class::Little)] {
+            assert_eq!(c.q_preference(state), cold.q_preference(state));
+            assert_eq!(c.representative(state), cold.representative(state));
+        }
+    }
+
+    #[test]
+    fn unchanged_profile_recalibrates_for_free() {
+        let p = seeded_profiler();
+        let mut c = Calibrator::paper();
+        c.recalibrate(0.0, &p, 1.0);
+        let first_policy = c.calibration().expect("calibrated").solution.policy.clone();
+        c.recalibrate(1300.0, &p, 1.0);
+        let cal = c.calibration().expect("calibrated");
+        assert_eq!(cal.dirty_rows, Some(0), "no drift, no dirty rows");
+        assert_eq!(cal.bellman_sweeps, 0, "nothing to sweep");
+        assert_eq!(cal.solution.policy, first_policy);
+    }
+
+    #[test]
+    fn a_different_profiler_lineage_forces_a_full_rebuild() {
+        let mut c = Calibrator::paper();
+        c.recalibrate(0.0, &seeded_profiler(), 1.0);
+        // Bitwise-identical statistics, but a fresh lineage id: the
+        // cached model must not be trusted.
+        c.recalibrate(1300.0, &seeded_profiler(), 1.0);
+        let cal = c.calibration().expect("calibrated");
+        assert!(cal.dirty_rows.is_none());
+        assert!(cal.incremental.is_none());
+        assert!(cal.warm_started, "prior values still seed the solve");
+    }
+
+    #[test]
+    fn incremental_calibration_matches_a_cold_solve_after_heavy_drift() {
+        use capman_mdp::value_iteration::solve;
+        let mut p = seeded_profiler();
+        let mut c = Calibrator::paper();
+        c.recalibrate(0.0, &p, 1.0);
+        // Heavy drift: every profiled row changes, which lands the
+        // pipeline in its full-solve fallback — still bitwise safe.
+        let awake = DeviceState::awake();
+        let asleep = DeviceState::asleep();
+        let little = awake.with_battery(Class::Little);
+        for _ in 0..25 {
+            p.observe(awake, Action::SwitchToLittle, little, 0.2, 2.5);
+            p.observe(little, Action::SwitchToBig, awake, 0.9, 2.5);
+            p.observe(awake, Action::ScreenOff, asleep, 0.5, 0.3);
+            p.observe(asleep, Action::ScreenOn, awake, 0.5, 2.0);
+        }
+        c.recalibrate(1300.0, &p, 1.0);
+        let cal = c.calibration().expect("calibrated");
+        assert!(cal.incremental.is_some());
+        let cold = solve(&p.to_mdp(), c.rho, 1e-6);
+        assert_eq!(cal.solution.policy, cold.policy);
+        let tol = 2.0 * 1e-6 / (1.0 - c.rho);
+        for (a, b) in cal.solution.values.iter().zip(&cold.values) {
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
     }
 }

@@ -6,17 +6,90 @@
 //! transition probabilities the normalised visit counts, and rewards the
 //! measured per-step pack efficiency (normalised to `[0, 1]`). It also
 //! maintains a per-state power estimate used for demand prediction.
+//!
+//! Consecutive profiling periods usually touch only a handful of rows,
+//! so the profiler tracks *which* `(state, action)` rows changed since
+//! any point in its history: [`Profiler::changes_since`] returns a
+//! [`DirtySet`] and [`Profiler::to_mdp_incremental`] patches a cached
+//! [`Mdp`] in place instead of rebuilding it — bitwise identical to a
+//! full [`Profiler::to_mdp`], at a cost proportional to the drift.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use capman_device::fsm::Action;
 use capman_device::states::{DeviceState, STATE_COUNT};
-use capman_mdp::mdp::{Mdp, MdpBuilder};
+use capman_mdp::mdp::{Mdp, MdpBuilder, Outcome, RowPatch};
 
 /// Exponential-moving-average smoothing for the per-state power.
 const POWER_EMA_ALPHA: f64 = 0.2;
 
+static NEXT_PROFILER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One `(state, action)` row of accumulated visit statistics.
+///
+/// Outcomes are kept in first-seen order, which makes both
+/// [`Profiler::to_mdp`] and the incremental patch path deterministic:
+/// the CSR layout of a row depends only on the observation history, not
+/// on hash-map iteration order.
+#[derive(Debug, Clone)]
+struct Row {
+    /// `(to, visit count, reward sum)` per distinct successor.
+    outs: Vec<(usize, f64, f64)>,
+    /// Profiler version at which this row last changed.
+    last_changed: u64,
+}
+
+/// The `(state, action)` rows that changed after a version snapshot,
+/// as returned by [`Profiler::changes_since`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    rows: Vec<(usize, usize)>,
+    states: Vec<usize>,
+    total_rows: usize,
+}
+
+impl DirtySet {
+    /// The dirty `(state, action)` rows, sorted.
+    pub fn rows(&self) -> &[(usize, usize)] {
+        &self.rows
+    }
+
+    /// All states a dirty row touches (owners and successors), sorted
+    /// and deduplicated — the invalidation set for similarity caches.
+    pub fn states(&self) -> &[usize] {
+        &self.states
+    }
+
+    /// No rows changed since the snapshot.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Dirty rows as a fraction of all populated rows.
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.rows.len() as f64 / self.total_rows as f64
+        }
+    }
+}
+
 /// Accumulates runtime observations into an MDP and power estimates.
+///
+/// # Lineage
+///
+/// Every profiler carries a process-unique `id()` which its clones
+/// inherit, plus a `version()` bumped on each [`observe`]. A cached
+/// model keyed by `(id, version)` can therefore be patched forward via
+/// [`changes_since`] as long as the lineage is linear — snapshot, then
+/// keep observing on the same profiler (or a clone that supersedes it).
+/// Mutating two clones divergently and patching one cache from both is
+/// unsupported and will trip the bit-identity proptests.
+///
+/// [`observe`]: Profiler::observe
+/// [`changes_since`]: Profiler::changes_since
 ///
 /// # Examples
 ///
@@ -29,25 +102,46 @@ const POWER_EMA_ALPHA: f64 = 0.2;
 /// let asleep = DeviceState::asleep();
 /// let awake = DeviceState::awake();
 /// profiler.observe(asleep, Action::ScreenOn, awake, 0.9, 2.5);
-/// let mdp = profiler.to_mdp();
-/// assert_eq!(mdp.outcomes(asleep.index(), Action::ScreenOn.index()).len(), 1);
+/// let snapshot = profiler.version();
+/// let mut mdp = profiler.to_mdp();
+///
+/// profiler.observe(awake, Action::ScreenOff, asleep, 0.7, 0.4);
+/// let dirty = profiler.changes_since(snapshot);
+/// assert_eq!(dirty.rows(), &[(awake.index(), Action::ScreenOff.index())]);
+/// profiler.to_mdp_incremental(&mut mdp, &dirty);
+/// assert_eq!(mdp, profiler.to_mdp());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Profiler {
-    /// `(from, action, to) -> (visit count, reward sum)`.
-    counts: HashMap<(usize, usize, usize), (f64, f64)>,
+    /// Process-unique lineage id, shared with clones.
+    id: u64,
+    /// `(from, action) -> row`, outcomes in first-seen order.
+    rows: HashMap<(usize, usize), Row>,
     /// Smoothed measured power per device state, watts.
     power_w: Vec<Option<f64>>,
+    /// Cached sorted list of states seen at least once.
+    visited: Vec<usize>,
     observations: u64,
+    /// Bumped once per `observe`; the dirty-tracking clock.
+    version: u64,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::new()
+    }
 }
 
 impl Profiler {
     /// An empty profile.
     pub fn new() -> Self {
         Profiler {
-            counts: HashMap::new(),
+            id: NEXT_PROFILER_ID.fetch_add(1, Ordering::Relaxed),
+            rows: HashMap::new(),
             power_w: vec![None; STATE_COUNT],
+            visited: Vec::new(),
             observations: 0,
+            version: 0,
         }
     }
 
@@ -69,16 +163,41 @@ impl Profiler {
             "reward must be normalised to [0, 1]"
         );
         assert!(power_w >= 0.0, "power must be non-negative");
-        let key = (from.index(), action.index(), to.index());
-        let entry = self.counts.entry(key).or_insert((0.0, 0.0));
-        entry.0 += 1.0;
-        entry.1 += reward;
-        let slot = &mut self.power_w[to.index()];
+        self.version += 1;
+        let (fi, ti) = (from.index(), to.index());
+        let row = self.rows.entry((fi, action.index())).or_insert(Row {
+            outs: Vec::new(),
+            last_changed: 0,
+        });
+        match row.outs.iter_mut().find(|(t, _, _)| *t == ti) {
+            Some((_, count, reward_sum)) => {
+                *count += 1.0;
+                *reward_sum += reward;
+            }
+            None => row.outs.push((ti, 1.0, reward)),
+        }
+        row.last_changed = self.version;
+        let slot = &mut self.power_w[ti];
         *slot = Some(match *slot {
             Some(prev) => prev + POWER_EMA_ALPHA * (power_w - prev),
             None => power_w,
         });
+        for s in [fi, ti] {
+            if let Err(at) = self.visited.binary_search(&s) {
+                self.visited.insert(at, s);
+            }
+        }
         self.observations += 1;
+    }
+
+    /// Process-unique lineage id, inherited by clones.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The dirty-tracking clock; bumped once per [`observe`](Self::observe).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of observations recorded.
@@ -88,7 +207,7 @@ impl Profiler {
 
     /// Number of distinct `(state, action, state')` transitions seen.
     pub fn distinct_transitions(&self) -> usize {
-        self.counts.len()
+        self.rows.values().map(|r| r.outs.len()).sum()
     }
 
     /// The smoothed measured power of a device state, if it was visited.
@@ -102,11 +221,10 @@ impl Profiler {
     /// `None` if nothing was ever observed.
     pub fn predicted_power_w(&self, from: DeviceState, action: Action) -> Option<f64> {
         let fi = from.index();
-        let ai = action.index();
         let mut total_w = 0.0;
         let mut total_count = 0.0;
-        for (&(f, a, to), &(count, _)) in &self.counts {
-            if f == fi && a == ai {
+        if let Some(row) = self.rows.get(&(fi, action.index())) {
+            for &(to, count, _) in &row.outs {
                 if let Some(p) = self.power_w[to] {
                     total_w += count * p;
                     total_count += count;
@@ -126,19 +244,82 @@ impl Profiler {
     /// mean observed reward labels each edge.
     pub fn to_mdp(&self) -> Mdp {
         let mut b = MdpBuilder::new(STATE_COUNT, Action::ALL.len());
-        for (&(from, action, to), &(count, reward_sum)) in &self.counts {
-            let mean_reward = (reward_sum / count).clamp(0.0, 1.0);
-            b.transition(from, action, to, count, mean_reward);
+        for (&(from, action), row) in &self.rows {
+            for &(to, count, reward_sum) in &row.outs {
+                b.transition(
+                    from,
+                    action,
+                    to,
+                    count,
+                    (reward_sum / count).clamp(0.0, 1.0),
+                );
+            }
         }
         b.build()
     }
 
-    /// States that have been visited at least once.
-    pub fn visited_states(&self) -> Vec<usize> {
-        let mut seen: Vec<usize> = self.counts.keys().flat_map(|&(f, _, t)| [f, t]).collect();
-        seen.sort_unstable();
-        seen.dedup();
-        seen
+    /// The rows that changed after the snapshot taken at `version`.
+    pub fn changes_since(&self, version: u64) -> DirtySet {
+        let mut rows: Vec<(usize, usize)> = Vec::new();
+        let mut states: Vec<usize> = Vec::new();
+        for (&key, row) in &self.rows {
+            if row.last_changed > version {
+                rows.push(key);
+                states.push(key.0);
+                states.extend(row.outs.iter().map(|&(to, _, _)| to));
+            }
+        }
+        rows.sort_unstable();
+        states.sort_unstable();
+        states.dedup();
+        DirtySet {
+            rows,
+            states,
+            total_rows: self.rows.len(),
+        }
+    }
+
+    /// Patch `cached` — a model previously produced by [`to_mdp`] on
+    /// this lineage — forward to the current statistics, rebuilding only
+    /// the rows in `dirty`. Bitwise identical to a fresh [`to_mdp`].
+    ///
+    /// Returns `true` when the zero-allocation in-place path was taken
+    /// (every dirty row kept its successor count).
+    ///
+    /// [`to_mdp`]: Self::to_mdp
+    pub fn to_mdp_incremental(&self, cached: &mut Mdp, dirty: &DirtySet) -> bool {
+        let patches: Vec<RowPatch> = dirty
+            .rows
+            .iter()
+            .map(|&(state, action)| {
+                let outcomes = match self.rows.get(&(state, action)) {
+                    Some(row) => row
+                        .outs
+                        .iter()
+                        .map(|&(to, count, reward_sum)| Outcome {
+                            next: to,
+                            prob: count,
+                            reward: (reward_sum / count).clamp(0.0, 1.0),
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                };
+                RowPatch {
+                    state,
+                    action,
+                    outcomes,
+                }
+            })
+            .collect();
+        cached.patch_rows(&patches)
+    }
+
+    /// States that have been visited at least once, sorted ascending.
+    ///
+    /// The slice is maintained incrementally by `observe`; the tick
+    /// path can call this without allocating.
+    pub fn visited_states(&self) -> &[usize] {
+        &self.visited
     }
 }
 
@@ -234,5 +415,91 @@ mod tests {
             1.5,
             1.0,
         );
+    }
+
+    #[test]
+    fn dirty_set_names_exactly_the_rows_touched_after_the_snapshot() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        let snap = p.version();
+        assert!(p.changes_since(snap).is_empty());
+
+        p.observe(awake, Action::ScreenOff, asleep, 0.7, 0.4);
+        p.observe(awake, Action::AppLaunch, awake_little(), 0.6, 3.0);
+        let dirty = p.changes_since(snap);
+        assert_eq!(
+            dirty.rows(),
+            &[
+                (awake.index(), Action::ScreenOff.index()),
+                (awake.index(), Action::AppLaunch.index()),
+            ]
+        );
+        let mut want_states = [asleep.index(), awake.index(), awake_little().index()];
+        want_states.sort_unstable();
+        assert_eq!(dirty.states(), &want_states[..]);
+        assert!((dirty.dirty_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // The pre-snapshot row stays clean even after re-observing it..
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        // ..from the *old* snapshot it is dirty again, of course.
+        assert_eq!(p.changes_since(p.version() - 1).rows().len(), 1);
+    }
+
+    #[test]
+    fn incremental_rebuild_is_bitwise_the_full_rebuild() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        for _ in 0..4 {
+            p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        }
+        p.observe(awake, Action::ScreenOff, asleep, 0.7, 0.4);
+        let snap = p.version();
+        let mut cached = p.to_mdp();
+
+        // Same-shape drift: revisit an existing row.
+        p.observe(asleep, Action::ScreenOn, awake, 0.5, 2.1);
+        // Widening drift: a brand-new successor and a brand-new row.
+        p.observe(asleep, Action::ScreenOn, asleep, 0.2, 0.1);
+        p.observe(awake, Action::AppLaunch, awake_little(), 0.6, 3.0);
+
+        let dirty = p.changes_since(snap);
+        p.to_mdp_incremental(&mut cached, &dirty);
+        assert_eq!(cached, p.to_mdp());
+    }
+
+    #[test]
+    fn same_shape_drift_takes_the_in_place_patch_path() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        let snap = p.version();
+        let mut cached = p.to_mdp();
+        p.observe(asleep, Action::ScreenOn, awake, 0.4, 1.8);
+        assert!(p.to_mdp_incremental(&mut cached, &p.changes_since(snap)));
+        assert_eq!(cached, p.to_mdp());
+    }
+
+    #[test]
+    fn clones_share_the_lineage_id_and_fresh_profilers_do_not() {
+        let p = Profiler::new();
+        let clone = p.clone();
+        assert_eq!(p.id(), clone.id());
+        assert_ne!(p.id(), Profiler::new().id());
+    }
+
+    #[test]
+    fn visited_states_stays_sorted_and_deduplicated() {
+        let mut p = Profiler::new();
+        let asleep = DeviceState::asleep();
+        let awake = DeviceState::awake();
+        p.observe(awake, Action::AppLaunch, awake_little(), 0.6, 3.0);
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        p.observe(asleep, Action::ScreenOn, awake, 0.9, 2.0);
+        let mut want = [asleep.index(), awake.index(), awake_little().index()];
+        want.sort_unstable();
+        assert_eq!(p.visited_states(), &want[..]);
     }
 }

@@ -1,0 +1,128 @@
+//! End-to-end property test for incremental recalibration: across
+//! randomized drift sequences, a calibrator that patches its cached
+//! model forward (same profiler lineage) agrees with a calibrator that
+//! rebuilds from scratch every period (a replayed profiler with a fresh
+//! lineage id). The models they solve are bitwise identical — pinned at
+//! the MDP layer by `incremental_equivalence` — so here we assert the
+//! *calibrations* agree: same clustering, and values/decision Q within
+//! the Bellman `eps` contract of each other.
+
+use capman_battery::chemistry::Class;
+use capman_core::online::Calibrator;
+use capman_core::profiler::Profiler;
+use capman_device::fsm::Action;
+use capman_device::states::DeviceState;
+use proptest::prelude::*;
+
+/// Bellman precision of a calibration solve (`online::SOLVE_EPS`).
+const EPS: f64 = 1e-6;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn state_pool() -> Vec<DeviceState> {
+    let awake = DeviceState::awake();
+    let asleep = DeviceState::asleep();
+    vec![
+        asleep,
+        awake,
+        awake.with_battery(Class::Little),
+        asleep.with_battery(Class::Little),
+    ]
+}
+
+/// One random observation, drawn identically for both arms.
+fn random_observation(rng: &mut u64) -> (DeviceState, Action, DeviceState, f64, f64) {
+    let pool = state_pool();
+    let from = pool[(splitmix(rng) as usize) % pool.len()];
+    let to = pool[(splitmix(rng) as usize) % pool.len()];
+    let action = Action::ALL[(splitmix(rng) as usize) % Action::ALL.len()];
+    (from, action, to, unit(rng), 3.0 * unit(rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_calibrations_track_full_rebuilds_across_drift(
+        seed in any::<u64>(),
+        steps in 1usize..4,
+        obs_per_step in 1usize..10,
+    ) {
+        let mut rng = seed;
+        let rho = 0.05;
+        // `inc` keeps one profiler lineage and patches its cached model;
+        // `full` sees a freshly replayed profiler every period, so its
+        // lineage check fails and it rebuilds from scratch each time —
+        // while still warm-starting its Bellman solve, the honest
+        // pre-incremental baseline.
+        let mut profiler = Profiler::new();
+        let mut history: Vec<(DeviceState, Action, DeviceState, f64, f64)> = Vec::new();
+        let mut inc = Calibrator::paper();
+        let mut full = Calibrator::paper();
+
+        for _ in 0..30 {
+            let o = random_observation(&mut rng);
+            profiler.observe(o.0, o.1, o.2, o.3, o.4);
+            history.push(o);
+        }
+
+        for step in 0..=steps {
+            if step > 0 {
+                for _ in 0..obs_per_step {
+                    let o = random_observation(&mut rng);
+                    profiler.observe(o.0, o.1, o.2, o.3, o.4);
+                    history.push(o);
+                }
+            }
+            let mut replay = Profiler::new();
+            for o in &history {
+                replay.observe(o.0, o.1, o.2, o.3, o.4);
+            }
+            let now = 1300.0 * step as f64;
+            inc.recalibrate(now, &profiler, 1.0);
+            full.recalibrate(now, &replay, 1.0);
+
+            let a = inc.calibration().expect("calibrated").clone();
+            let b = full.calibration().expect("calibrated").clone();
+            if step > 0 {
+                prop_assert!(a.dirty_rows.is_some(), "same lineage must go incremental");
+                prop_assert!(a.incremental.is_some());
+            }
+            prop_assert!(b.dirty_rows.is_none(), "fresh lineage must rebuild");
+
+            // Identical models and a bitwise-deterministic similarity
+            // engine: the clusterings agree exactly.
+            for s in state_pool() {
+                prop_assert_eq!(inc.representative(s), full.representative(s));
+            }
+            // Both value vectors satisfy the same global residual bound,
+            // so they sit within 2·eps/(1-rho) of the common fixed point.
+            let tol = 4.0 * EPS / (1.0 - rho) + 1e-12;
+            for (x, y) in a.solution.values.iter().zip(&b.solution.values) {
+                prop_assert!((x - y).abs() < tol, "{} vs {}", x, y);
+            }
+            // Greedy decisions may tie-break differently only when the
+            // Q-values tie; the chosen actions' Q must agree.
+            for (s, (&pa, &pb)) in a.solution.policy.iter().zip(&b.solution.policy).enumerate() {
+                match (pa, pb) {
+                    (Some(pa), Some(pb)) => {
+                        let qa = a.solution.q[s][pa];
+                        let qb = b.solution.q[s][pb];
+                        prop_assert!((qa - qb).abs() < tol, "state {}: {} vs {}", s, qa, qb);
+                    }
+                    (pa, pb) => prop_assert_eq!(pa, pb, "absorbing-state mismatch at {}", s),
+                }
+            }
+        }
+    }
+}

@@ -449,6 +449,34 @@ mod tests {
     }
 
     #[test]
+    fn pool_workers_reuse_the_incremental_model_path() {
+        let pool = CalibrationPool::spawn(&[CalibratorSpec::paper()], PoolConfig::default());
+        let mut profiler = warm_profiler();
+        pool.submit(0, 1200.0, &profiler, 1.0);
+        pool.drain();
+        let first = pool.snapshot(0);
+        let first_cal = first.calibration.as_ref().expect("calibrated");
+        assert!(first_cal.dirty_rows.is_none(), "first solve rebuilds cold");
+
+        // The device keeps learning on the same profiler lineage; the
+        // next request ships a clone, which the cohort calibrator
+        // recognises and patches its cached model forward from.
+        let awake = DeviceState::awake();
+        let asleep = DeviceState::asleep();
+        profiler.observe(awake, Action::ScreenOff, asleep, 0.7, 0.2);
+        profiler.observe(asleep, Action::ScreenOn, awake, 0.8, 2.0);
+        pool.submit(0, 2400.0, &profiler, 1.0);
+        pool.drain();
+        let snap = pool.snapshot(0);
+        let cal = snap.calibration.as_ref().expect("calibrated");
+        assert_eq!(cal.dirty_rows, Some(2), "only the drifted rows are dirty");
+        assert!(
+            cal.incremental.is_some(),
+            "background worker takes the incremental solve path"
+        );
+    }
+
+    #[test]
     fn warm_start_survives_across_pool_calibrations() {
         let pool = CalibrationPool::spawn(&[CalibratorSpec::paper()], PoolConfig::default());
         let profiler = warm_profiler();

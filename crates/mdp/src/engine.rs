@@ -105,6 +105,11 @@ pub struct EngineStats {
     pub cache_hits: usize,
     /// Bound-pruned pairs across all runs.
     pub bound_pruned: usize,
+    /// Memo entries evicted by targeted invalidation
+    /// ([`SimilarityEngine::invalidate_states`]) across all runs.
+    pub cache_evictions: usize,
+    /// Targeted-invalidation calls across all runs.
+    pub invalidations: usize,
     /// Total wall time across all runs, in microseconds.
     pub wall_us: f64,
     /// Statistics of the most recent run.
@@ -128,10 +133,22 @@ const CACHE_SHARDS: usize = 32;
 /// cache at `CACHE_SHARDS * MAX_ENTRIES_PER_SHARD` entries.
 const MAX_ENTRIES_PER_SHARD: usize = 8192;
 
+/// One memoized EMD solution: the exact distance plus the states whose
+/// `sigma_S` entries or distribution weights the solve read (the sorted
+/// union of both supports). The state list is what makes *targeted*
+/// invalidation possible: a profiler drift that dirties state `d` can
+/// evict exactly the entries with `d` in their support instead of
+/// flushing the whole cache.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    distance: f64,
+    states: Box<[u32]>,
+}
+
 /// Sharded memo cache from EMD-problem fingerprints to exact distances.
 #[derive(Debug)]
 struct EmdCache {
-    shards: Vec<Mutex<HashMap<u128, f64>>>,
+    shards: Vec<Mutex<HashMap<u128, CacheEntry>>>,
 }
 
 impl EmdCache {
@@ -143,20 +160,24 @@ impl EmdCache {
         }
     }
 
-    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, f64>> {
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, CacheEntry>> {
         &self.shards[(key as u64 ^ (key >> 64) as u64) as usize % CACHE_SHARDS]
     }
 
     fn get(&self, key: u128) -> Option<f64> {
-        self.shard(key).lock().unwrap().get(&key).copied()
+        self.shard(key)
+            .lock()
+            .unwrap()
+            .get(&key)
+            .map(|e| e.distance)
     }
 
-    fn insert(&self, key: u128, distance: f64) {
+    fn insert(&self, key: u128, distance: f64, states: Box<[u32]>) {
         let mut shard = self.shard(key).lock().unwrap();
         if shard.len() >= MAX_ENTRIES_PER_SHARD {
             shard.clear();
         }
-        shard.insert(key, distance);
+        shard.insert(key, CacheEntry { distance, states });
     }
 
     fn clear(&self) {
@@ -168,6 +189,62 @@ impl EmdCache {
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
     }
+
+    /// Evict every entry whose involved-state list intersects `dirty`
+    /// (ascending, deduplicated). Returns the number evicted.
+    fn invalidate(&self, dirty: &[u32]) -> usize {
+        if dirty.is_empty() {
+            return 0;
+        }
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let before = shard.len();
+            shard.retain(|_, e| !sorted_intersects(&e.states, dirty));
+            evicted += before - shard.len();
+        }
+        evicted
+    }
+}
+
+/// Whether two ascending `u32` slices share an element (two-pointer walk).
+fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// The sorted union of two ascending support lists, as the `u32` state
+/// ids a [`CacheEntry`] stores.
+fn support_union(supp_p: &[usize], supp_q: &[usize]) -> Box<[u32]> {
+    let mut out = Vec::with_capacity(supp_p.len() + supp_q.len());
+    let (mut i, mut j) = (0, 0);
+    while i < supp_p.len() && j < supp_q.len() {
+        match supp_p[i].cmp(&supp_q[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(supp_p[i] as u32);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(supp_q[j] as u32);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(supp_p[i] as u32);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend(supp_p[i..].iter().map(|&x| x as u32));
+    out.extend(supp_q[j..].iter().map(|&x| x as u32));
+    out.into_boxed_slice()
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -290,7 +367,11 @@ fn action_pair_sigma(ctx: &ActionSweepCtx<'_>, ai: usize, bi: usize) -> f64 {
                     ctx.emd_solves.fetch_add(1, Ordering::Relaxed);
                     ctx.ssp_augmentations
                         .fetch_add(r.augmentations, Ordering::Relaxed);
-                    cache.insert(key, r.distance);
+                    cache.insert(
+                        key,
+                        r.distance,
+                        support_union(&ctx.supports[ai], &ctx.supports[bi]),
+                    );
                     r.distance
                 }
             }
@@ -400,6 +481,42 @@ impl SimilarityEngine {
     /// Drop every memoized EMD solution (statistics are kept).
     pub fn clear_cache(&self) {
         self.cache.clear();
+    }
+
+    /// Evict only the memoized EMD solutions whose fingerprint involves
+    /// one of `dirty_states` — i.e. entries whose support union contains
+    /// a state whose successor distribution or similarity row may have
+    /// drifted. Everything else stays warm for the next `compute`.
+    ///
+    /// This is a hit-rate optimisation, not a correctness requirement:
+    /// fingerprints cover every input of a solve, so a stale entry can
+    /// never be *returned* for a changed problem — it would merely rot
+    /// in the shard until displaced. Targeted eviction reclaims that
+    /// memory and keeps the shards from flushing wholesale at the cap.
+    ///
+    /// Returns the number of entries evicted; the running totals land in
+    /// [`EngineStats::cache_evictions`] and, with `obs` enabled, on the
+    /// `emd_cache_evictions_total` counter.
+    pub fn invalidate_states(&mut self, dirty_states: &[usize]) -> usize {
+        let mut dirty: Vec<u32> = dirty_states.iter().map(|&s| s as u32).collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+        let evicted = self.cache.invalidate(&dirty);
+        self.stats.cache_evictions += evicted;
+        self.stats.invalidations += 1;
+        if capman_obs::enabled() {
+            capman_obs::counter!(
+                "emd_cache_invalidations_total",
+                "Targeted EMD-cache invalidation passes"
+            )
+            .inc();
+            capman_obs::counter!(
+                "emd_cache_evictions_total",
+                "EMD memo entries evicted by targeted invalidation"
+            )
+            .add(evicted as u64);
+        }
+        evicted
     }
 
     /// Run Algorithm 1. Matrices match the reference implementation (the
@@ -712,10 +829,80 @@ mod tests {
         let cache = EmdCache::new();
         // Hammer one shard far past its cap; len must stay bounded.
         for i in 0..(3 * MAX_ENTRIES_PER_SHARD as u128) {
-            cache.insert(i * CACHE_SHARDS as u128, i as f64);
+            cache.insert(i * CACHE_SHARDS as u128, i as f64, Box::new([]));
         }
         assert!(cache.len() <= CACHE_SHARDS * MAX_ENTRIES_PER_SHARD);
         assert!(cache.len() > 0);
+    }
+
+    #[test]
+    fn cache_invalidation_evicts_exactly_the_intersecting_entries() {
+        let cache = EmdCache::new();
+        cache.insert(1, 0.1, Box::new([0, 2, 5]));
+        cache.insert(2, 0.2, Box::new([1, 3]));
+        cache.insert(3, 0.3, Box::new([5, 9]));
+        cache.insert(4, 0.4, Box::new([]));
+        assert_eq!(cache.invalidate(&[5]), 2, "entries 1 and 3 involve state 5");
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.get(2), Some(0.2));
+        assert!(cache.get(3).is_none());
+        assert_eq!(cache.get(4), Some(0.4));
+        assert_eq!(cache.invalidate(&[]), 0, "no dirt, no evictions");
+        assert_eq!(cache.invalidate(&[7]), 0, "uninvolved state evicts nothing");
+    }
+
+    #[test]
+    fn engine_invalidation_counts_and_keeps_uninvolved_entries() {
+        let g = twin_graph();
+        let p = SimilarityParams::paper(0.5);
+        let mut engine = SimilarityEngine::with_options(ExecutionMode::Serial, true, false);
+        let _ = engine.compute(&g, &p);
+        let full = engine.cache_len();
+        assert!(full > 0);
+        // A state id outside every support evicts nothing.
+        assert_eq!(engine.invalidate_states(&[99]), 0);
+        assert_eq!(engine.cache_len(), full);
+        // State 3 is the successor of exactly one action node (1 -> 3),
+        // so only entries pairing that node can go.
+        let evicted = engine.invalidate_states(&[3]);
+        assert!(evicted > 0, "state 3 appears in cached supports");
+        assert!(evicted < full, "uninvolved entries must survive");
+        assert_eq!(engine.cache_len(), full - evicted);
+        assert_eq!(engine.stats().cache_evictions, evicted);
+        assert_eq!(engine.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn recompute_after_invalidation_is_bitwise_the_cold_result() {
+        let g = twin_graph();
+        let p = SimilarityParams::paper(0.5);
+        let cold =
+            SimilarityEngine::with_options(ExecutionMode::Serial, true, false).compute(&g, &p);
+        let mut engine = SimilarityEngine::with_options(ExecutionMode::Serial, true, false);
+        let _ = engine.compute(&g, &p);
+        engine.invalidate_states(&[0, 3]);
+        let hits_before = engine.stats().cache_hits;
+        let warm = engine.compute(&g, &p);
+        assert_eq!(warm.sigma_s, cold.sigma_s);
+        assert_eq!(warm.sigma_a, cold.sigma_a);
+        assert_eq!(warm.iterations, cold.iterations);
+        // Entries whose supports avoided the dirty states survived the
+        // invalidation and still serve the recompute.
+        assert!(
+            engine.stats().cache_hits > hits_before,
+            "untouched-pair entries must still hit the cache"
+        );
+    }
+
+    #[test]
+    fn support_union_merges_sorted_supports() {
+        assert_eq!(
+            support_union(&[0, 2, 5], &[1, 2, 9]).as_ref(),
+            &[0, 1, 2, 5, 9]
+        );
+        assert_eq!(support_union(&[], &[4]).as_ref(), &[4]);
+        assert_eq!(support_union(&[], &[]).as_ref(), &[] as &[u32]);
     }
 
     #[test]

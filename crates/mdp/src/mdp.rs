@@ -166,6 +166,186 @@ impl Mdp {
     }
 }
 
+/// A full replacement for one `(state, action)` row, consumed by
+/// [`Mdp::patch_rows`]. `outcomes` carries raw weights exactly like
+/// [`MdpBuilder::transition`] — visit counts or probabilities — and is
+/// normalised inside the patch with the same arithmetic the builder
+/// uses, so a patched MDP is bitwise identical to a full rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowPatch {
+    /// Owning state of the row.
+    pub state: usize,
+    /// Action of the row.
+    pub action: usize,
+    /// The complete new outcome list (raw weights, insertion order).
+    /// An empty list deletes the row (the action becomes unavailable).
+    pub outcomes: Vec<Outcome>,
+}
+
+impl Mdp {
+    /// Rebuild only the given rows in place, leaving every other row's
+    /// storage untouched.
+    ///
+    /// When every patched row keeps its outcome count (and no row
+    /// appears or disappears), the arena, the SoA mirrors and the
+    /// per-node expected rewards are overwritten in place — the
+    /// steady-state recalibration path allocates nothing. Otherwise the
+    /// CSR arrays are spliced: clean rows are copied bitwise and dirty
+    /// rows are laid out exactly as [`MdpBuilder::build`] would.
+    ///
+    /// Either way the result is bitwise equal (`==`) to rebuilding the
+    /// whole MDP from scratch with the patched transition table, because
+    /// per-row normalisation (`w_i / sum w`) and the expected-reward
+    /// reduction run in the same order with the same operations.
+    ///
+    /// Returns `true` when the zero-allocation in-place path was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices, duplicate `(state, action)` rows
+    /// in `patches`, non-positive/non-finite weights, or rewards outside
+    /// `[0, 1]` — the same validation the builder applies.
+    pub fn patch_rows(&mut self, patches: &[RowPatch]) -> bool {
+        for p in patches {
+            assert!(p.state < self.n_states, "patch state out of range");
+            assert!(p.action < self.n_actions, "patch action out of range");
+            for o in &p.outcomes {
+                assert!(o.next < self.n_states, "successor out of range");
+                assert!(
+                    o.prob > 0.0 && o.prob.is_finite(),
+                    "probability/count weight must be positive and finite"
+                );
+                assert!(
+                    (0.0..=1.0).contains(&o.reward),
+                    "reward must be normalised to [0, 1]"
+                );
+            }
+        }
+        let mut order: Vec<usize> = (0..patches.len()).collect();
+        order.sort_by_key(|&i| (patches[i].state, patches[i].action));
+        for w in order.windows(2) {
+            let (a, b) = (&patches[w[0]], &patches[w[1]]);
+            assert!(
+                (a.state, a.action) != (b.state, b.action),
+                "duplicate patch for row ({}, {})",
+                a.state,
+                a.action
+            );
+        }
+        let in_place = patches.iter().all(|p| {
+            let row = p.state * self.n_actions + p.action;
+            self.row_ptr[row + 1] - self.row_ptr[row] == p.outcomes.len()
+        });
+        if in_place {
+            for p in patches {
+                if p.outcomes.is_empty() {
+                    continue; // empty row replaced by empty row: no-op
+                }
+                let row = p.state * self.n_actions + p.action;
+                let lo = self.row_ptr[row];
+                let total: f64 = p.outcomes.iter().map(|o| o.prob).sum();
+                for (i, o) in p.outcomes.iter().enumerate() {
+                    let prob = o.prob / total;
+                    self.arena[lo + i] = Outcome { prob, ..*o };
+                    self.succ[lo + i] = o.next as u32;
+                    self.prob[lo + i] = prob;
+                }
+                let hi = lo + p.outcomes.len();
+                let base = self.action_ptr[p.state];
+                let k = base
+                    + self.actions[base..self.action_ptr[p.state + 1]]
+                        .binary_search(&(p.action as u32))
+                        .expect("non-empty row must have a packed action node");
+                self.node_reward[k] = self.arena[lo..hi].iter().map(|o| o.prob * o.reward).sum();
+            }
+            return true;
+        }
+        self.splice_rows(patches, &order);
+        false
+    }
+
+    /// The slow patch path: re-lay the CSR arrays, copying clean rows
+    /// bitwise and normalising dirty rows exactly like the builder.
+    fn splice_rows(&mut self, patches: &[RowPatch], order: &[usize]) {
+        let dirty_edges: usize = order.iter().map(|&i| patches[i].outcomes.len()).sum();
+        let clean_edges: usize = order
+            .iter()
+            .map(|&i| {
+                let p = &patches[i];
+                let row = p.state * self.n_actions + p.action;
+                self.row_ptr[row + 1] - self.row_ptr[row]
+            })
+            .sum();
+        let n_edges = self.arena.len() - clean_edges + dirty_edges;
+        let mut arena = Vec::with_capacity(n_edges);
+        let mut row_ptr = Vec::with_capacity(self.n_states * self.n_actions + 1);
+        let mut actions = Vec::with_capacity(self.actions.len());
+        let mut action_ptr = Vec::with_capacity(self.n_states + 1);
+        let mut succ = Vec::with_capacity(n_edges);
+        let mut prob = Vec::with_capacity(n_edges);
+        let mut node_ptr = Vec::with_capacity(self.node_ptr.len());
+        let mut node_reward = Vec::with_capacity(self.node_reward.len());
+        row_ptr.push(0);
+        action_ptr.push(0);
+        let mut pending = order.iter().map(|&i| &patches[i]).peekable();
+        let mut scratch: Vec<Outcome> = Vec::new();
+        for s in 0..self.n_states {
+            let mut old_k = self.action_ptr[s];
+            for a in 0..self.n_actions {
+                let row = s * self.n_actions + a;
+                let old = &self.arena[self.row_ptr[row]..self.row_ptr[row + 1]];
+                let patched = match pending.next_if(|p| (p.state, p.action) == (s, a)) {
+                    Some(p) => {
+                        // Normalise into scratch with the builder's
+                        // exact per-row arithmetic.
+                        scratch.clear();
+                        scratch.extend_from_slice(&p.outcomes);
+                        let total: f64 = scratch.iter().map(|o| o.prob).sum();
+                        if total > 0.0 {
+                            for o in scratch.iter_mut() {
+                                o.prob /= total;
+                            }
+                        }
+                        true
+                    }
+                    None => false,
+                };
+                let was_occupied = !old.is_empty();
+                let outs: &[Outcome] = if patched { &scratch } else { old };
+                if !outs.is_empty() {
+                    actions.push(a as u32);
+                    node_ptr.push(arena.len());
+                    // A clean row keeps its precomputed expected reward
+                    // bit-for-bit; a dirty row recomputes it the way the
+                    // builder does.
+                    node_reward.push(if patched {
+                        outs.iter().map(|o| o.prob * o.reward).sum()
+                    } else {
+                        self.node_reward[old_k]
+                    });
+                }
+                if was_occupied {
+                    old_k += 1;
+                }
+                arena.extend_from_slice(outs);
+                succ.extend(outs.iter().map(|o| o.next as u32));
+                prob.extend(outs.iter().map(|o| o.prob));
+                row_ptr.push(arena.len());
+            }
+            action_ptr.push(actions.len());
+        }
+        node_ptr.push(arena.len());
+        self.arena = arena;
+        self.row_ptr = row_ptr;
+        self.actions = actions;
+        self.action_ptr = action_ptr;
+        self.succ = succ;
+        self.prob = prob;
+        self.node_ptr = node_ptr;
+        self.node_reward = node_reward;
+    }
+}
+
 /// A validating builder for [`Mdp`].
 #[derive(Debug, Clone)]
 pub struct MdpBuilder {
@@ -399,5 +579,191 @@ mod tests {
     fn rejects_zero_probability() {
         let mut b = MdpBuilder::new(2, 1);
         b.transition(0, 0, 1, 0.0, 0.5);
+    }
+
+    type Tx = (usize, usize, usize, f64, f64);
+
+    fn fixture_txs() -> Vec<Tx> {
+        vec![
+            (0, 0, 1, 2.0, 0.5),
+            (0, 0, 2, 1.0, 0.25),
+            (0, 2, 3, 1.0, 1.0),
+            (1, 1, 3, 3.0, 0.75),
+            (1, 1, 0, 1.0, 0.5),
+            (2, 0, 3, 1.0, 0.0),
+        ]
+    }
+
+    fn build_from(n_states: usize, n_actions: usize, txs: &[Tx]) -> Mdp {
+        let mut b = MdpBuilder::new(n_states, n_actions);
+        for &(s, a, to, w, r) in txs {
+            b.transition(s, a, to, w, r);
+        }
+        b.build()
+    }
+
+    /// Apply a patch to the raw transition table the way the profiler's
+    /// full rebuild would see it: replace the row's entries in place
+    /// (keeping table order), append brand-new rows at the end.
+    fn patch_txs(txs: &[Tx], patch: &RowPatch) -> Vec<Tx> {
+        let mut out: Vec<Tx> = Vec::new();
+        let mut emitted = false;
+        for &(s, a, to, w, r) in txs {
+            if (s, a) == (patch.state, patch.action) {
+                if !emitted {
+                    emitted = true;
+                    for o in &patch.outcomes {
+                        out.push((patch.state, patch.action, o.next, o.prob, o.reward));
+                    }
+                }
+            } else {
+                out.push((s, a, to, w, r));
+            }
+        }
+        if !emitted {
+            for o in &patch.outcomes {
+                out.push((patch.state, patch.action, o.next, o.prob, o.reward));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn same_shape_patch_runs_in_place_and_matches_a_full_rebuild() {
+        let txs = fixture_txs();
+        let mut patched = build_from(4, 3, &txs);
+        // Same successors, new raw counts/rewards: the row keeps its
+        // width, so the patch must take the zero-allocation path.
+        let patch = RowPatch {
+            state: 0,
+            action: 0,
+            outcomes: vec![
+                Outcome {
+                    next: 1,
+                    prob: 5.0,
+                    reward: 0.625,
+                },
+                Outcome {
+                    next: 2,
+                    prob: 3.0,
+                    reward: 0.125,
+                },
+            ],
+        };
+        assert!(patched.patch_rows(std::slice::from_ref(&patch)));
+        let rebuilt = build_from(4, 3, &patch_txs(&txs, &patch));
+        assert_eq!(patched, rebuilt);
+    }
+
+    #[test]
+    fn widened_row_splices_and_matches_a_full_rebuild() {
+        let txs = fixture_txs();
+        let mut patched = build_from(4, 3, &txs);
+        let patch = RowPatch {
+            state: 0,
+            action: 0,
+            outcomes: vec![
+                Outcome {
+                    next: 1,
+                    prob: 2.0,
+                    reward: 0.5,
+                },
+                Outcome {
+                    next: 2,
+                    prob: 1.0,
+                    reward: 0.25,
+                },
+                Outcome {
+                    next: 3,
+                    prob: 1.0,
+                    reward: 0.75,
+                },
+            ],
+        };
+        assert!(!patched.patch_rows(std::slice::from_ref(&patch)));
+        let rebuilt = build_from(4, 3, &patch_txs(&txs, &patch));
+        assert_eq!(patched, rebuilt);
+    }
+
+    #[test]
+    fn new_and_deleted_rows_splice_and_match_a_full_rebuild() {
+        let txs = fixture_txs();
+        let mut patched = build_from(4, 3, &txs);
+        // One brand-new action node on state 3 (previously absorbing),
+        // one deleted row on state 2, applied together.
+        let fresh = RowPatch {
+            state: 3,
+            action: 1,
+            outcomes: vec![Outcome {
+                next: 0,
+                prob: 1.0,
+                reward: 0.5,
+            }],
+        };
+        let gone = RowPatch {
+            state: 2,
+            action: 0,
+            outcomes: Vec::new(),
+        };
+        assert!(!patched.patch_rows(&[fresh.clone(), gone.clone()]));
+        let rebuilt = build_from(4, 3, &patch_txs(&patch_txs(&txs, &fresh), &gone));
+        assert_eq!(patched, rebuilt);
+        assert!(!patched.is_absorbing(3));
+        assert!(patched.outcomes(2, 0).is_empty());
+    }
+
+    #[test]
+    fn patch_normalises_raw_visit_counts() {
+        let mut m = build_from(4, 3, &fixture_txs());
+        m.patch_rows(&[RowPatch {
+            state: 1,
+            action: 1,
+            outcomes: vec![
+                Outcome {
+                    next: 3,
+                    prob: 9.0,
+                    reward: 1.0,
+                },
+                Outcome {
+                    next: 0,
+                    prob: 1.0,
+                    reward: 0.0,
+                },
+            ],
+        }]);
+        let total: f64 = m.outcomes(1, 1).iter().map(|o| o.prob).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((m.expected_reward(1, 1) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate patch")]
+    fn rejects_duplicate_patch_rows() {
+        let mut m = chain();
+        let p = RowPatch {
+            state: 0,
+            action: 0,
+            outcomes: vec![Outcome {
+                next: 1,
+                prob: 1.0,
+                reward: 0.5,
+            }],
+        };
+        m.patch_rows(&[p.clone(), p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reward")]
+    fn patch_rejects_unnormalised_reward() {
+        let mut m = chain();
+        m.patch_rows(&[RowPatch {
+            state: 0,
+            action: 0,
+            outcomes: vec![Outcome {
+                next: 1,
+                prob: 1.0,
+                reward: 2.0,
+            }],
+        }]);
     }
 }

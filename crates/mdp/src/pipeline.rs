@@ -37,8 +37,24 @@ use crate::engine::ExecutionMode;
 use crate::matrix::SquareMatrix;
 use crate::mdp::{Mdp, SolverView};
 use crate::value_iteration::{
-    auto_mode, converge_view, extract_q_policy, validate_solver_params, Precision, Solution,
+    auto_mode, converge_view, converge_view_masked, extract_q_policy, validate_solver_params,
+    Precision, Solution,
 };
+
+/// Fraction of the state space the dirty rows' backward closure may
+/// cover before [`RecalibrationPipeline::solve_incremental`] abandons
+/// the restricted sweep and falls back to the full warm pipeline. Past
+/// this point the masked (serial) sweep would touch most rows anyway
+/// while giving up the parallel schedule.
+pub const INCREMENTAL_FALLBACK_FRACTION: f64 = 0.5;
+
+/// Minimum share of the state space the backward closure must cover
+/// before [`RecalibrationPipeline::solve_incremental`] bothers with the
+/// quotient theta ladder. Below this, the per-rung overhead (an O(n²)
+/// similarity clustering plus a quotient-CSR build) exceeds the masked
+/// sweeps the warm start saves; the closure-restricted final solve is
+/// what guarantees `eps` either way.
+pub const INCREMENTAL_LADDER_FRACTION: f64 = 0.25;
 
 /// Restrict a full-space value vector to a quotient level: cluster `c`
 /// is seeded with the value of its representative state. `out` is
@@ -177,6 +193,90 @@ impl PipelineOutcome {
     /// Total Jacobi sweeps across every level and the final solve.
     pub fn total_sweeps(&self) -> usize {
         self.levels.iter().map(|l| l.sweeps).sum::<usize>() + self.final_sweeps
+    }
+}
+
+/// Accounting of one [`RecalibrationPipeline::solve_incremental`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// States whose Bellman operator changed (owners of dirty rows).
+    pub dirty_states: usize,
+    /// Size of the dirty states' backward closure — the states the
+    /// masked sweeps actually updated. Equals `n_states` on fallback.
+    pub affected_states: usize,
+    /// Whether the run abandoned the restricted sweep for the full warm
+    /// pipeline (closure above [`INCREMENTAL_FALLBACK_FRACTION`], an
+    /// unusable prior, or an `f32` kernel).
+    pub full_fallback: bool,
+}
+
+/// Result of an incremental pipeline run: the usual [`PipelineOutcome`]
+/// plus the restriction accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalOutcome {
+    /// The solution and sweep ledger, as from the full pipeline.
+    pub outcome: PipelineOutcome,
+    /// How much of the state space the run actually had to touch.
+    pub stats: IncrementalStats,
+}
+
+/// The set of states from which any dirty state is reachable (including
+/// the dirty states themselves), ascending — the *backward closure*
+/// over the transition graph. A state outside this set cannot reach a
+/// dirty state, hence neither can any of its successors, so its value
+/// and its Bellman residual are untouched by the dirty rows: freezing
+/// it during the masked sweeps is exact up to the solver's `eps`.
+fn backward_closure(view: &SolverView<'_>, n: usize, dirty: &[usize]) -> Vec<usize> {
+    // Predecessor adjacency in CSR form via counting sort over the
+    // successor mirror: O(outcomes) time, two flat allocations.
+    let mut start = vec![0usize; n + 1];
+    for &t in view.succ {
+        start[t as usize + 1] += 1;
+    }
+    for i in 0..n {
+        start[i + 1] += start[i];
+    }
+    let mut preds = vec![0u32; view.succ.len()];
+    let mut cursor = start.clone();
+    for s in 0..n {
+        for k in view.action_ptr[s]..view.action_ptr[s + 1] {
+            for i in view.node_ptr[k]..view.node_ptr[k + 1] {
+                let t = view.succ[i] as usize;
+                preds[cursor[t]] = s as u32;
+                cursor[t] += 1;
+            }
+        }
+    }
+    let mut in_set = vec![false; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    for &d in dirty {
+        assert!(d < n, "dirty state {d} out of range for {n} states");
+        if !in_set[d] {
+            in_set[d] = true;
+            frontier.push(d);
+        }
+    }
+    let mut head = 0;
+    while head < frontier.len() {
+        let u = frontier[head];
+        head += 1;
+        for &p in &preds[start[u]..start[u + 1]] {
+            let p = p as usize;
+            if !in_set[p] {
+                in_set[p] = true;
+                frontier.push(p);
+            }
+        }
+    }
+    frontier.sort_unstable();
+    frontier
+}
+
+/// [`lift`] restricted to the affected states: everything else keeps
+/// its (already converged) prior value bit-for-bit.
+fn lift_masked(v_coarse: &[f64], cm: &ClusterMap, v_full: &mut [f64], affected: &[usize]) {
+    for &s in affected {
+        v_full[s] = v_coarse[cm.cluster_of[s]];
     }
 }
 
@@ -392,6 +492,157 @@ impl RecalibrationPipeline {
             warm_started: false,
         }
     }
+
+    /// Re-solve after a *small* model change, paying only for the states
+    /// the change can influence.
+    ///
+    /// `dirty_states` are the owners of the rows whose outcomes were
+    /// patched since `prior` was computed (see `Mdp::patch_rows`), and
+    /// `prior` must be the converged value vector of the pre-patch
+    /// model. The run computes the dirty rows' backward closure over the
+    /// patched transition graph, restricts every theta-ladder level to
+    /// the quotient clusters containing an affected state, and finishes
+    /// with a masked full-space solve over the closure — all other
+    /// states keep their prior values bit-for-bit. Because a state
+    /// outside the closure reads only values outside the closure, its
+    /// Bellman residual is still below `eps` from the prior solve, so
+    /// the returned solution meets the same global `eps` contract as
+    /// [`solve`](Self::solve) (values within `2·eps/(1−rho)` of the full
+    /// warm solve; Q and the greedy policy are extracted over the full
+    /// space as usual).
+    ///
+    /// Falls back to the full warm pipeline — identical to calling
+    /// [`solve_with_scratch`](Self::solve_with_scratch) with
+    /// `Some(prior)` — when the closure covers more than
+    /// [`INCREMENTAL_FALLBACK_FRACTION`] of the state space, when the
+    /// prior is unusable (wrong length or non-finite), or when the
+    /// pipeline runs the `f32` kernel (the masked sweep is f64-only).
+    /// `stats.full_fallback` records which path ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not `n_states × n_states` or a dirty state
+    /// index is out of range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_incremental(
+        &self,
+        mdp: &Mdp,
+        sigma: &SquareMatrix,
+        thetas: &[f64],
+        prior: &[f64],
+        dirty_states: &[usize],
+        mode: ExecutionMode,
+        scratch: &mut QuotientScratch,
+    ) -> IncrementalOutcome {
+        let n = mdp.n_states();
+        assert_eq!(sigma.n(), n, "similarity matrix does not match the MDP");
+        let view = mdp.solver_view();
+
+        let prior_ok = prior.len() == n && prior.iter().all(|v| v.is_finite());
+        if !prior_ok || self.precision == Precision::F32 {
+            let outcome = self.solve_with_scratch(
+                mdp,
+                sigma,
+                thetas,
+                prior_ok.then_some(prior),
+                mode,
+                scratch,
+            );
+            return IncrementalOutcome {
+                outcome,
+                stats: IncrementalStats {
+                    dirty_states: dirty_states.len(),
+                    affected_states: n,
+                    full_fallback: true,
+                },
+            };
+        }
+
+        let affected = backward_closure(&view, n, dirty_states);
+        let stats = IncrementalStats {
+            dirty_states: dirty_states.len(),
+            affected_states: affected.len(),
+            full_fallback: false,
+        };
+        if affected.len() as f64 > INCREMENTAL_FALLBACK_FRACTION * n as f64 {
+            let outcome = self.solve_with_scratch(mdp, sigma, thetas, Some(prior), mode, scratch);
+            return IncrementalOutcome {
+                outcome,
+                stats: IncrementalStats {
+                    affected_states: n,
+                    full_fallback: true,
+                    ..stats
+                },
+            };
+        }
+
+        let _span = capman_obs::span("bellman_incremental", affected.len() as u64);
+        let mut v_full = prior.to_vec();
+        let mut levels = Vec::new();
+        let mut final_sweeps = 0;
+        if !affected.is_empty() {
+            let mut v_coarse = Vec::new();
+            let mut sweep_buf = Vec::new();
+            let mut active_clusters: Vec<usize> = Vec::new();
+            // The quotient ladder is purely a warm-start accelerator —
+            // the masked final solve alone meets the `eps` contract. Each
+            // rung costs an O(n²) clustering plus a quotient build, which
+            // dwarfs the masked sweeps it saves when the closure is
+            // small, so only run the ladder once the closure is a sizable
+            // share of the space (see [`INCREMENTAL_LADDER_FRACTION`]).
+            let run_ladder = affected.len() as f64 >= INCREMENTAL_LADDER_FRACTION * n as f64;
+            for &theta in thetas.iter().filter(|_| run_ladder) {
+                let cm = Abstraction::from_similarity(sigma, theta).cluster_map();
+                if cm.n_clusters() == n {
+                    continue;
+                }
+                active_clusters.clear();
+                active_clusters.extend(affected.iter().map(|&s| cm.cluster_of[s]));
+                active_clusters.sort_unstable();
+                active_clusters.dedup();
+                scratch.build(&view, &cm);
+                restrict(&v_full, &cm, &mut v_coarse);
+                let sweeps = converge_view_masked(
+                    &scratch.view(),
+                    self.rho,
+                    self.eps,
+                    &mut v_coarse,
+                    &mut sweep_buf,
+                    &active_clusters,
+                );
+                lift_masked(&v_coarse, &cm, &mut v_full, &affected);
+                levels.push(LevelStats {
+                    theta,
+                    n_clusters: cm.n_clusters(),
+                    sweeps,
+                });
+            }
+            final_sweeps = converge_view_masked(
+                &view,
+                self.rho,
+                self.eps,
+                &mut v_full,
+                &mut sweep_buf,
+                &affected,
+            );
+        }
+        let (q, policy) = extract_q_policy(mdp, &view, self.rho, &v_full);
+        let iterations = levels.iter().map(|l| l.sweeps).sum::<usize>() + final_sweeps;
+        IncrementalOutcome {
+            outcome: PipelineOutcome {
+                solution: Solution {
+                    values: v_full,
+                    q,
+                    policy,
+                    iterations,
+                },
+                levels,
+                final_sweeps,
+                warm_started: true,
+            },
+            stats,
+        }
+    }
 }
 
 /// Quotient levels can be far smaller than the full space; re-run the
@@ -575,6 +826,268 @@ mod tests {
                 assert_eq!(sorted.len(), succs.len());
             }
         }
+    }
+
+    use crate::mdp::{Outcome, RowPatch};
+
+    /// In the `clustered` fixture every transition targets a state in
+    /// `0..groups`, so any state `>= groups` has no predecessors: its
+    /// backward closure is just itself. Patch one such row and check the
+    /// restricted solve against the full warm solve on the patched MDP.
+    #[test]
+    fn incremental_after_a_local_patch_matches_the_full_warm_solve() {
+        let (m, sigma) = clustered(80, 8, 42);
+        let rho = 0.9;
+        let eps = 1e-9;
+        let pipe = RecalibrationPipeline::new(rho, eps);
+        let mut scratch = QuotientScratch::new();
+        let thetas = [0.3, 0.05];
+        let prior = pipe
+            .solve_with_scratch(
+                &m,
+                &sigma,
+                &thetas,
+                None,
+                ExecutionMode::Serial,
+                &mut scratch,
+            )
+            .solution
+            .values;
+
+        let dirty_state = 41; // >= groups: no predecessors
+        let mut patched = m.clone();
+        let new_row: Vec<Outcome> = m
+            .outcomes(dirty_state, 0)
+            .iter()
+            .map(|o| Outcome {
+                reward: (o.reward * 0.5).clamp(0.0, 1.0),
+                ..*o
+            })
+            .collect();
+        patched.patch_rows(&[RowPatch {
+            state: dirty_state,
+            action: 0,
+            outcomes: new_row,
+        }]);
+
+        let inc = pipe.solve_incremental(
+            &patched,
+            &sigma,
+            &thetas,
+            &prior,
+            &[dirty_state],
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        assert!(!inc.stats.full_fallback);
+        assert_eq!(inc.stats.dirty_states, 1);
+        assert_eq!(inc.stats.affected_states, 1);
+        assert!(inc.outcome.warm_started);
+
+        let full = pipe.solve_with_scratch(
+            &patched,
+            &sigma,
+            &thetas,
+            Some(&prior),
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        assert_eq!(inc.outcome.solution.policy, full.solution.policy);
+        let tol = 2.0 * eps / (1.0 - rho);
+        for (s, (a, b)) in inc
+            .outcome
+            .solution
+            .values
+            .iter()
+            .zip(&full.solution.values)
+            .enumerate()
+        {
+            assert!((a - b).abs() < tol, "state {s}: {a} vs {b}");
+        }
+        // Unaffected states keep the prior values bit-for-bit.
+        for (s, (got, want)) in inc.outcome.solution.values.iter().zip(&prior).enumerate() {
+            if s != dirty_state {
+                assert_eq!(got.to_bits(), want.to_bits(), "state {s} was frozen");
+            }
+        }
+    }
+
+    #[test]
+    fn global_drift_falls_back_to_the_full_warm_pipeline_bitwise() {
+        let (m, sigma) = clustered(60, 6, 11);
+        let pipe = RecalibrationPipeline::new(0.9, 1e-9);
+        let mut scratch = QuotientScratch::new();
+        let thetas = [0.3];
+        let prior = pipe
+            .solve_with_scratch(
+                &m,
+                &sigma,
+                &thetas,
+                None,
+                ExecutionMode::Serial,
+                &mut scratch,
+            )
+            .solution
+            .values;
+        // Every state dirty: the closure trivially exceeds the fallback
+        // fraction, so the run must be exactly the full warm solve.
+        let all: Vec<usize> = (0..m.n_states()).collect();
+        let inc = pipe.solve_incremental(
+            &m,
+            &sigma,
+            &thetas,
+            &prior,
+            &all,
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        assert!(inc.stats.full_fallback);
+        assert_eq!(inc.stats.affected_states, m.n_states());
+        let full = pipe.solve_with_scratch(
+            &m,
+            &sigma,
+            &thetas,
+            Some(&prior),
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        assert_eq!(inc.outcome, full);
+    }
+
+    #[test]
+    fn empty_dirty_set_returns_the_prior_without_sweeping() {
+        let (m, sigma) = clustered(40, 4, 3);
+        let pipe = RecalibrationPipeline::new(0.9, 1e-9);
+        let mut scratch = QuotientScratch::new();
+        let full = pipe.solve_with_scratch(
+            &m,
+            &sigma,
+            &[0.3],
+            None,
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        let inc = pipe.solve_incremental(
+            &m,
+            &sigma,
+            &[0.3],
+            &full.solution.values,
+            &[],
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        assert!(!inc.stats.full_fallback);
+        assert_eq!(inc.stats.affected_states, 0);
+        assert_eq!(inc.outcome.total_sweeps(), 0);
+        for (a, b) in inc
+            .outcome
+            .solution
+            .values
+            .iter()
+            .zip(&full.solution.values)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(inc.outcome.solution.policy, full.solution.policy);
+    }
+
+    #[test]
+    fn unusable_prior_falls_back_to_a_cold_full_solve() {
+        let (m, sigma) = clustered(30, 3, 5);
+        let pipe = RecalibrationPipeline::new(0.9, 1e-9);
+        let mut scratch = QuotientScratch::new();
+        let inc = pipe.solve_incremental(
+            &m,
+            &sigma,
+            &[0.3],
+            &[1.0, 2.0], // stale length
+            &[0],
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        assert!(inc.stats.full_fallback);
+        assert!(!inc.outcome.warm_started);
+        let cold = pipe.solve_with_scratch(
+            &m,
+            &sigma,
+            &[0.3],
+            None,
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        assert_eq!(inc.outcome, cold);
+    }
+
+    #[test]
+    fn closure_follows_predecessor_chains_through_the_ladder() {
+        // States >= groups all feed the group heads (0..groups); a dirty
+        // group head therefore pulls every state that targets it into
+        // the closure, and the run still matches the full solve.
+        let (m, sigma) = clustered(48, 6, 19);
+        let rho = 0.9;
+        let eps = 1e-9;
+        let pipe = RecalibrationPipeline::new(rho, eps);
+        let mut scratch = QuotientScratch::new();
+        let thetas = [0.3];
+        let prior = pipe
+            .solve_with_scratch(
+                &m,
+                &sigma,
+                &thetas,
+                None,
+                ExecutionMode::Serial,
+                &mut scratch,
+            )
+            .solution
+            .values;
+        let dirty_state = 2; // a group head: has real predecessors
+        let mut patched = m.clone();
+        let new_row: Vec<Outcome> = m
+            .outcomes(dirty_state, 1)
+            .iter()
+            .map(|o| Outcome {
+                reward: (o.reward + 0.25).clamp(0.0, 1.0),
+                ..*o
+            })
+            .collect();
+        patched.patch_rows(&[RowPatch {
+            state: dirty_state,
+            action: 1,
+            outcomes: new_row,
+        }]);
+        let inc = pipe.solve_incremental(
+            &patched,
+            &sigma,
+            &thetas,
+            &prior,
+            &[dirty_state],
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        let full = pipe.solve_with_scratch(
+            &patched,
+            &sigma,
+            &thetas,
+            Some(&prior),
+            ExecutionMode::Serial,
+            &mut scratch,
+        );
+        assert!(
+            inc.stats.affected_states > 1,
+            "a dirty head must pull its predecessors in"
+        );
+        let tol = 2.0 * eps / (1.0 - rho);
+        for (s, (a, b)) in inc
+            .outcome
+            .solution
+            .values
+            .iter()
+            .zip(&full.solution.values)
+            .enumerate()
+        {
+            assert!((a - b).abs() < tol, "state {s}: {a} vs {b}");
+        }
+        assert_eq!(inc.outcome.solution.policy, full.solution.policy);
     }
 
     #[test]

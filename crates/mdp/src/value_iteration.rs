@@ -355,6 +355,67 @@ pub(crate) fn converge_view(
     sweeps
 }
 
+/// Converge only the states listed in `active` (ascending, unique),
+/// leaving every other entry of `values` frozen — the restricted sweep
+/// behind [`crate::pipeline::RecalibrationPipeline::solve_incremental`].
+///
+/// The residual is the sup norm over the *active* states only. That is
+/// sound exactly when the frozen states' backups are already below
+/// `eps` and stay there, i.e. when `active` is closed under
+/// predecessors of every state whose Bellman operator changed: a frozen
+/// state then reads only frozen successors, so its residual is whatever
+/// the previous converged solve left it at. The pipeline constructs
+/// `active` as that backward closure.
+///
+/// Runs serially in `f64` regardless of the session's execution mode:
+/// the whole point of the mask is that the active set is small, where
+/// parallel fan-out costs more than it recovers (large dirty fractions
+/// take the pipeline's full-solve fallback instead, which parallelises
+/// as usual).
+///
+/// Returns the sweep count (0 for an empty active set).
+pub(crate) fn converge_view_masked(
+    view: &SolverView<'_>,
+    rho: f64,
+    eps: f64,
+    values: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+    active: &[usize],
+) -> usize {
+    if active.is_empty() {
+        return 0;
+    }
+    // Both buffers agree on the frozen states for the whole solve; each
+    // sweep rewrites every active slot, so swapping stays a plain
+    // Jacobi double buffer restricted to `active`.
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    let mut sweeps = 0;
+    loop {
+        sweeps += 1;
+        let mut residual: f64 = 0.0;
+        for &s in active {
+            let v = backup(view, rho, values, s);
+            residual = residual.max((v - values[s]).abs());
+            scratch[s] = v;
+        }
+        std::mem::swap(values, scratch);
+        if residual < eps || sweeps > MAX_SWEEPS {
+            break;
+        }
+    }
+    if capman_obs::enabled() {
+        capman_obs::counter!(
+            "bellman_solves_total",
+            "Value-iteration solves run to convergence"
+        )
+        .inc();
+        capman_obs::counter!("bellman_sweeps_total", "Jacobi sweeps across all solves")
+            .add(sweeps as u64);
+    }
+    sweeps
+}
+
 /// Extract `Q*` and the greedy policy from converged `values`, in
 /// `f64`. Walks only the packed action nodes — unavailable actions
 /// default to `NEG_INFINITY` without probing their empty rows. Each Q
@@ -741,6 +802,58 @@ mod tests {
                 assert!((a - b).abs() < 1e-3, "rho {rho} state {s}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn fully_active_masked_converge_is_bitwise_the_plain_converge() {
+        let m = chunky_mdp(150);
+        let view = m.solver_view();
+        let seed = vec![0.25; m.n_states()];
+        let all: Vec<usize> = (0..m.n_states()).collect();
+
+        let mut plain = seed.clone();
+        let mut scratch = Vec::new();
+        let plain_sweeps = converge_f64(
+            &view,
+            0.9,
+            1e-9,
+            &mut plain,
+            &mut scratch,
+            ExecutionMode::Serial,
+        );
+
+        let mut masked = seed;
+        let mut scratch2 = Vec::new();
+        let masked_sweeps =
+            converge_view_masked(&view, 0.9, 1e-9, &mut masked, &mut scratch2, &all);
+
+        assert_eq!(plain_sweeps, masked_sweeps);
+        for (a, b) in plain.iter().zip(&masked) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn masked_converge_freezes_inactive_states() {
+        let m = chunky_mdp(120);
+        let view = m.solver_view();
+        let cold = solve_with_mode(&m, 0.9, 1e-9, ExecutionMode::Serial);
+        let mut values = cold.values.clone();
+        // Poison a handful of inactive entries; they must come back
+        // bit-for-bit untouched.
+        values[3] = 7.5;
+        values[77] = -2.0;
+        let active: Vec<usize> = (10..40).collect();
+        let mut scratch = Vec::new();
+        let sweeps = converge_view_masked(&view, 0.9, 1e-9, &mut values, &mut scratch, &active);
+        assert!(sweeps >= 1);
+        assert_eq!(values[3].to_bits(), 7.5f64.to_bits());
+        assert_eq!(values[77].to_bits(), (-2.0f64).to_bits());
+        assert_eq!(
+            converge_view_masked(&view, 0.9, 1e-9, &mut values, &mut scratch, &[]),
+            0,
+            "an empty active set is a no-op"
+        );
     }
 
     #[test]

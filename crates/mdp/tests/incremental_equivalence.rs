@@ -1,0 +1,235 @@
+//! Property tests pinning the incremental-recalibration contract at the
+//! MDP layer: across randomized drift sequences, patching dirty rows in
+//! place ([`Mdp::patch_rows`]) is *bitwise* identical to rebuilding the
+//! whole model from the drifted transition table, and the similarity
+//! engine's targeted EMD-memo invalidation never changes what it
+//! computes — a post-invalidation warm engine matches a cold engine
+//! bit for bit on the mutated graph.
+
+use capman_mdp::engine::{ExecutionMode, SimilarityEngine};
+use capman_mdp::graph::MdpGraph;
+use capman_mdp::mdp::{Mdp, MdpBuilder, Outcome, RowPatch};
+use capman_mdp::similarity::SimilarityParams;
+use proptest::prelude::*;
+
+/// Deterministic 64-bit mixer for deriving per-step randomness.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The profiler-side ground truth: raw-weight outcome lists per
+/// `(state, action)` row, in insertion order. `None` = row unseen.
+type Table = Vec<Vec<Option<Vec<Outcome>>>>;
+
+fn random_table(n_states: usize, n_actions: usize, seed: u64) -> Table {
+    let mut rng = seed;
+    let mut table: Table = vec![vec![None; n_actions]; n_states];
+    for (s, row) in table.iter_mut().enumerate() {
+        for outs in row.iter_mut() {
+            // ~60% of rows populated with 1..=4 outcomes.
+            if unit(&mut rng) < 0.6 {
+                let k = 1 + (splitmix(&mut rng) as usize) % 4;
+                let mut list = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let next = (splitmix(&mut rng) as usize) % n_states;
+                    if list.iter().any(|o: &Outcome| o.next == next) {
+                        continue;
+                    }
+                    list.push(Outcome {
+                        next,
+                        prob: 0.5 + 4.0 * unit(&mut rng),
+                        reward: unit(&mut rng),
+                    });
+                }
+                if list.is_empty() {
+                    list.push(Outcome {
+                        next: s,
+                        prob: 1.0,
+                        reward: unit(&mut rng),
+                    });
+                }
+                *outs = Some(list);
+            }
+        }
+    }
+    // Every state needs at least one action somewhere for a non-trivial
+    // model; give state s a self-loop on action 0 when fully empty.
+    for (s, row) in table.iter_mut().enumerate() {
+        if row.iter().all(|o| o.is_none()) {
+            row[0] = Some(vec![Outcome {
+                next: s,
+                prob: 1.0,
+                reward: 0.5,
+            }]);
+        }
+    }
+    table
+}
+
+fn build_from(table: &Table, n_states: usize, n_actions: usize) -> Mdp {
+    let mut b = MdpBuilder::new(n_states, n_actions);
+    for (s, row) in table.iter().enumerate() {
+        for (a, outs) in row.iter().enumerate() {
+            if let Some(outs) = outs {
+                for o in outs {
+                    b.transition(s, a, o.next, o.prob, o.reward);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Mutate one row of the table in a seed-chosen way and return the
+/// matching patch. Covers every splice class: same-shape jitter, a
+/// widened row, a shrunk row, row deletion and row creation.
+fn drift_row(table: &mut Table, n_states: usize, rng: &mut u64) -> RowPatch {
+    let n_actions = table[0].len();
+    let s = (splitmix(rng) as usize) % n_states;
+    let a = (splitmix(rng) as usize) % n_actions;
+    let kind = splitmix(rng) % 4;
+    let slot = &mut table[s][a];
+    match (kind, slot.as_mut()) {
+        // Same-shape drift: jitter every weight and reward.
+        (0, Some(outs)) => {
+            for o in outs.iter_mut() {
+                o.prob = (o.prob * (0.8 + 0.4 * unit(rng))).max(1e-3);
+                o.reward = (o.reward + 0.1 * (unit(rng) - 0.5)).clamp(0.0, 1.0);
+            }
+        }
+        // Widen: append a successor not yet in the row.
+        (1, Some(outs)) => {
+            let start = (splitmix(rng) as usize) % n_states;
+            if let Some(next) = (0..n_states)
+                .map(|i| (start + i) % n_states)
+                .find(|c| outs.iter().all(|o| o.next != *c))
+            {
+                outs.push(Outcome {
+                    next,
+                    prob: 0.5 + unit(rng),
+                    reward: unit(rng),
+                });
+            }
+        }
+        // Shrink: drop one successor, deleting the row when it empties.
+        (2, Some(outs)) => {
+            let at = (splitmix(rng) as usize) % outs.len();
+            outs.remove(at);
+            if outs.is_empty() {
+                *slot = None;
+            }
+        }
+        // Create (or overwrite) the row from scratch.
+        _ => {
+            let k = 1 + (splitmix(rng) as usize) % 3;
+            let mut list: Vec<Outcome> = Vec::with_capacity(k);
+            for _ in 0..k {
+                let next = (splitmix(rng) as usize) % n_states;
+                if list.iter().any(|o| o.next == next) {
+                    continue;
+                }
+                list.push(Outcome {
+                    next,
+                    prob: 0.5 + unit(rng),
+                    reward: unit(rng),
+                });
+            }
+            if list.is_empty() {
+                list.push(Outcome {
+                    next: s,
+                    prob: 1.0,
+                    reward: 0.5,
+                });
+            }
+            *slot = Some(list);
+        }
+    }
+    RowPatch {
+        state: s,
+        action: a,
+        outcomes: slot.clone().unwrap_or_default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline contract: a cached MDP patched forward through a
+    /// randomized drift sequence stays bitwise equal to a full rebuild
+    /// from the drifted table, at every step.
+    #[test]
+    fn patched_mdp_is_bitwise_the_full_rebuild(
+        n_states in 2usize..24,
+        n_actions in 1usize..5,
+        seed in any::<u64>(),
+        steps in 1usize..6,
+        rows_per_step in 1usize..5,
+    ) {
+        let mut rng = seed;
+        let mut table = random_table(n_states, n_actions, splitmix(&mut rng));
+        let mut cached = build_from(&table, n_states, n_actions);
+        for _ in 0..steps {
+            let mut patches: Vec<RowPatch> = Vec::new();
+            for _ in 0..rows_per_step {
+                let patch = drift_row(&mut table, n_states, &mut rng);
+                // patch_rows rejects duplicate rows; keep the last write.
+                patches.retain(|p| (p.state, p.action) != (patch.state, patch.action));
+                patches.push(patch);
+            }
+            cached.patch_rows(&patches);
+            prop_assert_eq!(&cached, &build_from(&table, n_states, n_actions));
+        }
+    }
+
+    /// Targeted EMD-memo invalidation is invisible to results: after the
+    /// model drifts, a warm engine whose dirty entries were evicted
+    /// computes bitwise the same similarity as a cold engine on the
+    /// mutated graph.
+    #[test]
+    fn invalidated_engine_matches_a_cold_engine_bitwise(
+        n_states in 2usize..12,
+        n_actions in 1usize..4,
+        seed in any::<u64>(),
+        rows in 1usize..4,
+        rho in 0.1f64..0.9,
+    ) {
+        let mut rng = seed;
+        let mut table = random_table(n_states, n_actions, splitmix(&mut rng));
+        let mdp = build_from(&table, n_states, n_actions);
+        let params = SimilarityParams::paper(rho);
+
+        let mut warm = SimilarityEngine::with_options(ExecutionMode::Serial, true, false);
+        let _ = warm.compute(&MdpGraph::filtered(&mdp, |_, _| true), &params);
+
+        // Drift a few rows and collect every state a dirty row touches
+        // (owners plus old and new successors).
+        let mut dirty: Vec<usize> = Vec::new();
+        for _ in 0..rows {
+            let before = table.clone();
+            let patch = drift_row(&mut table, n_states, &mut rng);
+            dirty.push(patch.state);
+            dirty.extend(patch.outcomes.iter().map(|o| o.next));
+            if let Some(outs) = &before[patch.state][patch.action] {
+                dirty.extend(outs.iter().map(|o| o.next));
+            }
+        }
+        let drifted = build_from(&table, n_states, n_actions);
+        let graph = MdpGraph::filtered(&drifted, |_, _| true);
+
+        warm.invalidate_states(&dirty);
+        let after = warm.compute(&graph, &params);
+        let cold = SimilarityEngine::with_options(ExecutionMode::Serial, true, false)
+            .compute(&graph, &params);
+        prop_assert_eq!(&after.sigma_s, &cold.sigma_s);
+        prop_assert_eq!(&after.sigma_a, &cold.sigma_a);
+        prop_assert_eq!(after.iterations, cold.iterations);
+    }
+}

@@ -76,8 +76,8 @@ fn profiled_mdp_respects_the_competitiveness_bound() {
     let graph = MdpGraph::from_mdp(&mdp);
     let sim = structural_similarity(&graph, &SimilarityParams::paper(rho));
     assert!(sim.converged);
-    for &u in &policy.profiler().visited_states() {
-        for &v in &policy.profiler().visited_states() {
+    for &u in policy.profiler().visited_states() {
+        for &v in policy.profiler().visited_states() {
             let gap = (sol.values[u] - sol.values[v]).abs();
             let bound = sim.value_bound(u, v, rho);
             assert!(
@@ -114,7 +114,7 @@ fn calibration_compresses_states_without_large_value_loss() {
     // Every representative's cached value is close to its members'.
     let mdp = policy.profiler().to_mdp();
     let sol = solve(&mdp, 0.3, 1e-10);
-    for &u in &policy.profiler().visited_states() {
+    for &u in policy.profiler().visited_states() {
         let rep = calibration.abstraction.representative(u);
         let gap = (sol.values[u] - sol.values[rep]).abs();
         assert!(
