@@ -1,0 +1,199 @@
+//! Soak the resident calibration service at an overload ladder and
+//! write `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p capman-bench --bin bench_serve                  # 1x/2x/4x ladder
+//! cargo run --release -p capman-bench --bin bench_serve -- --quick       # CI smoke sizes
+//! cargo run --release -p capman-bench --bin bench_serve -- --overloads 4,8
+//! cargo run --release -p capman-bench --bin bench_serve -- --reps 5
+//! cargo run --release -p capman-bench --bin bench_serve -- --require-no-starvation
+//! cargo run --release -p capman-bench --bin bench_serve -- --prom-out serve.prom --trace-out serve.trace.json
+//! ```
+//!
+//! Each ladder rung runs [`run_soak`]: a multi-cohort arena fleet with
+//! `overload_x` devices per cohort drives the service against a
+//! per-cohort admission quota of one calibration per cadence window, so
+//! the rung's devices-per-cohort *is* its overload factor and the
+//! expected shed fraction is `(x-1)/x`. Before any number is reported
+//! the rung asserts the service's correctness envelope:
+//!
+//! * **admission identity** — every submission got exactly one of the
+//!   five admission outcomes;
+//! * **solve identity** — everything admitted was either solved and
+//!   published or (counted) abandoned at shutdown;
+//! * **overload sheds** — rungs above 1x shed a nonzero fraction (the
+//!   quota is real).
+//!
+//! `--require-no-starvation` additionally asserts every rung's
+//! starvation verdict: each cohort publishes at least once per cadence
+//! window even while its own excess traffic is being dropped (the CI
+//! soak leg turns this on).
+//!
+//! `--prom-out` / `--trace-out` write the Prometheus scrape and Chrome
+//! trace of the hottest rung's last rep — the service's registry and
+//! tracer are always on, so these work without `--features obs`.
+
+use std::time::Instant;
+
+use capman_bench::perf_report::{ServeReport, ServeRow};
+use capman_serve::{run_soak, SoakConfig, SoakReport};
+
+/// Tenant cohorts per rung (mixed workloads, see the soak harness).
+const COHORTS: usize = 3;
+/// Cadence windows per soak.
+const WINDOWS: u32 = 3;
+
+fn serve_row(overload_x: usize, reps: usize, last: &mut Option<SoakReport>) -> ServeRow {
+    let config = SoakConfig {
+        cohorts: COHORTS,
+        devices_per_cohort: overload_x,
+        windows: WINDOWS,
+        ..SoakConfig::default()
+    };
+    let mut wall_ms_samples = Vec::with_capacity(reps);
+    let mut staleness_samples = Vec::with_capacity(reps);
+    let mut report = run_soak(&config);
+    for rep in 0..reps {
+        if rep > 0 {
+            report = run_soak(&config);
+        }
+        wall_ms_samples.push(report.wall_ms);
+        staleness_samples.push(report.staleness_p99_s);
+    }
+    let c = report.counters;
+    assert_eq!(
+        c.submitted,
+        c.admitted + c.coalesced + c.replaced + c.shed + c.backpressure,
+        "admission identity violated at {overload_x}x"
+    );
+    assert_eq!(
+        c.admitted,
+        c.completed + c.abandoned,
+        "solve identity violated at {overload_x}x"
+    );
+    if overload_x > 1 {
+        assert!(
+            report.shed_fraction > 0.0,
+            "{overload_x}x overload must shed something"
+        );
+    }
+    let wall_ms = wall_ms_samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let row = ServeRow {
+        overload_x,
+        cohorts: COHORTS,
+        devices: COHORTS * overload_x,
+        windows: report.windows.len() as u32,
+        wall_ms,
+        wall_ms_samples,
+        staleness_p99_s: report.staleness_p99_s,
+        staleness_p99_s_samples: staleness_samples,
+        staleness_hot_p99_s: report.lane_p99_s[0],
+        staleness_normal_p99_s: report.lane_p99_s[1],
+        staleness_cold_p99_s: report.lane_p99_s[2],
+        shed_fraction: report.shed_fraction,
+        submitted: c.submitted,
+        admitted: c.admitted,
+        coalesced: c.coalesced,
+        replaced: c.replaced,
+        shed: c.shed,
+        backpressure: c.backpressure,
+        completed: c.completed,
+        abandoned: c.abandoned,
+        max_gap_windows: report.max_gap_windows,
+        starvation_free: report.starvation_free,
+    };
+    *last = Some(report);
+    row
+}
+
+fn main() {
+    let started = Instant::now();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let require_no_starvation = args.iter().any(|a| a == "--require-no-starvation");
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let reps: usize = flag("--reps")
+        .map(|n| n.parse().expect("--reps takes a number"))
+        .unwrap_or(if quick { 2 } else { 3 });
+    assert!(reps >= 1, "--reps must be at least 1");
+    let overloads: Vec<usize> = match flag("--overloads") {
+        Some(list) => list
+            .split(',')
+            .map(|n| n.trim().parse().expect("--overloads takes numbers"))
+            .collect(),
+        None if quick => vec![1, 4],
+        None => vec![1, 2, 4],
+    };
+    assert!(
+        overloads.iter().all(|&x| x >= 1),
+        "--overloads takes factors >= 1"
+    );
+
+    let defaults = SoakConfig::default();
+    let mut report = ServeReport {
+        threads: rayon::current_num_threads(),
+        reps,
+        window_s: defaults.window_s,
+        windows: WINDOWS,
+        ..ServeReport::default()
+    };
+
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>8} {:>9} {:>10} {:>8}",
+        "over", "devices", "wall_ms", "submitted", "shed%", "stale_p99", "max_gap", "starve"
+    );
+    let mut hottest: Option<SoakReport> = None;
+    for &overload_x in &overloads {
+        let mut last = None;
+        let row = serve_row(overload_x, reps, &mut last);
+        println!(
+            "{:>5}x {:>8} {:>10.1} {:>10} {:>7.1}% {:>8.1}s {:>10} {:>8}",
+            row.overload_x,
+            row.devices,
+            row.wall_ms,
+            row.submitted,
+            row.shed_fraction * 100.0,
+            row.staleness_p99_s,
+            row.max_gap_windows,
+            if row.starvation_free { "no" } else { "YES" }
+        );
+        if require_no_starvation {
+            assert!(
+                row.starvation_free,
+                "starvation at {}x overload: worst publication gap {} windows",
+                row.overload_x, row.max_gap_windows
+            );
+        }
+        report.rows.push(row);
+        hottest = last.or(hottest);
+    }
+
+    if let Some(soak) = &hottest {
+        println!("hottest rung: {}", soak.verdict_line());
+        if let Some(path) = flag("--prom-out") {
+            std::fs::write(&path, &soak.prometheus).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        if let Some(path) = flag("--trace-out") {
+            std::fs::write(&path, &soak.trace_json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+    }
+
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!(
+        "wrote {out_path} ({} rungs, {reps} reps, {:.1} s)",
+        report.rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

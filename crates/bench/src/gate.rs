@@ -78,7 +78,7 @@ impl Default for GateConfig {
 /// `"<metric>_samples"`. Units need not be milliseconds —
 /// `staleness_p99_s` is simulated seconds; the floor is interpreted in
 /// the metric's own unit.
-pub const GATES: [(&str, &str, &str, GateMode); 7] = [
+pub const GATES: [(&str, &str, &str, GateMode); 9] = [
     (
         "solver",
         "states",
@@ -111,6 +111,13 @@ pub const GATES: [(&str, &str, &str, GateMode); 7] = [
         GateMode::FloorAsBaseline,
     ),
     ("arena", "devices", "wall_ms", GateMode::SkipBelowFloor),
+    ("serve", "overload_x", "wall_ms", GateMode::SkipBelowFloor),
+    (
+        "serve",
+        "overload_x",
+        "staleness_p99_s",
+        GateMode::FloorAsBaseline,
+    ),
 ];
 
 /// Verdict on one gated row.
@@ -416,6 +423,55 @@ mod tests {
         let ab = live_ab(10, 2.0, &cfg, synthetic_sampler(7));
         assert_eq!(ab.failures, 1, "{}", ab.rows[0].detail);
         assert!(ab.rows[0].detail.contains("Welch"));
+    }
+
+    #[test]
+    fn serve_slo_floor_ratio_matches_the_gate_arithmetic() {
+        // The serve crate's SLO monitor re-states FloorAsBaseline
+        // (`observed / max(objective, floor) − 1 > tolerance`) instead
+        // of depending on this crate — a bench→serve→bench cycle would
+        // not build. This pins the two formulas to each other: for any
+        // (observed, objective) pair, the SLO breach decision and the
+        // gate's point-ratio effect agree when floor and tolerance line
+        // up with the gate's floor and min_effect.
+        let cfg = GateConfig::default();
+        let tolerance = cfg.min_effect;
+        for &objective in &[0.0, 0.1, 0.25, 1.0, 300.0] {
+            for &observed in &[0.0, 0.2, 0.26, 1.04, 1.06, 9.0, 315.1] {
+                let ratio = capman_serve::slo::floor_ratio(observed, objective, cfg.floor);
+                let slo_breach = ratio - 1.0 > tolerance;
+                let gate_effect = observed / objective.max(cfg.floor) - 1.0;
+                assert_eq!(
+                    slo_breach,
+                    gate_effect > cfg.min_effect,
+                    "floor_ratio({observed}, {objective}, {}) diverged from the gate",
+                    cfg.floor
+                );
+            }
+        }
+        // The degenerate-denominator guard: a non-positive denominator
+        // reads as ratio 0 (no breach), exactly like guarded_ratio.
+        assert_eq!(capman_serve::slo::floor_ratio(5.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn the_serve_section_is_gated_on_wall_and_staleness() {
+        let cfg = GateConfig::default();
+        let committed = r#"{
+            "serve": [{"overload_x": 4, "wall_ms": 80.0, "staleness_p99_s": 40.0}]
+        }"#;
+        let fresh = r#"{
+            "serve": [{"overload_x": 4, "wall_ms": 85.0, "staleness_p99_s": 90.0}]
+        }"#;
+        let out = evaluate_reports(committed, fresh, &cfg).expect("valid reports");
+        assert_eq!(out.compared, 2, "both serve legs judged");
+        assert_eq!(out.failures, 1, "the staleness jump trips, wall does not");
+        let failed: Vec<_> = out
+            .rows
+            .iter()
+            .filter(|r| r.verdict == RowVerdict::Fail)
+            .collect();
+        assert!(failed[0].context.contains("staleness_p99_s"));
     }
 
     #[test]

@@ -597,6 +597,166 @@ impl FleetReport {
     }
 }
 
+/// One serve-soak measurement row: the arena fleet driving the
+/// resident calibration service at a fixed overload factor
+/// (`devices_per_cohort` against a per-cohort quota of one admission
+/// per cadence window). Where [`ArenaRow`] measures the fleet path,
+/// a serve row measures the service's overload envelope: how much it
+/// shed, whether every tenant kept its once-per-window adoption, and
+/// what the served requests waited.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Devices per cohort — the overload factor (the gate's row key).
+    pub overload_x: usize,
+    /// Tenant cohorts sharing the service.
+    pub cohorts: usize,
+    /// Total devices generating traffic.
+    pub devices: usize,
+    /// Cadence windows the soak ran.
+    pub windows: u32,
+    /// Host wall time of the soak, milliseconds (min over reps).
+    pub wall_ms: f64,
+    /// Every rep, milliseconds (Welch's t-test input; one-element when
+    /// the ladder runs with a single rep).
+    pub wall_ms_samples: Vec<f64>,
+    /// p99 first-submission-to-solve wait of served requests, simulated
+    /// seconds.
+    pub staleness_p99_s: f64,
+    /// Per-rep p99 wait, simulated seconds (Welch's t-test input).
+    pub staleness_p99_s_samples: Vec<f64>,
+    /// p99 wait of picks served on the hot lane, simulated seconds.
+    pub staleness_hot_p99_s: f64,
+    /// p99 wait of picks served on the normal lane, simulated seconds.
+    pub staleness_normal_p99_s: f64,
+    /// p99 wait of picks served on the cold lane, simulated seconds.
+    pub staleness_cold_p99_s: f64,
+    /// Fraction of submissions whose payload never reached a solve.
+    pub shed_fraction: f64,
+    /// Calibration requests submitted by devices.
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests absorbed by an in-flight cohort solve.
+    pub coalesced: u64,
+    /// Requests that replaced a queued sibling (drop-oldest).
+    pub replaced: u64,
+    /// Requests refused by the per-cohort quota.
+    pub shed: u64,
+    /// Requests refused by the queue bound or drain.
+    pub backpressure: u64,
+    /// Solves executed and published.
+    pub completed: u64,
+    /// Admitted requests abandoned at shutdown.
+    pub abandoned: u64,
+    /// Worst gap, in windows, between consecutive publications of any
+    /// cohort.
+    pub max_gap_windows: u32,
+    /// Did every cohort publish at least once per window?
+    pub starvation_free: bool,
+}
+
+impl ServeRow {
+    /// Submissions per wall-clock second (0.0 when the measurement is
+    /// degenerate).
+    pub fn submissions_per_s(&self) -> f64 {
+        guarded_ratio(self.submitted as f64, self.wall_ms / 1e3)
+    }
+}
+
+/// The report `bench_serve` writes to `BENCH_serve.json`.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Worker threads available to the host (the soak itself is
+    /// single-threaded by construction — recorded for context).
+    pub threads: usize,
+    /// Interleaved repetitions per overload level.
+    pub reps: usize,
+    /// Cadence window length, simulated seconds.
+    pub window_s: f64,
+    /// Cadence windows per soak.
+    pub windows: u32,
+    /// Measurement rows, one per overload factor.
+    pub rows: Vec<ServeRow>,
+}
+
+impl ServeReport {
+    /// Render the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(
+            out,
+            "  \"generated_by\": \"cargo run --release -p capman-bench --bin bench_serve\","
+        );
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"reps\": {},", self.reps);
+        let _ = writeln!(out, "  \"window_s\": {},", self.window_s);
+        let _ = writeln!(out, "  \"windows\": {},", self.windows);
+        if self.rows.is_empty() {
+            out.push_str("  \"serve\": []\n}\n");
+            return out;
+        }
+        out.push_str("  \"serve\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"overload_x\": {},", row.overload_x);
+            let _ = writeln!(out, "      \"cohorts\": {},", row.cohorts);
+            let _ = writeln!(out, "      \"devices\": {},", row.devices);
+            let _ = writeln!(out, "      \"windows\": {},", row.windows);
+            push_f64(&mut out, "wall_ms", row.wall_ms, true);
+            push_samples(&mut out, "wall_ms_samples", &row.wall_ms_samples, true);
+            push_f64(&mut out, "submissions_per_s", row.submissions_per_s(), true);
+            push_f64(&mut out, "staleness_p99_s", row.staleness_p99_s, true);
+            push_samples(
+                &mut out,
+                "staleness_p99_s_samples",
+                &row.staleness_p99_s_samples,
+                true,
+            );
+            push_f64(
+                &mut out,
+                "staleness_hot_p99_s",
+                row.staleness_hot_p99_s,
+                true,
+            );
+            push_f64(
+                &mut out,
+                "staleness_normal_p99_s",
+                row.staleness_normal_p99_s,
+                true,
+            );
+            push_f64(
+                &mut out,
+                "staleness_cold_p99_s",
+                row.staleness_cold_p99_s,
+                true,
+            );
+            push_f64(&mut out, "shed_fraction", row.shed_fraction, true);
+            let _ = writeln!(out, "      \"submitted\": {},", row.submitted);
+            let _ = writeln!(out, "      \"admitted\": {},", row.admitted);
+            let _ = writeln!(out, "      \"coalesced\": {},", row.coalesced);
+            let _ = writeln!(out, "      \"replaced\": {},", row.replaced);
+            let _ = writeln!(out, "      \"shed\": {},", row.shed);
+            let _ = writeln!(out, "      \"backpressure\": {},", row.backpressure);
+            let _ = writeln!(out, "      \"completed\": {},", row.completed);
+            let _ = writeln!(out, "      \"abandoned\": {},", row.abandoned);
+            let _ = writeln!(out, "      \"max_gap_windows\": {},", row.max_gap_windows);
+            let _ = writeln!(
+                out,
+                "      \"starvation_free\": {}",
+                row.starvation_free as u8
+            );
+            out.push_str(if i + 1 < self.rows.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 /// The `bench_fleet --obs-overhead` measurement: the same pooled fleet
 /// run with the observability runtime switch off vs on, interleaved, so
 /// both arms share thermal/cache conditions. With the `obs` feature
@@ -982,6 +1142,81 @@ mod tests {
         assert_eq!(row_value(&arena[0], "wall_ms"), Some(500_000.0));
         assert_eq!(row_value(&arena[0], "devices_per_s"), Some(2000.0));
         assert_eq!(row_value(&arena[0], "peak_rss_kb"), Some(180_000.0));
+    }
+
+    fn serve_row(overload_x: usize) -> ServeRow {
+        ServeRow {
+            overload_x,
+            cohorts: 4,
+            devices: 4 * overload_x,
+            windows: 3,
+            wall_ms: 120.0,
+            wall_ms_samples: vec![120.0, 125.0, 122.0],
+            staleness_p99_s: 45.0,
+            staleness_p99_s_samples: vec![45.0, 47.0],
+            staleness_hot_p99_s: 45.0,
+            staleness_normal_p99_s: 20.0,
+            staleness_cold_p99_s: 5.0,
+            shed_fraction: 0.75,
+            submitted: 48,
+            admitted: 12,
+            coalesced: 0,
+            replaced: 36,
+            shed: 0,
+            backpressure: 0,
+            completed: 12,
+            abandoned: 0,
+            max_gap_windows: 1,
+            starvation_free: true,
+        }
+    }
+
+    #[test]
+    fn serve_json_round_trips_through_the_gate_parser() {
+        let report = ServeReport {
+            threads: 4,
+            reps: 3,
+            window_s: 1200.0,
+            windows: 3,
+            rows: vec![serve_row(1), serve_row(4)],
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let rows = parse_rows(&json, "serve");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(row_value(&rows[0], "overload_x"), Some(1.0));
+        assert_eq!(row_value(&rows[1], "overload_x"), Some(4.0));
+        assert_eq!(row_value(&rows[1], "wall_ms"), Some(120.0));
+        assert_eq!(row_value(&rows[1], "staleness_p99_s"), Some(45.0));
+        assert_eq!(row_value(&rows[1], "shed_fraction"), Some(0.75));
+        assert_eq!(row_value(&rows[1], "starvation_free"), Some(1.0));
+        assert_eq!(row_value(&rows[1], "submissions_per_s"), Some(400.0));
+        assert_eq!(
+            row_value(&rows[1], "wall_ms_samples"),
+            None,
+            "sample arrays stay out of the flat rows"
+        );
+    }
+
+    #[test]
+    fn a_rowless_serve_report_still_carries_the_section() {
+        let report = ServeReport {
+            threads: 1,
+            reps: 1,
+            window_s: 1200.0,
+            windows: 2,
+            ..ServeReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"serve\": []"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(parse_rows(&json, "serve").is_empty());
+        let degenerate = ServeRow {
+            wall_ms: 0.0,
+            ..serve_row(1)
+        };
+        assert_eq!(degenerate.submissions_per_s(), 0.0);
     }
 
     #[test]

@@ -50,7 +50,7 @@ use capman_workload::TraceCursor;
 use rayon::prelude::*;
 
 use crate::dispatch::FleetPolicy;
-use crate::pool::{CalibrationPool, PoolConfig, PoolCounters};
+use crate::pool::{CalibrationBackend, CalibrationPool, PoolConfig, PoolCounters};
 use crate::profile::{FleetPlan, FleetProfile};
 use crate::runner::{
     hotspot_sketch, lifetime_sketch, record_shard_metrics, staleness_sketch, CalibrationMode,
@@ -162,7 +162,7 @@ impl DeviceArena {
         plan: &FleetPlan,
         start: usize,
         count: usize,
-        pool: Option<&Arc<CalibrationPool>>,
+        backend: Option<&Arc<dyn CalibrationBackend>>,
     ) -> Self {
         assert!(start + count <= plan.len(), "device range leaves the plan");
         assert!(u32::try_from(count).is_ok(), "handles are u32");
@@ -202,7 +202,7 @@ impl DeviceArena {
             // clairvoyant baseline owns its copy by definition).
             arena
                 .policies
-                .push(FleetPolicy::for_device(profile, &spec, pool, || {
+                .push(FleetPolicy::for_device(profile, &spec, backend, || {
                     profile.trace(&spec)
                 }));
             arena.telemetry.push(LeanTelemetry::default());
@@ -360,6 +360,33 @@ impl ArenaRunner {
     /// Panics if the plan is empty, the shard size is zero or the time
     /// slice is not positive.
     pub fn run(&self, plan: &FleetPlan) -> FleetResult {
+        self.run_impl(plan, None)
+    }
+
+    /// Like [`run`], but against a caller-owned calibration backend
+    /// (e.g. a resident calibration service shared across runs) instead
+    /// of a pool this runner spawns. [`ArenaConfig::mode`] and
+    /// [`ArenaConfig::pool`] are ignored; the caller keeps drain and
+    /// counter responsibility, so the result's pool counters are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate configs as [`run`].
+    ///
+    /// [`run`]: ArenaRunner::run
+    pub fn run_with_backend(
+        &self,
+        plan: &FleetPlan,
+        backend: Arc<dyn CalibrationBackend>,
+    ) -> FleetResult {
+        self.run_impl(plan, Some(backend))
+    }
+
+    fn run_impl(
+        &self,
+        plan: &FleetPlan,
+        external: Option<Arc<dyn CalibrationBackend>>,
+    ) -> FleetResult {
         assert!(!plan.is_empty(), "cannot run an empty plan");
         assert!(self.config.shard_devices > 0, "shard size must be positive");
         assert!(
@@ -368,13 +395,17 @@ impl ArenaRunner {
         );
         let _run_span = capman_obs::span("fleet_run", plan.len() as u64);
         let t0 = Instant::now();
-        let pool = match self.config.mode {
-            CalibrationMode::Inline => None,
-            CalibrationMode::Pool => {
+        let pool = match (&external, self.config.mode) {
+            (Some(_), _) | (None, CalibrationMode::Inline) => None,
+            (None, CalibrationMode::Pool) => {
                 let specs: Vec<_> = plan.profiles().iter().map(|p| p.calibrator).collect();
                 Some(Arc::new(CalibrationPool::spawn(&specs, self.config.pool)))
             }
         };
+        // Shards see the backend surface only; the concrete pool handle
+        // stays here for drain + counters once the shards quiesce.
+        let backend: Option<Arc<dyn CalibrationBackend>> =
+            external.or_else(|| pool.clone().map(|p| p as Arc<dyn CalibrationBackend>));
 
         let shard_devices = self.config.shard_devices;
         let n_shards = plan.len().div_ceil(shard_devices);
@@ -383,11 +414,18 @@ impl ArenaRunner {
         let mut cells: Vec<ShardCell> = (0..n_shards).map(|_| ShardCell::default()).collect();
         if self.config.parallel {
             cells.par_chunks_mut(1).enumerate().for_each(|shard, cell| {
-                run_arena_shard(plan, shard, &self.config, pool.as_ref(), &agg, &mut cell[0]);
+                run_arena_shard(
+                    plan,
+                    shard,
+                    &self.config,
+                    backend.as_ref(),
+                    &agg,
+                    &mut cell[0],
+                );
             });
         } else {
             for (shard, cell) in cells.iter_mut().enumerate() {
-                run_arena_shard(plan, shard, &self.config, pool.as_ref(), &agg, cell);
+                run_arena_shard(plan, shard, &self.config, backend.as_ref(), &agg, cell);
             }
         }
 
@@ -431,7 +469,7 @@ fn run_arena_shard(
     plan: &FleetPlan,
     shard: usize,
     config: &ArenaConfig,
-    pool: Option<&Arc<CalibrationPool>>,
+    backend: Option<&Arc<dyn CalibrationBackend>>,
     agg: &Mutex<StreamAgg>,
     cell: &mut ShardCell,
 ) {
@@ -439,7 +477,7 @@ fn run_arena_shard(
     let t_shard = Instant::now();
     let start = shard * config.shard_devices;
     let count = config.shard_devices.min(plan.len() - start);
-    let mut arena = DeviceArena::build(plan, start, count, pool);
+    let mut arena = DeviceArena::build(plan, start, count, backend);
 
     let mut t_end = config.time_slice_s;
     while arena.run_window(t_end) > 0 {

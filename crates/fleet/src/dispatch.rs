@@ -25,7 +25,7 @@ use capman_core::telemetry::CalibrationSample;
 use capman_workload::Trace;
 
 use crate::policy::PooledCapmanPolicy;
-use crate::pool::CalibrationPool;
+use crate::pool::CalibrationBackend;
 use crate::profile::{DeviceSpec, FleetProfile};
 
 /// One device's scheduling policy, enum-dispatched.
@@ -71,16 +71,18 @@ impl FleetPolicy {
     pub fn for_device(
         profile: &FleetProfile,
         spec: &DeviceSpec,
-        pool: Option<&Arc<CalibrationPool>>,
+        backend: Option<&Arc<dyn CalibrationBackend>>,
         oracle_trace: impl FnOnce() -> Trace,
     ) -> Self {
-        match (profile.kind, pool) {
-            (PolicyKind::Capman, Some(pool)) => FleetPolicy::Pooled(PooledCapmanPolicy::new(
-                Arc::clone(pool),
-                spec.cohort,
-                profile.calibrator,
-                profile.phone.compute_speed,
-            )),
+        match (profile.kind, backend) {
+            (PolicyKind::Capman, Some(backend)) => {
+                FleetPolicy::Pooled(PooledCapmanPolicy::with_backend(
+                    Arc::clone(backend),
+                    spec.cohort,
+                    profile.calibrator,
+                    profile.phone.compute_speed,
+                ))
+            }
             (PolicyKind::Capman, None) => FleetPolicy::Capman(CapmanPolicy::with_calibrator(
                 profile.phone.compute_speed,
                 profile.calibrator.build(),

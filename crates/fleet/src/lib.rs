@@ -14,7 +14,10 @@ pub mod sketch;
 pub use arena::{ArenaConfig, ArenaRunner, DeviceArena, DeviceHandle};
 pub use dispatch::FleetPolicy;
 pub use policy::PooledCapmanPolicy;
-pub use pool::{CalibrationPool, CalibrationSnapshot, PoolConfig, PoolCounters, SubmitOutcome};
+pub use pool::{
+    CalibrationBackend, CalibrationPool, CalibrationSnapshot, PoolConfig, PoolCounters,
+    SubmitOutcome,
+};
 pub use profile::{DeviceSpec, Fleet, FleetPlan, FleetProfile};
 pub use runner::{
     CalibrationMode, DeviceSummary, FleetAggregate, FleetConfig, FleetResult, FleetRunner,

@@ -27,6 +27,31 @@
 //! * The queue is bounded; when it overflows the submission is counted
 //!   as dropped rather than blocking the simulation tick. The fleet
 //!   smoke gate asserts this counter stays zero in CI.
+//!
+//! # Shutdown semantics
+//!
+//! Dropping (or explicitly [`CalibrationPool::shutdown`]-ing) the pool
+//! is a *drain-on-drop* with a hard line between started and unstarted
+//! work:
+//!
+//! * a solve that a worker has already dequeued **publishes before the
+//!   join** — readers holding the pool's snapshots observe it;
+//! * a request still sitting in the queue is **reclassified as
+//!   dropped** — it never ran, so counting it as enqueued-and-lost
+//!   would break accounting.
+//!
+//! After the workers quiesce the counters satisfy two identities that
+//! tests pin across shutdown races: `enqueued + coalesced + dropped ==
+//! submitted` (every submission has exactly one outcome) and
+//! `completed == enqueued` (everything still classified as enqueued
+//! actually published).
+//!
+//! # The backend seam
+//!
+//! [`CalibrationBackend`] abstracts the three operations a pooled
+//! policy needs — submit, read the published snapshot, count cohorts —
+//! so the same `PooledCapmanPolicy`/arena machinery can run against
+//! this in-process pool or the resident `capman-serve` service.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -131,6 +156,42 @@ struct CohortSlot {
 struct Shared {
     slots: Vec<CohortSlot>,
     completed: AtomicU64,
+    // Submission-side counters live here (not on the pool value) so the
+    // workers can reclassify queued-but-unstarted requests at shutdown.
+    submitted: AtomicU64,
+    enqueued: AtomicU64,
+    coalesced: AtomicU64,
+    dropped: AtomicU64,
+    /// Set by `shutdown` before the channel closes. A worker that
+    /// dequeues a request while this is up reclassifies it as dropped
+    /// instead of solving: the request never started, and drain-on-drop
+    /// only promises publication for *started* work.
+    draining: AtomicBool,
+}
+
+/// The submit/read/size surface a pooled policy needs from whatever is
+/// doing its calibrations. [`CalibrationPool`] is the in-process
+/// implementation; the resident `capman-serve` service is the other.
+///
+/// Implementations must never block the caller: `submit` either hands
+/// the request off or reports why not, and `snapshot` always returns a
+/// complete published snapshot (seq 0 placeholder before the first).
+pub trait CalibrationBackend: Send + Sync {
+    /// Submit a calibration request for `cohort`, built from the
+    /// requesting device's learned `profiler`.
+    fn submit(
+        &self,
+        cohort: usize,
+        now_s: f64,
+        profiler: &Profiler,
+        compute_speed: f64,
+    ) -> SubmitOutcome;
+
+    /// The latest published snapshot of a cohort.
+    fn snapshot(&self, cohort: usize) -> Arc<CalibrationSnapshot>;
+
+    /// Number of cohort slots this backend serves.
+    fn cohorts(&self) -> usize;
 }
 
 /// Background calibration service shared by every shard of a fleet run.
@@ -138,10 +199,6 @@ pub struct CalibrationPool {
     shared: Arc<Shared>,
     tx: Option<SyncSender<Request>>,
     workers: Vec<JoinHandle<()>>,
-    submitted: AtomicU64,
-    enqueued: AtomicU64,
-    coalesced: AtomicU64,
-    dropped: AtomicU64,
 }
 
 impl CalibrationPool {
@@ -160,6 +217,11 @@ impl CalibrationPool {
         let shared = Arc::new(Shared {
             slots,
             completed: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            enqueued: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
         });
         let (tx, rx) = mpsc::sync_channel::<Request>(config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
@@ -174,10 +236,6 @@ impl CalibrationPool {
             shared,
             tx: Some(tx),
             workers,
-            submitted: AtomicU64::new(0),
-            enqueued: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
         }
     }
 
@@ -199,6 +257,14 @@ impl CalibrationPool {
                 .sub(1);
             }
             let slot = &shared.slots[req.cohort];
+            if shared.draining.load(Ordering::Acquire) {
+                // Shutdown won the race: this request was queued but
+                // never started, so it is a drop, not a publication.
+                shared.enqueued.fetch_sub(1, Ordering::AcqRel);
+                shared.dropped.fetch_add(1, Ordering::Relaxed);
+                slot.in_flight.store(false, Ordering::Release);
+                continue;
+            }
             let _solve_span = capman_obs::span("pool_solve", req.cohort as u64);
             let wall_us = {
                 let mut calibrator = slot.calibrator.lock().expect("calibrator poisoned");
@@ -246,14 +312,14 @@ impl CalibrationPool {
         profiler: &Profiler,
         compute_speed: f64,
     ) -> SubmitOutcome {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         if capman_obs::enabled() {
             capman_obs::counter!("pool_submitted_total", "Calibration requests submitted").inc();
             capman_obs::event("pool_request", cohort as u64);
         }
         let slot = &self.shared.slots[cohort];
         if slot.in_flight.swap(true, Ordering::AcqRel) {
-            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
             if capman_obs::enabled() {
                 capman_obs::counter!(
                     "pool_coalesced_total",
@@ -263,20 +329,22 @@ impl CalibrationPool {
             }
             return SubmitOutcome::Coalesced;
         }
+        let Some(tx) = self.tx.as_ref() else {
+            // Shut-down pool: refuse, don't panic — callers may race a
+            // graceful teardown.
+            slot.in_flight.store(false, Ordering::Release);
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::Dropped;
+        };
         let req = Request {
             cohort,
             now_s,
             profiler: profiler.clone(),
             compute_speed,
         };
-        match self
-            .tx
-            .as_ref()
-            .expect("pool already shut down")
-            .try_send(req)
-        {
+        match tx.try_send(req) {
             Ok(()) => {
-                self.enqueued.fetch_add(1, Ordering::Relaxed);
+                self.shared.enqueued.fetch_add(1, Ordering::Relaxed);
                 if capman_obs::enabled() {
                     capman_obs::counter!("pool_enqueued_total", "Requests handed to workers").inc();
                     capman_obs::gauge!(
@@ -289,7 +357,7 @@ impl CalibrationPool {
             }
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
                 slot.in_flight.store(false, Ordering::Release);
-                self.dropped.fetch_add(1, Ordering::Relaxed);
+                self.shared.dropped.fetch_add(1, Ordering::Relaxed);
                 if capman_obs::enabled() {
                     capman_obs::counter!(
                         "pool_dropped_total",
@@ -312,7 +380,7 @@ impl CalibrationPool {
     /// published. Used at end-of-run so reports see final state.
     pub fn drain(&self) {
         loop {
-            let enqueued = self.enqueued.load(Ordering::Acquire);
+            let enqueued = self.shared.enqueued.load(Ordering::Acquire);
             let completed = self.shared.completed.load(Ordering::Acquire);
             if completed >= enqueued {
                 return;
@@ -324,10 +392,10 @@ impl CalibrationPool {
     /// Current counter values.
     pub fn counters(&self) -> PoolCounters {
         PoolCounters {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            enqueued: self.enqueued.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            enqueued: self.shared.enqueued.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Acquire),
         }
     }
@@ -336,15 +404,45 @@ impl CalibrationPool {
     pub fn cohorts(&self) -> usize {
         self.shared.slots.len()
     }
-}
 
-impl Drop for CalibrationPool {
-    fn drop(&mut self) {
-        // Close the queue so workers exit their recv loop, then join.
+    /// Graceful shutdown: raise the draining flag, close the queue,
+    /// join the workers, and return the settled counters. Solves a
+    /// worker already started publish before the join; requests still
+    /// queued are reclassified as dropped (see the module docs for the
+    /// counter identities this preserves). Idempotent — `Drop` calls it.
+    pub fn shutdown(&mut self) -> PoolCounters {
+        self.shared.draining.store(true, Ordering::Release);
         drop(self.tx.take());
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        self.counters()
+    }
+}
+
+impl CalibrationBackend for CalibrationPool {
+    fn submit(
+        &self,
+        cohort: usize,
+        now_s: f64,
+        profiler: &Profiler,
+        compute_speed: f64,
+    ) -> SubmitOutcome {
+        CalibrationPool::submit(self, cohort, now_s, profiler, compute_speed)
+    }
+
+    fn snapshot(&self, cohort: usize) -> Arc<CalibrationSnapshot> {
+        CalibrationPool::snapshot(self, cohort)
+    }
+
+    fn cohorts(&self) -> usize {
+        CalibrationPool::cohorts(self)
+    }
+}
+
+impl Drop for CalibrationPool {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -474,6 +572,114 @@ mod tests {
             cal.incremental.is_some(),
             "background worker takes the incremental solve path"
         );
+    }
+
+    #[test]
+    fn shutdown_reclassifies_queued_requests_and_keeps_the_identities() {
+        // One worker, a deep queue, and a wide burst of distinct cohorts
+        // (coalescing is per cohort, so each submission enqueues): the
+        // worker cannot clear the backlog before `shutdown` raises the
+        // draining flag, so at least the tail must be reclassified.
+        let specs: Vec<CalibratorSpec> = (0..32).map(|_| CalibratorSpec::paper()).collect();
+        let mut pool = CalibrationPool::spawn(
+            &specs,
+            PoolConfig {
+                workers: 1,
+                queue_depth: 64,
+            },
+        );
+        let profiler = warm_profiler();
+        for cohort in 0..32 {
+            assert_eq!(
+                pool.submit(cohort, 1200.0, &profiler, 1.0),
+                SubmitOutcome::Enqueued
+            );
+        }
+        let c = pool.shutdown();
+        assert_eq!(c.submitted, 32);
+        assert_eq!(
+            c.enqueued + c.coalesced + c.dropped,
+            c.submitted,
+            "every submission has exactly one outcome across the shutdown race"
+        );
+        assert_eq!(
+            c.completed, c.enqueued,
+            "whatever stayed classified as enqueued actually published"
+        );
+        assert!(
+            c.dropped >= 1,
+            "one worker cannot beat shutdown to a 32-request backlog"
+        );
+        // Published snapshots are complete; reclassified cohorts still
+        // hold the seq-0 placeholder. No snapshot is torn either way.
+        for cohort in 0..32 {
+            let snap = pool.snapshot(cohort);
+            assert_eq!(snap.calibration.is_some(), snap.seq > 0);
+        }
+    }
+
+    #[test]
+    fn in_flight_solves_publish_before_join() {
+        // Drained work is by definition started-and-finished; shutdown
+        // right after must preserve it and report clean counters.
+        let mut pool = CalibrationPool::spawn(&[CalibratorSpec::paper()], PoolConfig::default());
+        let profiler = warm_profiler();
+        assert_eq!(
+            pool.submit(0, 1200.0, &profiler, 1.0),
+            SubmitOutcome::Enqueued
+        );
+        pool.drain();
+        let c = pool.shutdown();
+        assert_eq!(c.completed, 1);
+        assert_eq!(c.dropped, 0);
+        assert_eq!(pool.snapshot(0).seq, 1, "the publication survives the join");
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_a_drop_not_a_panic() {
+        let mut pool = CalibrationPool::spawn(&[CalibratorSpec::paper()], PoolConfig::default());
+        let profiler = warm_profiler();
+        pool.shutdown();
+        assert_eq!(
+            pool.submit(0, 1200.0, &profiler, 1.0),
+            SubmitOutcome::Dropped
+        );
+        let c = pool.counters();
+        assert_eq!(c.submitted, 1);
+        assert_eq!(c.dropped, 1);
+        assert_eq!(c.enqueued + c.coalesced + c.dropped, c.submitted);
+    }
+
+    #[test]
+    fn shutdown_race_identity_holds_under_concurrent_submitters() {
+        // Hammer submit from several threads, then shut down immediately
+        // while the workers are still mid-backlog; whatever interleaving
+        // happens, the counter identities must settle clean.
+        let specs: Vec<CalibratorSpec> = (0..8).map(|_| CalibratorSpec::paper()).collect();
+        let mut pool = CalibrationPool::spawn(
+            &specs,
+            PoolConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+        );
+        let pool_ref = &pool;
+        let profiler = warm_profiler();
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let profiler = profiler.clone();
+                scope.spawn(move || {
+                    for i in 0..64usize {
+                        let cohort = (t * 64 + i) % 8;
+                        pool_ref.submit(cohort, 1200.0 + i as f64, &profiler, 1.0);
+                    }
+                });
+            }
+        });
+        let c = pool.shutdown();
+        assert_eq!(c.submitted, 256);
+        assert_eq!(c.enqueued + c.coalesced + c.dropped, c.submitted);
+        assert_eq!(c.completed, c.enqueued);
     }
 
     #[test]

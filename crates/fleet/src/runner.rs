@@ -24,7 +24,7 @@ use capman_core::telemetry::{LeanTelemetry, ShardThroughput};
 use rayon::prelude::*;
 
 use crate::dispatch::FleetPolicy;
-use crate::pool::{CalibrationPool, PoolConfig, PoolCounters};
+use crate::pool::{CalibrationBackend, CalibrationPool, PoolConfig, PoolCounters};
 use crate::profile::{DeviceSpec, Fleet};
 use crate::sketch::QuantileSketch;
 
@@ -170,6 +170,10 @@ impl FleetRunner {
                 Some(Arc::new(CalibrationPool::spawn(&specs, self.config.pool)))
             }
         };
+        // The shards only need the backend surface; the concrete pool
+        // handle stays here for drain + counters at the end of the run.
+        let backend: Option<Arc<dyn CalibrationBackend>> =
+            pool.clone().map(|p| p as Arc<dyn CalibrationBackend>);
 
         let batch = self.config.batch;
         let n_shards = fleet.len().div_ceil(batch);
@@ -180,11 +184,11 @@ impl FleetRunner {
         let mut cells: Vec<ShardCell> = (0..n_shards).map(|_| ShardCell::default()).collect();
         if self.config.parallel {
             cells.par_chunks_mut(1).enumerate().for_each(|shard, cell| {
-                run_shard(fleet, shard, batch, pool.as_ref(), &mut cell[0]);
+                run_shard(fleet, shard, batch, backend.as_ref(), &mut cell[0]);
             });
         } else {
             for (shard, cell) in cells.iter_mut().enumerate() {
-                run_shard(fleet, shard, batch, pool.as_ref(), cell);
+                run_shard(fleet, shard, batch, backend.as_ref(), cell);
             }
         }
         let mut summaries: Vec<DeviceSummary> = Vec::with_capacity(fleet.len());
@@ -236,7 +240,7 @@ fn run_shard(
     fleet: &Fleet,
     shard: usize,
     batch: usize,
-    pool: Option<&Arc<CalibrationPool>>,
+    backend: Option<&Arc<dyn CalibrationBackend>>,
     cell: &mut ShardCell,
 ) {
     let _shard_span = capman_obs::span("fleet_shard", shard as u64);
@@ -247,7 +251,7 @@ fn run_shard(
     let mut slot = FleetPolicy::placeholder();
     let mut ticks = 0u64;
     for spec in &fleet.devices[start..end] {
-        let summary = run_device(fleet, spec, pool, &mut slot);
+        let summary = run_device(fleet, spec, backend, &mut slot);
         ticks += summary.ticks;
         cell.summaries.push(summary);
     }
@@ -265,14 +269,14 @@ fn run_shard(
 fn run_device(
     fleet: &Fleet,
     spec: &DeviceSpec,
-    pool: Option<&Arc<CalibrationPool>>,
+    backend: Option<&Arc<dyn CalibrationBackend>>,
     slot: &mut FleetPolicy,
 ) -> DeviceSummary {
     let profile = &fleet.profiles[spec.cohort];
     let mut trace = profile.trace(spec);
     let config = profile.device_config(spec);
     let pack = build_pack(profile.kind);
-    *slot = FleetPolicy::for_device(profile, spec, pool, || trace.clone());
+    *slot = FleetPolicy::for_device(profile, spec, backend, || trace.clone());
     let mut sim = DeviceSim::new(
         Arc::new(profile.phone.clone()),
         Arc::new(profile.phone.power_model()),

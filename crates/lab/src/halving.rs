@@ -99,6 +99,7 @@ pub fn select_calibrator_halving(
                 horizon_s: None,
                 calibration: CalibrationMode::Pool,
                 arena: false,
+                serve: false,
             })
             .collect(),
     };

@@ -16,6 +16,7 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use capman_core::config::SimConfig;
 use capman_core::experiments::PolicyKind;
@@ -23,8 +24,10 @@ use capman_core::metrics::{EndReason, Outcome};
 use capman_core::online::CalibratorSpec;
 use capman_core::scenario::{Scenario, ScenarioRunner};
 use capman_fleet::{
-    ArenaConfig, ArenaRunner, Fleet, FleetConfig, FleetPlan, FleetProfile, FleetRunner, PoolConfig,
+    ArenaConfig, ArenaRunner, CalibrationBackend, Fleet, FleetConfig, FleetPlan, FleetProfile,
+    FleetRunner, PoolConfig,
 };
+use capman_serve::{CalibrationService, ServiceConfig};
 
 use crate::spec::{ExperimentSpec, Task, TaskKind, Variant};
 use crate::trial::{TrialOutcome, TrialResult};
@@ -202,10 +205,44 @@ fn run_fleet_cell(
         workers: 2,
         queue_depth: 64,
     };
-    // `arena: true` arms run the identical fleet through the
-    // structure-of-arrays path (same numbers, bounded memory), so a
-    // sweep can A/B the two runners on any fleet task.
-    let result = if variant.arena {
+    // `serve: true` arms run the arena fleet against a resident
+    // calibration service — admission quotas, priority lanes, SLO
+    // modes — instead of an in-process pool, so a sweep can A/B
+    // "every request solved" against "admission-controlled service"
+    // on any fleet task. `arena: true` arms run the identical fleet
+    // through the structure-of-arrays path (same numbers, bounded
+    // memory), so a sweep can A/B the two runners on any fleet task.
+    let result = if variant.serve {
+        let specs: Vec<CalibratorSpec> = profiles.iter().map(|p| p.calibrator).collect();
+        let mut service_config = ServiceConfig {
+            workers: pool.workers,
+            ..ServiceConfig::default()
+        };
+        // Quota windows follow the cohorts' calibration cadence, so
+        // "one admission per window" means one per due interval.
+        service_config.admission.window_s = calibrator.every_s;
+        let service = Arc::new(CalibrationService::new(&specs, service_config));
+        let backend: Arc<dyn CalibrationBackend> = Arc::clone(&service) as _;
+        let mut result = ArenaRunner::new(ArenaConfig {
+            mode: variant.calibration,
+            pool,
+            ..ArenaConfig::default()
+        })
+        .run_with_backend(
+            &FleetPlan::new(profiles, devices / workloads.len()),
+            backend,
+        );
+        // Project the service ledger onto the pool counters the result
+        // row already reports (the same three-outcome surface every
+        // backend shares), so analysis tables read uniformly.
+        let c = service.counters();
+        result.aggregate.pool.submitted = c.submitted;
+        result.aggregate.pool.enqueued = c.admitted;
+        result.aggregate.pool.coalesced = c.coalesced + c.replaced;
+        result.aggregate.pool.dropped = c.shed + c.backpressure;
+        result.aggregate.pool.completed = c.completed;
+        result
+    } else if variant.arena {
         ArenaRunner::new(ArenaConfig {
             mode: variant.calibration,
             pool,
@@ -475,5 +512,49 @@ mod tests {
         ] {
             assert_eq!(results[0].metric(key), results[1].metric(key), "{key}");
         }
+    }
+
+    #[test]
+    fn serve_arms_run_fleet_tasks_through_the_service() {
+        let spec = spec(
+            "name: fleet-serve\n\
+             variants:\n\
+             \x20 - name: pool\n    policy: CAPMAN\n\
+             \x20 - name: serve\n    policy: CAPMAN\n    serve: true\n",
+        );
+        let ts = tasks(
+            "{\"task_id\": \"f\", \"fleet\": {\"devices\": 6, \"workloads\": [\"video\", \"pcmark\"], \"every_s\": 300}, \"horizon_s\": 1500}\n",
+        );
+        let results = run_experiment(&spec, &ts);
+        assert_eq!(results.len(), 2);
+        let serve = &results[1];
+        assert_eq!(serve.variant, "serve");
+        assert!(serve.objective > 0.0, "serve arm must run");
+        // Both arms tick the same devices for the same horizon — the
+        // calibration backend must not change how long devices run.
+        assert_eq!(results[0].metric("devices"), serve.metric("devices"));
+        assert_eq!(results[0].metric("ticks"), serve.metric("ticks"));
+        // The service ledger is projected onto the shared pool-counter
+        // surface: with 3 devices per cohort asking on one cadence,
+        // admission control sheds (replaces) the surplus instead of
+        // solving it, which an unquota'd pool would never do.
+        let dropped = serve.metric("pool_dropped").unwrap_or(0.0);
+        let coalesced = serve.metric("pool_coalesced").unwrap_or(0.0);
+        assert!(
+            dropped + coalesced > 0.0,
+            "overlapping cohort traffic must coalesce or shed through admission"
+        );
+    }
+
+    #[test]
+    fn serve_arms_reject_non_capman_policies_at_parse_time() {
+        let err = ExperimentSpec::from_yaml(
+            "name: bad\nvariants:\n  - name: d\n    policy: Dual\n    serve: true\n",
+        )
+        .expect_err("serve requires CAPMAN");
+        assert!(
+            err.contains("serve arms require the CAPMAN policy"),
+            "{err}"
+        );
     }
 }

@@ -79,6 +79,11 @@ pub struct Variant {
     /// (plan-derived devices, streaming aggregation) instead of the
     /// roster runner. `arena: true` in the experiment YAML.
     pub arena: bool,
+    /// Run fleet tasks against a resident calibration service (arena
+    /// devices, admission-controlled backend) instead of an in-process
+    /// pool. `serve: true` in the experiment YAML; implies the arena
+    /// path and requires the CAPMAN policy.
+    pub serve: bool,
 }
 
 /// One dataset row.
@@ -245,6 +250,14 @@ impl Variant {
             Some(Json::Bool(b)) => *b,
             Some(_) => return Err(at("arena: expected a boolean")),
         };
+        let serve = match v.get("serve") {
+            None | Some(Json::Null) => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Err(at("serve: expected a boolean")),
+        };
+        if serve && policy != PolicyKind::Capman {
+            return Err(at("serve arms require the CAPMAN policy"));
+        }
         Ok(Variant {
             name,
             policy,
@@ -253,6 +266,7 @@ impl Variant {
             horizon_s,
             calibration,
             arena,
+            serve,
         })
     }
 }

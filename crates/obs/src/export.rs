@@ -86,23 +86,40 @@ pub fn chrome_trace(drain: &TraceDrain) -> String {
     out
 }
 
+/// Escape a `# HELP` line per the Prometheus text exposition rules:
+/// backslash and newline must be escaped (`\\`, `\n`) so a multi-line
+/// help string cannot inject bogus sample lines into the scrape.
+fn help_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render a metrics snapshot in Prometheus text exposition format:
-/// `# HELP` / `# TYPE` per family, cumulative `le`-labelled buckets plus
-/// `_sum` / `_count` for histograms.
+/// `# HELP` (escaped) / `# TYPE` per family, cumulative `le`-labelled
+/// buckets with the explicit `+Inf` bucket plus `_sum` / `_count` for
+/// histograms. [`validate_prometheus`] checks exactly these rules and
+/// the golden scrape tests hold every export to them.
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, help, value) in &snap.counters {
-        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# HELP {name} {}", help_escape(help));
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {value}");
     }
     for (name, help, value) in &snap.gauges {
-        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# HELP {name} {}", help_escape(help));
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {value}");
     }
     for h in &snap.histograms {
-        let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+        let _ = writeln!(out, "# HELP {} {}", h.name, help_escape(&h.help));
         let _ = writeln!(out, "# TYPE {} histogram", h.name);
         let mut cumulative = 0u64;
         for (bound, count) in h.bounds.iter().zip(&h.counts) {
@@ -116,26 +133,187 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     out
 }
 
-/// Bucket-resolution quantile from snapshot counts, matching
-/// `Histogram::quantile` (0.0 when empty, upper bound of the holding
-/// bucket, largest finite bound for `+Inf`).
-fn snapshot_quantile(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
-    let total: u64 = counts.iter().sum();
-    if total == 0 || bounds.is_empty() {
-        return 0.0;
+/// Is `name` a legal Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
     }
-    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-    let mut seen = 0u64;
-    for (i, &c) in counts.iter().enumerate() {
-        seen += c;
-        if seen >= rank {
-            return bounds
-                .get(i)
-                .copied()
-                .unwrap_or_else(|| *bounds.last().expect("bounds checked non-empty"));
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Strict structural check of a Prometheus text exposition — the rules
+/// the satellite scrape contract is stated in terms of:
+///
+/// * every sample belongs to a family announced by a preceding
+///   `# HELP` **and** `# TYPE` line with a legal metric name;
+/// * counter/gauge families expose exactly one sample under the family
+///   name; histogram families expose `_bucket` / `_sum` / `_count`;
+/// * bucket series are **cumulative** (non-decreasing in order of
+///   appearance), end in an explicit `le="+Inf"` bucket, and that
+///   bucket equals the family's `_count`;
+/// * every sample value parses as a finite float (integers included).
+///
+/// Returns the first violation as `Err(description)`.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    #[derive(Default)]
+    struct Family {
+        help: bool,
+        typed: Option<String>,
+        buckets: Vec<(String, f64)>, // (le label, value) in order
+        sum: Option<f64>,
+        count: Option<f64>,
+        samples: u64, // plain samples under the family name
+    }
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let base_of = |name: &str| -> (String, &'static str) {
+        for (suffix, kind) in [("_bucket", "bucket"), ("_sum", "sum"), ("_count", "count")] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                return (base.to_string(), kind);
+            }
+        }
+        (name.to_string(), "plain")
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return Err(at(format!("HELP for invalid metric name {name:?}")));
+                    }
+                    families.entry(name.to_string()).or_default().help = true;
+                }
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        return Err(at(format!("TYPE for invalid metric name {name:?}")));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        return Err(at(format!("unknown TYPE {kind:?} for {name}")));
+                    }
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.typed.is_some() {
+                        return Err(at(format!("duplicate TYPE for {name}")));
+                    }
+                    fam.typed = Some(kind.to_string());
+                }
+                _ => return Err(at(format!("unknown comment keyword {keyword:?}"))),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // bare comment
+        }
+        // A sample: `name value` or `name{labels} value`.
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => return Err(at(format!("sample without a value: {line:?}"))),
+        };
+        let value: f64 = value_part
+            .parse()
+            .map_err(|_| at(format!("unparseable sample value {value_part:?}")))?;
+        if !value.is_finite() {
+            return Err(at(format!("non-finite sample value {value_part:?}")));
+        }
+        let (name, label) = match name_part.split_once('{') {
+            Some((n, rest)) => {
+                let label = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| at(format!("unterminated label set: {name_part:?}")))?;
+                (n, Some(label))
+            }
+            None => (name_part, None),
+        };
+        if !valid_metric_name(name) {
+            return Err(at(format!("invalid metric name {name:?}")));
+        }
+        let (base, kind) = base_of(name);
+        // A histogram series name resolves to its base family; anything
+        // else must be a family of its own.
+        let fam_name = if families.contains_key(&base) && kind != "plain" {
+            base
+        } else {
+            name.to_string()
+        };
+        let fam = families
+            .get_mut(&fam_name)
+            .ok_or_else(|| at(format!("sample {name:?} before its HELP/TYPE lines")))?;
+        let typed = fam
+            .typed
+            .clone()
+            .ok_or_else(|| at(format!("sample {name:?} with HELP but no TYPE")))?;
+        if !fam.help {
+            return Err(at(format!("sample {name:?} without a HELP line")));
+        }
+        match (typed.as_str(), kind, label) {
+            ("histogram", "bucket", Some(label)) => {
+                let le = label
+                    .strip_prefix("le=\"")
+                    .and_then(|l| l.strip_suffix('"'))
+                    .ok_or_else(|| at(format!("bucket without an le label: {line:?}")))?;
+                fam.buckets.push((le.to_string(), value));
+            }
+            ("histogram", "sum", None) => fam.sum = Some(value),
+            ("histogram", "count", None) => fam.count = Some(value),
+            ("counter", "plain", None) | ("gauge", "plain", None) => fam.samples += 1,
+            _ => {
+                return Err(at(format!(
+                    "sample {name:?} does not fit its family type {typed:?}"
+                )))
+            }
         }
     }
-    *bounds.last().expect("bounds checked non-empty")
+    for (name, fam) in &families {
+        let typed = fam
+            .typed
+            .as_deref()
+            .ok_or_else(|| format!("family {name} has HELP but no TYPE"))?;
+        if !fam.help {
+            return Err(format!("family {name} has TYPE but no HELP"));
+        }
+        match typed {
+            "counter" | "gauge" => {
+                if fam.samples != 1 {
+                    return Err(format!(
+                        "family {name}: expected exactly one sample, saw {}",
+                        fam.samples
+                    ));
+                }
+            }
+            "histogram" => {
+                let count = fam
+                    .count
+                    .ok_or_else(|| format!("histogram {name} has no _count"))?;
+                if fam.sum.is_none() {
+                    return Err(format!("histogram {name} has no _sum"));
+                }
+                match fam.buckets.last() {
+                    Some((le, last)) if le == "+Inf" => {
+                        if *last != count {
+                            return Err(format!(
+                                "histogram {name}: +Inf bucket {last} != _count {count}"
+                            ));
+                        }
+                    }
+                    _ => return Err(format!("histogram {name} does not end in an +Inf bucket")),
+                }
+                if fam.buckets.windows(2).any(|w| w[0].1 > w[1].1) {
+                    return Err(format!("histogram {name}: buckets are not cumulative"));
+                }
+            }
+            _ => unreachable!("TYPE already validated"),
+        }
+    }
+    Ok(())
 }
 
 /// Render a metrics snapshot as flat JSON: a single `"metrics"` section
@@ -158,10 +336,7 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> String {
         for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
             pairs.push((
                 format!("{}_{suffix}", h.name),
-                format!(
-                    "{:.4}",
-                    json_f64(snapshot_quantile(&h.bounds, &h.counts, q))
-                ),
+                format!("{:.4}", json_f64(h.quantile(q))),
             ));
         }
     }
@@ -271,12 +446,72 @@ mod tests {
         let snap = r.snapshot();
         let hs = &snap.histograms[0];
         for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
-            assert_eq!(
-                snapshot_quantile(&hs.bounds, &hs.counts, q),
-                h.quantile(q),
-                "q = {q}"
-            );
+            assert_eq!(hs.quantile(q), h.quantile(q), "q = {q}");
         }
-        assert_eq!(snapshot_quantile(&[1.0], &[0, 0], 0.5), 0.0);
+        let empty = crate::metrics::HistogramSnapshot {
+            name: "e".into(),
+            help: String::new(),
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            sum: 0.0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn exports_validate_and_help_lines_are_escaped() {
+        let r = Registry::new();
+        r.counter("solves_total", "Solves\nwith a newline and a \\ slash")
+            .add(4);
+        r.gauge("queue_depth", "Depth").set(-2);
+        let h = r.histogram("lat_ms", "Latency", &[1.0, 10.0]);
+        for v in [0.5, 5.0, 50.0] {
+            h.observe(v);
+        }
+        let text = prometheus_text(&r.snapshot());
+        assert!(
+            text.contains("# HELP solves_total Solves\\nwith a newline and a \\\\ slash"),
+            "help text must be escaped, got:\n{text}"
+        );
+        validate_prometheus(&text).expect("export must pass its own validator");
+        // An empty export is trivially valid.
+        validate_prometheus("").expect("empty scrape is valid");
+    }
+
+    #[test]
+    fn validator_rejects_the_documented_violations() {
+        // Sample before any HELP/TYPE.
+        assert!(validate_prometheus("orphan 1\n").is_err());
+        // HELP but no TYPE.
+        assert!(validate_prometheus("# HELP a_total A\na_total 1\n").is_err());
+        // Non-cumulative buckets.
+        let shrinking = "# HELP h H\n# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+             h_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(shrinking)
+            .unwrap_err()
+            .contains("not cumulative"));
+        // Missing +Inf bucket.
+        let no_inf = "# HELP h H\n# TYPE h histogram\n\
+             h_bucket{le=\"1\"} 5\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(no_inf).unwrap_err().contains("+Inf"));
+        // +Inf disagreeing with _count.
+        let mismatch = "# HELP h H\n# TYPE h histogram\n\
+             h_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 5\n";
+        assert!(validate_prometheus(mismatch)
+            .unwrap_err()
+            .contains("_count"));
+        // Missing _sum.
+        let no_sum = "# HELP h H\n# TYPE h histogram\n\
+             h_bucket{le=\"+Inf\"} 5\nh_count 5\n";
+        assert!(validate_prometheus(no_sum).unwrap_err().contains("_sum"));
+        // Unparseable value.
+        assert!(
+            validate_prometheus("# HELP g G\n# TYPE g gauge\ng one\n").is_err(),
+            "words are not sample values"
+        );
+        // An unescaped multi-line help string leaks a bogus sample line.
+        assert!(validate_prometheus("# HELP a_total first\nsecond line\n").is_err());
     }
 }

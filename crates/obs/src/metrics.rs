@@ -300,6 +300,33 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Bucket-resolution quantile from the snapshot's counts, matching
+    /// [`Histogram::quantile`] exactly: 0.0 when empty, the upper bound
+    /// of the bucket holding the q-th observation, and the largest
+    /// finite bound for the `+Inf` bucket. The exporters and the serve
+    /// SLO monitor both read quantiles through this one definition.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| *self.bounds.last().expect("bounds checked non-empty"));
+            }
+        }
+        *self.bounds.last().expect("bounds checked non-empty")
+    }
+}
+
 /// Point-in-time copy of a whole registry, sorted by metric name within
 /// each kind — what the Prometheus/JSON exporters and tests consume.
 #[derive(Debug, Clone, Default, PartialEq)]

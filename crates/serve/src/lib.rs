@@ -1,0 +1,48 @@
+//! capman-serve — the resident multi-tenant calibration service.
+//!
+//! `CalibrationPool` (crate `capman-fleet`) decouples solves from
+//! device ticks for *one* simulation run; this crate promotes that
+//! mechanism into a long-lived backend rationing solve budget across
+//! tenants, which is the shape the ROADMAP's "heavy traffic from
+//! millions of users" north star asks for. Four pieces:
+//!
+//! * [`admission`] — a bounded ingestion layer with per-cohort quotas
+//!   per cadence window, explicit backpressure, and drop-oldest-per-
+//!   cohort load shedding (a cohort's newest request replaces its
+//!   queued one, so overload costs *freshness of the payload*, never a
+//!   tenant's place in line).
+//! * [`lanes`] — priority lanes computed from published-calibration
+//!   staleness, with a skip-counting aging rule that provably bounds
+//!   how long any admitted request can wait (no tenant is pinned out).
+//! * [`slo`] — declarative SLO specs (p99 adoption staleness, queue
+//!   depth, solve latency) evaluated over `capman-obs` registry
+//!   snapshots by a [`SloMonitor`] that flips the service between
+//!   normal / degraded / shedding modes. The enforcement predicate is
+//!   the floor-guarded ratio of `bench::gate`'s `FloorAsBaseline`
+//!   mode (a cross-check test in `capman-bench` pins the arithmetic).
+//! * [`service`] + [`harness`] — the [`CalibrationService`] itself
+//!   (implementing `capman_fleet::CalibrationBackend`, so the arena
+//!   fleet drives it unmodified) and the soak harness that turns
+//!   PR 7's `DeviceArena` into the service's load generator.
+//!
+//! The service's registry is always on (local values, not the
+//! feature-gated global hooks), so a `/metrics`-shaped Prometheus
+//! scrape and a Chrome trace come out of every run regardless of the
+//! `obs` feature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod harness;
+pub mod lanes;
+pub mod policy;
+pub mod service;
+pub mod slo;
+
+pub use admission::{AdmissionConfig, AdmissionOutcome};
+pub use harness::{run_soak, SoakConfig, SoakReport};
+pub use lanes::{Lane, LaneConfig};
+pub use policy::ServePolicy;
+pub use service::{CalibrationService, ServiceConfig, ServiceCounters};
+pub use slo::{ServiceMode, SloConfig, SloMonitor, SloObjective, SloSpec, SloVerdict};

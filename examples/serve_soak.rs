@@ -1,0 +1,69 @@
+//! Executable reference for the resident calibration service: ramp an
+//! arena fleet from balanced load to 4x overload against per-cohort
+//! admission quotas, and print each rung's shedding/starvation verdict
+//! plus the final SLO evaluation.
+//!
+//! ```text
+//! cargo run --release --example serve_soak
+//! ```
+//!
+//! What to expect: at 1x every submission is admitted and nothing is
+//! shed; at 2x and 4x the drop-oldest admission path sheds roughly
+//! `(x-1)/x` of submissions — but *only* from the surplus, so every
+//! cohort still adopts a fresh calibration once per cadence window
+//! (`starvation_free=true` on every rung) and the p99 wait of served
+//! requests stays inside the 300 s SLO objective. The service's own
+//! registry and tracer are always on; the example ends with the
+//! Prometheus scrape of the hottest rung so the metric families are
+//! visible without any feature flag.
+
+use capman::serve::{run_soak, SoakConfig};
+
+fn main() {
+    println!("serve_soak: overload ramp against a quota of 1 admission per cohort per window\n");
+    let mut hottest = None;
+    for overload_x in [1usize, 2, 4] {
+        let config = SoakConfig {
+            cohorts: 3,
+            devices_per_cohort: overload_x,
+            windows: 3,
+            ..SoakConfig::default()
+        };
+        let report = run_soak(&config);
+        println!("{overload_x}x overload: {}", report.verdict_line());
+        for (i, w) in report.windows.iter().enumerate() {
+            println!(
+                "    window {i}: published {} (min cohort {}), mode={}, breached={}",
+                w.published,
+                w.min_cohort_published,
+                w.mode.label(),
+                w.breached
+            );
+        }
+        assert!(
+            report.starvation_free,
+            "the no-starvation contract must hold at {overload_x}x"
+        );
+        hottest = Some(report);
+    }
+    let report = hottest.expect("the ramp ran");
+    println!("\nfinal SLO mode at 4x: {}", report.final_mode.label());
+    println!("\nPrometheus scrape of the 4x rung:\n");
+    // Trim the histogram bodies for the terminal: print families and
+    // counters, elide per-bucket lines past the first two.
+    let mut bucket_run = 0;
+    for line in report.prometheus.lines() {
+        if line.contains("_bucket") {
+            bucket_run += 1;
+            if bucket_run > 2 {
+                continue;
+            }
+        } else {
+            if bucket_run > 2 {
+                println!("  ... ({} more buckets elided)", bucket_run - 2);
+            }
+            bucket_run = 0;
+        }
+        println!("{line}");
+    }
+}

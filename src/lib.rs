@@ -17,6 +17,10 @@
 //! * [`obs`] — the observability substrate: span tracer, metrics
 //!   registry, Chrome-trace/Prometheus exporters (instrumentation
 //!   compiles in with `--features obs`).
+//! * [`fleet`] — fleet-scale simulation: cohort plans, device arenas,
+//!   and the background calibration pool.
+//! * [`serve`] — the resident multi-tenant calibration service:
+//!   admission control, priority lanes, and SLO enforcement.
 //!
 //! # Quickstart
 //!
@@ -39,7 +43,9 @@
 pub use capman_battery as battery;
 pub use capman_core as core;
 pub use capman_device as device;
+pub use capman_fleet as fleet;
 pub use capman_mdp as mdp;
 pub use capman_obs as obs;
+pub use capman_serve as serve;
 pub use capman_thermal as thermal;
 pub use capman_workload as workload;
