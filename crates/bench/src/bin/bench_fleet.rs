@@ -319,6 +319,7 @@ fn obs_overhead(devices: usize, reps: usize) -> ObsOverheadReport {
     let _ = run_mode(&fleet, CalibrationMode::Pool);
     let mut wall_off_ms = f64::INFINITY;
     let mut wall_on_ms = f64::INFINITY;
+    let mut causal_seen = false;
     for _ in 0..reps {
         capman_obs::set_enabled(false);
         wall_off_ms = wall_off_ms.min(run_mode(&fleet, CalibrationMode::Pool).1);
@@ -327,8 +328,24 @@ fn obs_overhead(devices: usize, reps: usize) -> ObsOverheadReport {
         // Keep ring memory bounded across reps; `--trace-out` snapshots
         // the final rep only.
         if reps > 1 {
-            let _ = capman_obs::drain();
+            let drain = capman_obs::drain();
+            causal_seen = causal_seen
+                || drain
+                    .records
+                    .iter()
+                    .any(|r| r.trace != 0 && matches!(r.kind, capman_obs::RecordKind::Link { .. }));
         }
+    }
+    // The measured on-arm must be doing the *full* job: trace contexts
+    // minted at submission and cross-thread flow links recorded. An
+    // overhead number for a tracer that silently stopped tracing would
+    // certify nothing.
+    if capman_obs::compiled() && reps > 1 {
+        assert!(
+            causal_seen,
+            "obs-on arm recorded no flow-linked causal traces — the overhead \
+             measurement is not exercising causal tracing"
+        );
     }
     ObsOverheadReport {
         obs_compiled: capman_obs::compiled(),

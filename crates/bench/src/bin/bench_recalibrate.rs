@@ -5,6 +5,8 @@
 //! cargo run --release -p capman-bench --bin bench_recalibrate             # full sizes
 //! cargo run --release -p capman-bench --bin bench_recalibrate -- --quick  # CI smoke
 //! cargo run --release -p capman-bench --bin bench_recalibrate -- --out p  # custom path
+//! cargo run --release -p capman-bench --features obs --bin bench_recalibrate -- \
+//!     --trace-out recal.trace.json --metrics-out recal.metrics.json
 //! ```
 //!
 //! Per fixture size the binary solves the hierarchically clustered
@@ -299,6 +301,16 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--dirty-frac takes a number in [0, 1]"));
     let require_incremental_win = args.iter().any(|a| a == "--require-incremental-win");
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     // Quick mode keeps the equivalence and sweep-count asserts but skips
     // the wall-clock assert: on a loaded CI box a 96-state timing can
@@ -408,5 +420,22 @@ fn main() {
         trials::emit(std::path::Path::new(dir), "bench_recalibrate", &groups)
             .unwrap_or_else(|e| panic!("emit trials to {dir}: {e}"));
         println!("wrote {dir} ({} sample groups)", groups.len());
+    }
+
+    // Observability exports (meaningful with --features obs; empty
+    // otherwise — the kernels only record through the global hooks).
+    if let Some(path) = trace_out.as_deref() {
+        let drain = capman_obs::drain();
+        std::fs::write(path, capman_obs::export::chrome_trace(&drain))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path} ({} spans)", drain.records.len());
+    }
+    if let Some(path) = metrics_out.as_deref() {
+        std::fs::write(
+            path,
+            capman_obs::export::metrics_json(&capman_obs::snapshot()),
+        )
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
     }
 }

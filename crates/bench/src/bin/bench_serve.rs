@@ -8,6 +8,7 @@
 //! cargo run --release -p capman-bench --bin bench_serve -- --reps 5
 //! cargo run --release -p capman-bench --bin bench_serve -- --require-no-starvation
 //! cargo run --release -p capman-bench --bin bench_serve -- --prom-out serve.prom --trace-out serve.trace.json
+//! cargo run --release -p capman-bench --bin bench_serve -- --metrics-out serve.metrics.json --flight-dir flight/
 //! ```
 //!
 //! Each ladder rung runs [`run_soak`]: a multi-cohort arena fleet with
@@ -29,10 +30,15 @@
 //! window even while its own excess traffic is being dropped (the CI
 //! soak leg turns this on).
 //!
-//! `--prom-out` / `--trace-out` write the Prometheus scrape and Chrome
-//! trace of the hottest rung's last rep — the service's registry and
-//! tracer are always on, so these work without `--features obs`.
+//! `--prom-out` / `--trace-out` / `--metrics-out` write the Prometheus
+//! scrape, Chrome trace (flow-linked causal traces included), and flat
+//! metrics JSON of the hottest rung's last rep — the service's registry
+//! and tracer are always on, so these work without `--features obs`.
+//! `--flight-dir DIR` points every rung's flight recorder at `DIR`;
+//! a panic or an SLO flip into Degraded/Shedding leaves a postmortem
+//! bundle there (one subdirectory per rung and rep).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use capman_bench::perf_report::{ServeReport, ServeRow};
@@ -43,23 +49,31 @@ const COHORTS: usize = 3;
 /// Cadence windows per soak.
 const WINDOWS: u32 = 3;
 
-fn serve_row(overload_x: usize, reps: usize, last: &mut Option<SoakReport>) -> ServeRow {
-    let config = SoakConfig {
-        cohorts: COHORTS,
-        devices_per_cohort: overload_x,
-        windows: WINDOWS,
-        ..SoakConfig::default()
-    };
+fn serve_row(
+    overload_x: usize,
+    reps: usize,
+    flight_dir: Option<&PathBuf>,
+    last: &mut Option<SoakReport>,
+) -> ServeRow {
     let mut wall_ms_samples = Vec::with_capacity(reps);
     let mut staleness_samples = Vec::with_capacity(reps);
-    let mut report = run_soak(&config);
+    let mut report = None;
     for rep in 0..reps {
-        if rep > 0 {
-            report = run_soak(&config);
-        }
-        wall_ms_samples.push(report.wall_ms);
-        staleness_samples.push(report.staleness_p99_s);
+        let config = SoakConfig {
+            cohorts: COHORTS,
+            devices_per_cohort: overload_x,
+            windows: WINDOWS,
+            // One bundle directory per rung and rep, so dumps never
+            // collide across the ladder.
+            flight_dir: flight_dir.map(|dir| dir.join(format!("{overload_x}x-rep{rep}"))),
+            ..SoakConfig::default()
+        };
+        let rep_report = run_soak(&config);
+        wall_ms_samples.push(rep_report.wall_ms);
+        staleness_samples.push(rep_report.staleness_p99_s);
+        report = Some(rep_report);
     }
+    let report = report.expect("reps >= 1");
     let c = report.counters;
     assert_eq!(
         c.submitted,
@@ -104,6 +118,10 @@ fn serve_row(overload_x: usize, reps: usize, last: &mut Option<SoakReport>) -> S
         abandoned: c.abandoned,
         max_gap_windows: report.max_gap_windows,
         starvation_free: report.starvation_free,
+        phase_queue_p99_s: report.phase_p99_s[0],
+        phase_lane_p99_s: report.phase_p99_s[1],
+        phase_solve_p99_s: report.phase_p99_s[2],
+        phase_publish_adopt_p99_s: report.phase_p99_s[3],
     };
     *last = Some(report);
     row
@@ -151,10 +169,11 @@ fn main() {
         "{:>6} {:>8} {:>10} {:>10} {:>8} {:>9} {:>10} {:>8}",
         "over", "devices", "wall_ms", "submitted", "shed%", "stale_p99", "max_gap", "starve"
     );
+    let flight_dir = flag("--flight-dir").map(PathBuf::from);
     let mut hottest: Option<SoakReport> = None;
     for &overload_x in &overloads {
         let mut last = None;
-        let row = serve_row(overload_x, reps, &mut last);
+        let row = serve_row(overload_x, reps, flight_dir.as_ref(), &mut last);
         println!(
             "{:>5}x {:>8} {:>10.1} {:>10} {:>7.1}% {:>8.1}s {:>10} {:>8}",
             row.overload_x,
@@ -186,6 +205,14 @@ fn main() {
         if let Some(path) = flag("--trace-out") {
             std::fs::write(&path, &soak.trace_json).unwrap_or_else(|e| panic!("write {path}: {e}"));
             println!("wrote {path}");
+        }
+        if let Some(path) = flag("--metrics-out") {
+            std::fs::write(&path, &soak.metrics_json)
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+            println!("wrote {path}");
+        }
+        for bundle in &soak.flight_bundles {
+            println!("flight bundle: {}", bundle.display());
         }
     }
 

@@ -653,6 +653,14 @@ pub struct ServeRow {
     pub max_gap_windows: u32,
     /// Did every cohort publish at least once per window?
     pub starvation_free: bool,
+    /// p99 of the queue phase of served staleness, simulated seconds.
+    pub phase_queue_p99_s: f64,
+    /// p99 of the lane (passed-over) phase, simulated seconds.
+    pub phase_lane_p99_s: f64,
+    /// p99 of the solve phase, simulated seconds.
+    pub phase_solve_p99_s: f64,
+    /// p99 of the publish→adopt phase, simulated seconds.
+    pub phase_publish_adopt_p99_s: f64,
 }
 
 impl ServeRow {
@@ -741,6 +749,15 @@ impl ServeReport {
             let _ = writeln!(out, "      \"completed\": {},", row.completed);
             let _ = writeln!(out, "      \"abandoned\": {},", row.abandoned);
             let _ = writeln!(out, "      \"max_gap_windows\": {},", row.max_gap_windows);
+            push_f64(&mut out, "phase_queue_p99_s", row.phase_queue_p99_s, true);
+            push_f64(&mut out, "phase_lane_p99_s", row.phase_lane_p99_s, true);
+            push_f64(&mut out, "phase_solve_p99_s", row.phase_solve_p99_s, true);
+            push_f64(
+                &mut out,
+                "phase_publish_adopt_p99_s",
+                row.phase_publish_adopt_p99_s,
+                true,
+            );
             let _ = writeln!(
                 out,
                 "      \"starvation_free\": {}",
@@ -1168,6 +1185,10 @@ mod tests {
             abandoned: 0,
             max_gap_windows: 1,
             starvation_free: true,
+            phase_queue_p99_s: 30.0,
+            phase_lane_p99_s: 10.0,
+            phase_solve_p99_s: 0.5,
+            phase_publish_adopt_p99_s: 4.5,
         }
     }
 
@@ -1192,6 +1213,8 @@ mod tests {
         assert_eq!(row_value(&rows[1], "shed_fraction"), Some(0.75));
         assert_eq!(row_value(&rows[1], "starvation_free"), Some(1.0));
         assert_eq!(row_value(&rows[1], "submissions_per_s"), Some(400.0));
+        assert_eq!(row_value(&rows[1], "phase_queue_p99_s"), Some(30.0));
+        assert_eq!(row_value(&rows[1], "phase_publish_adopt_p99_s"), Some(4.5));
         assert_eq!(
             row_value(&rows[1], "wall_ms_samples"),
             None,

@@ -16,7 +16,7 @@ pub use dispatch::FleetPolicy;
 pub use policy::PooledCapmanPolicy;
 pub use pool::{
     CalibrationBackend, CalibrationPool, CalibrationSnapshot, PoolConfig, PoolCounters,
-    SubmitOutcome,
+    SnapshotTrace, SubmitOutcome,
 };
 pub use profile::{DeviceSpec, Fleet, FleetPlan, FleetProfile};
 pub use runner::{

@@ -126,14 +126,23 @@ impl Policy for PooledCapmanPolicy {
                     "Snapshot adoptions by device schedulers"
                 )
                 .inc();
-                capman_obs::event("pool_adopt", snap.seq);
+                let (trace, publish_span) =
+                    snap.trace.map_or((0, 0), |t| (t.trace, t.publish_span));
+                let adopt_event = capman_obs::event_in("pool_adopt", snap.seq, trace);
+                // Stitch the publish→adopt hop back to the worker that
+                // produced this snapshot.
+                capman_obs::link("pool_adopt_flow", publish_span, adopt_event, trace);
                 capman_obs::histogram!(
                     "adoption_staleness_s",
                     "Simulated seconds between a device's request and its adoption",
                     &[0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0]
                 )
-                .observe(staleness_s);
+                .observe_with_exemplar(staleness_s, trace);
             }
+            // Close the request's lifecycle at the backend: the serve
+            // service decomposes served staleness into its critical-path
+            // phases here; the in-process pool's default is a no-op.
+            self.backend.adopt(self.cohort, &snap, ctx.time_s);
             if let Some(cal) = &snap.calibration {
                 let run = &cal.engine_run;
                 self.pending_samples.push(CalibrationSample {

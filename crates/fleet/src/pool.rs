@@ -62,6 +62,30 @@ use arc_swap::ArcSwap;
 use capman_core::online::{Calibration, Calibrator, CalibratorSpec};
 use capman_core::profiler::Profiler;
 
+/// The causal-trace breadcrumb a publication carries so the *adopting*
+/// device can close the request's trace: the trace id, the publish
+/// record to flow-link the adoption event to, and the simulated
+/// timestamps of the lifecycle hops the backend observed (what the
+/// critical-path phase decomposition is computed from at adoption).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotTrace {
+    /// Trace id minted at submission (never 0 — an untraced publication
+    /// carries no `SnapshotTrace` at all).
+    pub trace: u64,
+    /// Record id of the backend's publish event, the flow-link source
+    /// for the adoption hop (0 when that event was sampled out).
+    pub publish_span: u64,
+    /// Simulated time the winning request was first submitted.
+    pub submitted_s: f64,
+    /// When the backend's scheduler first considered the request (equal
+    /// to `submitted_s` for backends without a scheduling step).
+    pub queue_end_s: f64,
+    /// When the request was picked for solving.
+    pub picked_s: f64,
+    /// When the solved calibration was published.
+    pub published_s: f64,
+}
+
 /// A published calibration: what device ticks read.
 ///
 /// Snapshots are immutable once published; the pool only ever swaps in
@@ -81,6 +105,9 @@ pub struct CalibrationSnapshot {
     pub wall_us: f64,
     /// The calibration itself; `None` only in the seq-0 placeholder.
     pub calibration: Option<Calibration>,
+    /// Causal-trace breadcrumb of the winning request, `None` when the
+    /// request was untraced (observability off or sampled out).
+    pub trace: Option<SnapshotTrace>,
 }
 
 impl CalibrationSnapshot {
@@ -90,6 +117,7 @@ impl CalibrationSnapshot {
             requested_at_s: 0.0,
             wall_us: 0.0,
             calibration: None,
+            trace: None,
         }
     }
 }
@@ -145,6 +173,11 @@ struct Request {
     now_s: f64,
     profiler: Profiler,
     compute_speed: f64,
+    /// Trace id minted at submission (0 = untraced).
+    trace: u64,
+    /// Record id of the submission's origin event, the flow-link source
+    /// for the queue hop (0 when sampled out).
+    origin: u64,
 }
 
 struct CohortSlot {
@@ -192,6 +225,12 @@ pub trait CalibrationBackend: Send + Sync {
 
     /// Number of cohort slots this backend serves.
     fn cohorts(&self) -> usize;
+
+    /// A device adopted `snapshot` at simulated time `now_s` — the end
+    /// of the request's lifecycle. Backends that close causal traces
+    /// (the serve service's critical-path decomposition) override this;
+    /// the default is a no-op, so the in-process pool pays nothing.
+    fn adopt(&self, _cohort: usize, _snapshot: &CalibrationSnapshot, _now_s: f64) {}
 }
 
 /// Background calibration service shared by every shard of a fleet run.
@@ -265,7 +304,11 @@ impl CalibrationPool {
                 slot.in_flight.store(false, Ordering::Release);
                 continue;
             }
-            let _solve_span = capman_obs::span("pool_solve", req.cohort as u64);
+            let solve_span = capman_obs::span_in("pool_solve", req.cohort as u64, req.trace);
+            if let Some(span) = &solve_span {
+                // Stitch the submit→solve hop across threads.
+                capman_obs::link("pool_queue_flow", req.origin, span.id(), req.trace);
+            }
             let wall_us = {
                 let mut calibrator = slot.calibrator.lock().expect("calibrator poisoned");
                 calibrator.recalibrate(req.now_s, &req.profiler, req.compute_speed)
@@ -274,12 +317,24 @@ impl CalibrationPool {
                 let calibrator = slot.calibrator.lock().expect("calibrator poisoned");
                 calibrator.calibration().cloned()
             };
+            // The publish event is recorded before the store so its id
+            // can ride the snapshot as the adoption hop's flow source.
+            let publish_span = capman_obs::event_in("pool_publish", req.cohort as u64, req.trace);
+            let trace = (req.trace != 0).then_some(SnapshotTrace {
+                trace: req.trace,
+                publish_span,
+                submitted_s: req.now_s,
+                queue_end_s: req.now_s,
+                picked_s: req.now_s,
+                published_s: req.now_s,
+            });
             let prev_seq = slot.snapshot.load_full().seq;
             slot.snapshot.store(Arc::new(CalibrationSnapshot {
                 seq: prev_seq + 1,
                 requested_at_s: req.now_s,
                 wall_us,
                 calibration,
+                trace,
             }));
             if capman_obs::enabled() {
                 capman_obs::counter!(
@@ -293,8 +348,8 @@ impl CalibrationPool {
                     &[100.0, 250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 1e6]
                 )
                 .observe(wall_us);
-                capman_obs::event("pool_publish", req.cohort as u64);
             }
+            drop(solve_span);
             // Publish before accounting: once `completed` covers this
             // request, `drain` may return and readers must already see
             // the snapshot.
@@ -315,8 +370,10 @@ impl CalibrationPool {
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         if capman_obs::enabled() {
             capman_obs::counter!("pool_submitted_total", "Calibration requests submitted").inc();
-            capman_obs::event("pool_request", cohort as u64);
         }
+        // Mint the request's causal trace at the submission boundary;
+        // the origin event doubles as the old `pool_request` instant.
+        let ctx = capman_obs::begin_trace("pool_request", cohort as u64);
         let slot = &self.shared.slots[cohort];
         if slot.in_flight.swap(true, Ordering::AcqRel) {
             self.shared.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -341,6 +398,8 @@ impl CalibrationPool {
             now_s,
             profiler: profiler.clone(),
             compute_speed,
+            trace: ctx.trace,
+            origin: ctx.origin,
         };
         match tx.try_send(req) {
             Ok(()) => {

@@ -10,12 +10,12 @@
 use std::fmt::Write as _;
 
 use crate::metrics::MetricsSnapshot;
-use crate::trace::TraceDrain;
+use crate::trace::{RecordKind, TraceDrain};
 
 /// Escape a string for a JSON literal. Metric names and span labels are
 /// ASCII identifiers in practice; this keeps the exporters honest if one
 /// ever is not.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -47,40 +47,79 @@ fn json_f64(v: f64) -> f64 {
 /// `chrome://tracing` and <https://ui.perfetto.dev> open directly).
 /// Spans become `ph:"X"` complete events, instants become `ph:"i"`;
 /// timestamps are microseconds since the tracer epoch, one `tid` per
-/// recording thread.
+/// recording thread. Flow links ([`RecordKind::Link`]) become paired
+/// `ph:"s"` / `ph:"f"` flow events anchored at their endpoint records,
+/// so Perfetto draws one connected arc per request across threads; a
+/// link whose endpoint was dropped by ring overflow is skipped (the
+/// arc has nowhere to land).
 pub fn chrome_trace(drain: &TraceDrain) -> String {
+    use std::collections::HashMap;
+    let by_id: HashMap<u64, &crate::trace::SpanRecord> =
+        drain.records.iter().map(|r| (r.id, r)).collect();
+    let mut events: Vec<String> = Vec::with_capacity(drain.records.len());
+    for r in &drain.records {
+        match r.kind {
+            RecordKind::Span => {
+                events.push(format!(
+                    "{{\"name\": \"{}\", \"cat\": \"obs\", \"ph\": \"X\", \"ts\": {:.3}, \
+                     \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"span_id\": {}, \
+                     \"parent\": {}, \"arg\": {}, \"trace\": {}}}}}",
+                    json_escape(r.label),
+                    r.start_ns as f64 / 1e3,
+                    (r.end_ns - r.start_ns) as f64 / 1e3,
+                    r.thread,
+                    r.id,
+                    r.parent,
+                    r.arg,
+                    r.trace
+                ));
+            }
+            RecordKind::Event => {
+                events.push(format!(
+                    "{{\"name\": \"{}\", \"cat\": \"obs\", \"ph\": \"i\", \"ts\": {:.3}, \
+                     \"s\": \"t\", \"pid\": 1, \"tid\": {}, \"args\": {{\"span_id\": {}, \
+                     \"parent\": {}, \"arg\": {}, \"trace\": {}}}}}",
+                    json_escape(r.label),
+                    r.start_ns as f64 / 1e3,
+                    r.thread,
+                    r.id,
+                    r.parent,
+                    r.arg,
+                    r.trace
+                ));
+            }
+            RecordKind::Link { from, to } => {
+                let (Some(src), Some(dst)) = (by_id.get(&from), by_id.get(&to)) else {
+                    continue; // endpoint dropped: no arc to draw
+                };
+                events.push(format!(
+                    "{{\"name\": \"{}\", \"cat\": \"flow\", \"ph\": \"s\", \"id\": {}, \
+                     \"ts\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"trace\": {}}}}}",
+                    json_escape(r.label),
+                    r.id,
+                    src.end_ns as f64 / 1e3,
+                    src.thread,
+                    r.trace
+                ));
+                events.push(format!(
+                    "{{\"name\": \"{}\", \"cat\": \"flow\", \"ph\": \"f\", \"bp\": \"e\", \
+                     \"id\": {}, \"ts\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"trace\": {}}}}}",
+                    json_escape(r.label),
+                    r.id,
+                    dst.start_ns as f64 / 1e3,
+                    dst.thread,
+                    r.trace
+                ));
+            }
+        }
+    }
     let mut out = String::new();
     out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n");
     let _ = writeln!(out, "  \"droppedSpans\": {},", drain.dropped);
     out.push_str("  \"traceEvents\": [\n");
-    for (i, r) in drain.records.iter().enumerate() {
-        let ts_us = r.start_ns as f64 / 1e3;
-        let _ = write!(
-            out,
-            "    {{\"name\": \"{}\", \"cat\": \"obs\", \"ph\": \"{}\", \"ts\": {:.3}, ",
-            json_escape(r.label),
-            if r.is_event { "i" } else { "X" },
-            ts_us
-        );
-        if r.is_event {
-            out.push_str("\"s\": \"t\", ");
-        } else {
-            let _ = write!(
-                out,
-                "\"dur\": {:.3}, ",
-                (r.end_ns - r.start_ns) as f64 / 1e3
-            );
-        }
-        let _ = write!(
-            out,
-            "\"pid\": 1, \"tid\": {}, \"args\": {{\"span_id\": {}, \"parent\": {}, \"arg\": {}}}}}",
-            r.thread, r.id, r.parent, r.arg
-        );
-        out.push_str(if i + 1 < drain.records.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
+    for (i, e) in events.iter().enumerate() {
+        let _ = write!(out, "    {e}");
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -106,6 +145,12 @@ fn help_escape(s: &str) -> String {
 /// buckets with the explicit `+Inf` bucket plus `_sum` / `_count` for
 /// histograms. [`validate_prometheus`] checks exactly these rules and
 /// the golden scrape tests hold every export to them.
+///
+/// Histogram buckets additionally carry OpenMetrics-style **exemplars**
+/// (` # {trace_id="N"} value`): each bucket line is suffixed with the
+/// slowest retained exemplar whose value falls in that bucket's range,
+/// so a bad p99 in the scrape names a concrete trace id to pull up in
+/// the chrome trace.
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, help, value) in &snap.counters {
@@ -121,12 +166,37 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     for h in &snap.histograms {
         let _ = writeln!(out, "# HELP {} {}", h.name, help_escape(&h.help));
         let _ = writeln!(out, "# TYPE {} histogram", h.name);
+        // The slowest exemplar falling in (lo, hi]: exemplars are sorted
+        // slowest-first, so the first hit wins.
+        let exemplar_in = |lo: f64, hi: f64| -> Option<&(f64, u64)> {
+            h.exemplars.iter().find(|&&(v, _)| v > lo && v <= hi)
+        };
+        let suffix = |ex: Option<&(f64, u64)>| -> String {
+            ex.map_or(String::new(), |&(v, trace)| {
+                format!(" # {{trace_id=\"{trace}\"}} {}", json_f64(v))
+            })
+        };
         let mut cumulative = 0u64;
+        let mut lo = f64::NEG_INFINITY;
         for (bound, count) in h.bounds.iter().zip(&h.counts) {
             cumulative += count;
-            let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", h.name, bound, cumulative);
+            let _ = writeln!(
+                out,
+                "{}_bucket{{le=\"{}\"}} {}{}",
+                h.name,
+                bound,
+                cumulative,
+                suffix(exemplar_in(lo, *bound))
+            );
+            lo = *bound;
         }
-        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+        let _ = writeln!(
+            out,
+            "{}_bucket{{le=\"+Inf\"}} {}{}",
+            h.name,
+            h.count,
+            suffix(exemplar_in(lo, f64::INFINITY))
+        );
         let _ = writeln!(out, "{}_sum {}", h.name, json_f64(h.sum));
         let _ = writeln!(out, "{}_count {}", h.name, h.count);
     }
@@ -213,7 +283,26 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
         if line.starts_with('#') {
             continue; // bare comment
         }
-        // A sample: `name value` or `name{labels} value`.
+        // A sample: `name value` or `name{labels} value`, optionally
+        // suffixed with an OpenMetrics exemplar: ` # {labels} value`.
+        let (line, exemplar) = match line.split_once(" # ") {
+            Some((sample, ex)) => (sample, Some(ex)),
+            None => (line, None),
+        };
+        if let Some(ex) = exemplar {
+            let (labels, ex_value) = ex
+                .rsplit_once(' ')
+                .ok_or_else(|| at(format!("exemplar without a value: {ex:?}")))?;
+            if !labels.starts_with('{') || !labels.ends_with('}') {
+                return Err(at(format!("exemplar without a label set: {ex:?}")));
+            }
+            let v: f64 = ex_value
+                .parse()
+                .map_err(|_| at(format!("unparseable exemplar value {ex_value:?}")))?;
+            if !v.is_finite() {
+                return Err(at(format!("non-finite exemplar value {ex_value:?}")));
+            }
+        }
         let (name_part, value_part) = match line.rsplit_once(' ') {
             Some(split) => split,
             None => return Err(at(format!("sample without a value: {line:?}"))),
@@ -253,6 +342,9 @@ pub fn validate_prometheus(text: &str) -> Result<(), String> {
             .ok_or_else(|| at(format!("sample {name:?} with HELP but no TYPE")))?;
         if !fam.help {
             return Err(at(format!("sample {name:?} without a HELP line")));
+        }
+        if exemplar.is_some() && !(typed == "histogram" && kind == "bucket") {
+            return Err(at(format!("exemplar on a non-bucket sample of {name:?}")));
         }
         match (typed.as_str(), kind, label) {
             ("histogram", "bucket", Some(label)) => {
@@ -339,6 +431,15 @@ pub fn metrics_json(snap: &MetricsSnapshot) -> String {
                 format!("{:.4}", json_f64(h.quantile(q))),
             ));
         }
+        if let Some(&(v, trace)) = h.exemplars.first() {
+            // The slowest traced observation: value + the trace id to
+            // pull up in the chrome trace.
+            pairs.push((
+                format!("{}_slowest_value", h.name),
+                format!("{:.4}", json_f64(v)),
+            ));
+            pairs.push((format!("{}_slowest_trace", h.name), trace.to_string()));
+        }
     }
     let mut out = String::new();
     out.push_str("{\n  \"generated_by\": \"capman-obs\",\n  \"metrics\": [\n    {\n");
@@ -377,6 +478,41 @@ mod tests {
         assert!(json.contains("\"ph\": \"i\""));
         assert!(json.contains("\"droppedSpans\": 0"));
         assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_flow_links_as_paired_arcs() {
+        let t = Tracer::new(64);
+        let ctx = t.begin_trace("submit", 1);
+        let pick = t.event_in("pick", 1, ctx.trace);
+        let link_id = t.link("queue_flow", ctx.origin, pick, ctx.trace);
+        assert_ne!(link_id, 0);
+        let json = chrome_trace(&t.drain());
+        balanced(&json);
+        assert!(json.contains("\"ph\": \"s\""), "flow start, got:\n{json}");
+        assert!(json.contains("\"ph\": \"f\""), "flow finish");
+        assert!(json.contains("\"bp\": \"e\""), "finish binds enclosing");
+        assert!(json.contains(&format!("\"id\": {link_id}")));
+        assert!(
+            json.contains(&format!("\"trace\": {}", ctx.trace)),
+            "records carry their trace id"
+        );
+        assert_eq!(
+            json.matches("\"cat\": \"flow\"").count(),
+            2,
+            "one link, two flow events"
+        );
+    }
+
+    #[test]
+    fn chrome_trace_skips_links_whose_endpoints_were_dropped() {
+        let t = Tracer::new(64);
+        // Endpoint ids that exist in the id space but not in this drain
+        // (simulating ring overflow having evicted them).
+        t.link("dangling", 1_000_001, 1_000_002, 5);
+        let json = chrome_trace(&t.drain());
+        balanced(&json);
+        assert!(!json.contains("\"cat\": \"flow\""), "no arc to draw");
     }
 
     #[test]
@@ -455,6 +591,7 @@ mod tests {
             counts: vec![0, 0],
             sum: 0.0,
             count: 0,
+            exemplars: Vec::new(),
         };
         assert_eq!(empty.quantile(0.5), 0.0);
     }
@@ -477,6 +614,80 @@ mod tests {
         validate_prometheus(&text).expect("export must pass its own validator");
         // An empty export is trivially valid.
         validate_prometheus("").expect("empty scrape is valid");
+    }
+
+    #[test]
+    fn help_escape_round_trips_the_hostile_cases() {
+        // Satellite: backslash, newline, and quote in help strings must
+        // survive export without corrupting the scrape. Quotes are legal
+        // verbatim in HELP text; backslash and newline must be escaped.
+        let cases: [(&str, &str); 4] = [
+            ("tricky_a_total", "a \\ lone backslash"),
+            ("tricky_b_total", "line one\nline two"),
+            ("tricky_c_total", "says \"quoted\" things"),
+            ("tricky_d_total", "all three: \\ then\nthen \"q\""),
+        ];
+        let r = Registry::new();
+        for (name, help) in cases {
+            r.counter(name, help).add(1);
+        }
+        let text = prometheus_text(&r.snapshot());
+        validate_prometheus(&text).expect("hostile help strings still validate");
+        assert!(text.contains("# HELP tricky_a_total a \\\\ lone backslash"));
+        assert!(text.contains("# HELP tricky_b_total line one\\nline two"));
+        assert!(
+            text.contains("# HELP tricky_c_total says \"quoted\" things"),
+            "quotes pass through verbatim in help text"
+        );
+        assert!(text.contains("# HELP tricky_d_total all three: \\\\ then\\nthen \"q\""));
+        // Round-trip: un-escaping each exported HELP line recovers the
+        // original string exactly.
+        for (name, help) in cases {
+            let line = text
+                .lines()
+                .find(|l| l.starts_with(&format!("# HELP {name} ")))
+                .expect("HELP line exported");
+            let escaped = line
+                .strip_prefix(&format!("# HELP {name} "))
+                .expect("prefix checked");
+            let mut unescaped = String::new();
+            let mut chars = escaped.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    match chars.next() {
+                        Some('\\') => unescaped.push('\\'),
+                        Some('n') => unescaped.push('\n'),
+                        other => panic!("unknown escape \\{other:?} in {line:?}"),
+                    }
+                } else {
+                    unescaped.push(c);
+                }
+            }
+            assert_eq!(unescaped, help, "round trip for {name}");
+        }
+    }
+
+    #[test]
+    fn bucket_exemplars_export_and_validate() {
+        let r = Registry::new();
+        let h = r.histogram("stale_s", "Staleness", &[1.0, 10.0]);
+        h.observe_with_exemplar(0.5, 41); // le="1" bucket
+        h.observe_with_exemplar(50.0, 42); // +Inf bucket
+        let snap = r.snapshot();
+        let text = prometheus_text(&snap);
+        assert!(
+            text.contains("stale_s_bucket{le=\"1\"} 1 # {trace_id=\"41\"} 0.5"),
+            "finite bucket carries its exemplar, got:\n{text}"
+        );
+        assert!(
+            text.contains("stale_s_bucket{le=\"+Inf\"} 2 # {trace_id=\"42\"} 50"),
+            "+Inf bucket carries the overflow exemplar, got:\n{text}"
+        );
+        validate_prometheus(&text).expect("exemplar suffixes validate");
+        let json = metrics_json(&snap);
+        balanced(&json);
+        assert!(json.contains("\"stale_s_slowest_value\": 50.0000"));
+        assert!(json.contains("\"stale_s_slowest_trace\": 42"));
     }
 
     #[test]
@@ -513,5 +724,26 @@ mod tests {
         );
         // An unescaped multi-line help string leaks a bogus sample line.
         assert!(validate_prometheus("# HELP a_total first\nsecond line\n").is_err());
+        // Exemplars are only legal on histogram bucket lines.
+        assert!(
+            validate_prometheus(
+                "# HELP c_total C\n# TYPE c_total counter\nc_total 1 # {trace_id=\"9\"} 1\n"
+            )
+            .unwrap_err()
+            .contains("non-bucket"),
+            "counter exemplar rejected"
+        );
+        // A malformed exemplar (no label set) is rejected.
+        let bad_ex = "# HELP h H\n# TYPE h histogram\n\
+             h_bucket{le=\"+Inf\"} 1 # trace_id 0.5\nh_sum 0.5\nh_count 1\n";
+        assert!(validate_prometheus(bad_ex)
+            .unwrap_err()
+            .contains("exemplar"));
+        // A non-finite exemplar value is rejected.
+        let inf_ex = "# HELP h H\n# TYPE h histogram\n\
+             h_bucket{le=\"+Inf\"} 1 # {trace_id=\"9\"} inf\nh_sum 0.5\nh_count 1\n";
+        assert!(validate_prometheus(inf_ex)
+            .unwrap_err()
+            .contains("non-finite exemplar"));
     }
 }

@@ -1,0 +1,519 @@
+//! The flight recorder: an always-on, bounded postmortem buffer.
+//!
+//! Aggregate metrics say *that* a soak degraded; the flight recorder
+//! keeps enough recent evidence to say *why*. It holds three rolling
+//! windows — recent span records (absorbed from [`Tracer::drain`]
+//! drains), recent registry snapshots, and recent completed request
+//! traces with their critical-path phase decomposition — plus the SLO
+//! verdict ledger, all bounded so a week-long soak costs the same
+//! memory as a short one.
+//!
+//! [`FlightRecorder::dump`] writes a postmortem **bundle** (chrome
+//! trace + Prometheus scrape + metrics JSON + verdicts + per-trace
+//! critical paths + a manifest) to a directory. Dumps fire on panic
+//! (via [`FlightRecorder::arm_panic_hook`]), when the serve SLO monitor
+//! flips into Degraded/Shedding, or on explicit trigger — so an
+//! overload failure in CI ships its own evidence as an artifact.
+//!
+//! [`Tracer::drain`]: crate::trace::Tracer::drain
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+use crate::export::{chrome_trace, metrics_json, prometheus_text};
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{SpanRecord, TraceDrain};
+
+/// Bounds and destination for a [`FlightRecorder`].
+#[derive(Debug, Clone, Default)]
+pub struct FlightConfig {
+    /// Where [`FlightRecorder::dump`] writes bundles. `None` (the
+    /// default) keeps the recorder memory-only: it still accumulates,
+    /// `dump` becomes a no-op returning `Ok(None)`.
+    pub dir: Option<PathBuf>,
+    /// Span records retained (0 picks the default, 65 536).
+    pub max_records: usize,
+    /// Registry snapshots retained (0 picks the default, 8).
+    pub max_snapshots: usize,
+    /// Completed request traces retained (0 picks the default, 256).
+    pub max_traces: usize,
+    /// SLO verdict lines retained (0 picks the default, 64).
+    pub max_verdicts: usize,
+}
+
+impl FlightConfig {
+    /// A recorder that dumps bundles under `dir`, default bounds.
+    pub fn dumping_to(dir: impl Into<PathBuf>) -> Self {
+        FlightConfig {
+            dir: Some(dir.into()),
+            ..FlightConfig::default()
+        }
+    }
+
+    fn records_cap(&self) -> usize {
+        if self.max_records == 0 {
+            65_536
+        } else {
+            self.max_records
+        }
+    }
+
+    fn snapshots_cap(&self) -> usize {
+        if self.max_snapshots == 0 {
+            8
+        } else {
+            self.max_snapshots
+        }
+    }
+
+    fn traces_cap(&self) -> usize {
+        if self.max_traces == 0 {
+            256
+        } else {
+            self.max_traces
+        }
+    }
+
+    fn verdicts_cap(&self) -> usize {
+        if self.max_verdicts == 0 {
+            64
+        } else {
+            self.max_verdicts
+        }
+    }
+}
+
+/// One served request's closed trace: the monotone timestamps of its
+/// lifecycle hops, from which the critical-path phases are derived.
+///
+/// The constructor clamps the timestamps into monotone order, so the
+/// four phases are exact differences and
+/// [`phase_sum`](CompletedTrace::phase_sum) telescopes to
+/// [`staleness_s`](CompletedTrace::staleness_s) *identically* — the
+/// decomposition cannot leak or invent time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedTrace {
+    /// The trace id (resolves into the span drain / chrome trace).
+    pub trace: u64,
+    /// Cohort the request calibrated.
+    pub cohort: usize,
+    /// Simulated time the request was first submitted.
+    pub submitted_s: f64,
+    /// When the scheduler first considered (and passed over or took)
+    /// the request — the end of pure queue wait.
+    pub queue_end_s: f64,
+    /// When the scheduler picked the request for solving.
+    pub picked_s: f64,
+    /// When the solved calibration was published.
+    pub published_s: f64,
+    /// When a device adopted the publication, closing the trace.
+    pub adopted_s: f64,
+}
+
+impl CompletedTrace {
+    /// Build a trace from raw timestamps, clamping them monotone
+    /// (`submitted ≤ queue_end ≤ picked ≤ published ≤ adopted`).
+    pub fn new(
+        trace: u64,
+        cohort: usize,
+        submitted_s: f64,
+        queue_end_s: f64,
+        picked_s: f64,
+        published_s: f64,
+        adopted_s: f64,
+    ) -> Self {
+        let queue_end_s = queue_end_s.max(submitted_s);
+        let picked_s = picked_s.max(queue_end_s);
+        let published_s = published_s.max(picked_s);
+        let adopted_s = adopted_s.max(published_s);
+        CompletedTrace {
+            trace,
+            cohort,
+            submitted_s,
+            queue_end_s,
+            picked_s,
+            published_s,
+            adopted_s,
+        }
+    }
+
+    /// Pure queue wait: submission to first scheduler consideration.
+    pub fn queue_s(&self) -> f64 {
+        self.queue_end_s - self.submitted_s
+    }
+
+    /// Lane wait: first consideration to the winning pick (time spent
+    /// being passed over by higher-ranked lanes).
+    pub fn lane_s(&self) -> f64 {
+        self.picked_s - self.queue_end_s
+    }
+
+    /// Solve time: pick to publication.
+    pub fn solve_s(&self) -> f64 {
+        self.published_s - self.picked_s
+    }
+
+    /// Adoption lag: publication to a device adopting it.
+    pub fn publish_adopt_s(&self) -> f64 {
+        self.adopted_s - self.published_s
+    }
+
+    /// The four phases in order (queue, lane, solve, publish→adopt).
+    pub fn phases(&self) -> [f64; 4] {
+        [
+            self.queue_s(),
+            self.lane_s(),
+            self.solve_s(),
+            self.publish_adopt_s(),
+        ]
+    }
+
+    /// Sum of the four phases — identically
+    /// [`staleness_s`](CompletedTrace::staleness_s) by construction.
+    pub fn phase_sum(&self) -> f64 {
+        self.phases().iter().sum()
+    }
+
+    /// End-to-end served staleness: submission to adoption.
+    pub fn staleness_s(&self) -> f64 {
+        self.adopted_s - self.submitted_s
+    }
+
+    /// One line for `traces.txt`: the trace id and its critical path.
+    pub fn line(&self) -> String {
+        format!(
+            "trace {} cohort {}: staleness {:.3} s = queue {:.3} + lane {:.3} + solve {:.3} + publish_adopt {:.3}",
+            self.trace,
+            self.cohort,
+            self.staleness_s(),
+            self.queue_s(),
+            self.lane_s(),
+            self.solve_s(),
+            self.publish_adopt_s()
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    records: VecDeque<SpanRecord>,
+    dropped: u64,
+    snapshots: VecDeque<MetricsSnapshot>,
+    traces: VecDeque<CompletedTrace>,
+    verdicts: VecDeque<String>,
+}
+
+/// The bounded postmortem buffer (see the module docs).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    config: FlightConfig,
+    state: Mutex<FlightState>,
+    bundles: Mutex<Vec<PathBuf>>,
+    dump_seq: AtomicU64,
+}
+
+/// Recorders armed for panic dumps. `Weak` so a recorder dropped with
+/// its soak does not leak through the process-lifetime hook.
+static ARMED: Mutex<Vec<Weak<FlightRecorder>>> = Mutex::new(Vec::new());
+
+impl FlightRecorder {
+    /// A recorder with the given bounds and dump destination.
+    pub fn new(config: FlightConfig) -> Arc<Self> {
+        Arc::new(FlightRecorder {
+            config,
+            state: Mutex::new(FlightState::default()),
+            bundles: Mutex::new(Vec::new()),
+            dump_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Fold a drain into the rolling span window. Oldest records fall
+    /// off the front and count as dropped, like the tracer's own rings.
+    pub fn absorb(&self, drain: TraceDrain) {
+        let cap = self.config.records_cap();
+        let mut st = self.state.lock().expect("flight state poisoned");
+        st.dropped += drain.dropped;
+        for r in drain.records {
+            if st.records.len() == cap {
+                st.records.pop_front();
+                st.dropped += 1;
+            }
+            st.records.push_back(r);
+        }
+    }
+
+    /// Retain a registry snapshot (rolling, newest last).
+    pub fn note_metrics(&self, snap: MetricsSnapshot) {
+        let cap = self.config.snapshots_cap();
+        let mut st = self.state.lock().expect("flight state poisoned");
+        if st.snapshots.len() == cap {
+            st.snapshots.pop_front();
+        }
+        st.snapshots.push_back(snap);
+    }
+
+    /// Retain a completed request trace (rolling, newest last).
+    pub fn note_trace(&self, trace: CompletedTrace) {
+        let cap = self.config.traces_cap();
+        let mut st = self.state.lock().expect("flight state poisoned");
+        if st.traces.len() == cap {
+            st.traces.pop_front();
+        }
+        st.traces.push_back(trace);
+    }
+
+    /// Retain an SLO verdict line (rolling, newest last).
+    pub fn note_verdict(&self, verdict: String) {
+        let cap = self.config.verdicts_cap();
+        let mut st = self.state.lock().expect("flight state poisoned");
+        if st.verdicts.len() == cap {
+            st.verdicts.pop_front();
+        }
+        st.verdicts.push_back(verdict);
+    }
+
+    /// The retained completed traces, oldest first.
+    pub fn completed(&self) -> Vec<CompletedTrace> {
+        self.state
+            .lock()
+            .expect("flight state poisoned")
+            .traces
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// A copy of the retained span window as a drain (sorted by
+    /// `(start_ns, id)` like a tracer drain), for export or validation.
+    pub fn trace_view(&self) -> TraceDrain {
+        let st = self.state.lock().expect("flight state poisoned");
+        let mut records: Vec<SpanRecord> = st.records.iter().cloned().collect();
+        records.sort_by_key(|r| (r.start_ns, r.id));
+        TraceDrain {
+            records,
+            dropped: st.dropped,
+        }
+    }
+
+    /// Bundles written so far, in dump order.
+    pub fn bundles(&self) -> Vec<PathBuf> {
+        self.bundles.lock().expect("bundle list poisoned").clone()
+    }
+
+    /// Write a postmortem bundle — `trace.json`, `metrics.prom`,
+    /// `metrics.json`, `verdicts.txt`, `traces.txt`, `MANIFEST.json` —
+    /// to a fresh `flight-<seq>-<reason>/` directory under the
+    /// configured dump dir. Returns the bundle path, or `Ok(None)` for
+    /// a memory-only recorder. The retained evidence is *not* cleared:
+    /// a later dump supersedes an earlier one.
+    pub fn dump(&self, reason: &str) -> io::Result<Option<PathBuf>> {
+        let Some(dir) = &self.config.dir else {
+            return Ok(None);
+        };
+        let seq = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let slug: String = reason
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let bundle = dir.join(format!("flight-{seq}-{slug}"));
+        std::fs::create_dir_all(&bundle)?;
+        let (trace, latest_metrics, traces_txt, verdicts_txt, manifest) = {
+            let st = self.state.lock().expect("flight state poisoned");
+            let mut records: Vec<SpanRecord> = st.records.iter().cloned().collect();
+            records.sort_by_key(|r| (r.start_ns, r.id));
+            let trace = TraceDrain {
+                records,
+                dropped: st.dropped,
+            };
+            let latest = st.snapshots.back().cloned().unwrap_or_default();
+            let traces_txt: String = st
+                .traces
+                .iter()
+                .map(|t| t.line() + "\n")
+                .collect::<String>();
+            let verdicts_txt: String = st.verdicts.iter().map(|v| v.clone() + "\n").collect();
+            let manifest = format!(
+                "{{\n  \"reason\": \"{}\",\n  \"seq\": {seq},\n  \"span_records\": {},\n  \
+                 \"spans_dropped\": {},\n  \"metric_snapshots\": {},\n  \
+                 \"completed_traces\": {},\n  \"verdicts\": {}\n}}\n",
+                crate::export::json_escape(reason),
+                trace.records.len(),
+                trace.dropped,
+                st.snapshots.len(),
+                st.traces.len(),
+                st.verdicts.len(),
+            );
+            (trace, latest, traces_txt, verdicts_txt, manifest)
+        };
+        std::fs::write(bundle.join("trace.json"), chrome_trace(&trace))?;
+        std::fs::write(
+            bundle.join("metrics.prom"),
+            prometheus_text(&latest_metrics),
+        )?;
+        std::fs::write(bundle.join("metrics.json"), metrics_json(&latest_metrics))?;
+        std::fs::write(bundle.join("traces.txt"), traces_txt)?;
+        std::fs::write(bundle.join("verdicts.txt"), verdicts_txt)?;
+        std::fs::write(bundle.join("MANIFEST.json"), manifest)?;
+        self.bundles
+            .lock()
+            .expect("bundle list poisoned")
+            .push(bundle.clone());
+        Ok(Some(bundle))
+    }
+
+    /// Arm this recorder for panic dumps: a process-wide panic hook
+    /// (installed once, chaining the pre-existing hook) dumps every
+    /// armed, still-live recorder with reason `"panic"` before the
+    /// original hook reports the panic. Arming is idempotent per
+    /// recorder; recorders are held weakly, so dropping one disarms it.
+    pub fn arm_panic_hook(self: &Arc<Self>) {
+        {
+            let mut armed = ARMED.lock().expect("armed list poisoned");
+            armed.retain(|w| w.strong_count() > 0);
+            if !armed.iter().any(|w| w.as_ptr() == Arc::as_ptr(self)) {
+                armed.push(Arc::downgrade(self));
+            }
+        }
+        static HOOKED: OnceLock<()> = OnceLock::new();
+        HOOKED.get_or_init(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let armed: Vec<Arc<FlightRecorder>> = ARMED
+                    .lock()
+                    .map(|list| list.iter().filter_map(Weak::upgrade).collect())
+                    .unwrap_or_default();
+                for recorder in armed {
+                    // Best effort: a failed dump must not mask the
+                    // panic being reported.
+                    let _ = recorder.dump("panic");
+                }
+                previous(info);
+            }));
+        });
+    }
+
+    /// The configured dump directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.config.dir.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_prometheus;
+    use crate::metrics::Registry;
+    use crate::trace::Tracer;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("capman-flight-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn completed_trace_phases_telescope_to_staleness() {
+        let t = CompletedTrace::new(7, 2, 10.0, 12.0, 15.0, 20.0, 26.0);
+        assert_eq!(t.queue_s(), 2.0);
+        assert_eq!(t.lane_s(), 3.0);
+        assert_eq!(t.solve_s(), 5.0);
+        assert_eq!(t.publish_adopt_s(), 6.0);
+        assert_eq!(t.phase_sum(), t.staleness_s());
+        // Out-of-order timestamps are clamped monotone, and the
+        // telescoping identity still holds exactly.
+        let clamped = CompletedTrace::new(8, 0, 10.0, 9.0, 8.0, 30.0, 25.0);
+        assert_eq!(clamped.queue_s(), 0.0);
+        assert_eq!(clamped.lane_s(), 0.0);
+        assert_eq!(clamped.phase_sum(), clamped.staleness_s());
+        assert!(clamped.line().contains("trace 8"));
+    }
+
+    #[test]
+    fn rolling_windows_are_bounded() {
+        let rec = FlightRecorder::new(FlightConfig {
+            max_records: 4,
+            max_traces: 2,
+            max_verdicts: 2,
+            max_snapshots: 2,
+            ..FlightConfig::default()
+        });
+        let t = Tracer::new(64);
+        for i in 0..6u64 {
+            t.event("e", i);
+        }
+        rec.absorb(t.drain());
+        let view = rec.trace_view();
+        assert_eq!(view.records.len(), 4);
+        assert_eq!(view.dropped, 2, "evictions counted");
+        assert_eq!(
+            view.records.iter().map(|r| r.arg).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5],
+            "oldest records fell off"
+        );
+        for i in 0..3 {
+            rec.note_trace(CompletedTrace::new(i, 0, 0.0, 0.0, 0.0, 0.0, 1.0));
+            rec.note_verdict(format!("verdict {i}"));
+            rec.note_metrics(MetricsSnapshot::default());
+        }
+        assert_eq!(rec.completed().len(), 2);
+        assert_eq!(rec.completed()[0].trace, 1, "oldest trace evicted");
+    }
+
+    #[test]
+    fn memory_only_recorder_dumps_nothing() {
+        let rec = FlightRecorder::new(FlightConfig::default());
+        assert!(rec.dump("whatever").expect("no-op dump").is_none());
+        assert!(rec.bundles().is_empty());
+    }
+
+    #[test]
+    fn dump_writes_a_bundle_that_validates() {
+        let dir = temp_dir("bundle");
+        let rec = FlightRecorder::new(FlightConfig::dumping_to(&dir));
+        let t = Tracer::new(64);
+        let ctx = t.begin_trace("submit", 0);
+        let pick = t.event_in("pick", 0, ctx.trace);
+        t.link("queue_flow", ctx.origin, pick, ctx.trace);
+        rec.absorb(t.drain());
+        let r = Registry::new();
+        r.counter("solves_total", "Solves").add(1);
+        let h = r.histogram("stale_s", "Staleness", &[1.0, 10.0]);
+        h.observe_with_exemplar(5.0, ctx.trace);
+        rec.note_metrics(r.snapshot());
+        rec.note_trace(CompletedTrace::new(ctx.trace, 0, 0.0, 1.0, 2.0, 3.0, 5.0));
+        rec.note_verdict("mode=degraded breached=true".to_string());
+        let bundle = rec
+            .dump("slo: Degraded!")
+            .expect("dump io")
+            .expect("dir configured");
+        assert!(bundle.ends_with("flight-0-slo--degraded-"));
+        let trace_json =
+            std::fs::read_to_string(bundle.join("trace.json")).expect("trace.json written");
+        assert!(
+            trace_json.contains("\"cat\": \"flow\""),
+            "arc survived the dump"
+        );
+        let prom = std::fs::read_to_string(bundle.join("metrics.prom")).expect("scrape written");
+        validate_prometheus(&prom).expect("bundled scrape validates");
+        assert!(prom.contains(&format!("trace_id=\"{}\"", ctx.trace)));
+        let traces = std::fs::read_to_string(bundle.join("traces.txt")).expect("traces written");
+        assert!(traces.contains(&format!("trace {}", ctx.trace)));
+        let manifest =
+            std::fs::read_to_string(bundle.join("MANIFEST.json")).expect("manifest written");
+        assert!(manifest.contains("\"reason\": \"slo: Degraded!\""));
+        assert_eq!(rec.bundles(), vec![bundle]);
+        // A second dump gets its own directory.
+        let second = rec.dump("again").expect("dump io").expect("dir configured");
+        assert!(second.ends_with("flight-1-again"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

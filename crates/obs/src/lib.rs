@@ -38,11 +38,13 @@
 //! gates the *global* hooks below.
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod trace;
 
+pub use flight::{CompletedTrace, FlightConfig, FlightRecorder};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
-pub use trace::{SpanGuard, SpanRecord, TraceDrain, Tracer};
+pub use trace::{RecordKind, SpanGuard, SpanRecord, TraceCtx, TraceDrain, Tracer};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -102,6 +104,50 @@ pub fn event(label: &'static str, arg: u64) {
     if enabled() {
         tracer().event(label, arg);
     }
+}
+
+/// Mint a trace context on the global tracer, recording its origin
+/// event (see [`Tracer::begin_trace`]). Returns [`TraceCtx::NONE`]
+/// when observability is disabled, so carrying the context is free in
+/// the uninstrumented build.
+#[inline]
+pub fn begin_trace(label: &'static str, arg: u64) -> TraceCtx {
+    if !enabled() {
+        return TraceCtx::NONE;
+    }
+    tracer().begin_trace(label, arg)
+}
+
+/// Open a span belonging to `trace` on the global tracer (see
+/// [`Tracer::span_in`]; `None` when disabled or sampled out).
+#[inline]
+pub fn span_in(label: &'static str, arg: u64, trace: u64) -> Option<SpanGuard> {
+    if !enabled() {
+        return None;
+    }
+    tracer().span_in(label, arg, trace)
+}
+
+/// Record an instant event belonging to `trace` on the global tracer.
+/// Returns the record id (0 when disabled or sampled out) for use as a
+/// flow-link endpoint.
+#[inline]
+pub fn event_in(label: &'static str, arg: u64, trace: u64) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    tracer().event_in(label, arg, trace)
+}
+
+/// Record a cross-thread flow link on the global tracer (see
+/// [`Tracer::link`]; no-op returning 0 when disabled or either
+/// endpoint is 0).
+#[inline]
+pub fn link(label: &'static str, from: u64, to: u64, trace: u64) -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    tracer().link(label, from, to, trace)
 }
 
 /// Record every `every`-th span per thread on the global tracer

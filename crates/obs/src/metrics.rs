@@ -160,15 +160,29 @@ struct HistShard {
     sum_bits: AtomicU64,
 }
 
+/// How many exemplars a histogram retains: the slowest
+/// [`MAX_EXEMPLARS`] traced observations since the last reset.
+pub const MAX_EXEMPLARS: usize = 4;
+
 /// A fixed-bucket histogram. Bucket `i` counts observations `v` with
 /// `v <= bounds[i]` (and above the previous bound); one implicit
 /// `+Inf` bucket catches the rest, Prometheus-style.
+///
+/// Histograms can also carry **exemplars**: the slowest-N traced
+/// observations (`(value, trace_id)` pairs, see
+/// [`observe_with_exemplar`](Histogram::observe_with_exemplar)), so a
+/// bad p99 in a scrape points at a concrete trace id to pull up in the
+/// span drain.
 #[derive(Debug)]
 pub struct Histogram {
     name: String,
     help: String,
     bounds: Vec<f64>,
     shards: Vec<HistShard>,
+    /// Slowest-N `(value, trace)` pairs, sorted descending by value.
+    /// A Mutex is fine here: it is touched only by traced observations
+    /// that beat the current floor — a cold path by construction.
+    exemplars: Mutex<Vec<(f64, u64)>>,
 }
 
 impl Histogram {
@@ -192,6 +206,7 @@ impl Histogram {
                     sum_bits: AtomicU64::new(0.0f64.to_bits()),
                 })
                 .collect(),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 
@@ -230,6 +245,46 @@ impl Histogram {
                 Err(seen) => cur = seen,
             }
         }
+    }
+
+    /// Record one observation and, when `trace` is non-zero and the
+    /// value beats (or the buffer has room under) the current slowest-N
+    /// floor, retain `(v, trace)` as an exemplar. The bucket/sum update
+    /// is identical to [`observe`](Histogram::observe); the exemplar
+    /// path takes a mutex only when the observation actually qualifies.
+    pub fn observe_with_exemplar(&self, v: f64, trace: u64) {
+        self.observe(v);
+        if trace == 0 || !v.is_finite() {
+            return;
+        }
+        // Racy pre-check against the floor keeps the hot path lock-free;
+        // the locked re-check keeps the buffer correct.
+        let mut ex = self.exemplars.lock().expect("exemplar buffer poisoned");
+        if ex.len() >= MAX_EXEMPLARS && ex.last().is_some_and(|&(floor, _)| v <= floor) {
+            return;
+        }
+        let at = ex.partition_point(|&(have, _)| have > v);
+        ex.insert(at, (v, trace));
+        ex.truncate(MAX_EXEMPLARS);
+    }
+
+    /// The retained exemplars: up to [`MAX_EXEMPLARS`] `(value, trace)`
+    /// pairs, slowest first.
+    pub fn exemplars(&self) -> Vec<(f64, u64)> {
+        self.exemplars
+            .lock()
+            .expect("exemplar buffer poisoned")
+            .clone()
+    }
+
+    /// Clear the exemplar buffer (bucket counts and sums are untouched).
+    /// The soak harness calls this at window boundaries so exemplars
+    /// mean "slowest of the current window", not of all time.
+    pub fn reset_exemplars(&self) {
+        self.exemplars
+            .lock()
+            .expect("exemplar buffer poisoned")
+            .clear();
     }
 
     /// Non-cumulative per-bucket counts (length `bounds.len() + 1`; the
@@ -298,6 +353,8 @@ pub struct HistogramSnapshot {
     pub sum: f64,
     /// Number of observations.
     pub count: u64,
+    /// Slowest-N traced observations, `(value, trace)` slowest first.
+    pub exemplars: Vec<(f64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -397,6 +454,20 @@ impl Registry {
         created
     }
 
+    /// Clear every histogram's exemplar buffer — a window boundary in
+    /// the soak harness. Bucket counts, sums, counters, and gauges are
+    /// untouched.
+    pub fn reset_exemplars(&self) {
+        for h in self
+            .histograms
+            .lock()
+            .expect("histogram directory poisoned")
+            .iter()
+        {
+            h.reset_exemplars();
+        }
+    }
+
     /// Copy out every metric, sorted by name within each kind.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counters: Vec<(String, String, u64)> = self
@@ -427,6 +498,7 @@ impl Registry {
                 counts: h.bucket_counts(),
                 sum: h.sum(),
                 count: h.count(),
+                exemplars: h.exemplars(),
             })
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
@@ -482,6 +554,59 @@ mod tests {
         // The +Inf bucket reports the largest finite bound.
         assert_eq!(h.quantile(1.0), 100.0);
         assert_eq!(h.quantile(0.0), 1.0, "rank clamps to the first sample");
+    }
+
+    #[test]
+    fn all_observations_in_the_overflow_bucket_pin_the_top_finite_bound() {
+        // Regression: when every observation lands in the implicit +Inf
+        // bucket, every quantile must report the largest finite bound —
+        // never NaN, never infinity.
+        let r = Registry::new();
+        let h = r.histogram("over", "Overflow only", &[1.0, 10.0]);
+        for _ in 0..5 {
+            h.observe(1e9);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let live = h.quantile(q);
+            assert!(live.is_finite(), "live quantile({q}) must be finite");
+            assert_eq!(live, 10.0, "live quantile({q}) is the top finite bound");
+        }
+        let snap = r.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.counts, vec![0, 0, 5]);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let from_snap = hs.quantile(q);
+            assert!(
+                from_snap.is_finite(),
+                "snapshot quantile({q}) must be finite"
+            );
+            assert_eq!(from_snap, 10.0, "snapshot matches the live histogram");
+        }
+    }
+
+    #[test]
+    fn exemplars_keep_the_slowest_traced_observations() {
+        let r = Registry::new();
+        let h = r.histogram("stale_s", "Staleness", &[1.0, 10.0]);
+        h.observe(100.0); // untraced: never an exemplar
+        for (v, trace) in [(2.0, 11), (9.0, 12), (1.0, 13), (5.0, 14), (7.0, 15)] {
+            h.observe_with_exemplar(v, trace);
+        }
+        h.observe_with_exemplar(3.0, 0); // trace 0: not an exemplar
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), MAX_EXEMPLARS);
+        assert_eq!(ex[0], (9.0, 12), "slowest first");
+        assert_eq!(
+            ex.iter().map(|&(_, t)| t).collect::<Vec<_>>(),
+            vec![12, 15, 14, 11],
+            "the fastest traced observation fell off"
+        );
+        assert_eq!(h.count(), 7, "every observation still counts");
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms[0].exemplars, ex);
+        r.reset_exemplars();
+        assert!(h.exemplars().is_empty());
+        assert_eq!(h.count(), 7, "reset only touches exemplars");
     }
 
     #[test]

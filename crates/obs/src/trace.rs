@@ -1,5 +1,6 @@
 //! The span tracer: per-thread ring buffers of `(span, parent, label,
-//! t_start, t_end)` records.
+//! t_start, t_end)` records, plus causal **trace contexts** and
+//! cross-thread **flow links**.
 //!
 //! Recording is designed for the fleet's threading model: every thread
 //! owns one ring buffer, a span push touches only the owning thread's
@@ -17,6 +18,27 @@
 //! calibration solves nested inside shard execution. Zero-length
 //! *events* ([`Tracer::event`]) mark instants (pool request / publish /
 //! adopt hops) with the same parent correlation.
+//!
+//! # Causal tracing
+//!
+//! Parent edges only connect records **within** one thread. A request's
+//! lifecycle (device submit → scheduler pick → worker solve → publish →
+//! device adopt) hops threads, so two extra mechanisms stitch it back
+//! together:
+//!
+//! * every record carries a **trace id** ([`SpanRecord::trace`], 0 =
+//!   untraced). [`Tracer::begin_trace`] mints a fresh id and records the
+//!   origin event in one step, returning a [`TraceCtx`] small enough to
+//!   ride on the request itself;
+//! * [`Tracer::link`] records an explicit **flow link** from one record
+//!   to another ([`RecordKind::Link`]), which the Chrome exporter turns
+//!   into `ph:"s"` / `ph:"f"` flow events so Perfetto draws one
+//!   connected arc per request across threads.
+//!
+//! [`validate`] treats a record whose parent was overwritten by ring
+//! overflow (or drained earlier) as a **root**, not an error — causality
+//! is best-effort by design; only structural corruption (duplicate ids,
+//! negative intervals, cross-thread or escaping parents) fails.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -24,8 +46,28 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// One completed span (or instant event, when `end_ns == start_ns` and
-/// `is_event` is set).
+/// What a [`SpanRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// An interval (`start_ns..end_ns`).
+    Span,
+    /// An instant event (`end_ns == start_ns`).
+    Event,
+    /// A cross-thread flow link: causality flows from record `from` to
+    /// record `to`. The link itself is an instant on the recording
+    /// thread; its endpoints may live on any thread (and may have been
+    /// dropped by ring overflow — exporters skip a link whose endpoints
+    /// are missing).
+    Link {
+        /// Source record id (where the flow starts).
+        from: u64,
+        /// Destination record id (where the flow lands).
+        to: u64,
+    },
+}
+
+/// One completed record: a span interval, an instant event, or a flow
+/// link (see [`RecordKind`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Process-unique span id (never 0).
@@ -42,8 +84,33 @@ pub struct SpanRecord {
     pub thread: u64,
     /// Free numeric payload (cohort index, shard index, level size...).
     pub arg: u64,
-    /// Whether this is an instant event rather than an interval.
-    pub is_event: bool,
+    /// Trace id this record belongs to, 0 for untraced records.
+    pub trace: u64,
+    /// Span, event, or flow link.
+    pub kind: RecordKind,
+}
+
+/// A minted trace context: the trace id plus the origin record, small
+/// enough to ride on a request across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCtx {
+    /// The trace id (0 = no trace).
+    pub trace: u64,
+    /// Id of the origin record (0 when it was sampled out).
+    pub origin: u64,
+}
+
+impl TraceCtx {
+    /// The inert context: no trace, no origin.
+    pub const NONE: TraceCtx = TraceCtx {
+        trace: 0,
+        origin: 0,
+    };
+
+    /// Whether this context carries a live trace id.
+    pub fn is_active(&self) -> bool {
+        self.trace != 0
+    }
 }
 
 #[derive(Debug, Default)]
@@ -103,6 +170,7 @@ pub struct Tracer {
     epoch: Instant,
     capacity: usize,
     next_span: AtomicU64,
+    next_trace: AtomicU64,
     next_thread: AtomicU64,
     sample_every: AtomicU32,
     rings: Mutex<Vec<Arc<ThreadRing>>>,
@@ -134,6 +202,7 @@ impl Tracer {
             epoch: Instant::now(),
             capacity,
             next_span: AtomicU64::new(1),
+            next_trace: AtomicU64::new(1),
             next_thread: AtomicU64::new(0),
             sample_every: AtomicU32::new(1),
             rings: Mutex::new(Vec::new()),
@@ -195,11 +264,32 @@ impl Tracer {
         tick.is_multiple_of(every)
     }
 
-    /// Open a span. The returned guard records the interval when it
-    /// drops; `None` means the span was sampled out. Drop the guard on
-    /// the thread that opened it (it is `!Send`, so the compiler holds
-    /// you to that).
+    /// Mint a fresh trace id (never 0). Cheap: one relaxed atomic.
+    pub fn mint_trace(&self) -> u64 {
+        self.next_trace.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Mint a trace and record its origin event in one step: the
+    /// returned [`TraceCtx`] carries both the trace id and the origin
+    /// record id (0 when the event was sampled out) and is what request
+    /// structs carry across threads.
+    pub fn begin_trace(&self, label: &'static str, arg: u64) -> TraceCtx {
+        let trace = self.mint_trace();
+        let origin = self.event_in(label, arg, trace);
+        TraceCtx { trace, origin }
+    }
+
+    /// Open an untraced span. The returned guard records the interval
+    /// when it drops; `None` means the span was sampled out. Drop the
+    /// guard on the thread that opened it (it is `!Send`, so the
+    /// compiler holds you to that).
     pub fn span(&self, label: &'static str, arg: u64) -> Option<SpanGuard> {
+        self.span_in(label, arg, 0)
+    }
+
+    /// Open a span belonging to `trace` (0 = untraced; see [`span`]
+    /// (Self::span)).
+    pub fn span_in(&self, label: &'static str, arg: u64, trace: u64) -> Option<SpanGuard> {
         self.with_ctx(|ctx| {
             if !self.sampled(ctx) {
                 return None;
@@ -215,31 +305,56 @@ impl Tracer {
                 parent,
                 label,
                 arg,
+                trace,
                 start_ns: self.now_ns(),
                 _not_send: std::marker::PhantomData,
             })
         })
     }
 
-    /// Record an instant event under the currently open span.
-    pub fn event(&self, label: &'static str, arg: u64) {
+    /// Record an untraced instant event under the currently open span.
+    /// Returns the record id (0 when sampled out).
+    pub fn event(&self, label: &'static str, arg: u64) -> u64 {
+        self.event_in(label, arg, 0)
+    }
+
+    /// Record an instant event belonging to `trace`. Returns the record
+    /// id (0 when sampled out) — flow links take it as an endpoint.
+    pub fn event_in(&self, label: &'static str, arg: u64, trace: u64) -> u64 {
+        self.push_instant(label, arg, trace, RecordKind::Event)
+    }
+
+    /// Record a flow link: causality flows from record `from` to record
+    /// `to` within `trace`. A no-op returning 0 when either endpoint is
+    /// 0 (its record was sampled out) or the link itself is sampled out.
+    pub fn link(&self, label: &'static str, from: u64, to: u64, trace: u64) -> u64 {
+        if from == 0 || to == 0 {
+            return 0;
+        }
+        self.push_instant(label, trace, trace, RecordKind::Link { from, to })
+    }
+
+    fn push_instant(&self, label: &'static str, arg: u64, trace: u64, kind: RecordKind) -> u64 {
         self.with_ctx(|ctx| {
             if !self.sampled(ctx) {
-                return;
+                return 0;
             }
             let now = self.now_ns();
+            let id = self.next_span.fetch_add(1, Ordering::Relaxed);
             let record = SpanRecord {
-                id: self.next_span.fetch_add(1, Ordering::Relaxed),
+                id,
                 parent: ctx.stack.last().copied().unwrap_or(0),
                 label,
                 start_ns: now,
                 end_ns: now,
                 thread: ctx.ring.thread,
                 arg,
-                is_event: true,
+                trace,
+                kind,
             };
             ctx.ring.push(record);
-        });
+            id
+        })
     }
 
     /// Move every completed record out of every thread's ring. Each
@@ -275,10 +390,19 @@ pub struct SpanGuard {
     parent: u64,
     label: &'static str,
     arg: u64,
+    trace: u64,
     start_ns: u64,
     /// The open-span stack is thread-local; keep the guard on its
     /// opening thread.
     _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// The span's record id — a flow-link endpoint for cross-thread
+    /// stitching.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 impl Drop for SpanGuard {
@@ -292,7 +416,8 @@ impl Drop for SpanGuard {
             end_ns: end_ns.max(self.start_ns),
             thread: self.ring.thread,
             arg: self.arg,
-            is_event: false,
+            trace: self.trace,
+            kind: RecordKind::Span,
         });
         THREAD_CTXS.with(|ctxs| {
             let mut ctxs = ctxs.borrow_mut();
@@ -311,10 +436,14 @@ impl Drop for SpanGuard {
 }
 
 /// Check that a drained record set is well-formed: ids unique, every
-/// interval non-negative, and every non-root span contained in a parent
-/// on the same thread. Meaningful on drains with `dropped == 0` and all
-/// guards closed (a dropped or still-open parent is reported as
-/// missing).
+/// interval non-negative, and every non-root record whose parent is
+/// **present** contained in that parent on the same thread.
+///
+/// A record whose parent is *missing* — overwritten by ring overflow,
+/// drained earlier, or its guard still open — degrades to a **root**
+/// and passes: causality is best-effort and merged multi-thread drains
+/// with partial histories must stay valid. Flow links are likewise
+/// lenient about missing endpoints (exporters simply skip them).
 pub fn validate(records: &[SpanRecord]) -> Result<(), String> {
     use std::collections::HashMap;
     let mut by_id: HashMap<u64, &SpanRecord> = HashMap::with_capacity(records.len());
@@ -325,6 +454,14 @@ pub fn validate(records: &[SpanRecord]) -> Result<(), String> {
         if r.end_ns < r.start_ns {
             return Err(format!("span {} ({}) ends before it starts", r.id, r.label));
         }
+        if let RecordKind::Link { from, to } = r.kind {
+            if from == 0 || to == 0 {
+                return Err(format!(
+                    "link {} ({}) uses the reserved id 0 as an endpoint",
+                    r.id, r.label
+                ));
+            }
+        }
         if by_id.insert(r.id, r).is_some() {
             return Err(format!("span id {} appears twice", r.id));
         }
@@ -334,10 +471,9 @@ pub fn validate(records: &[SpanRecord]) -> Result<(), String> {
             continue;
         }
         let Some(p) = by_id.get(&r.parent) else {
-            return Err(format!(
-                "span {} ({}) references missing parent {}",
-                r.id, r.label, r.parent
-            ));
+            // Dropped (or not-yet-drained) parent: the record is an
+            // honest root of what remains.
+            continue;
         };
         if p.thread != r.thread {
             return Err(format!(
@@ -391,8 +527,13 @@ mod tests {
         assert_eq!(outer.parent, 0);
         assert_eq!(inner.parent, outer.id);
         assert_eq!(ping.parent, outer.id);
-        assert!(ping.is_event && ping.start_ns == ping.end_ns);
+        assert_eq!(ping.kind, RecordKind::Event);
+        assert!(ping.start_ns == ping.end_ns);
         assert!(outer.start_ns <= inner.start_ns && outer.end_ns >= inner.end_ns);
+        assert!(
+            drain.records.iter().all(|r| r.trace == 0),
+            "plain spans are untraced"
+        );
     }
 
     #[test]
@@ -476,7 +617,59 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_duplicates_and_orphans() {
+    fn trace_contexts_tag_records_and_links_connect_them() {
+        let t = Tracer::new(128);
+        let ctx = t.begin_trace("submit", 3);
+        assert!(ctx.is_active());
+        assert_ne!(ctx.origin, 0);
+        let pick = t.event_in("pick", 3, ctx.trace);
+        let link = t.link("queue_flow", ctx.origin, pick, ctx.trace);
+        assert_ne!(link, 0);
+        let solve_id = {
+            let solve = t.span_in("solve", 3, ctx.trace).expect("sampled in");
+            t.link("solve_flow", pick, solve.id(), ctx.trace);
+            solve.id()
+        };
+        let drain = t.drain();
+        validate(&drain.records).expect("traced records validate");
+        let traced: Vec<_> = drain
+            .records
+            .iter()
+            .filter(|r| r.trace == ctx.trace)
+            .collect();
+        assert_eq!(traced.len(), 5, "submit, pick, 2 links, solve");
+        let links: Vec<_> = drain
+            .records
+            .iter()
+            .filter_map(|r| match r.kind {
+                RecordKind::Link { from, to } => Some((from, to)),
+                _ => None,
+            })
+            .collect();
+        assert!(links.contains(&(ctx.origin, pick)));
+        assert!(links.contains(&(pick, solve_id)));
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_never_zero() {
+        let t = Tracer::new(128);
+        let a = t.mint_trace();
+        let b = t.mint_trace();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn links_with_sampled_out_endpoints_are_suppressed() {
+        let t = Tracer::new(128);
+        assert_eq!(t.link("flow", 0, 7, 1), 0, "missing from endpoint");
+        assert_eq!(t.link("flow", 7, 0, 1), 0, "missing to endpoint");
+        assert_eq!(t.drain().records.len(), 0);
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_structural_corruption() {
         let r1 = SpanRecord {
             id: 1,
             parent: 0,
@@ -485,16 +678,11 @@ mod tests {
             end_ns: 10,
             thread: 0,
             arg: 0,
-            is_event: false,
+            trace: 0,
+            kind: RecordKind::Span,
         };
         let dup = vec![r1.clone(), r1.clone()];
         assert!(validate(&dup).is_err());
-        let orphan = vec![SpanRecord {
-            id: 2,
-            parent: 99,
-            ..r1.clone()
-        }];
-        assert!(validate(&orphan).is_err());
         let escapes = vec![
             r1.clone(),
             SpanRecord {
@@ -502,9 +690,80 @@ mod tests {
                 parent: 1,
                 start_ns: 5,
                 end_ns: 20,
-                ..r1
+                ..r1.clone()
             },
         ];
         assert!(validate(&escapes).is_err());
+        let cross_thread = vec![
+            r1.clone(),
+            SpanRecord {
+                id: 4,
+                parent: 1,
+                thread: 9,
+                start_ns: 2,
+                end_ns: 3,
+                ..r1.clone()
+            },
+        ];
+        assert!(validate(&cross_thread).is_err());
+        let backwards = vec![SpanRecord {
+            id: 5,
+            start_ns: 10,
+            end_ns: 3,
+            ..r1.clone()
+        }];
+        assert!(validate(&backwards).is_err());
+    }
+
+    #[test]
+    fn a_dropped_parent_degrades_to_a_root_not_an_error() {
+        // Parent id 99 is nowhere in the drain (overwritten by ring
+        // overflow): the orphan is an honest root of what remains.
+        let orphan = vec![SpanRecord {
+            id: 2,
+            parent: 99,
+            label: "orphan",
+            start_ns: 0,
+            end_ns: 10,
+            thread: 0,
+            arg: 0,
+            trace: 7,
+            kind: RecordKind::Span,
+        }];
+        validate(&orphan).expect("missing parent degrades to root");
+    }
+
+    #[test]
+    fn validate_accepts_merged_multi_thread_drains_with_links_and_dropped_parents() {
+        // Build the merged shape the flight recorder accumulates: two
+        // threads, a flow link between them, and an overflow that drops
+        // the submit-side parent of the first window.
+        let t = std::sync::Arc::new(Tracer::new(2));
+        let ctx = {
+            let _outer = t.span("window0", 0); // will be overwritten below
+            t.begin_trace("submit", 1)
+        };
+        // Overflow the 2-slot ring on this thread: the window0 span and
+        // the submit event get pushed out by newer records.
+        for i in 0..4u64 {
+            t.event("filler", i);
+        }
+        let worker = {
+            let t2 = std::sync::Arc::clone(&t);
+            std::thread::spawn(move || {
+                let pick = t2.event_in("pick", 1, ctx.trace);
+                t2.link("queue_flow", ctx.origin, pick, ctx.trace);
+            })
+        };
+        worker.join().expect("worker panicked");
+        let drain = t.drain();
+        assert!(drain.dropped > 0, "the overflow actually happened");
+        // The link's `from` endpoint was dropped; fillers reference the
+        // dropped window0 parent. Both degrade, neither fails.
+        validate(&drain.records).expect("merged drain with partial history validates");
+        assert!(drain
+            .records
+            .iter()
+            .any(|r| matches!(r.kind, RecordKind::Link { .. })));
     }
 }

@@ -18,19 +18,21 @@
 //! worst publication gap per cohort and [`SoakReport::starvation_free`]
 //! asserts it never exceeded one window.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
 use capman_fleet::{CalibrationBackend, DeviceArena, FleetPlan, FleetProfile};
-use capman_obs::export::{chrome_trace, prometheus_text};
+use capman_obs::export::{chrome_trace, metrics_json, prometheus_text};
+use capman_obs::{CompletedTrace, FlightConfig, FlightRecorder, TraceDrain};
 use capman_workload::WorkloadKind;
 
 use crate::lanes::Lane;
-use crate::service::{CalibrationService, ServiceConfig, ServiceCounters};
+use crate::service::{CalibrationService, ServiceConfig, ServiceCounters, PHASE_NAMES};
 use crate::slo::ServiceMode;
 
 /// Soak-run shape: the traffic plan and the service under test.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SoakConfig {
     /// Tenant cohorts.
     pub cohorts: usize,
@@ -49,6 +51,9 @@ pub struct SoakConfig {
     /// Service configuration. `workers` is forced to 0 — the soak is
     /// deterministic by construction.
     pub service: ServiceConfig,
+    /// Where the flight recorder dumps postmortem bundles. `None`
+    /// keeps the recorder in-memory only (no bundles on disk).
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for SoakConfig {
@@ -64,6 +69,7 @@ impl Default for SoakConfig {
             pumps_per_window: 8,
             seed: 0xCA11,
             service,
+            flight_dir: None,
         }
     }
 }
@@ -110,10 +116,23 @@ pub struct SoakReport {
     pub final_mode: ServiceMode,
     /// Whether any window breached.
     pub any_breach: bool,
+    /// p99 of each critical-path phase, ordered like
+    /// [`PHASE_NAMES`] (queue, lane, solve, publish→adopt).
+    pub phase_p99_s: [f64; 4],
     /// Prometheus text scrape of the service registry.
     pub prometheus: String,
-    /// Chrome-trace JSON of the service tracer.
+    /// JSON object of the service registry (flat key→value).
+    pub metrics_json: String,
+    /// Chrome-trace JSON of everything the flight recorder retained.
     pub trace_json: String,
+    /// The flight recorder's retained span records — resolve exemplar
+    /// trace ids against these.
+    pub trace: TraceDrain,
+    /// Completed causal traces, oldest first (bounded by the flight
+    /// recorder's retention).
+    pub completed_traces: Vec<CompletedTrace>,
+    /// Postmortem bundles the flight recorder dumped (SLO flips).
+    pub flight_bundles: Vec<PathBuf>,
     /// Host wall time of the whole soak, milliseconds.
     pub wall_ms: f64,
 }
@@ -176,6 +195,16 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
     service_config.workers = 0;
     let specs: Vec<_> = plan.profiles().iter().map(|p| p.calibrator).collect();
     let service = Arc::new(CalibrationService::new(&specs, service_config));
+    // Always-on flight recorder: completed traces, rolling metric
+    // snapshots and SLO verdicts ride in bounded memory; an SLO flip
+    // into Degraded/Shedding (or a panic anywhere in the soak) dumps a
+    // postmortem bundle into `flight_dir`.
+    let flight = FlightRecorder::new(FlightConfig {
+        dir: config.flight_dir.clone(),
+        ..FlightConfig::default()
+    });
+    flight.arm_panic_hook();
+    service.attach_flight(Arc::clone(&flight));
     let backend: Arc<dyn CalibrationBackend> = Arc::clone(&service) as _;
     let mut arena = DeviceArena::build(&plan, 0, plan.len(), Some(&backend));
 
@@ -189,6 +218,9 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
 
     'soak: for window in 0..config.windows {
         let window_start = config.window_s * f64::from(window);
+        // Exemplars are per-window: each window's scrape carries the
+        // slowest trace ids of *that* window, not of the whole run.
+        service.registry().reset_exemplars();
         let mut active = arena.active();
         for pump in 1..=config.pumps_per_window {
             let t = window_start
@@ -218,6 +250,9 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
             }
         }
         let verdict = service.evaluate_slo();
+        // Move the window's span records out of the tracer rings into
+        // the flight recorder's bounded buffer before the rings wrap.
+        flight.absorb(service.tracer().drain());
         windows.push(SoakWindow {
             t_end_s: t_end,
             published,
@@ -243,6 +278,8 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
     let starvation_free =
         published_ever.iter().all(|&p| p) && max_gap_windows <= 1 && !windows.is_empty();
 
+    flight.absorb(service.tracer().drain());
+
     let snap = service.registry().snapshot();
     let quantile = |name: &str| {
         snap.histograms
@@ -251,17 +288,24 @@ pub fn run_soak(config: &SoakConfig) -> SoakReport {
             .map_or(0.0, |h| h.quantile(0.99))
     };
     let lane_p99_s = Lane::ALL.map(|lane| quantile(&format!("serve_staleness_{}_s", lane.label())));
+    let phase_p99_s = PHASE_NAMES.map(quantile);
     let counters = service.counters();
+    let trace = flight.trace_view();
     SoakReport {
         any_breach: windows.iter().any(|w| w.breached),
         final_mode: service.mode(),
         staleness_p99_s: quantile("serve_staleness_s"),
         lane_p99_s,
+        phase_p99_s,
         shed_fraction: counters.shed_fraction(),
         max_gap_windows,
         starvation_free,
         prometheus: prometheus_text(&snap),
-        trace_json: chrome_trace(&service.tracer().drain()),
+        metrics_json: metrics_json(&snap),
+        trace_json: chrome_trace(&trace),
+        trace,
+        completed_traces: flight.completed(),
+        flight_bundles: flight.bundles(),
         windows,
         counters,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,

@@ -29,6 +29,19 @@
 //! feature-gated global hooks), so a `/metrics`-shaped Prometheus
 //! scrape and a Chrome trace come out of every run regardless of the
 //! `obs` feature.
+//!
+//! Every submission additionally mints a **causal trace context**
+//! (`capman_obs::TraceCtx`) that rides the request through admission,
+//! the lanes, the solve, publication, and a device's adoption; the
+//! cross-thread hops are recorded as flow links, so the Chrome trace
+//! renders one connected arc per request. At adoption the service
+//! closes the trace into a `capman_obs::CompletedTrace` whose four
+//! critical-path phases ([`PHASE_NAMES`]) sum *identically* to the
+//! served staleness, and feeds per-phase histograms carrying
+//! slowest-trace exemplars. An attached `capman_obs::FlightRecorder`
+//! retains recent traces, metric snapshots and SLO verdicts, and dumps
+//! a postmortem bundle on panic or when the SLO flips the service into
+//! Degraded/Shedding.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,5 +57,5 @@ pub use admission::{AdmissionConfig, AdmissionOutcome};
 pub use harness::{run_soak, SoakConfig, SoakReport};
 pub use lanes::{Lane, LaneConfig};
 pub use policy::ServePolicy;
-pub use service::{CalibrationService, ServiceConfig, ServiceCounters};
+pub use service::{CalibrationService, ServiceConfig, ServiceCounters, PHASE_NAMES};
 pub use slo::{ServiceMode, SloConfig, SloMonitor, SloObjective, SloSpec, SloVerdict};

@@ -51,8 +51,8 @@ use std::thread::JoinHandle;
 use arc_swap::ArcSwap;
 use capman_core::online::{Calibrator, CalibratorSpec};
 use capman_core::profiler::Profiler;
-use capman_fleet::{CalibrationBackend, CalibrationSnapshot, SubmitOutcome};
-use capman_obs::{Counter, Gauge, Histogram, Registry, Tracer};
+use capman_fleet::{CalibrationBackend, CalibrationSnapshot, SnapshotTrace, SubmitOutcome};
+use capman_obs::{CompletedTrace, Counter, FlightRecorder, Gauge, Histogram, Registry, Tracer};
 
 use crate::admission::{effective_quota, AdmissionConfig, AdmissionOutcome, CohortLedger};
 use crate::lanes::{self, Lane, LaneConfig};
@@ -134,6 +134,19 @@ struct PendingRequest {
     skips: u32,
     profiler: Profiler,
     compute_speed: f64,
+    /// Causal trace id minted at admission (replacements keep it, like
+    /// the age fields — the trace follows the slot, not the payload).
+    trace: u64,
+    /// Record id of the admission's origin event (flow-link source for
+    /// the queue hop).
+    origin: u64,
+    /// Simulated time the scheduler first passed this request over —
+    /// the end of pure queue wait in the critical-path decomposition.
+    first_skipped_s: Option<f64>,
+    /// Simulated time of the winning pick; set by `pick`.
+    picked_s: f64,
+    /// Record id of the `serve_pick` event; set by `pick`.
+    pick_event: u64,
 }
 
 #[derive(Default)]
@@ -155,6 +168,10 @@ struct ServeSlot {
     snapshot: ArcSwap<CalibrationSnapshot>,
     calibrator: Mutex<Calibrator>,
     in_flight: AtomicBool,
+    /// Highest snapshot seq a device has adopted: the *first* adoption
+    /// of each publication closes its trace; cohort-mates adopting the
+    /// same snapshot later are no-ops for tracing.
+    last_adopted_seq: AtomicU64,
 }
 
 struct Counters {
@@ -180,7 +197,19 @@ struct Metrics {
     lane_staleness: [Arc<Histogram>; 3],
     lane_picks: [Arc<Counter>; 3],
     solve_us: Arc<Histogram>,
+    /// Critical-path phase histograms, indexed like
+    /// [`PHASE_NAMES`]: queue, lane, solve, publish→adopt. Their
+    /// per-trace values sum to the request's served staleness.
+    phase: [Arc<Histogram>; 4],
 }
+
+/// Names of the critical-path phase histograms, in decomposition order.
+pub const PHASE_NAMES: [&str; 4] = [
+    "serve_phase_queue_s",
+    "serve_phase_lane_s",
+    "serve_phase_solve_s",
+    "serve_phase_publish_adopt_s",
+];
 
 const STALENESS_BOUNDS: [f64; 10] = [
     1.0, 5.0, 15.0, 60.0, 120.0, 300.0, 600.0, 1200.0, 2400.0, 4800.0,
@@ -255,6 +284,28 @@ impl Metrics {
                 "Background calibration solve wall time, microseconds",
                 &SOLVE_BOUNDS,
             ),
+            phase: [
+                registry.histogram(
+                    PHASE_NAMES[0],
+                    "Critical path: pure queue wait (submission to first scheduler consideration), simulated seconds",
+                    &STALENESS_BOUNDS,
+                ),
+                registry.histogram(
+                    PHASE_NAMES[1],
+                    "Critical path: lane wait (first consideration to the winning pick), simulated seconds",
+                    &STALENESS_BOUNDS,
+                ),
+                registry.histogram(
+                    PHASE_NAMES[2],
+                    "Critical path: solve (pick to publication), simulated seconds",
+                    &STALENESS_BOUNDS,
+                ),
+                registry.histogram(
+                    PHASE_NAMES[3],
+                    "Critical path: adoption lag (publication to first device adoption), simulated seconds",
+                    &STALENESS_BOUNDS,
+                ),
+            ],
         }
     }
 
@@ -280,6 +331,10 @@ struct Shared {
     registry: Registry,
     tracer: Tracer,
     metrics: Metrics,
+    /// Attached flight recorder, if any: receives completed traces at
+    /// adoption and verdicts/snapshots/drains at SLO evaluation, and is
+    /// dumped when the mode degrades.
+    flight: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 /// The resident multi-tenant calibration service.
@@ -303,6 +358,7 @@ impl CalibrationService {
                 snapshot: ArcSwap::from_pointee(empty_snapshot()),
                 calibrator: Mutex::new(spec.build()),
                 in_flight: AtomicBool::new(false),
+                last_adopted_seq: AtomicU64::new(0),
             })
             .collect::<Vec<_>>();
         let cells = (0..slots.len()).map(|_| CohortCell::default()).collect();
@@ -330,6 +386,7 @@ impl CalibrationService {
             registry,
             tracer: Tracer::new(config.trace_capacity),
             metrics,
+            flight: Mutex::new(None),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -355,7 +412,9 @@ impl CalibrationService {
     ) -> AdmissionOutcome {
         let shared = &self.shared;
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        shared.tracer.event("serve_submit", cohort as u64);
+        // Every submission mints a causal trace at the boundary; only
+        // the one that fills (and keeps) the pending slot completes.
+        let ctx = shared.tracer.begin_trace("serve_submit", cohort as u64);
         let outcome = {
             let mut st = shared.sched.lock().expect("scheduler poisoned");
             st.last_now_s = st.last_now_s.max(now_s);
@@ -389,6 +448,11 @@ impl CalibrationService {
                         skips: 0,
                         profiler: profiler.clone(),
                         compute_speed,
+                        trace: ctx.trace,
+                        origin: ctx.origin,
+                        first_skipped_s: None,
+                        picked_s: now_s,
+                        pick_event: 0,
                     });
                     st.pending_count += 1;
                     shared.metrics.queue_depth.set(st.pending_count as i64);
@@ -470,10 +534,13 @@ impl CalibrationService {
             if other != cohort {
                 if let Some(pending) = cell.pending.as_mut() {
                     pending.skips = pending.skips.saturating_add(1);
+                    // First pass-over ends the request's pure queue
+                    // wait: from here on it is waiting on lane rank.
+                    pending.first_skipped_s.get_or_insert(now);
                 }
             }
         }
-        let request = st.cells[cohort]
+        let mut request = st.cells[cohort]
             .pending
             .take()
             .expect("picked cohort has a request");
@@ -483,10 +550,24 @@ impl CalibrationService {
             .in_flight
             .store(true, Ordering::Release);
         let wait_s = (now - request.first_submitted_s).max(0.0);
-        shared.metrics.staleness.observe(wait_s);
-        shared.metrics.lane_staleness[rank].observe(wait_s);
+        shared
+            .metrics
+            .staleness
+            .observe_with_exemplar(wait_s, request.trace);
+        shared.metrics.lane_staleness[rank].observe_with_exemplar(wait_s, request.trace);
         shared.metrics.lane_picks[rank].inc();
-        shared.tracer.event("serve_pick", cohort as u64);
+        request.picked_s = now;
+        request.pick_event = shared
+            .tracer
+            .event_in("serve_pick", cohort as u64, request.trace);
+        // Stitch the submit→pick hop (submission may have come from a
+        // device thread, picks happen under the scheduler).
+        shared.tracer.link(
+            "serve_queue_flow",
+            request.origin,
+            request.pick_event,
+            request.trace,
+        );
         Some((cohort, request))
     }
 
@@ -494,7 +575,19 @@ impl CalibrationService {
     /// happens outside the scheduler lock.
     fn execute(shared: &Shared, cohort: usize, request: PendingRequest) {
         let slot = &shared.slots[cohort];
-        let _span = shared.tracer.span("serve_solve", cohort as u64);
+        let span = shared
+            .tracer
+            .span_in("serve_solve", cohort as u64, request.trace);
+        if let Some(span) = &span {
+            // Stitch the pick→solve hop (a worker may solve a pick made
+            // under another thread's scheduler lock).
+            shared.tracer.link(
+                "serve_solve_flow",
+                request.pick_event,
+                span.id(),
+                request.trace,
+            );
+        }
         let wall_us = {
             let mut calibrator = slot.calibrator.lock().expect("calibrator poisoned");
             calibrator.recalibrate(
@@ -507,16 +600,37 @@ impl CalibrationService {
             let calibrator = slot.calibrator.lock().expect("calibrator poisoned");
             calibrator.calibration().cloned()
         };
+        // Publication's simulated time: the scheduler clock has kept
+        // moving while the solve ran (worker mode), never earlier than
+        // the pick.
+        let published_s = {
+            let st = shared.sched.lock().expect("scheduler poisoned");
+            st.last_now_s.max(request.picked_s)
+        };
+        // Recorded before the store so the event id can ride the
+        // snapshot as the adoption hop's flow source.
+        let publish_span = shared
+            .tracer
+            .event_in("serve_publish", cohort as u64, request.trace);
+        let trace = (request.trace != 0).then_some(SnapshotTrace {
+            trace: request.trace,
+            publish_span,
+            submitted_s: request.first_submitted_s,
+            queue_end_s: request.first_skipped_s.unwrap_or(request.picked_s),
+            picked_s: request.picked_s,
+            published_s,
+        });
         let prev_seq = slot.snapshot.load_full().seq;
         slot.snapshot.store(Arc::new(CalibrationSnapshot {
             seq: prev_seq + 1,
             requested_at_s: request.payload_t_s,
             wall_us,
             calibration,
+            trace,
         }));
         shared.metrics.solve_us.observe(wall_us);
         shared.metrics.completed.inc();
-        shared.tracer.event("serve_publish", cohort as u64);
+        drop(span);
         // Publish before accounting, like the pool: once `completed`
         // covers this solve, readers must already see the snapshot.
         shared.counters.completed.fetch_add(1, Ordering::Release);
@@ -610,6 +724,7 @@ impl CalibrationService {
     pub fn evaluate_slo(&self) -> SloVerdict {
         let snapshot = self.shared.registry.snapshot();
         let mut monitor = self.monitor.lock().expect("SLO monitor poisoned");
+        let prev_mode = ServiceMode::from_u8(self.shared.mode.load(Ordering::Relaxed));
         let verdict = monitor.evaluate(&snapshot);
         self.shared
             .mode
@@ -621,7 +736,36 @@ impl CalibrationService {
         self.shared
             .tracer
             .event("serve_slo_eval", u64::from(verdict.mode.as_u8()));
+        let flight = self.shared.flight.lock().expect("flight poisoned").clone();
+        if let Some(flight) = flight {
+            flight.note_verdict(verdict.summary());
+            flight.note_metrics(snapshot);
+            if verdict.mode != prev_mode && verdict.mode != ServiceMode::Normal {
+                // Entering a non-Normal mode is the postmortem moment:
+                // freeze the span rings and dump while the evidence of
+                // *why* is still in the windows.
+                flight.absorb(self.shared.tracer.drain());
+                let reason = match verdict.mode {
+                    ServiceMode::Degraded => "slo-degraded",
+                    _ => "slo-shedding",
+                };
+                let _ = flight.dump(reason);
+            }
+        }
         verdict
+    }
+
+    /// Attach a [`FlightRecorder`]: from now on, SLO verdicts and
+    /// metric snapshots are journalled into it, completed traces are
+    /// retained for postmortems, and a mode transition into
+    /// Degraded/Shedding dumps a bundle automatically.
+    pub fn attach_flight(&self, flight: Arc<FlightRecorder>) {
+        *self.shared.flight.lock().expect("flight poisoned") = Some(flight);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<Arc<FlightRecorder>> {
+        self.shared.flight.lock().expect("flight poisoned").clone()
     }
 
     /// The service's metrics registry (Prometheus scrape source).
@@ -678,6 +822,7 @@ fn empty_snapshot() -> CalibrationSnapshot {
         requested_at_s: 0.0,
         wall_us: 0.0,
         calibration: None,
+        trace: None,
     }
 }
 
@@ -702,6 +847,43 @@ impl CalibrationBackend for CalibrationService {
 
     fn snapshot(&self, cohort: usize) -> Arc<CalibrationSnapshot> {
         self.shared.slots[cohort].snapshot.load_full()
+    }
+
+    fn adopt(&self, cohort: usize, snapshot: &CalibrationSnapshot, now_s: f64) {
+        let Some(t) = snapshot.trace else { return };
+        let slot = &self.shared.slots[cohort];
+        // Cohort-mates all adopt the same publication; only the first
+        // closes its trace — the critical path ends at the first device
+        // the calibration reached, later adopters merely share it.
+        let prev = slot
+            .last_adopted_seq
+            .fetch_max(snapshot.seq, Ordering::AcqRel);
+        if prev >= snapshot.seq {
+            return;
+        }
+        let adopt_event = self
+            .shared
+            .tracer
+            .event_in("serve_adopt", snapshot.seq, t.trace);
+        self.shared
+            .tracer
+            .link("serve_adopt_flow", t.publish_span, adopt_event, t.trace);
+        let completed = CompletedTrace::new(
+            t.trace,
+            cohort,
+            t.submitted_s,
+            t.queue_end_s,
+            t.picked_s,
+            t.published_s,
+            now_s,
+        );
+        for (hist, phase) in self.shared.metrics.phase.iter().zip(completed.phases()) {
+            hist.observe_with_exemplar(phase, t.trace);
+        }
+        let flight = self.shared.flight.lock().expect("flight poisoned").clone();
+        if let Some(flight) = flight {
+            flight.note_trace(completed);
+        }
     }
 
     fn cohorts(&self) -> usize {

@@ -1,0 +1,208 @@
+//! End-to-end causal tracing acceptance: an overload soak must yield,
+//! for every served calibration, one connected flow-linked trace whose
+//! critical-path decomposition sums to the served staleness; the
+//! slowest exemplar's trace id must resolve in the retained span
+//! records; and an SLO flip into Degraded must leave a postmortem
+//! flight bundle whose scrape and chrome trace both validate.
+
+use std::collections::{HashMap, HashSet};
+
+use capman_obs::export::validate_prometheus;
+use capman_obs::trace::validate;
+use capman_obs::RecordKind;
+use capman_serve::{run_soak, ServiceMode, SoakConfig};
+
+/// Union of parent edges and flow links over one trace id's records:
+/// the number of connected components (records with that trace id are
+/// the nodes; a link record joins its two endpoints and itself).
+fn components(records: &[capman_obs::SpanRecord], trace: u64) -> usize {
+    let nodes: Vec<&capman_obs::SpanRecord> = records.iter().filter(|r| r.trace == trace).collect();
+    let index: HashMap<u64, usize> = nodes.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+    // Tiny union-find; path-halving is overkill at this size.
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let union = |parent: &mut [usize], a: u64, b: u64| {
+        if let (Some(&i), Some(&j)) = (index.get(&a), index.get(&b)) {
+            let (ri, rj) = (find(parent, i), find(parent, j));
+            parent[ri] = rj;
+        }
+    };
+    for r in &nodes {
+        if r.parent != 0 {
+            union(&mut parent, r.id, r.parent);
+        }
+        if let RecordKind::Link { from, to } = r.kind {
+            union(&mut parent, r.id, from);
+            union(&mut parent, r.id, to);
+        }
+    }
+    let mut roots = HashSet::new();
+    for i in 0..nodes.len() {
+        roots.insert(find(&mut parent, i));
+    }
+    roots.len()
+}
+
+#[test]
+fn every_served_calibration_is_one_connected_trace_that_decomposes_staleness() {
+    let config = SoakConfig {
+        cohorts: 2,
+        devices_per_cohort: 4, // 4x overload: excess traffic sheds
+        windows: 2,
+        ..SoakConfig::default()
+    };
+    let report = run_soak(&config);
+    assert!(
+        !report.completed_traces.is_empty(),
+        "an overload soak must serve (and close) some calibrations"
+    );
+
+    // The retained records are a merged multi-window view; they must
+    // still pass structural validation.
+    validate(&report.trace.records).expect("retained span records must validate");
+
+    let mut seen = HashSet::new();
+    for completed in &report.completed_traces {
+        assert!(completed.trace != 0, "served traces carry a real id");
+        assert!(
+            seen.insert(completed.trace),
+            "each served calibration closes its own trace exactly once"
+        );
+
+        // Critical-path decomposition: the four phases telescope to the
+        // measured served staleness (same clamped timestamps, so the
+        // tolerance is pure float-summation noise).
+        let sum = completed.phase_sum();
+        let staleness = completed.staleness_s();
+        assert!(
+            (sum - staleness).abs() <= 1e-9 * staleness.max(1.0),
+            "phase decomposition leaked time: {sum} != {staleness} for {}",
+            completed.line()
+        );
+        assert!(completed.phases().iter().all(|&p| p >= 0.0));
+
+        // Connectivity: submission origin, pick, solve, publish and
+        // adoption all reachable through parent edges + flow links.
+        let n_records = report
+            .trace
+            .records
+            .iter()
+            .filter(|r| r.trace == completed.trace)
+            .count();
+        assert!(
+            n_records >= 5,
+            "trace {} retained only {n_records} records",
+            completed.trace
+        );
+        assert!(
+            report
+                .trace
+                .records
+                .iter()
+                .any(|r| r.trace == completed.trace && matches!(r.kind, RecordKind::Link { .. })),
+            "trace {} has no flow links",
+            completed.trace
+        );
+        assert_eq!(
+            components(&report.trace.records, completed.trace),
+            1,
+            "trace {} is not one connected arc",
+            completed.trace
+        );
+    }
+
+    // The scrape and the chrome trace carry the same story.
+    validate_prometheus(&report.prometheus).expect("soak scrape must validate");
+    assert!(report.trace_json.contains("\"traceEvents\""));
+    assert!(report.trace_json.contains("\"ph\": \"s\""), "flow starts");
+    assert!(report.trace_json.contains("\"ph\": \"f\""), "flow finishes");
+
+    // Phase histograms populated, and their p99s bounded by end-to-end
+    // staleness p99 (each phase is a slice of the whole).
+    assert!(report.phase_p99_s.iter().all(|&p| p >= 0.0));
+
+    // The slowest exemplar advertised in the metrics JSON resolves to
+    // retained span records of that very trace.
+    let slowest = report
+        .metrics_json
+        .lines()
+        .find(|l| l.contains("\"serve_staleness_s_slowest_trace\":"))
+        .and_then(|l| {
+            l.split(':')
+                .nth(1)?
+                .trim()
+                .trim_end_matches(',')
+                .parse::<u64>()
+                .ok()
+        })
+        .expect("overloaded soak must export a staleness exemplar");
+    assert!(slowest != 0);
+    assert!(
+        report.trace.records.iter().any(|r| r.trace == slowest),
+        "exemplar trace {slowest} must resolve in the retained records"
+    );
+}
+
+#[test]
+fn an_slo_flip_into_degraded_dumps_a_bundle_that_validates() {
+    let dir = std::env::temp_dir().join(format!("capman-tracing-flip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = SoakConfig {
+        cohorts: 2,
+        devices_per_cohort: 3,
+        windows: 2,
+        flight_dir: Some(dir.clone()),
+        ..SoakConfig::default()
+    };
+    // An unmeetable solve-latency objective (any real solve takes more
+    // than a nanosecond) with instant escalation: the first window's
+    // evaluation flips the service to Degraded and dumps.
+    config.service.slo.spec.solve_p99_us.objective = 1e-3;
+    config.service.slo.spec.solve_p99_us.floor = 1e-3;
+    config.service.slo.escalate_after = 1;
+
+    let report = run_soak(&config);
+    assert_ne!(report.final_mode, ServiceMode::Normal);
+    assert!(report.any_breach);
+    assert!(
+        !report.flight_bundles.is_empty(),
+        "the flip into Degraded must leave a postmortem bundle"
+    );
+    let first = &report.flight_bundles[0];
+    assert!(
+        first
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains("slo-degraded")),
+        "first bundle names its reason: {}",
+        first.display()
+    );
+
+    let prom = std::fs::read_to_string(first.join("metrics.prom")).expect("bundle scrape");
+    validate_prometheus(&prom).expect("bundle scrape must validate");
+    let trace_json = std::fs::read_to_string(first.join("trace.json")).expect("bundle trace");
+    assert!(trace_json.contains("\"traceEvents\""));
+    assert_eq!(
+        trace_json.matches('{').count(),
+        trace_json.matches('}').count()
+    );
+    assert!(
+        trace_json.contains("\"name\": \"serve_submit\""),
+        "the bundle trace holds the window's spans"
+    );
+    let manifest = std::fs::read_to_string(first.join("MANIFEST.json")).expect("manifest");
+    assert!(manifest.contains("\"reason\": \"slo-degraded\""));
+    for file in ["metrics.json", "traces.txt", "verdicts.txt"] {
+        assert!(first.join(file).exists(), "bundle is missing {file}");
+    }
+    let verdicts = std::fs::read_to_string(first.join("verdicts.txt")).expect("verdicts");
+    assert!(verdicts.contains("degraded"), "{verdicts}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

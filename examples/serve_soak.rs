@@ -48,6 +48,25 @@ fn main() {
     }
     let report = hottest.expect("the ramp ran");
     println!("\nfinal SLO mode at 4x: {}", report.final_mode.label());
+
+    // Causal tracing (DESIGN.md §16): every served calibration closed
+    // one connected trace whose phases decompose its staleness.
+    println!(
+        "\nserved traces at 4x: {} closed, phase p99s: queue {:.1} s, lane {:.1} s, \
+         solve {:.1} s, publish→adopt {:.1} s",
+        report.completed_traces.len(),
+        report.phase_p99_s[0],
+        report.phase_p99_s[1],
+        report.phase_p99_s[2],
+        report.phase_p99_s[3],
+    );
+    if let Some(worst) = report
+        .completed_traces
+        .iter()
+        .max_by(|a, b| a.staleness_s().total_cmp(&b.staleness_s()))
+    {
+        println!("slowest served request: {}", worst.line());
+    }
     println!("\nPrometheus scrape of the 4x rung:\n");
     // Trim the histogram bodies for the terminal: print families and
     // counters, elide per-bucket lines past the first two.
